@@ -1,0 +1,185 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out and the
+// improvements the thesis proposes in §4.3.4 and §6.1: the DPU clock it
+// says UPMEM originally promised, the WRAM-tiled kernel versus the
+// thesis's MRAM-bound one, the GEMM tile width, and the alternative
+// image-per-DPU mapping.
+package pimdnn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/gemm"
+	"pimdnn/internal/host"
+	"pimdnn/internal/yolo"
+)
+
+// BenchmarkAblationFrequency evaluates §4.3.4's "increase in DPU
+// frequency to initially stated values": the full YOLOv3 estimate at the
+// shipping 350 MHz versus the whitepaper's 600 MHz.
+func BenchmarkAblationFrequency(b *testing.B) {
+	net, err := yolo.New(yolo.FullConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range []struct {
+		name string
+		hz   float64
+	}{
+		{"350MHz-shipping", dpu.DefaultFrequencyHz},
+		{"600MHz-whitepaper", dpu.WhitepaperFrequencyHz},
+	} {
+		b.Run(f.name, func(b *testing.B) {
+			ec := yolo.DefaultEstimateConfig()
+			ec.FrequencyHz = f.hz
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total, _, err = net.EstimateSeconds(ec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(total, "s/image")
+		})
+	}
+}
+
+// BenchmarkAblationKernel compares the thesis's MRAM-resident-ctmp GEMM
+// kernel with the WRAM-tiled improvement §4.3.3 recommends, on one
+// representative conv layer.
+func BenchmarkAblationKernel(b *testing.B) {
+	const m, n, k = 2, 2704, 288
+	rng := rand.New(rand.NewSource(50))
+	a := make([]int16, m*k)
+	bm := make([]int16, k*n)
+	for i := range a {
+		a[i] = int16(rng.Intn(201) - 100)
+	}
+	for i := range bm {
+		bm[i] = int16(rng.Intn(201) - 100)
+	}
+	for _, v := range []struct {
+		name  string
+		naive bool
+	}{
+		{"naive-mram-ctmp", true},
+		{"tiled-wram", false},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			sys, _ := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+			r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+				MaxK: k, MaxN: n, Tasklets: 11, TileCols: 256, Naive: v.naive,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				_, st, err := r.Multiply(m, n, k, 1, a, bm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "dpu-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationTileCols sweeps the tiled kernel's tile width: small
+// tiles pay the 25-cycle DMA setup too often, huge tiles starve tasklet
+// parallelism on small layers.
+func BenchmarkAblationTileCols(b *testing.B) {
+	const m, n, k = 1, 2704, 64
+	rng := rand.New(rand.NewSource(51))
+	a := make([]int16, m*k)
+	bm := make([]int16, k*n)
+	for i := range a {
+		a[i] = int16(rng.Intn(201) - 100)
+	}
+	for i := range bm {
+		bm[i] = int16(rng.Intn(201) - 100)
+	}
+	// 512 columns is the largest tile whose per-tasklet WRAM area
+	// (8 bytes/column x 11 tasklets) still fits the 64 KB WRAM.
+	for _, tc := range []int{16, 64, 256, 512} {
+		b.Run("tile="+itoa(tc/16)+"x16", func(b *testing.B) {
+			sys, _ := host.NewSystem(1, host.DefaultConfig(dpu.O3))
+			r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+				MaxK: k, MaxN: n, Tasklets: 11, TileCols: tc,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				_, st, err := r.Multiply(m, n, k, 1, a, bm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "dpu-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationMapping compares the thesis's row-per-DPU mapping with
+// the §6.1 future-work image-per-DPU mapping on a 4-image batch of the
+// tiny 75-conv network.
+func BenchmarkAblationMapping(b *testing.B) {
+	net, err := yolo.New(yolo.Config{InputSize: 32, Classes: 1, WidthDiv: 64, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]*yolo.Tensor, 4)
+	for i := range inputs {
+		inputs[i] = yolo.SyntheticScene(32, int64(i))
+	}
+	maxK, maxN := net.GEMMBounds()
+
+	b.Run("row-per-DPU", func(b *testing.B) {
+		sys, _ := host.NewSystem(4, host.DefaultConfig(dpu.O3))
+		r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+			MaxK: maxK, MaxN: maxN, Tasklets: 8, TileCols: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sec float64
+		for i := 0; i < b.N; i++ {
+			sec = 0
+			for _, in := range inputs {
+				_, st, err := net.Forward(in, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec += st.Seconds
+			}
+		}
+		b.ReportMetric(sec, "sim-seconds-4-images")
+	})
+
+	b.Run("image-per-DPU", func(b *testing.B) {
+		sys, _ := host.NewSystem(4, host.DefaultConfig(dpu.O3))
+		r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+			MaxK: maxK, MaxN: maxN, Tasklets: 8, TileCols: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.EnableBatch(net.MaxFilters()); err != nil {
+			b.Fatal(err)
+		}
+		var sec float64
+		for i := 0; i < b.N; i++ {
+			_, st, err := net.ForwardBatch(inputs, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sec = st.Seconds
+		}
+		b.ReportMetric(sec, "sim-seconds-4-images")
+	})
+}

@@ -1,0 +1,75 @@
+// Command pim-model prints the chapter 5 analytic model outputs: Tables
+// 5.1-5.4 and the data series behind Figures 5.4-5.7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimdnn/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pim-model:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sweeps := flag.Bool("sweeps", false, "print the Fig 5.5 sweep series as CSV")
+	flag.Parse()
+
+	fmt.Println("== Table 5.1: computational model, 8-bit AlexNet ==")
+	fmt.Print(model.FormatTable51(model.Table51()))
+
+	fmt.Println("\n== Table 5.2: Cop for multiplication by operand size ==")
+	tab := model.Table52()
+	fmt.Printf("%-8s %10s %10s %10s\n", "bits", "pPIM", "DRISA", "UPMEM")
+	for _, bits := range []int{4, 8, 16, 32} {
+		fmt.Printf("%-8d %10.6g %10.6g %10.6g\n", bits,
+			tab["pPIM"][bits], tab["DRISA"][bits], tab["UPMEM"][bits])
+	}
+
+	fmt.Println("\n== Fig 5.4: pPIM adds-without-carry pattern ==")
+	for _, bits := range []int{8, 16, 32} {
+		fmt.Printf("%2d-bit: %v  (Algorithm 3 total adds: %d)\n",
+			bits, model.PPIMAddsPattern(bits), model.PPIMAddsEstimate(bits))
+	}
+
+	fmt.Println("\n== Table 5.3: memory model, 8-bit AlexNet ==")
+	fmt.Printf("%-8s %12s %12s %14s %12s %12s %12s\n",
+		"PIM", "Ttransfer", "sizebuf(b)", "OPs/PE", "LocalOps", "Tmem(s)", "Ttot(s)")
+	for _, r := range model.Table53() {
+		fmt.Printf("%-8s %12.3g %12g %14g %12g %12.3g %12.3g\n",
+			r.Name, r.TtransferS, r.SizeBufBits, r.OpsPerPE, r.LocalOps, r.TmemS, r.TtotS)
+	}
+
+	fmt.Println("\n== Fig 5.6: multiplication at 2560 PEs, 100000 operations ==")
+	fmt.Printf("%-8s %6s %12s\n", "PIM", "bits", "cycles")
+	for _, p := range model.Fig56() {
+		fmt.Printf("%-8s %6d %12.6g\n", p.PIM, p.Bits, p.Cycles)
+	}
+
+	fmt.Println("\n== Table 5.4 / Fig 5.7: PIM benchmarking on eBNN and YOLOv3 (8-bit) ==")
+	fmt.Print(model.FormatTable54(model.Table54Devices()))
+
+	if *sweeps {
+		fmt.Println("\n== Fig 5.5 sweep series (CSV) ==")
+		fmt.Println("pim,sweep,bits,x,cycles")
+		for _, p := range model.Architectures() {
+			tops := model.LogSpace(100, 1e6, 25)
+			for _, bits := range []int{8, 16, 32} {
+				for _, pt := range p.TOPsSweep(bits, tops) {
+					fmt.Printf("%s,tops,%d,%g,%g\n", p.Name, bits, pt.X, pt.Cycles)
+				}
+				pes := model.LogSpace(1, p.PEs, 25)
+				for _, pt := range p.PESweep(bits, 100000, pes) {
+					fmt.Printf("%s,pes,%d,%g,%g\n", p.Name, bits, pt.X, pt.Cycles)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Command upmem-profile reproduces the thesis's chapter 3 DPU
+// characterization on the simulator: per-operation cycle counts at each
+// precision (Table 3.1), the MRAM access cost formula (Eq 3.4), and a
+// floating-point subroutine occurrence profile (Fig 3.1/3.2), including
+// an assembly-level version of the Fig 3.1 microbenchmark executed
+// through the miniature ISA interpreter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/isa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "upmem-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	optFlag := flag.Int("O", 0, "optimization level 0-3 (dpu-clang -O flag)")
+	flag.Parse()
+	opt := dpu.OptLevel(*optFlag)
+
+	fmt.Printf("== Table 3.1: cycles per operation (single DPU, 1 tasklet, %v) ==\n", opt)
+	fmt.Printf("%-24s %10s %12s\n", "operation", "cycles", "paper (O0)")
+	type bench struct {
+		name  string
+		body  func(t *dpu.Tasklet)
+		paper string
+	}
+	benches := []bench{
+		{"8-bit add", func(t *dpu.Tasklet) { t.Add32(3, 4) }, "272"},
+		{"16-bit add", func(t *dpu.Tasklet) { t.Add32(300, 400) }, "272"},
+		{"32-bit add", func(t *dpu.Tasklet) { t.Add32(3e6, 4e6) }, "272"},
+		{"8-bit multiply", func(t *dpu.Tasklet) { t.Mul8(3, 4) }, "272"},
+		{"16-bit multiply", func(t *dpu.Tasklet) { t.Mul16(300, 40) }, "608"},
+		{"32-bit multiply", func(t *dpu.Tasklet) { t.Mul32(3e6, 40) }, "800"},
+		{"8-bit subtract", func(t *dpu.Tasklet) { t.Sub32(3, 4) }, "272"},
+		{"fixed divide", func(t *dpu.Tasklet) { t.Div32(300, 4) }, "368"},
+		{"float add", func(t *dpu.Tasklet) { t.FAdd(0x40400000, 0x40800000) }, "896"},
+		{"float subtract", func(t *dpu.Tasklet) { t.FSub(0x40400000, 0x40800000) }, "928"},
+		{"float multiply", func(t *dpu.Tasklet) { t.FMul(0x40400000, 0x40800000) }, "2528"},
+		{"float divide", func(t *dpu.Tasklet) { t.FDiv(0x40400000, 0x40800000) }, "12064"},
+	}
+	for _, b := range benches {
+		cycles, err := profile(opt, b.body)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %10d %12s\n", b.name, cycles, b.paper)
+	}
+
+	fmt.Printf("\n== Eq 3.4: MRAM access cycles (25 + bytes/2) ==\n")
+	for _, n := range []int{8, 64, 512, 1024, 2048} {
+		fmt.Printf("%5d bytes -> %5d cycles\n", n, dpu.DMACost(n))
+	}
+
+	fmt.Printf("\n== Fig 3.1 microbenchmark as an assembled DPU program ==\n")
+	cycles, listing, err := isaBench(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(listing)
+	fmt.Printf("perfcounter: %d cycles around the float multiply\n", cycles)
+
+	fmt.Printf("\n== Fig 3.2: subroutine profile of a float-heavy kernel ==\n")
+	d, err := dpu.New(dpu.DefaultConfig(opt))
+	if err != nil {
+		return err
+	}
+	if _, err := d.Launch(4, floatHeavyKernel); err != nil {
+		return err
+	}
+	fmt.Print(d.Profile().Report())
+	return nil
+}
+
+func profile(opt dpu.OptLevel, body func(t *dpu.Tasklet)) (uint64, error) {
+	d, err := dpu.New(dpu.DefaultConfig(opt))
+	if err != nil {
+		return 0, err
+	}
+	var cycles uint64
+	_, err = d.Launch(1, func(t *dpu.Tasklet) error {
+		t.PerfcounterConfig()
+		t.Charge(dpu.OpNop, 21) // measurement harness instructions
+		body(t)
+		cycles = t.PerfcounterGet()
+		return nil
+	})
+	return cycles, err
+}
+
+// isaBench assembles and runs the Fig 3.1 program: two floats multiplied
+// between perfcounter_config() and perfcounter_get().
+func isaBench(opt dpu.OptLevel) (uint64, string, error) {
+	src := `
+	; Fig 3.1: profile one floating-point multiply
+		movi r1, 3
+		movi r2, 4
+		fsi  r3, r1      ; float a = 3
+		fsi  r4, r2      ; float b = 4
+		pcfg             ; perfcounter_config()
+		fmul r5, r3, r4  ; a * b
+		pget r6          ; perfcounter_get()
+		halt
+	`
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		return 0, "", err
+	}
+	d, err := dpu.New(dpu.DefaultConfig(opt))
+	if err != nil {
+		return 0, "", err
+	}
+	if err := isa.Load(d, prog); err != nil {
+		return 0, "", err
+	}
+	var counter uint64
+	_, err = d.Launch(1, isa.Kernel(nil, func(_ int, r isa.Regs) {
+		counter = uint64(r[6])
+	}))
+	if err != nil {
+		return 0, "", err
+	}
+	return counter, isa.Disassemble(prog), nil
+}
+
+// floatHeavyKernel mimics the unmodified eBNN BN-BinAct block: repeated
+// normalization in software floating point.
+func floatHeavyKernel(t *dpu.Tasklet) error {
+	mean := t.FFromInt(5)
+	std := t.FFromInt(3)
+	for i := 0; i < 64; i++ {
+		v := t.FFromInt(int32(i % 19))
+		centered := t.FSub(v, mean)
+		norm := t.FDiv(centered, std)
+		scaled := t.FMul(norm, t.FFromInt(1))
+		shifted := t.FAdd(scaled, t.FFromInt(0))
+		if t.FGe(shifted, 0) {
+			t.Charge(dpu.OpStore, 1)
+		}
+		_ = t.FToInt(shifted)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// cnn-zoo: the §6.1 future-work span made concrete — run all three
+// implemented classifier-style workloads (eBNN, AlexNet, ResNet-18) on
+// simulated UPMEM systems and compare their DPU time, energy and the
+// chapter 5 model's pricing of their full-size counterparts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pimdnn"
+	"pimdnn/internal/model"
+	"pimdnn/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func randImage(size int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(3, size, size)
+	for i := range t.Data {
+		t.Data[i] = tensor.Quantize(rng.Float64())
+	}
+	return t
+}
+
+func run() error {
+	fmt.Println("workload          input   MACs (lite)   DPU time    notes")
+
+	// eBNN: 16 digits on one DPU with the LUT architecture.
+	ds := pimdnn.LoadDigits(400, 16, 1)
+	ebnnModel, err := pimdnn.TrainEBNN(ds, pimdnn.DefaultEBNNTrainConfig())
+	if err != nil {
+		return err
+	}
+	acc1, err := pimdnn.NewAccelerator(pimdnn.Options{DPUs: 1, Opt: pimdnn.O3})
+	if err != nil {
+		return err
+	}
+	ebnnApp, err := acc1.DeployEBNN(ebnnModel, true, 16)
+	if err != nil {
+		return err
+	}
+	_, ebnnStats, err := ebnnApp.Classify(ds.Test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %6d   %11s   %8.3gs   16 images, 1 DPU\n",
+		"eBNN", 28, "~4.9e5", ebnnStats.DPUSeconds)
+
+	// AlexNet lite.
+	acc2, err := pimdnn.NewAccelerator(pimdnn.Options{DPUs: 8, Opt: pimdnn.O3})
+	if err != nil {
+		return err
+	}
+	alexApp, err := acc2.DeployAlexNet(pimdnn.AlexNetLite(), pimdnn.YOLOOptions{Tasklets: 11})
+	if err != nil {
+		return err
+	}
+	alexCfg := alexApp.Network().Cfg
+	_, _, alexStats, err := alexApp.Classify(randImage(alexCfg.InputSize, 2))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %6d   %11.3g   %8.3gs   8 DPUs, row-per-DPU\n",
+		"AlexNet", alexCfg.InputSize, float64(alexApp.Network().MACs()), alexStats.Seconds)
+
+	// ResNet-18 lite.
+	acc3, err := pimdnn.NewAccelerator(pimdnn.Options{DPUs: 8, Opt: pimdnn.O3})
+	if err != nil {
+		return err
+	}
+	resApp, err := acc3.DeployResNet(pimdnn.ResNetLite(), pimdnn.YOLOOptions{Tasklets: 11})
+	if err != nil {
+		return err
+	}
+	resCfg := resApp.Network().Cfg
+	_, _, resStats, err := resApp.Classify(randImage(resCfg.InputSize, 3))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %6d   %11.3g   %8.3gs   8 DPUs, 21 GEMMs incl. 3 projections\n",
+		"ResNet-18", resCfg.InputSize, float64(resApp.Network().MACs()), resStats.Seconds)
+
+	// Full-size pricing through the chapter 5 model.
+	fmt.Println("\nchapter 5 model, full-size networks at 8-bit (Ttot = Tcomp + Tmem):")
+	fmt.Printf("%-12s", "workload")
+	for _, p := range pimdnn.PIMArchitectures() {
+		fmt.Printf("%12s", p.Name)
+	}
+	fmt.Println()
+	for _, w := range model.Workloads() {
+		fmt.Printf("%-12s", w.Name)
+		for _, p := range pimdnn.PIMArchitectures() {
+			fmt.Printf("%12.3g", p.Ttot(w.MACs, w.Bits))
+		}
+		fmt.Println()
+	}
+	return nil
+}

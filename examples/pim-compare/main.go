@@ -1,0 +1,58 @@
+// pim-compare: the thesis's chapter 5 use case — compare PIM
+// architectures analytically. It evaluates the computation and memory
+// models on AlexNet, shows the Fig 5.6 precision crossover, and prints
+// the seven-device Table 5.4 benchmarking for eBNN and YOLOv3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimdnn"
+	"pimdnn/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== AlexNet (2.59e9 MACs, 8-bit) through the generic model ==")
+	fmt.Printf("%-8s %12s %12s %12s\n", "PIM", "Tcomp (s)", "Tmem (s)", "Ttot (s)")
+	for _, p := range pimdnn.PIMArchitectures() {
+		tcomp := p.Tcomp(p.MACCop(8), model.AlexNetTOPs)
+		tmem := p.Tmem(model.AlexNetTOPs, 8)
+		fmt.Printf("%-8s %12.3g %12.3g %12.3g\n", p.Name, tcomp, tmem, tcomp+tmem)
+	}
+
+	fmt.Println("\n== precision crossover (Fig 5.6): multiply Cop by operand width ==")
+	fmt.Printf("%-8s %8s %8s %8s %8s\n", "PIM", "4-bit", "8-bit", "16-bit", "32-bit")
+	for _, p := range pimdnn.PIMArchitectures() {
+		fmt.Printf("%-8s %8.4g %8.4g %8.4g %8.4g\n", p.Name,
+			p.MultCop(4), p.MultCop(8), p.MultCop(16), p.MultCop(32))
+	}
+	fmt.Println("-> the LUT design (pPIM) wins at 8/16 bits; the pipelined CPU")
+	fmt.Println("   (UPMEM) overtakes it at 32 bits, as the thesis concludes.")
+
+	fmt.Println("\n== Table 5.4: seven devices on eBNN and YOLOv3 ==")
+	best := struct {
+		ebnnPW, yoloPW string
+		vEBNN, vYOLO   float64
+	}{}
+	for _, d := range pimdnn.PIMDevices() {
+		if v := d.EBNNThroughputPower(); v > best.vEBNN {
+			best.vEBNN, best.ebnnPW = v, d.Name
+		}
+		if v := d.YOLOThroughputPower(); v > best.vYOLO {
+			best.vYOLO, best.yoloPW = v, d.Name
+		}
+	}
+	fmt.Print(model.FormatTable54(pimdnn.PIMDevices()))
+	fmt.Printf("\nbest eBNN frames/s-W: %s; best YOLOv3 frames/s-W: %s\n", best.ebnnPW, best.yoloPW)
+	fmt.Println("UPMEM is the lowest-power, lowest-area device but its measured")
+	fmt.Println("latencies make its throughput ratios the poorest — the thesis's")
+	fmt.Println("closing observation about the commercial PIM's trade-off.")
+	return nil
+}

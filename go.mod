@@ -1,0 +1,3 @@
+module pimdnn
+
+go 1.22

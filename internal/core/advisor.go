@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/trace"
+)
+
+// Recommendation is one actionable finding from a profile analysis.
+type Recommendation struct {
+	// Rule identifies the takeaway (stable, machine-checkable).
+	Rule string
+	// Detail is the human explanation with the triggering numbers.
+	Detail string
+}
+
+// Advisor analyzes execution profiles and DPU statistics against the
+// thesis's implementation takeaways (§4.3.3): minimize high-precision
+// computation, thread to the pipeline depth, use the highest compiler
+// optimization, and favor WRAM over MRAM accesses.
+type Advisor struct {
+	// FloatOccThreshold is the subroutine-call count above which
+	// floating point is flagged (default 1: any call is worth removing,
+	// per §3.3.1's "it is suggested for any applications running on the
+	// UPMEM system to use low precision computations").
+	FloatOccThreshold uint64
+	// DMAFractionThreshold flags MRAM-bound kernels (default 0.5).
+	DMAFractionThreshold float64
+}
+
+// NewAdvisor returns an advisor with the default thresholds.
+func NewAdvisor() *Advisor {
+	return &Advisor{FloatOccThreshold: 1, DMAFractionThreshold: 0.5}
+}
+
+// RunInfo describes one execution for analysis.
+type RunInfo struct {
+	Profile  *trace.Profile
+	Tasklets int
+	Opt      dpu.OptLevel
+	// IssueSlots and DMACycles partition the DPU work (from dpu.Stats).
+	IssueSlots uint64
+	DMACycles  uint64
+	// Imbalance is dpu.Stats.Imbalance(): max/mean per-tasklet work.
+	Imbalance float64
+}
+
+// Rule identifiers emitted by Analyze.
+const (
+	RuleRemoveFloat     = "remove-floating-point"
+	RuleIncreaseThreads = "increase-tasklets"
+	RuleEnableOpt       = "enable-compiler-optimization"
+	RulePreferWRAM      = "prefer-wram-accesses"
+	RuleReduceSoftMul   = "avoid-wide-multiplies"
+	RuleBalanceWork     = "balance-tasklet-work"
+)
+
+// ImbalanceThreshold is the max/mean per-tasklet work ratio above which
+// the balance rule fires. The ratio is exactly the launch's slowdown
+// versus perfect balance (completion follows the max tasklet, capacity
+// the mean): eBNN's 16 images on 11 tasklets give 2/(16/11) = 1.375 —
+// the Fig 4.7a dip — so the rule triggers at 25% waste.
+const ImbalanceThreshold = 1.25
+
+// Analyze returns the recommendations that apply to the run.
+func (a *Advisor) Analyze(run RunInfo) []Recommendation {
+	var recs []Recommendation
+
+	if run.Profile != nil {
+		var floatOcc uint64
+		for _, name := range run.Profile.FloatSubroutines() {
+			floatOcc += run.Profile.Occ(name)
+		}
+		if floatOcc >= a.FloatOccThreshold && floatOcc > 0 {
+			recs = append(recs, Recommendation{
+				Rule: RuleRemoveFloat,
+				Detail: fmt.Sprintf(
+					"%d floating-point subroutine calls recorded; move BN/activation to the host via a LUT (§4.1.4) or quantize the network (§4.3.3)",
+					floatOcc),
+			})
+		}
+		if run.Opt >= dpu.O2 {
+			if occ := run.Profile.Occ("__mulsi3"); occ > 0 {
+				recs = append(recs, Recommendation{
+					Rule: RuleReduceSoftMul,
+					Detail: fmt.Sprintf(
+						"%d __mulsi3 calls survive at %v: 32-bit multiplies always use the subroutine; narrow operands to 16 bits or less (§3.3)",
+						occ, run.Opt),
+				})
+			}
+		}
+	}
+
+	if run.Tasklets > 0 && run.Tasklets < dpu.PipelineDepth {
+		recs = append(recs, Recommendation{
+			Rule: RuleIncreaseThreads,
+			Detail: fmt.Sprintf(
+				"%d tasklets leave the %d-stage pipeline underfilled; speedup scales to %d tasklets (Fig 4.7a)",
+				run.Tasklets, dpu.PipelineDepth, dpu.PipelineDepth),
+		})
+	}
+
+	if run.Opt < dpu.O3 {
+		recs = append(recs, Recommendation{
+			Rule: RuleEnableOpt,
+			Detail: fmt.Sprintf(
+				"compiled at %v; the highest compiler optimization is recommended (§4.3.3), and O2+ inlines 16-bit multiplies (§3.3)",
+				run.Opt),
+		})
+	}
+
+	if run.Imbalance > ImbalanceThreshold {
+		recs = append(recs, Recommendation{
+			Rule: RuleBalanceWork,
+			Detail: fmt.Sprintf(
+				"per-tasklet work imbalance %.2fx (max/mean); match the work granularity to the tasklet count (Fig 4.7a's eBNN dip at 11 tasklets comes from ceil(16/11)=2 images on some tasklets)",
+				run.Imbalance),
+		})
+	}
+
+	if total := run.IssueSlots + run.DMACycles; total > 0 {
+		frac := float64(run.DMACycles) / float64(total)
+		if frac > a.DMAFractionThreshold {
+			recs = append(recs, Recommendation{
+				Rule: RulePreferWRAM,
+				Detail: fmt.Sprintf(
+					"%.0f%% of DPU work is MRAM DMA; restructure buffers to increase WRAM accesses vs. MRAM ones (§4.3.3), e.g. tile the accumulator into WRAM",
+					frac*100),
+			})
+		}
+	}
+	return recs
+}
+
+// Has reports whether the recommendation list contains the rule.
+func Has(recs []Recommendation, rule string) bool {
+	for _, r := range recs {
+		if r.Rule == rule {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pimdnn/internal/alexnet"
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/ebnn"
+	"pimdnn/internal/mnist"
+	"pimdnn/internal/resnet"
+	"pimdnn/internal/tensor"
+	"pimdnn/internal/trace"
+	"pimdnn/internal/yolo"
+)
+
+func TestChooseScheme(t *testing.T) {
+	cfg := dpu.DefaultConfig(dpu.O3)
+	// eBNN working set (304 bytes) fits a 16-tasklet WRAM share.
+	if got := ChooseScheme(WorkingSetEBNN(), 16, cfg); got != MultiImagePerDPU {
+		t.Errorf("eBNN scheme = %v, want multi-image-per-DPU", got)
+	}
+	// YOLOv3's ctmp does not fit (the §4.3.4 160 KB observation).
+	ws, err := WorkingSetYOLO(yolo.FullConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws < 160<<10 {
+		t.Errorf("full YOLOv3 working set = %d bytes, thesis cites up to 160 KB", ws)
+	}
+	if got := ChooseScheme(ws, 11, cfg); got != MultiDPUPerImage {
+		t.Errorf("YOLO scheme = %v, want multi-DPU-per-image", got)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if MultiImagePerDPU.String() == MultiDPUPerImage.String() {
+		t.Error("scheme names collide")
+	}
+	if !strings.Contains(Scheme(0).String(), "?") {
+		t.Error("unknown scheme name")
+	}
+}
+
+func TestAcceleratorEBNNEndToEnd(t *testing.T) {
+	acc, err := NewAccelerator(Options{DPUs: 2, Opt: dpu.O0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := mnist.Load(150, 20, 31)
+	cfg := ebnn.DefaultTrainConfig()
+	cfg.Epochs = 8
+	m, err := ebnn.Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := acc.DeployEBNN(m, true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, stats, err := app.Classify(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(ds.Test) {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	if stats.DPUSeconds <= 0 || stats.Throughput() <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if app.Model() != m {
+		t.Error("Model accessor")
+	}
+}
+
+func TestAcceleratorYOLOEndToEnd(t *testing.T) {
+	acc, err := NewAccelerator(Options{DPUs: 4, Opt: dpu.O3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := yolo.Config{InputSize: 32, Classes: 1, WidthDiv: 64, Seed: 3}
+	app, err := acc.DeployYOLO(cfg, YOLOOptions{Tasklets: 8, TileCols: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := yolo.SyntheticScene(32, 4)
+	res, stats, err := app.Detect(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.YoloOutputs) != 3 {
+		t.Errorf("yolo outputs = %d", len(res.YoloOutputs))
+	}
+	if stats.Seconds <= 0 || len(stats.Layers) != 75 {
+		t.Errorf("stats: %.4g s over %d layers", stats.Seconds, len(stats.Layers))
+	}
+	hostRes, err := app.DetectHost(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range hostRes.YoloOutputs {
+		for i := range hostRes.YoloOutputs[s].Data {
+			if hostRes.YoloOutputs[s].Data[i] != res.YoloOutputs[s].Data[i] {
+				t.Fatalf("scale %d differs between host and DPU", s)
+			}
+		}
+	}
+	if app.Network() == nil {
+		t.Error("Network accessor")
+	}
+}
+
+func TestAcceleratorAlexNetEndToEnd(t *testing.T) {
+	acc, err := NewAccelerator(Options{DPUs: 4, Opt: dpu.O3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := acc.DeployAlexNet(alexnet.LiteConfig(), YOLOOptions{Tasklets: 8, TileCols: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := app.Network().Cfg
+	img := tensor.New(3, cfg.InputSize, cfg.InputSize)
+	for i := range img.Data {
+		img.Data[i] = int16(i % 64)
+	}
+	class, logits, stats, err := app.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class < 0 || class >= cfg.Classes || len(logits) != cfg.Classes {
+		t.Errorf("class=%d logits=%d", class, len(logits))
+	}
+	if stats.Seconds <= 0 || len(stats.Layers) != 8 {
+		t.Errorf("stats: %.4g s, %d layers", stats.Seconds, len(stats.Layers))
+	}
+	// The DPU result matches the host reference.
+	want, _, err := app.Network().Forward(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if logits[i] != want[i] {
+			t.Fatalf("logit %d: DPU %d, host %d", i, logits[i], want[i])
+		}
+	}
+}
+
+func TestAcceleratorResNetEndToEnd(t *testing.T) {
+	acc, err := NewAccelerator(Options{DPUs: 4, Opt: dpu.O3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := acc.DeployResNet(resnet.LiteConfig(), YOLOOptions{Tasklets: 8, TileCols: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := app.Network().Cfg
+	img := tensor.New(3, cfg.InputSize, cfg.InputSize)
+	for i := range img.Data {
+		img.Data[i] = int16(i%48 - 24)
+	}
+	class, logits, stats, err := app.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class < 0 || class >= cfg.Classes || len(logits) != cfg.Classes {
+		t.Errorf("class=%d logits=%d", class, len(logits))
+	}
+	if stats.Seconds <= 0 || len(stats.Layers) != 21 {
+		t.Errorf("stats: %.4g s, %d GEMMs", stats.Seconds, len(stats.Layers))
+	}
+	want, _, err := app.Network().Forward(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if logits[i] != want[i] {
+			t.Fatalf("logit %d: DPU %d, host %d", i, logits[i], want[i])
+		}
+	}
+}
+
+func TestNewAcceleratorDefaults(t *testing.T) {
+	acc, err := NewAccelerator(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.System().NumDPUs() != 64 {
+		t.Errorf("default DPUs = %d, want 64", acc.System().NumDPUs())
+	}
+	if err := (Options{DPUs: -1}).Validate(); err == nil {
+		t.Error("negative DPUs validated")
+	}
+	if err := (Options{DPUs: 99999}).Validate(); err == nil {
+		t.Error("oversized system validated")
+	}
+}
+
+func TestAdvisorFloatRule(t *testing.T) {
+	p := trace.NewProfile()
+	p.Record("__addsf3", 57)
+	p.Record("__divsf3", 1072)
+	recs := NewAdvisor().Analyze(RunInfo{Profile: p, Tasklets: 16, Opt: dpu.O3})
+	if !Has(recs, RuleRemoveFloat) {
+		t.Errorf("float rule not triggered: %+v", recs)
+	}
+	if Has(recs, RuleIncreaseThreads) || Has(recs, RuleEnableOpt) {
+		t.Errorf("spurious rules: %+v", recs)
+	}
+}
+
+func TestAdvisorThreadAndOptRules(t *testing.T) {
+	recs := NewAdvisor().Analyze(RunInfo{Tasklets: 4, Opt: dpu.O0})
+	if !Has(recs, RuleIncreaseThreads) {
+		t.Errorf("thread rule not triggered: %+v", recs)
+	}
+	if !Has(recs, RuleEnableOpt) {
+		t.Errorf("opt rule not triggered: %+v", recs)
+	}
+	// 11 tasklets at O3: neither fires.
+	recs = NewAdvisor().Analyze(RunInfo{Tasklets: 11, Opt: dpu.O3})
+	if Has(recs, RuleIncreaseThreads) || Has(recs, RuleEnableOpt) {
+		t.Errorf("rules fired at the recommended configuration: %+v", recs)
+	}
+}
+
+func TestAdvisorWRAMRule(t *testing.T) {
+	recs := NewAdvisor().Analyze(RunInfo{
+		Tasklets: 11, Opt: dpu.O3,
+		IssueSlots: 100, DMACycles: 900,
+	})
+	if !Has(recs, RulePreferWRAM) {
+		t.Errorf("WRAM rule not triggered: %+v", recs)
+	}
+	recs = NewAdvisor().Analyze(RunInfo{
+		Tasklets: 11, Opt: dpu.O3,
+		IssueSlots: 900, DMACycles: 100,
+	})
+	if Has(recs, RulePreferWRAM) {
+		t.Errorf("WRAM rule fired on compute-bound run: %+v", recs)
+	}
+}
+
+func TestAdvisorSoftMulRule(t *testing.T) {
+	p := trace.NewProfile()
+	p.Record("__mulsi3", 48)
+	recs := NewAdvisor().Analyze(RunInfo{Profile: p, Tasklets: 11, Opt: dpu.O3})
+	if !Has(recs, RuleReduceSoftMul) {
+		t.Errorf("soft-mul rule not triggered at O3: %+v", recs)
+	}
+	// At O0 __mulsi3 is expected (16-bit multiplies), so no flag.
+	recs = NewAdvisor().Analyze(RunInfo{Profile: p, Tasklets: 11, Opt: dpu.O0})
+	if Has(recs, RuleReduceSoftMul) {
+		t.Errorf("soft-mul rule fired at O0: %+v", recs)
+	}
+}
+
+// TestAdvisorOnRealRuns wires the advisor to actual eBNN executions: the
+// float-model run must trigger the float rule, the LUT run must not.
+func TestAdvisorOnRealRuns(t *testing.T) {
+	ds := mnist.Load(120, 16, 33)
+	cfg := ebnn.DefaultTrainConfig()
+	cfg.Epochs = 5
+	m, err := ebnn.Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(useLUT bool) []Recommendation {
+		acc, err := NewAccelerator(Options{DPUs: 1, Opt: dpu.O0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := acc.DeployEBNN(m, useLUT, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := app.Classify(ds.Test); err != nil {
+			t.Fatal(err)
+		}
+		return NewAdvisor().Analyze(RunInfo{
+			Profile:  acc.System().Profile(),
+			Tasklets: 16,
+			Opt:      dpu.O0,
+		})
+	}
+	if recs := run(false); !Has(recs, RuleRemoveFloat) {
+		t.Errorf("float model: float rule not triggered: %+v", recs)
+	}
+	if recs := run(true); Has(recs, RuleRemoveFloat) {
+		t.Errorf("LUT model: float rule triggered: %+v", recs)
+	}
+}

@@ -1,0 +1,118 @@
+package dpu
+
+import "testing"
+
+// BenchmarkLaunchOverhead measures the fixed cost of launching an empty
+// kernel — the floor for fine-grained offload.
+func BenchmarkLaunchOverhead(b *testing.B) {
+	d := MustNew(DefaultConfig(O3))
+	k := func(t *Tasklet) error { return nil }
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Launch(1, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChargedAdd measures simulator throughput for individually
+// charged ALU operations (the fine-grained kernels' cost).
+func BenchmarkChargedAdd(b *testing.B) {
+	d := MustNew(DefaultConfig(O3))
+	_, err := d.Launch(1, func(t *Tasklet) error {
+		b.ResetTimer()
+		var acc int32
+		for i := 0; i < b.N; i++ {
+			acc = t.Add32(acc, 1)
+		}
+		_ = acc
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChargeBulk measures the O(1) bulk-charge path used by GEMM.
+func BenchmarkChargeBulk(b *testing.B) {
+	d := MustNew(DefaultConfig(O3))
+	_, err := d.Launch(1, func(t *Tasklet) error {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.ChargeBulk(OpMul16, 1000000)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDMA2048 measures a maximum-size DMA transfer (real data
+// movement plus the Eq 3.4 charge).
+func BenchmarkDMA2048(b *testing.B) {
+	d := MustNew(DefaultConfig(O3))
+	_, err := d.Launch(1, func(t *Tasklet) error {
+		b.SetBytes(2048)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.MRAMToWRAM(0, 0, 2048)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWRAMLoad32 measures charged WRAM word access.
+func BenchmarkWRAMLoad32(b *testing.B) {
+	d := MustNew(DefaultConfig(O3))
+	_, err := d.Launch(1, func(t *Tasklet) error {
+		b.ResetTimer()
+		var acc uint32
+		for i := 0; i < b.N; i++ {
+			acc ^= t.Load32(int64(i%1024) * 4)
+		}
+		_ = acc
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSoftFloatMulOnDPU measures a charged, bit-exact float multiply
+// (the dominant eBNN default-model operation).
+func BenchmarkSoftFloatMulOnDPU(b *testing.B) {
+	d := MustNew(DefaultConfig(O0))
+	_, err := d.Launch(1, func(t *Tasklet) error {
+		b.ResetTimer()
+		var acc uint32
+		for i := 0; i < b.N; i++ {
+			acc = t.FMul(acc|0x3F800000, 0x40000000)
+		}
+		_ = acc
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelineModel measures Launch cost as tasklet count grows.
+func BenchmarkPipelineModel(b *testing.B) {
+	for _, n := range []int{1, 11, 24} {
+		b.Run(map[int]string{1: "1-tasklet", 11: "11-tasklets", 24: "24-tasklets"}[n], func(b *testing.B) {
+			d := MustNew(DefaultConfig(O3))
+			k := func(t *Tasklet) error {
+				t.Charge(OpAddInt, 100)
+				return nil
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Launch(n, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

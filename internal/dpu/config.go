@@ -1,0 +1,109 @@
+// Package dpu simulates the UPMEM DRAM Processing Unit (DPU).
+//
+// The simulator is functional + cycle-accounting: kernels are Go
+// functions that perform real computation against simulated WRAM/MRAM,
+// while every arithmetic operation, WRAM access and DMA transfer charges
+// cycles according to a cost model calibrated to the thesis's
+// measurements (Table 3.1, Eq 3.4). DPU completion time follows the
+// revolver-pipeline model of the real hardware: a tasklet may dispatch at
+// most one instruction per pipeline revolution (11 cycles), and the
+// pipeline retires at most one instruction per cycle, so
+//
+//	cycles = max( Σ_t slots_t,                  // pipeline throughput
+//	              max_t (11·slots_t + dma_t),   // per-tasklet critical path
+//	              Σ_t dma_t )                   // single shared DMA engine
+//
+// which reproduces the thesis's observed tasklet-speedup saturation at 11
+// tasklets (Fig 4.7a) and the MRAM-bound behaviour of large kernels.
+package dpu
+
+import "fmt"
+
+// Table 2.1 — UPMEM PIM attributes used as simulator defaults.
+const (
+	// SystemDPUs is the number of DPUs in the full evaluated system
+	// (20 DIMMs).
+	SystemDPUs = 2560
+	// DPUsPerDIMM is the number of DPUs on one DIMM.
+	DPUsPerDIMM = 128
+	// DPUsPerChip is the number of DPUs in one PIM chip.
+	DPUsPerChip = 8
+	// DefaultMRAMSize is the per-DPU main RAM size (64 MB).
+	DefaultMRAMSize = 64 << 20
+	// DefaultWRAMSize is the per-DPU working RAM size (64 KB).
+	DefaultWRAMSize = 64 << 10
+	// DefaultIRAMSize is the per-DPU instruction RAM size (24 KB).
+	DefaultIRAMSize = 24 << 10
+	// PipelineDepth is the number of DPU pipeline stages; tasklet
+	// speedup saturates here (Fig 4.7a).
+	PipelineDepth = 11
+	// MaxTasklets is the per-DPU hardware thread limit.
+	MaxTasklets = 24
+	// RegistersPerThread is the per-tasklet register file size.
+	RegistersPerThread = 32
+	// DefaultFrequencyHz is the shipping DPU clock (350 MHz; the white
+	// paper originally promised 600 MHz — §4.3.4).
+	DefaultFrequencyHz = 350e6
+	// WhitepaperFrequencyHz is the originally announced clock used by
+	// the thesis's improvement discussion.
+	WhitepaperFrequencyHz = 600e6
+	// DPUAreaMM2 is the area of a single DPU in mm² (Table 2.1).
+	DPUAreaMM2 = 3.75
+	// DPUPowerW is the power consumption of a single DPU in watts.
+	DPUPowerW = 0.120
+
+	// MaxDMATransfer is the largest single MRAM<->WRAM DMA transfer in
+	// bytes. It is why at most 16 MNIST images (16×784 ≤ 16×128 rounded
+	// regions) move per transfer in the eBNN mapping (§4.1.3).
+	MaxDMATransfer = 2048
+	// DMAAlignment is the required alignment and size granularity of
+	// MRAM transfers (§3.2: aligned on 8 bytes and divisible by 8).
+	DMAAlignment = 8
+	// DMASetupCycles is the fixed cost of engaging the DMA engine
+	// (Eq 3.4).
+	DMASetupCycles = 25
+	// DMABytesPerCycle is the DMA streaming rate: 1 cycle per 2 bytes
+	// (Eq 3.4).
+	DMABytesPerCycle = 2
+)
+
+// Config parameterizes a simulated DPU. The zero value is not usable;
+// call DefaultConfig.
+type Config struct {
+	// MRAMSize is the MRAM capacity in bytes.
+	MRAMSize int64
+	// WRAMSize is the WRAM capacity in bytes.
+	WRAMSize int
+	// IRAMSize is the IRAM capacity in bytes.
+	IRAMSize int
+	// FrequencyHz converts cycles to seconds.
+	FrequencyHz float64
+	// Opt selects the compiler optimization level the cost model
+	// emulates (§3.1: dpu-clang -O0..-O3).
+	Opt OptLevel
+}
+
+// DefaultConfig returns the Table 2.1 configuration at the given
+// optimization level.
+func DefaultConfig(opt OptLevel) Config {
+	return Config{
+		MRAMSize:    DefaultMRAMSize,
+		WRAMSize:    DefaultWRAMSize,
+		IRAMSize:    DefaultIRAMSize,
+		FrequencyHz: DefaultFrequencyHz,
+		Opt:         opt,
+	}
+}
+
+func (c Config) validate() error {
+	if c.MRAMSize <= 0 || c.WRAMSize <= 0 || c.IRAMSize <= 0 {
+		return fmt.Errorf("dpu: non-positive memory size in config %+v", c)
+	}
+	if c.FrequencyHz <= 0 {
+		return fmt.Errorf("dpu: non-positive frequency %v", c.FrequencyHz)
+	}
+	if c.Opt < O0 || c.Opt > O3 {
+		return fmt.Errorf("dpu: invalid optimization level %d", c.Opt)
+	}
+	return nil
+}

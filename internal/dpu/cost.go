@@ -1,0 +1,200 @@
+package dpu
+
+import "pimdnn/internal/softfloat"
+
+// OptLevel models dpu-clang's -O0..-O3 optimization settings (§3.1). The
+// cost model uses it in two ways, following §3.3: per-statement
+// load/store overhead shrinks with optimization, and 16-bit multiplies
+// stop being lowered to the __mulsi3 subroutine at O2 and above ("collapse
+// into regular instructions under full optimization").
+type OptLevel int
+
+// Optimization levels, mirroring dpu-clang's -O flags.
+const (
+	O0 OptLevel = iota
+	O1
+	O2
+	O3
+)
+
+func (o OptLevel) String() string {
+	switch o {
+	case O0:
+		return "O0"
+	case O1:
+		return "O1"
+	case O2:
+		return "O2"
+	case O3:
+		return "O3"
+	default:
+		return "O?"
+	}
+}
+
+// Op identifies an operation class for cycle accounting.
+type Op int
+
+// Operation classes charged by tasklet helpers.
+const (
+	OpNop Op = iota + 1
+	OpLoad
+	OpStore
+	OpMove
+	OpBranch
+	OpLogic
+	OpShift
+	OpAddInt
+	OpSubInt
+	OpMul8
+	OpMul16
+	OpMul32
+	OpDivInt
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFCmp
+	OpFloatFromInt
+	OpFloatToInt
+
+	// opKinds bounds the per-tasklet instruction-mix array.
+	opKinds
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpLoad: "load", OpStore: "store", OpMove: "move",
+	OpBranch: "branch", OpLogic: "logic", OpShift: "shift",
+	OpAddInt: "add", OpSubInt: "sub", OpMul8: "mul8", OpMul16: "mul16",
+	OpMul32: "mul32", OpDivInt: "div", OpFAdd: "fadd", OpFSub: "fsub",
+	OpFMul: "fmul", OpFDiv: "fdiv", OpFCmp: "fcmp",
+	OpFloatFromInt: "floatsisf", OpFloatToInt: "fixsfsi",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return "op?"
+}
+
+// costEntry is the cost-model row for one operation class.
+type costEntry struct {
+	// slots is the number of pipeline issue slots (instructions) the
+	// operation consumes, excluding per-statement overhead.
+	slots uint64
+	// subroutine names the compiler-rt routine invoked, if any; it is
+	// recorded in the profile so Fig 3.2 / Fig 4.3 style #occ counts
+	// can be reproduced.
+	subroutine string
+}
+
+// Issue-slot calibration. At O0 with one tasklet a profiled single
+// operation costs (profilingOverheadSlots + stmtOverhead + slots) × 11
+// cycles, which reproduces Table 3.1 within ~1%:
+//
+//	operation            simulated  thesis (Table 3.1)
+//	8/16/32-bit add        275        272
+//	8-bit  multiply        275        272
+//	16-bit multiply        605        608
+//	32-bit multiply        792        800
+//	fixed-point divide     363        368
+//	float add              891        896
+//	float subtract         924        928
+//	float multiply        2519       2528
+//	float divide         12056      12064
+const (
+	// profilingOverheadSlots is the instruction overhead of the Fig 3.1
+	// measurement harness (perfcounter reads, operand loads, result
+	// store, loop bookkeeping) — the thesis notes Table 3.1 "includes
+	// cycles needed for profiling".
+	profilingOverheadSlots = 21
+
+	mul16SubSlots = 31
+	mul32SubSlots = 48
+	divSubSlots   = 9
+	faddSlots     = 57
+	fsubSlots     = 60
+	fmulSlots     = 205
+	fdivSlots     = 1072
+	fcmpSlots     = 27
+	fcvtSlots     = 35
+)
+
+// cost returns the cost-model entry for op at optimization level opt.
+func cost(op Op, opt OptLevel) costEntry {
+	switch op {
+	case OpNop, OpLoad, OpStore, OpMove, OpBranch, OpLogic, OpShift,
+		OpAddInt, OpSubInt, OpMul8:
+		return costEntry{slots: 1}
+	case OpMul16:
+		if opt >= O2 {
+			// Full optimization lowers 16-bit multiply to inline
+			// mul_step instructions (§3.3, §5.2.2: n moves from 16
+			// to 32).
+			return costEntry{slots: 4}
+		}
+		return costEntry{slots: mul16SubSlots, subroutine: softfloat.SubMulSI3}
+	case OpMul32:
+		// No hardware support at any level (§3.3).
+		return costEntry{slots: mul32SubSlots, subroutine: softfloat.SubMulSI3}
+	case OpDivInt:
+		return costEntry{slots: divSubSlots, subroutine: softfloat.SubDivSI3}
+	case OpFAdd:
+		return costEntry{slots: faddSlots, subroutine: softfloat.SubAddSF3}
+	case OpFSub:
+		return costEntry{slots: fsubSlots, subroutine: softfloat.SubSubSF3}
+	case OpFMul:
+		return costEntry{slots: fmulSlots, subroutine: softfloat.SubMulSF3}
+	case OpFDiv:
+		return costEntry{slots: fdivSlots, subroutine: softfloat.SubDivSF3}
+	case OpFCmp:
+		return costEntry{slots: fcmpSlots, subroutine: softfloat.SubLtSF2}
+	case OpFloatFromInt:
+		return costEntry{slots: fcvtSlots, subroutine: softfloat.SubFloatSiSF}
+	case OpFloatToInt:
+		return costEntry{slots: fcvtSlots, subroutine: softfloat.SubFixSFSi}
+	default:
+		return costEntry{slots: 1}
+	}
+}
+
+// stmtOverhead is the per-statement load/store overhead an unoptimized
+// compile adds around each arithmetic operation (operands reloaded from
+// the stack, result stored back). Plain loads, stores, moves, branches
+// and logic are single instructions at every level.
+func stmtOverhead(op Op, opt OptLevel) uint64 {
+	switch op {
+	case OpAddInt, OpSubInt, OpMul8, OpMul16, OpMul32, OpDivInt,
+		OpFAdd, OpFSub, OpFMul, OpFDiv, OpFCmp, OpFloatFromInt, OpFloatToInt:
+	default:
+		return 0
+	}
+	switch opt {
+	case O0:
+		return 3
+	case O1:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// dmaCycles returns the cost of one MRAM<->WRAM transfer of n bytes,
+// Eq 3.4: 25 + n/2 cycles (e.g. 2048 bytes -> 1049 cycles).
+func dmaCycles(n int) uint64 {
+	return DMASetupCycles + uint64(n)/DMABytesPerCycle
+}
+
+// OpSlots exposes the cost model to analytic estimators: the pipeline
+// issue slots one operation of class op consumes at optimization level
+// opt, including per-statement overhead.
+func OpSlots(op Op, opt OptLevel) uint64 {
+	e := cost(op, opt)
+	return e.slots + stmtOverhead(op, opt)
+}
+
+// DMACost exposes Eq 3.4 to analytic estimators.
+func DMACost(bytes int) uint64 {
+	return dmaCycles(bytes)
+}

@@ -1,0 +1,472 @@
+package dpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pimdnn/internal/trace"
+)
+
+// MinStackBytes is the smallest per-tasklet stack the simulator accepts
+// when launching. With an empty WRAM data segment and 11 tasklets the
+// per-tasklet stack is 64KB/11 ≈ 5.8KB, the figure the thesis cites when
+// discussing why YOLOv3's buffers cannot live in WRAM (§4.3.4).
+const MinStackBytes = 256
+
+// mramPageSize is the granularity of lazy MRAM allocation. 64 MB per DPU
+// across thousands of simulated DPUs cannot be allocated eagerly; pages
+// materialize on first touch.
+const mramPageSize = 64 << 10
+
+// SymbolKind distinguishes where a program symbol lives.
+type SymbolKind int
+
+// Symbol locations.
+const (
+	SymbolMRAM SymbolKind = iota + 1
+	// SymbolWRAM marks a host-visible WRAM variable (the "__host"
+	// attribute in the UPMEM SDK, §3.2).
+	SymbolWRAM
+)
+
+// Symbol is a named, host-addressable buffer in DPU memory, the unit the
+// host runtime's transfer functions target (dpu_copy_to's symbol_name
+// parameter, Eq 3.1-3.3).
+type Symbol struct {
+	Name   string
+	Kind   SymbolKind
+	Offset int64
+	Size   int64
+}
+
+// Stats reports the outcome of one kernel launch.
+type Stats struct {
+	// Tasklets is the number of tasklets launched.
+	Tasklets int
+	// Cycles is the modeled DPU completion time in cycles.
+	Cycles uint64
+	// IssueSlots is the total number of pipeline issue slots consumed
+	// by all tasklets.
+	IssueSlots uint64
+	// DMACycles is the total number of cycles spent in MRAM<->WRAM DMA
+	// transfers across all tasklets.
+	DMACycles uint64
+	// Time is Cycles converted through the DPU clock.
+	Time time.Duration
+	// Seconds is Time in seconds as a float, convenient for the
+	// benchmark harness.
+	Seconds float64
+	// EnergyJ is the launch's DPU energy at the Table 2.1 rating
+	// (120 mW per DPU), the quantity behind Table 5.4's frames/s-W.
+	EnergyJ float64
+	// OpCounts is the instruction mix: executed operations per class,
+	// summed over tasklets. Analyses like the Advisor use it to see
+	// what a kernel is made of without a subroutine-level profile.
+	OpCounts map[Op]uint64
+	// PerTasklet breaks the work down per tasklet, exposing load
+	// imbalance (the cause of eBNN's Fig 4.7a dip at 11 tasklets).
+	PerTasklet []TaskletBreakdown
+}
+
+// TaskletBreakdown is one tasklet's share of a launch.
+type TaskletBreakdown struct {
+	IssueSlots uint64
+	DMACycles  uint64
+}
+
+// Imbalance returns max/mean of per-tasklet work (slots + DMA); 1.0 is
+// perfectly balanced. Zero-work launches report 1.0.
+func (s Stats) Imbalance() float64 {
+	if len(s.PerTasklet) == 0 {
+		return 1
+	}
+	var sum, max uint64
+	for _, t := range s.PerTasklet {
+		w := t.IssueSlots + t.DMACycles
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(s.PerTasklet))
+	return float64(max) / mean
+}
+
+// MixReport renders the instruction mix sorted by count.
+func (s Stats) MixReport() string {
+	type row struct {
+		op Op
+		n  uint64
+	}
+	rows := make([]row, 0, len(s.OpCounts))
+	for op, n := range s.OpCounts {
+		rows = append(rows, row{op, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].op < rows[j].op
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s\n", "op", "count")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %14d\n", r.op, r.n)
+	}
+	return b.String()
+}
+
+// KernelFunc is a DPU program: it runs once per tasklet.
+type KernelFunc func(t *Tasklet) error
+
+// DPU is one simulated DRAM Processing Unit.
+type DPU struct {
+	cfg Config
+
+	mu        sync.Mutex
+	wram      []byte
+	iram      []byte
+	mramPages map[int64][]byte
+	symbols   map[string]Symbol
+	wramUsed  int64
+	mramUsed  int64
+
+	prof *trace.Profile
+
+	totalCycles uint64
+	launches    int
+	log         []byte
+}
+
+// New creates a DPU with the given configuration.
+func New(cfg Config) (*DPU, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &DPU{
+		cfg:       cfg,
+		wram:      make([]byte, cfg.WRAMSize),
+		mramPages: make(map[int64][]byte),
+		symbols:   make(map[string]Symbol),
+		prof:      trace.NewProfile(),
+	}, nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics
+// on error and exists for tests and examples.
+func MustNew(cfg Config) *DPU {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the DPU's configuration.
+func (d *DPU) Config() Config { return d.cfg }
+
+// Profile returns the DPU's subroutine profile.
+func (d *DPU) Profile() *trace.Profile { return d.prof }
+
+// SetProfile replaces the DPU's profile, letting several DPUs share one
+// aggregate profile.
+func (d *DPU) SetProfile(p *trace.Profile) { d.prof = p }
+
+// TotalCycles returns the cycles accumulated over every launch since
+// creation (a multi-launch application's total DPU busy time).
+func (d *DPU) TotalCycles() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.totalCycles
+}
+
+// ResetClock zeroes the accumulated cycle counter.
+func (d *DPU) ResetClock() {
+	d.mu.Lock()
+	d.totalCycles = 0
+	d.launches = 0
+	d.mu.Unlock()
+}
+
+// AllocMRAM reserves size bytes of MRAM under the given symbol name.
+// Sizes are rounded up to the 8-byte DMA granularity, mirroring the
+// padding requirement of §3.2.
+func (d *DPU) AllocMRAM(name string, size int64) (Symbol, error) {
+	if size <= 0 {
+		return Symbol{}, fmt.Errorf("dpu: AllocMRAM(%q): non-positive size %d", name, size)
+	}
+	size = roundUp8(size)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.symbols[name]; ok {
+		return Symbol{}, fmt.Errorf("dpu: symbol %q already defined", name)
+	}
+	if d.mramUsed+size > d.cfg.MRAMSize {
+		return Symbol{}, fmt.Errorf("dpu: MRAM exhausted: %d used + %d requested > %d",
+			d.mramUsed, size, d.cfg.MRAMSize)
+	}
+	s := Symbol{Name: name, Kind: SymbolMRAM, Offset: d.mramUsed, Size: size}
+	d.symbols[name] = s
+	d.mramUsed += size
+	return s, nil
+}
+
+// AllocWRAM reserves size bytes of WRAM under the given symbol name
+// (8-byte aligned). WRAM left unreserved is divided among tasklet stacks
+// at launch.
+func (d *DPU) AllocWRAM(name string, size int64) (Symbol, error) {
+	if size <= 0 {
+		return Symbol{}, fmt.Errorf("dpu: AllocWRAM(%q): non-positive size %d", name, size)
+	}
+	size = roundUp8(size)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.symbols[name]; ok {
+		return Symbol{}, fmt.Errorf("dpu: symbol %q already defined", name)
+	}
+	if d.wramUsed+size > int64(d.cfg.WRAMSize) {
+		return Symbol{}, fmt.Errorf("dpu: WRAM exhausted: %d used + %d requested > %d",
+			d.wramUsed, size, d.cfg.WRAMSize)
+	}
+	s := Symbol{Name: name, Kind: SymbolWRAM, Offset: d.wramUsed, Size: size}
+	d.symbols[name] = s
+	d.wramUsed += size
+	return s, nil
+}
+
+// Symbol looks up a defined symbol by name.
+func (d *DPU) Symbol(name string) (Symbol, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.symbols[name]
+	return s, ok
+}
+
+// Symbols returns all defined symbols sorted by name.
+func (d *DPU) Symbols() []Symbol {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Symbol, 0, len(d.symbols))
+	for _, s := range d.symbols {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WRAMFree returns the WRAM bytes not reserved by AllocWRAM.
+func (d *DPU) WRAMFree() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(d.cfg.WRAMSize) - d.wramUsed
+}
+
+// StackPerTasklet returns the per-tasklet stack size available when
+// launching n tasklets, (WRAM - data segment)/n — the quantity behind the
+// thesis's 5.8 KB figure (§4.3.4).
+func (d *DPU) StackPerTasklet(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return d.WRAMFree() / int64(n)
+}
+
+// Launch runs the kernel on n tasklets and returns the launch statistics.
+// Tasklets execute deterministically (in ID order); cycle accounting
+// models their concurrent execution on the pipeline.
+func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
+	if n < 1 || n > MaxTasklets {
+		return Stats{}, fmt.Errorf("dpu: tasklet count %d outside 1..%d", n, MaxTasklets)
+	}
+	if kernel == nil {
+		return Stats{}, fmt.Errorf("dpu: nil kernel")
+	}
+	if stack := d.StackPerTasklet(n); stack < MinStackBytes {
+		return Stats{}, fmt.Errorf("dpu: %d tasklets leave %d bytes of stack each (< %d): WRAM data segment too large",
+			n, stack, MinStackBytes)
+	}
+
+	tasklets := make([]*Tasklet, n)
+	for i := range tasklets {
+		tasklets[i] = &Tasklet{dpu: d, id: i, count: n}
+	}
+	for _, t := range tasklets {
+		if err := d.runTasklet(t, kernel); err != nil {
+			return Stats{}, fmt.Errorf("dpu: tasklet %d: %w", t.id, err)
+		}
+	}
+
+	var (
+		sumSlots uint64
+		sumDMA   uint64
+		crit     uint64
+	)
+	mix := make(map[Op]uint64)
+	breakdown := make([]TaskletBreakdown, len(tasklets))
+	for i, t := range tasklets {
+		sumSlots += t.slots
+		sumDMA += t.dma
+		if c := t.slots*PipelineDepth + t.dma; c > crit {
+			crit = c
+		}
+		for op, c := range t.opCounts {
+			if c != 0 {
+				mix[Op(op)] += c
+			}
+		}
+		breakdown[i] = TaskletBreakdown{IssueSlots: t.slots, DMACycles: t.dma}
+	}
+	cycles := sumSlots
+	if crit > cycles {
+		cycles = crit
+	}
+	if sumDMA > cycles {
+		cycles = sumDMA
+	}
+
+	d.mu.Lock()
+	d.totalCycles += cycles
+	d.launches++
+	d.mu.Unlock()
+
+	sec := float64(cycles) / d.cfg.FrequencyHz
+	return Stats{
+		Tasklets:   n,
+		Cycles:     cycles,
+		IssueSlots: sumSlots,
+		DMACycles:  sumDMA,
+		Time:       time.Duration(sec * float64(time.Second)),
+		Seconds:    sec,
+		EnergyJ:    sec * DPUPowerW,
+		OpCounts:   mix,
+		PerTasklet: breakdown,
+	}, nil
+}
+
+// runTasklet executes one tasklet, converting memory traps (panics of
+// type trapError raised by out-of-bounds or misaligned accesses) into
+// errors, the way a hardware fault would abort the DPU program.
+func (d *DPU) runTasklet(t *Tasklet, kernel KernelFunc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if te, ok := r.(trapError); ok {
+				err = fmt.Errorf("memory fault: %s", string(te))
+				return
+			}
+			panic(r)
+		}
+	}()
+	return kernel(t)
+}
+
+// --- host-side memory access (no DPU cycles charged) ---
+
+// CopyToMRAM writes data into MRAM at off. Host transfers must respect
+// the 8-byte alignment and size granularity (§3.2); violations are
+// errors, matching the SDK behaviour that forces callers to pad.
+func (d *DPU) CopyToMRAM(off int64, data []byte) error {
+	if err := d.checkDMAArgs(off, len(data)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mramWrite(off, data)
+	return nil
+}
+
+// CopyFromMRAM reads n bytes from MRAM at off.
+func (d *DPU) CopyFromMRAM(off int64, n int) ([]byte, error) {
+	if err := d.checkDMAArgs(off, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mramRead(off, out)
+	return out, nil
+}
+
+// CopyToWRAM writes a host-visible WRAM variable.
+func (d *DPU) CopyToWRAM(off int64, data []byte) error {
+	if off < 0 || off+int64(len(data)) > int64(d.cfg.WRAMSize) {
+		return fmt.Errorf("dpu: WRAM write [%d, %d) outside [0, %d)", off, off+int64(len(data)), d.cfg.WRAMSize)
+	}
+	d.mu.Lock()
+	copy(d.wram[off:], data)
+	d.mu.Unlock()
+	return nil
+}
+
+// CopyFromWRAM reads a host-visible WRAM variable.
+func (d *DPU) CopyFromWRAM(off int64, n int) ([]byte, error) {
+	if off < 0 || off+int64(n) > int64(d.cfg.WRAMSize) {
+		return nil, fmt.Errorf("dpu: WRAM read [%d, %d) outside [0, %d)", off, off+int64(n), d.cfg.WRAMSize)
+	}
+	out := make([]byte, n)
+	d.mu.Lock()
+	copy(out, d.wram[off:])
+	d.mu.Unlock()
+	return out, nil
+}
+
+func (d *DPU) checkDMAArgs(off int64, n int) error {
+	if off%DMAAlignment != 0 {
+		return fmt.Errorf("dpu: MRAM offset %d not %d-byte aligned", off, DMAAlignment)
+	}
+	if n%DMAAlignment != 0 {
+		return fmt.Errorf("dpu: MRAM transfer size %d not divisible by %d (pad the buffer, §3.2)", n, DMAAlignment)
+	}
+	if off < 0 || off+int64(n) > d.cfg.MRAMSize {
+		return fmt.Errorf("dpu: MRAM range [%d, %d) outside [0, %d)", off, off+int64(n), d.cfg.MRAMSize)
+	}
+	return nil
+}
+
+// mramWrite/mramRead operate on the lazily-paged MRAM. Callers hold d.mu.
+
+func (d *DPU) mramWrite(off int64, data []byte) {
+	for len(data) > 0 {
+		page := off / mramPageSize
+		po := off % mramPageSize
+		buf, ok := d.mramPages[page]
+		if !ok {
+			buf = make([]byte, mramPageSize)
+			d.mramPages[page] = buf
+		}
+		n := copy(buf[po:], data)
+		data = data[n:]
+		off += int64(n)
+	}
+}
+
+func (d *DPU) mramRead(off int64, dst []byte) {
+	for len(dst) > 0 {
+		page := off / mramPageSize
+		po := off % mramPageSize
+		var n int
+		if buf, ok := d.mramPages[page]; ok {
+			n = copy(dst, buf[po:])
+		} else {
+			// Untouched MRAM reads as zero.
+			n = len(dst)
+			if max := int(mramPageSize - po); n > max {
+				n = max
+			}
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		off += int64(n)
+	}
+}
+
+func roundUp8(n int64) int64 {
+	return (n + 7) &^ 7
+}

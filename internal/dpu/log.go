@@ -1,0 +1,42 @@
+package dpu
+
+import "fmt"
+
+// DPU-side logging, mirroring the SDK's stdout-over-MRAM mechanism that
+// `dpu_log_read` drains on the host. Each printed byte costs a WRAM
+// store plus the flush DMA when the line buffer drains, which is why
+// production DPU kernels log sparingly.
+
+// maxLogBytes bounds the retained log so runaway kernels cannot exhaust
+// host memory; the real SDK's buffer wraps similarly.
+const maxLogBytes = 64 << 10
+
+// Logf appends a formatted line to the DPU's log from this tasklet,
+// charging the store-per-byte plus a flush transfer.
+func (t *Tasklet) Logf(format string, args ...interface{}) {
+	msg := fmt.Sprintf("[tasklet %d] ", t.ID()) + fmt.Sprintf(format, args...)
+	if len(msg) == 0 || msg[len(msg)-1] != '\n' {
+		msg += "\n"
+	}
+	t.Charge(OpStore, len(msg))
+	// Flush: one minimal DMA per line.
+	t.dma += dmaCycles(DMAAlignment)
+
+	d := t.dpu
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.log = append(d.log, msg...)
+	if len(d.log) > maxLogBytes {
+		d.log = d.log[len(d.log)-maxLogBytes:]
+	}
+}
+
+// ReadLog drains and returns the DPU's accumulated log (the host-side
+// dpu_log_read).
+func (d *DPU) ReadLog() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := string(d.log)
+	d.log = d.log[:0]
+	return s
+}

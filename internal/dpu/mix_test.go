@@ -1,0 +1,125 @@
+package dpu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpCountsRecorded(t *testing.T) {
+	d := newTestDPU(t, O0)
+	st, err := d.Launch(2, func(tk *Tasklet) error {
+		tk.Add32(1, 2)
+		tk.Mul16(3, 4)
+		tk.Load8(0)
+		tk.ChargeBulk(OpStore, 10)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Op]uint64{
+		OpAddInt: 2, // one per tasklet
+		OpMul16:  2,
+		OpLoad:   2,
+		OpStore:  20,
+	}
+	for op, n := range want {
+		if st.OpCounts[op] != n {
+			t.Errorf("OpCounts[%v] = %d, want %d", op, st.OpCounts[op], n)
+		}
+	}
+}
+
+func TestMixReport(t *testing.T) {
+	d := newTestDPU(t, O3)
+	st, err := d.Launch(1, func(tk *Tasklet) error {
+		tk.ChargeBulk(OpMul16, 100)
+		tk.Charge(OpAddInt, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := st.MixReport()
+	if !strings.Contains(rep, "mul16") || !strings.Contains(rep, "add") {
+		t.Errorf("report missing ops:\n%s", rep)
+	}
+	// Sorted by count: mul16 first.
+	if strings.Index(rep, "mul16") > strings.Index(rep, "add") {
+		t.Errorf("report not sorted:\n%s", rep)
+	}
+}
+
+// TestChargeBulkEquivalence: bulk charging is exactly n individual
+// charges, for every op class and optimization level — the invariant the
+// GEMM kernels' accounting rests on.
+func TestChargeBulkEquivalence(t *testing.T) {
+	ops := []Op{OpLoad, OpStore, OpAddInt, OpMul8, OpMul16, OpMul32,
+		OpDivInt, OpFAdd, OpFMul, OpFDiv, OpShift, OpBranch}
+	for _, opt := range []OptLevel{O0, O1, O2, O3} {
+		for _, op := range ops {
+			f := func(nRaw uint16) bool {
+				n := uint64(nRaw % 500)
+				d1 := MustNew(DefaultConfig(opt))
+				var s1 uint64
+				if _, err := d1.Launch(1, func(tk *Tasklet) error {
+					tk.Charge(op, int(n))
+					s1 = tk.IssueSlots()
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				d2 := MustNew(DefaultConfig(opt))
+				var s2 uint64
+				if _, err := d2.Launch(1, func(tk *Tasklet) error {
+					tk.ChargeBulk(op, n)
+					s2 = tk.IssueSlots()
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				// Subroutine occurrence counts must also match.
+				return s1 == s2 &&
+					profileSum(d1) == profileSum(d2)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+				t.Errorf("%v at %v: %v", op, opt, err)
+			}
+		}
+	}
+}
+
+func profileSum(d *DPU) uint64 {
+	var total uint64
+	for _, name := range d.Profile().Subroutines() {
+		total += d.Profile().Occ(name)
+	}
+	return total
+}
+
+// TestCyclesMonotoneInWork: adding operations never reduces the modeled
+// cycle count.
+func TestCyclesMonotoneInWork(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := uint64(aRaw%2000), uint64(bRaw%2000)
+		run := func(n uint64) uint64 {
+			d := MustNew(DefaultConfig(O3))
+			st, err := d.Launch(4, func(tk *Tasklet) error {
+				tk.ChargeBulk(OpAddInt, n)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st.Cycles
+		}
+		if a <= b {
+			return run(a) <= run(b)
+		}
+		return run(b) <= run(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

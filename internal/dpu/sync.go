@@ -1,0 +1,151 @@
+package dpu
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tasklet synchronization primitives, mirroring the UPMEM SDK's
+// mutex/barrier/handshake APIs. The simulator executes tasklets of a
+// launch sequentially in ID order, so these primitives never block — but
+// they charge the cycles real programs pay for them, and they validate
+// usage (unlock without lock, barrier arity) so kernels stay portable to
+// the real programming model.
+
+// Cycle charges for synchronization operations: acquiring/releasing a
+// hardware mutex is one atomic instruction; a barrier costs a few
+// bookkeeping instructions per arriving tasklet.
+const (
+	mutexSlots   = 1
+	barrierSlots = 4
+)
+
+// Mutex is a DPU hardware mutex (the SDK's MUTEX_INIT).
+type Mutex struct {
+	mu     sync.Mutex
+	held   bool
+	holder int
+}
+
+// Lock acquires the mutex for the calling tasklet.
+func (m *Mutex) Lock(t *Tasklet) {
+	t.Charge(OpLogic, mutexSlots)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.held {
+		// Sequential tasklet execution means a held mutex can never be
+		// released by a concurrent peer: this is a guaranteed deadlock
+		// on real hardware too (lock while holding).
+		t.trapf("mutex deadlock: tasklet %d locking a mutex held by tasklet %d", t.ID(), m.holder)
+	}
+	m.held = true
+	m.holder = t.ID()
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock(t *Tasklet) {
+	t.Charge(OpLogic, mutexSlots)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.held {
+		t.trapf("mutex unlock without lock by tasklet %d", t.ID())
+	}
+	if m.holder != t.ID() {
+		t.trapf("mutex unlock by tasklet %d, held by %d", t.ID(), m.holder)
+	}
+	m.held = false
+}
+
+// WithLock runs fn under the mutex.
+func (m *Mutex) WithLock(t *Tasklet, fn func()) {
+	m.Lock(t)
+	defer m.Unlock(t)
+	fn()
+}
+
+// Barrier is a launch-wide rendezvous (the SDK's BARRIER_INIT). In the
+// sequential simulator a barrier cannot make later-ID tasklets' writes
+// visible to earlier ones; Wait therefore validates that every tasklet of
+// the launch reaches each barrier generation the same number of times,
+// charging the synchronization cost, and relies on program order for
+// memory visibility (tasklet 0 runs first — the staging idiom the eBNN
+// and GEMM kernels use).
+type Barrier struct {
+	mu      sync.Mutex
+	arrived map[int]int // tasklet ID -> arrival count
+}
+
+// Wait records the calling tasklet's arrival. Because tasklets run to
+// completion in ID order, Wait cannot detect divergence while the launch
+// is in flight; Check validates afterwards that every tasklet arrived
+// equally often.
+func (b *Barrier) Wait(t *Tasklet) {
+	t.Charge(OpLogic, barrierSlots)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.arrived == nil {
+		b.arrived = make(map[int]int)
+	}
+	b.arrived[t.ID()]++
+}
+
+// Handshake is the SDK's point-to-point tasklet synchronization
+// (handshake_wait_for / handshake_notify): a producer tasklet notifies a
+// named channel, a consumer waits on it. The sequential simulator
+// requires the producer to have a lower tasklet ID than the consumer
+// (program order guarantees the data is ready); violations trap, since
+// on hardware they would deadlock under this scheduler's assumptions.
+type Handshake struct {
+	mu       sync.Mutex
+	notified map[string]int // channel -> notifying tasklet ID
+}
+
+// Notify marks the named channel ready.
+func (h *Handshake) Notify(t *Tasklet, channel string) {
+	t.Charge(OpLogic, 1)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.notified == nil {
+		h.notified = make(map[string]int)
+	}
+	h.notified[channel] = t.ID()
+}
+
+// WaitFor blocks (logically) until the named channel was notified. In
+// the sequential simulator the notification must already have happened.
+func (h *Handshake) WaitFor(t *Tasklet, channel string) {
+	t.Charge(OpLogic, 1)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	from, ok := h.notified[channel]
+	if !ok {
+		t.trapf("handshake deadlock: tasklet %d waits on %q which no earlier tasklet notified",
+			t.ID(), channel)
+	}
+	if from >= t.ID() {
+		t.trapf("handshake order violation: channel %q notified by tasklet %d, awaited by %d",
+			channel, from, t.ID())
+	}
+}
+
+// Check verifies after a launch that all n tasklets reached the barrier
+// equally often; kernels' tests call it to validate barrier placement.
+func (b *Barrier) Check(n int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.arrived) == 0 {
+		return nil
+	}
+	if len(b.arrived) != n {
+		return fmt.Errorf("dpu: barrier reached by %d of %d tasklets", len(b.arrived), n)
+	}
+	want := -1
+	for id, c := range b.arrived {
+		if want == -1 {
+			want = c
+		} else if c != want {
+			return fmt.Errorf("dpu: tasklet %d reached the barrier %d times, others %d", id, c, want)
+		}
+	}
+	return nil
+}

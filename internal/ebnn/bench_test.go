@@ -1,0 +1,110 @@
+package ebnn
+
+import (
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+	"pimdnn/internal/mnist"
+)
+
+func benchModel(b *testing.B) (*Model, []mnist.Image) {
+	b.Helper()
+	ds := mnist.Load(150, 16, 21)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	m, err := Train(ds, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, ds.Test
+}
+
+// BenchmarkHostInference measures the pure-host reference pipeline.
+func BenchmarkHostInference(b *testing.B) {
+	m, imgs := benchModel(b)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = m.Predict(&imgs[i%len(imgs)])
+	}
+	_ = sink
+}
+
+// BenchmarkDPUInferenceLUT measures a 16-image batch through the
+// simulated DPU with the LUT architecture.
+func BenchmarkDPUInferenceLUT(b *testing.B) {
+	m, imgs := benchModel(b)
+	sys, _ := host.NewSystem(1, host.DefaultConfig(dpu.O0))
+	r, err := NewRunner(sys, m, true, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := r.Infer(imgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "dpu-cycles")
+	b.ReportMetric(float64(len(imgs)), "images")
+}
+
+// BenchmarkDPUInferenceFloat measures the same batch with the default
+// (floating-point) architecture.
+func BenchmarkDPUInferenceFloat(b *testing.B) {
+	m, imgs := benchModel(b)
+	sys, _ := host.NewSystem(1, host.DefaultConfig(dpu.O0))
+	r, err := NewRunner(sys, m, false, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := r.Infer(imgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "dpu-cycles")
+}
+
+// BenchmarkTrain measures host-side training end to end.
+func BenchmarkTrain(b *testing.B) {
+	ds := mnist.Load(100, 10, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildLUT measures Algorithm 1.
+func BenchmarkBuildLUT(b *testing.B) {
+	m, _ := benchModel(b)
+	b.ResetTimer()
+	var sink []byte
+	for i := 0; i < b.N; i++ {
+		sink = m.BuildLUT()
+	}
+	_ = sink
+}
+
+// BenchmarkConvPool measures the bit-packed binary convolution + pool.
+func BenchmarkConvPool(b *testing.B) {
+	m, imgs := benchModel(b)
+	bits := imgs[0].Binarize()
+	b.ResetTimer()
+	var sink []int8
+	for i := 0; i < b.N; i++ {
+		sink = m.ConvPool(&bits)
+	}
+	_ = sink
+}

@@ -1,0 +1,10 @@
+package ebnn
+
+import "pimdnn/internal/dpu"
+
+// KernelForTest exposes the runner's DPU kernel so cross-package tests
+// can relaunch it directly and inspect per-launch statistics (tasklet
+// breakdowns, DMA shares) that Infer aggregates away.
+func KernelForTest(r *Runner) dpu.KernelFunc {
+	return r.kernel()
+}

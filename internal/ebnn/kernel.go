@@ -1,0 +1,382 @@
+package ebnn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+	"pimdnn/internal/mnist"
+)
+
+// DPU-side layout constants (§4.1.3 mapping).
+const (
+	// BatchSize is the number of images per DPU: 16, because a 16-image
+	// batch of packed images fills the 2048-byte DMA transfer limit.
+	BatchSize = 16
+	// ResultSize is the per-image result buffer in MRAM: one byte per
+	// pooled cell (bit f = filter f's activation), 169 bytes padded to
+	// the 8-byte granularity.
+	ResultSize = (PoolCells + 7) / 8 * 8 // 176
+)
+
+// Symbol names used by the eBNN DPU program.
+const (
+	symImages  = "ebnn_images"
+	symResults = "ebnn_results"
+	symNImages = "ebnn_nimages"
+	symFilters = "ebnn_filters"
+	symBN      = "ebnn_bn"
+	symLUT     = "ebnn_lut_mram"
+	symScratch = "ebnn_scratch"
+)
+
+// kernelLayout carries the resolved symbol offsets into the kernel.
+type kernelLayout struct {
+	f       int
+	useLUT  bool
+	images  int64 // MRAM
+	results int64 // MRAM
+	lutMRAM int64 // MRAM (LUT model)
+	nimages int64 // WRAM
+	filters int64 // WRAM
+	bn      int64 // WRAM (default model)
+	scratch int64 // WRAM: per-tasklet image buffer + result buffer + LUT area
+}
+
+// perTaskletScratch is the WRAM each tasklet owns privately.
+const perTaskletScratch = mnist.PackedSize + ResultSize // 304
+
+// lutWRAMSize is the WRAM area holding the LUT after the MRAM->WRAM copy.
+const lutWRAMSize = (LUTRows*DefaultFilters + 7) / 8 * 8 // 152
+
+// Runner executes eBNN inference on a DPU system using the
+// multiple-images-per-DPU mapping of §4.1.3.
+type Runner struct {
+	sys      *host.System
+	model    *Model
+	useLUT   bool
+	tasklets int
+	layout   kernelLayout
+}
+
+// NewRunner deploys the model onto every DPU of the system: it allocates
+// the MRAM/WRAM symbols and broadcasts the filters plus either the BN
+// parameters (default model, Fig 4.2a) or the host-built LUT (Fig 4.2b).
+func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, error) {
+	if m.F < 1 || m.F > 8 {
+		return nil, fmt.Errorf("ebnn: runner requires 1..8 filters (one result byte per cell), got %d", m.F)
+	}
+	if tasklets < 1 || tasklets > dpu.MaxTasklets {
+		return nil, fmt.Errorf("ebnn: tasklet count %d outside 1..%d", tasklets, dpu.MaxTasklets)
+	}
+	r := &Runner{sys: sys, model: m, useLUT: useLUT, tasklets: tasklets}
+
+	alloc := []struct {
+		name string
+		size int64
+		wram bool
+	}{
+		{symImages, BatchSize * mnist.PackedSize, false},
+		{symResults, BatchSize * ResultSize, false},
+		{symLUT, lutWRAMSize, false},
+		{symNImages, 8, true},
+		{symFilters, 16, true},
+		{symBN, int64(m.F) * 5 * 4, true},
+		{symScratch, dpu.MaxTasklets*perTaskletScratch + lutWRAMSize, true},
+	}
+	for _, a := range alloc {
+		var err error
+		if a.wram {
+			err = sys.AllocWRAM(a.name, a.size)
+		} else {
+			err = sys.AllocMRAM(a.name, a.size)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ebnn: %w", err)
+		}
+	}
+	look := func(name string) int64 {
+		s, _ := sys.DPU(0).Symbol(name)
+		return s.Offset
+	}
+	r.layout = kernelLayout{
+		f:       m.F,
+		useLUT:  useLUT,
+		images:  look(symImages),
+		results: look(symResults),
+		lutMRAM: look(symLUT),
+		nimages: look(symNImages),
+		filters: look(symFilters),
+		bn:      look(symBN),
+		scratch: look(symScratch),
+	}
+
+	// Broadcast the model parameters.
+	filt := make([]byte, 16)
+	for i, f := range m.Filters {
+		binary.LittleEndian.PutUint16(filt[i*2:], f)
+	}
+	if err := sys.CopyToSymbol(symFilters, 0, filt); err != nil {
+		return nil, err
+	}
+	if useLUT {
+		lut, _ := host.Pad8(m.BuildLUT())
+		if err := sys.CopyToSymbol(symLUT, 0, lut); err != nil {
+			return nil, err
+		}
+	} else {
+		bn := make([]byte, m.F*5*4)
+		for i, p := range m.BN {
+			for j, w := range []float32{p.W0, p.W1, p.W2, p.W3, p.W4} {
+				binary.LittleEndian.PutUint32(bn[(i*5+j)*4:], math.Float32bits(w))
+			}
+		}
+		if err := sys.CopyToSymbol(symBN, 0, bn); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Model returns the deployed model.
+func (r *Runner) Model() *Model { return r.model }
+
+// Tasklets returns the configured tasklet count.
+func (r *Runner) Tasklets() int { return r.tasklets }
+
+// kernel builds the DPU program. Each tasklet processes images
+// tid, tid+T, tid+2T, ... of the batch (thread-level parallelism of
+// §4.3.1); per image it DMAs the packed pixels from MRAM, runs the binary
+// convolution + max-pool, applies BN-BinAct either in software floating
+// point (default) or via the WRAM LUT, and DMAs the activation bytes back
+// to MRAM.
+func (r *Runner) kernel() dpu.KernelFunc {
+	l := r.layout
+	return func(t *dpu.Tasklet) error {
+		nf := l.f
+		lutWRAM := l.scratch + dpu.MaxTasklets*perTaskletScratch
+
+		// Tasklet 0 stages the LUT into WRAM before anyone indexes it
+		// (§4.1.4: "the DPU copies it from MRAM to WRAM before
+		// accessing it"). Tasklets run in ID order in the simulator,
+		// standing in for the barrier a hardware program would use.
+		if l.useLUT && t.ID() == 0 {
+			t.MRAMToWRAM(lutWRAM, l.lutMRAM, lutWRAMSize)
+		}
+
+		n := int(t.LoadI32(l.nimages))
+		if n < 0 || n > BatchSize {
+			return fmt.Errorf("ebnn kernel: bad image count %d", n)
+		}
+
+		// Load filters and pre-slice each into its three rows.
+		type filtRows struct{ f0, f1, f2 uint32 }
+		filters := make([]filtRows, nf)
+		for f := 0; f < nf; f++ {
+			w := uint32(uint16(t.Load16(l.filters + int64(f)*2)))
+			filters[f] = filtRows{
+				f0: t.And32(w, 7),
+				f1: t.And32(uint32(t.Shr32(int32(w), 3)), 7),
+				f2: t.And32(uint32(t.Shr32(int32(w), 6)), 7),
+			}
+		}
+
+		// Default model: fold the BN-BinAct block into a float threshold
+		// per filter, in DPU software floating point (Fig 4.2a).
+		var thresholds []uint32
+		if !l.useLUT {
+			thresholds = make([]uint32, nf)
+			for f := 0; f < nf; f++ {
+				base := l.bn + int64(f)*5*4
+				w0 := t.Load32(base)
+				w1 := t.Load32(base + 4)
+				w2 := t.Load32(base + 8)
+				w3 := t.Load32(base + 12)
+				w4 := t.Load32(base + 16)
+				scale := t.FDiv(w3, w2)
+				diff := t.FSub(w1, w0)
+				corr := t.FDiv(w4, scale)
+				thresholds[f] = t.FSub(diff, corr)
+			}
+		}
+
+		imgBuf := l.scratch + int64(t.ID())*perTaskletScratch
+		outBuf := imgBuf + mnist.PackedSize
+
+		T := t.Count()
+		for img := t.ID(); img < n; img += T {
+			// Fetch the packed image. The MRAM offset is computed with a
+			// 16-bit multiply — the __mulsi3 call Fig 4.3(b) shows
+			// surviving the LUT rewrite ("tied to a dependent part of
+			// the program").
+			off := t.Mul16(int16(img), mnist.PackedSize)
+			t.MRAMToWRAM(imgBuf, l.images+int64(off), mnist.PackedSize)
+
+			var rows [mnist.Side]uint32
+			for row := 0; row < mnist.Side; row++ {
+				rows[row] = t.Load32(imgBuf + int64(row)*4)
+			}
+
+			for pr := 0; pr < PoolSize; pr++ {
+				for pc := 0; pc < PoolSize; pc++ {
+					var acc uint32
+					for f := 0; f < nf; f++ {
+						fr := filters[f]
+						best := int32(math.MinInt32)
+						for dr := 0; dr < 2; dr++ {
+							row := pr*2 + dr
+							r0, r1, r2 := rows[row], rows[row+1], rows[row+2]
+							for dc := 0; dc < 2; dc++ {
+								c := uint(pc*2 + dc)
+								w0 := t.And32(uint32(t.Shr32(int32(r0), c)), 7)
+								w1 := t.And32(uint32(t.Shr32(int32(r1), c)), 7)
+								w2 := t.And32(uint32(t.Shr32(int32(r2), c)), 7)
+								x := t.Or32(t.Or32(t.Xor32(w0, fr.f0),
+									uint32(t.Shl32(int32(t.Xor32(w1, fr.f1)), 3))),
+									uint32(t.Shl32(int32(t.Xor32(w2, fr.f2)), 6)))
+								v := t.Sub32(9, t.Shl32(t.Popcount32(x), 1))
+								t.Charge(dpu.OpBranch, 1) // max compare
+								if v > best {
+									best = v
+								}
+							}
+						}
+						var bit uint32
+						if l.useLUT {
+							// LUT path: integer index, WRAM load.
+							idx := t.Add32(best, -ConvMin)
+							idx = t.Mul16(int16(idx), int16(nf))
+							idx = t.Add32(idx, int32(f))
+							bit = uint32(t.Load8(lutWRAM+int64(idx))) & 1
+						} else {
+							// Float path: convert and compare.
+							vf := t.FFromInt(best)
+							if t.FGe(vf, thresholds[f]) {
+								bit = 1
+							}
+						}
+						acc = t.Or32(acc, uint32(t.Shl32(int32(bit), uint(f))))
+					}
+					cell := int64(pr*PoolSize + pc)
+					t.Store8(outBuf+cell, int8(acc))
+				}
+			}
+			roff := t.Mul16(int16(img), ResultSize)
+			t.WRAMToMRAM(l.results+int64(roff), outBuf, ResultSize)
+		}
+		return nil
+	}
+}
+
+// BatchStats reports one inference run.
+type BatchStats struct {
+	// Images is the number of images inferred.
+	Images int
+	// Waves is the number of sequential launches needed (images beyond
+	// 16×NumDPUs queue into later waves).
+	Waves int
+	// DPUSeconds is the summed parallel DPU time over all waves.
+	DPUSeconds float64
+	// DPUsUsed is the largest number of DPUs active in any wave.
+	DPUsUsed int
+	// Cycles is the summed per-wave maximum DPU cycles.
+	Cycles uint64
+}
+
+// Throughput returns images per second of DPU time.
+func (s BatchStats) Throughput() float64 {
+	if s.DPUSeconds == 0 {
+		return 0
+	}
+	return float64(s.Images) / s.DPUSeconds
+}
+
+// waveEnd returns the smaller of a and b (the end of the current wave).
+func waveEnd(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Infer classifies the images: the host scatters 16-image batches across
+// the DPUs, launches the kernel, gathers the activation buffers, and runs
+// the softmax layer serially per image (§4.1.3).
+func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
+	if len(images) == 0 {
+		return nil, BatchStats{}, fmt.Errorf("ebnn: no images")
+	}
+	preds := make([]int, 0, len(images))
+	stats := BatchStats{Images: len(images)}
+	perWave := BatchSize * r.sys.NumDPUs()
+
+	for start := 0; start < len(images); start += perWave {
+		wave := images[start:waveEnd(start+perWave, len(images))]
+		nDPU := (len(wave) + BatchSize - 1) / BatchSize
+		counts := make([]int, nDPU)
+		imgBufs := make([][]byte, r.sys.NumDPUs())
+		cntBufs := make([][]byte, r.sys.NumDPUs())
+		for i := range imgBufs {
+			imgBufs[i] = make([]byte, BatchSize*mnist.PackedSize)
+			cntBufs[i] = make([]byte, 4)
+		}
+		for i, img := range wave {
+			d := i / BatchSize
+			slot := i % BatchSize
+			packed := img.Pack()
+			copy(imgBufs[d][slot*mnist.PackedSize:], packed[:])
+			counts[d]++
+		}
+		for d, c := range counts {
+			binary.LittleEndian.PutUint32(cntBufs[d], uint32(c))
+		}
+		if err := r.sys.PushXfer(symImages, 0, imgBufs); err != nil {
+			return nil, stats, err
+		}
+		if err := r.sys.PushXfer(symNImages, 0, cntBufs); err != nil {
+			return nil, stats, err
+		}
+
+		ls, err := r.sys.LaunchOn(nDPU, r.tasklets, r.kernel())
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Waves++
+		stats.DPUSeconds += ls.Seconds
+		stats.Cycles += ls.Cycles
+		if nDPU > stats.DPUsUsed {
+			stats.DPUsUsed = nDPU
+		}
+
+		// Gather and classify serially, DPU by DPU (§4.1.3: "After all
+		// temporary results for all images in a single DPU are
+		// inferred, the next DPU's result is read").
+		for d := 0; d < nDPU; d++ {
+			raw, err := r.sys.CopyFromDPU(d, symResults, 0, counts[d]*ResultSize)
+			if err != nil {
+				return nil, stats, err
+			}
+			for slot := 0; slot < counts[d]; slot++ {
+				feats := DecodeFeatures(raw[slot*ResultSize:(slot+1)*ResultSize], r.model.F)
+				preds = append(preds, r.model.PredictFeatures(feats))
+			}
+		}
+	}
+	return preds, stats, nil
+}
+
+// DecodeFeatures expands one DPU result buffer (one byte per pooled cell,
+// bit f = filter f) into the flat feature vector layout of
+// Model.Features.
+func DecodeFeatures(result []byte, nf int) []byte {
+	out := make([]byte, PoolCells*nf)
+	for cell := 0; cell < PoolCells; cell++ {
+		b := result[cell]
+		for f := 0; f < nf; f++ {
+			out[cell*nf+f] = (b >> uint(f)) & 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package ebnn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pimdnn/internal/mnist"
+)
+
+// Model serialization: a small versioned binary format so trained models
+// move between processes (the host trains once, deployments reload). All
+// fields are little-endian.
+
+const (
+	modelMagic   = 0x4e4e4245 // "EBNN"
+	modelVersion = 1
+)
+
+// WriteTo serializes the model.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	put := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	hdr := []uint32{modelMagic, modelVersion, uint32(m.F)}
+	for _, h := range hdr {
+		if err := put(h); err != nil {
+			return n, err
+		}
+	}
+	if err := put(m.Filters); err != nil {
+		return n, err
+	}
+	for _, bn := range m.BN {
+		if err := put([]float32{bn.W0, bn.W1, bn.W2, bn.W3, bn.W4}); err != nil {
+			return n, err
+		}
+	}
+	for _, row := range m.Weights {
+		if err := put(row); err != nil {
+			return n, err
+		}
+	}
+	if err := put(m.Bias); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadModel deserializes a model written by WriteTo, validating the
+// header and every dimension.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	get := func(v interface{}) error {
+		return binary.Read(br, binary.LittleEndian, v)
+	}
+	var hdr [3]uint32
+	if err := get(&hdr); err != nil {
+		return nil, fmt.Errorf("ebnn: reading header: %w", err)
+	}
+	if hdr[0] != modelMagic {
+		return nil, fmt.Errorf("ebnn: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != modelVersion {
+		return nil, fmt.Errorf("ebnn: unsupported version %d", hdr[1])
+	}
+	f := int(hdr[2])
+	if f < 1 || f > 16 {
+		return nil, fmt.Errorf("ebnn: corrupt filter count %d", f)
+	}
+	m := &Model{F: f}
+	m.Filters = make([]uint16, f)
+	if err := get(m.Filters); err != nil {
+		return nil, fmt.Errorf("ebnn: reading filters: %w", err)
+	}
+	for _, filt := range m.Filters {
+		if filt >= 1<<9 {
+			return nil, fmt.Errorf("ebnn: corrupt filter %#x (more than 9 bits)", filt)
+		}
+	}
+	m.BN = make([]BNParams, f)
+	for i := range m.BN {
+		var ws [5]float32
+		if err := get(&ws); err != nil {
+			return nil, fmt.Errorf("ebnn: reading BN %d: %w", i, err)
+		}
+		for _, w := range ws {
+			if math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+				return nil, fmt.Errorf("ebnn: corrupt BN parameter in filter %d", i)
+			}
+		}
+		m.BN[i] = BNParams{W0: ws[0], W1: ws[1], W2: ws[2], W3: ws[3], W4: ws[4]}
+		if m.BN[i].W2 == 0 {
+			return nil, fmt.Errorf("ebnn: filter %d has zero BN scale", i)
+		}
+	}
+	dim := m.FeatureLen()
+	m.Weights = make([][]float32, mnist.NumClasses)
+	for c := range m.Weights {
+		m.Weights[c] = make([]float32, dim)
+		if err := get(m.Weights[c]); err != nil {
+			return nil, fmt.Errorf("ebnn: reading classifier row %d: %w", c, err)
+		}
+	}
+	m.Bias = make([]float32, mnist.NumClasses)
+	if err := get(m.Bias); err != nil {
+		return nil, fmt.Errorf("ebnn: reading bias: %w", err)
+	}
+	// The stream must be fully consumed.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("ebnn: trailing bytes after model")
+	}
+	return m, nil
+}

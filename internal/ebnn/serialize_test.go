@@ -1,0 +1,102 @@
+package ebnn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"pimdnn/internal/mnist"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	ds := mnist.Load(100, 10, 51)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	m, err := Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F != m.F {
+		t.Fatalf("F = %d", got.F)
+	}
+	for i := range m.Filters {
+		if got.Filters[i] != m.Filters[i] {
+			t.Errorf("filter %d differs", i)
+		}
+	}
+	for i := range m.BN {
+		if got.BN[i] != m.BN[i] {
+			t.Errorf("BN %d differs", i)
+		}
+	}
+	// Behavioral equality: identical predictions on the test set.
+	for i := range ds.Test {
+		if got.Predict(&ds.Test[i]) != m.Predict(&ds.Test[i]) {
+			t.Fatalf("prediction %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadModelRejectsCorruption(t *testing.T) {
+	ds := mnist.Load(60, 5, 52)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	m, err := Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mutate := func(name string, f func(b []byte)) {
+		b := append([]byte(nil), good...)
+		f(b)
+		if _, err := ReadModel(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) { b[0] ^= 0xFF })
+	mutate("bad version", func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 99) })
+	mutate("huge filter count", func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 1000) })
+	mutate("filter overflow", func(b []byte) { binary.LittleEndian.PutUint16(b[12:], 0xFFFF) })
+
+	if _, err := ReadModel(bytes.NewReader(good[:20])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := ReadModel(bytes.NewReader(append(append([]byte(nil), good...), 0))); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestReadModelRejectsZeroBNScale(t *testing.T) {
+	ds := mnist.Load(60, 5, 53)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	m, err := Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BN[0].W2 = 0
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf); err == nil {
+		t.Error("zero BN scale accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRoundTrip(t *testing.T) {
+	tests := []struct {
+		q    Q
+		give float64
+		want float64
+	}{
+		{Q78, 1.0, 1.0},
+		{Q78, -1.0, -1.0},
+		{Q78, 0.5, 0.5},
+		{Q78, 1.0 / 256, 1.0 / 256},
+		{Q78, 3.14159, 3.140625}, // quantized to 1/256 grid (804/256)
+		{Q07, 0.25, 0.25},
+		{Q07, -0.5, -0.5},
+	}
+	for _, tt := range tests {
+		got := tt.q.ToFloat(tt.q.FromFloat(tt.give))
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Q%d roundtrip(%v) = %v, want %v", tt.q.Frac, tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestQFromFloatRoundsToNearest(t *testing.T) {
+	// 0.5/256 is exactly half an LSB in Q7.8; round-half-away gives 1 LSB.
+	if got := Q78.FromFloat(0.5 / 256); got != 1 {
+		t.Errorf("FromFloat(half LSB) = %d, want 1", got)
+	}
+	if got := Q78.FromFloat(-0.5 / 256); got != -1 {
+		t.Errorf("FromFloat(-half LSB) = %d, want -1", got)
+	}
+	if got := Q78.FromFloat(0.4 / 256); got != 0 {
+		t.Errorf("FromFloat(0.4 LSB) = %d, want 0", got)
+	}
+}
+
+func TestQFromFloatSaturates(t *testing.T) {
+	if got := Q78.FromFloat(1e12); got != 2147483647 {
+		t.Errorf("FromFloat(+huge) = %d, want int32 max", got)
+	}
+	if got := Q78.FromFloat(-1e12); got != -2147483648 {
+		t.Errorf("FromFloat(-huge) = %d, want int32 min", got)
+	}
+}
+
+func TestQMul(t *testing.T) {
+	a := Q78.FromFloat(1.5)
+	b := Q78.FromFloat(2.0)
+	if got := Q78.ToFloat(Q78.Mul(a, b)); got != 3.0 {
+		t.Errorf("1.5 * 2.0 = %v, want 3.0", got)
+	}
+	c := Q78.FromFloat(-0.5)
+	if got := Q78.ToFloat(Q78.Mul(a, c)); got != -0.75 {
+		t.Errorf("1.5 * -0.5 = %v, want -0.75", got)
+	}
+}
+
+func TestSatAdd8(t *testing.T) {
+	tests := []struct {
+		a, b, want int8
+	}{
+		{100, 100, 127},
+		{-100, -100, -128},
+		{100, -100, 0},
+		{127, 1, 127},
+		{-128, -1, -128},
+		{0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := SatAdd8(tt.a, tt.b); got != tt.want {
+			t.Errorf("SatAdd8(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSatAdd16(t *testing.T) {
+	if got := SatAdd16(30000, 30000); got != 32767 {
+		t.Errorf("SatAdd16 overflow = %d, want 32767", got)
+	}
+	if got := SatAdd16(-30000, -30000); got != -32768 {
+		t.Errorf("SatAdd16 underflow = %d, want -32768", got)
+	}
+	if got := SatAdd16(123, -23); got != 100 {
+		t.Errorf("SatAdd16(123,-23) = %d, want 100", got)
+	}
+}
+
+func TestSatAdd32(t *testing.T) {
+	if got := SatAdd32(2000000000, 2000000000); got != 2147483647 {
+		t.Errorf("SatAdd32 overflow = %d", got)
+	}
+	if got := SatAdd32(-2000000000, -2000000000); got != -2147483648 {
+		t.Errorf("SatAdd32 underflow = %d", got)
+	}
+}
+
+func TestSatMul16(t *testing.T) {
+	if got := SatMul16(1000, 1000); got != 32767 {
+		t.Errorf("SatMul16 overflow = %d", got)
+	}
+	if got := SatMul16(-1000, 1000); got != -32768 {
+		t.Errorf("SatMul16 underflow = %d", got)
+	}
+	if got := SatMul16(100, -30); got != -3000 {
+		t.Errorf("SatMul16(100,-30) = %d", got)
+	}
+}
+
+func TestAbsoluteMax(t *testing.T) {
+	tests := []struct {
+		v, limit, want int32
+	}{
+		{5, 10, 5},
+		{-5, 10, -5},
+		{15, 10, 10},
+		{-15, 10, -10},
+		{10, 10, 10},
+		{-10, 10, -10},
+	}
+	for _, tt := range tests {
+		if got := AbsoluteMax(tt.v, tt.limit); got != tt.want {
+			t.Errorf("AbsoluteMax(%d, %d) = %d, want %d", tt.v, tt.limit, got, tt.want)
+		}
+	}
+}
+
+func TestGEMMOutputClamp(t *testing.T) {
+	// Matches Algorithm 2: absolutemax(acc/32, 32767).
+	if got := GEMMOutputClamp(64); got != 2 {
+		t.Errorf("clamp(64) = %d, want 2", got)
+	}
+	if got := GEMMOutputClamp(2147483647); got != 32767 {
+		t.Errorf("clamp(max) = %d, want 32767", got)
+	}
+	if got := GEMMOutputClamp(-2147483648); got != -32767 {
+		t.Errorf("clamp(min) = %d, want -32767", got)
+	}
+}
+
+func TestQuantizeDequantizeSlice(t *testing.T) {
+	in := []float64{0, 1, -1, 0.5, 100, -100, 1e9}
+	q := Q78.QuantizeSlice(in)
+	out := Q78.DequantizeSlice(q)
+	want := []float64{0, 1, -1, 0.5, 100, -100, 32767.0 / 256}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-9 {
+			t.Errorf("slice[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestClampHelpers(t *testing.T) {
+	if ClampInt8(200) != 127 || ClampInt8(-200) != -128 || ClampInt8(5) != 5 {
+		t.Error("ClampInt8 wrong")
+	}
+	if ClampInt16(40000) != 32767 || ClampInt16(-40000) != -32768 || ClampInt16(5) != 5 {
+		t.Error("ClampInt16 wrong")
+	}
+}
+
+// Property: saturating adds agree with wide arithmetic clamped.
+func TestSatAddProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		s := int32(a) + int32(b)
+		want := s
+		if s > 32767 {
+			want = 32767
+		}
+		if s < -32768 {
+			want = -32768
+		}
+		return int32(SatAdd16(a, b)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Q.Mul matches float multiplication within one LSB.
+func TestQMulProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		fa, fb := Q78.ToFloat(int32(a)), Q78.ToFloat(int32(b))
+		got := Q78.ToFloat(Q78.Mul(int32(a), int32(b)))
+		return math.Abs(got-fa*fb) <= 1.0/256
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AbsoluteMax output is always within [-limit, limit] and is the
+// identity inside the band.
+func TestAbsoluteMaxProperty(t *testing.T) {
+	f := func(v int32, l uint16) bool {
+		limit := int32(l)
+		got := AbsoluteMax(v, limit)
+		if got > limit || got < -limit {
+			return false
+		}
+		if v <= limit && v >= -limit {
+			return got == v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

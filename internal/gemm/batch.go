@@ -1,0 +1,255 @@
+package gemm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/fixed"
+)
+
+// Image-per-DPU mapping — the thesis's future-work alternative (§6.1):
+// "squeeze as many YOLOv3 image inferences into a single DPU as possible
+// in order to emulate the eBNN implementation multi-image per DPU method.
+// Then the performance of this mapping would be compared to the current
+// mapping." Here each DPU holds the full weight matrix A and one image's
+// B matrix and computes the whole M×N product; different DPUs work on
+// different images concurrently. MultiplyBatch implements it; Multiply
+// remains the Fig 4.6 row-per-DPU mapping.
+
+// Batch-mode symbol names.
+const (
+	symAFull = "gemm_a_full"
+	symCFull = "gemm_c_full"
+)
+
+// EnableBatch sizes the whole-matrix buffers for problems up to maxM
+// rows. It must be called once, before the first MultiplyBatch.
+func (r *Runner) EnableBatch(maxM int) error {
+	if maxM < 1 {
+		return fmt.Errorf("gemm: EnableBatch(%d): need at least one row", maxM)
+	}
+	if r.maxM != 0 {
+		return fmt.Errorf("gemm: batch mode already enabled (maxM=%d)", r.maxM)
+	}
+	stride := int64(pad4(r.cfg.MaxN))
+	// A rows live at an 8-byte-aligned stride so per-row DMA staging
+	// stays aligned for any K.
+	aRowStride := int64((r.cfg.MaxK*2 + 7) &^ 7)
+	if err := r.sys.AllocMRAM(symAFull, int64(maxM)*aRowStride); err != nil {
+		return fmt.Errorf("gemm: %w", err)
+	}
+	if err := r.sys.AllocMRAM(symCFull, int64(maxM)*stride*2); err != nil {
+		return fmt.Errorf("gemm: %w", err)
+	}
+	// Per-tasklet A-row cache slots in WRAM.
+	aCache := int64(r.cfg.Tasklets) * int64((r.cfg.MaxK*2+7)&^7)
+	if err := r.sys.AllocWRAM("gemm_a_cache", aCache); err != nil {
+		return fmt.Errorf("gemm: %w", err)
+	}
+	look := func(name string) int64 {
+		s, _ := r.sys.DPU(0).Symbol(name)
+		return s.Offset
+	}
+	r.maxM = maxM
+	r.aFullOff = look(symAFull)
+	r.cFullOff = look(symCFull)
+	r.aCacheOff = look("gemm_a_cache")
+	return nil
+}
+
+// kernelBatch computes the full M×N product for the B matrix resident in
+// this DPU's MRAM. Work units are (row, tile) pairs claimed round-robin
+// by tasklets; each tasklet caches the current A row in its private WRAM
+// slot so consecutive tiles of the same row reuse it.
+func (r *Runner) kernelBatch() dpu.KernelFunc {
+	tileCols := r.tileCols
+	return func(t *dpu.Tasklet) error {
+		n := int(t.LoadI32(r.paramsOff))
+		k := int(t.LoadI32(r.paramsOff + 4))
+		alpha := int16(t.LoadI32(r.paramsOff + 8))
+		m := int(t.LoadI32(r.paramsOff + 12))
+		if n < 1 || k < 1 || m < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK || m > r.maxM {
+			return fmt.Errorf("gemm batch kernel: bad params M=%d N=%d K=%d", m, n, k)
+		}
+		d := t.DPU()
+
+		stride := pad4(n)
+		tiles := (n + tileCols - 1) / tileCols
+		units := m * tiles
+		tileBase := r.tileOff + int64(t.ID())*int64(tileCols)*8
+		aSlot := r.aCacheOff + int64(t.ID())*int64((r.cfg.MaxK*2+7)&^7)
+		aBytes := (k*2 + 7) &^ 7
+
+		cachedRow := -1
+		apart := make([]int32, k)
+		ctmp := make([]int32, tileCols)
+
+		for u := t.ID(); u < units; u += t.Count() {
+			row := u / tiles
+			tile := u % tiles
+
+			if row != cachedRow {
+				// Stage this A row into the tasklet's WRAM cache and
+				// precompute APART (Algorithm 2 line 5). Rows sit at
+				// the padded stride so every transfer stays aligned.
+				for off := 0; off < aBytes; off += dpu.MaxDMATransfer {
+					chunk := aBytes - off
+					if chunk > dpu.MaxDMATransfer {
+						chunk = dpu.MaxDMATransfer
+					}
+					t.MRAMToWRAM(aSlot+int64(off), r.aFullOff+int64(row)*int64(aBytes)+int64(off), chunk)
+				}
+				aRow, err := d.CopyFromWRAM(aSlot, k*2)
+				if err != nil {
+					return err
+				}
+				t.ChargeBulk(dpu.OpLoad, uint64(k))
+				t.ChargeBulk(dpu.OpMul16, uint64(k))
+				for i := 0; i < k; i++ {
+					apart[i] = int32(alpha) * int32(int16(binary.LittleEndian.Uint16(aRow[i*2:])))
+				}
+				cachedRow = row
+			}
+
+			j0 := tile * tileCols
+			cols := n - j0
+			if cols > tileCols {
+				cols = tileCols
+			}
+			chunkBytes := (cols*2 + 7) &^ 7
+
+			for i := range ctmp[:cols] {
+				ctmp[i] = 0
+			}
+			t.ChargeBulk(dpu.OpStore, uint64(cols))
+
+			for kk := 0; kk < k; kk++ {
+				t.MRAMToWRAM(tileBase, r.bOff+int64(kk*stride+j0)*2, chunkBytes)
+				bChunk, err := d.CopyFromWRAM(tileBase, cols*2)
+				if err != nil {
+					return err
+				}
+				ap := apart[kk]
+				for j := 0; j < cols; j++ {
+					ctmp[j] += ap * int32(int16(binary.LittleEndian.Uint16(bChunk[j*2:])))
+				}
+				t.ChargeBulk(dpu.OpLoad, uint64(2*cols))
+				t.ChargeBulk(dpu.OpMul16, uint64(cols))
+				t.ChargeBulk(dpu.OpAddInt, uint64(cols))
+				t.ChargeBulk(dpu.OpStore, uint64(cols))
+			}
+
+			out := make([]byte, chunkBytes)
+			for j := 0; j < cols; j++ {
+				binary.LittleEndian.PutUint16(out[j*2:], uint16(fixed.GEMMOutputClamp(ctmp[j])))
+			}
+			t.ChargeBulk(dpu.OpShift, uint64(cols))
+			t.ChargeBulk(dpu.OpBranch, uint64(cols))
+			t.ChargeBulk(dpu.OpStore, uint64(cols))
+			if err := d.CopyToWRAM(tileBase, out); err != nil {
+				return err
+			}
+			t.WRAMToMRAM(r.cFullOff+int64(row*stride+j0)*2, tileBase, chunkBytes)
+		}
+		return nil
+	}
+}
+
+// MultiplyBatch computes C_i = clamp((alpha·A·B_i)/32) for a batch of B
+// matrices with the image-per-DPU mapping: B_i goes to DPU i and that DPU
+// computes the entire product. The batch size must not exceed the system
+// size; EnableBatch must have been called with maxM >= m.
+func (r *Runner) MultiplyBatch(m, n, k int, alpha int16, a []int16, bs [][]int16) ([][]int16, Stats, error) {
+	var st Stats
+	if r.maxM == 0 {
+		return nil, st, fmt.Errorf("gemm: batch mode not enabled (call EnableBatch)")
+	}
+	if m > r.maxM {
+		return nil, st, fmt.Errorf("gemm: M=%d exceeds batch bound %d", m, r.maxM)
+	}
+	if len(bs) < 1 || len(bs) > r.sys.NumDPUs() {
+		return nil, st, fmt.Errorf("gemm: batch of %d images for %d DPUs", len(bs), r.sys.NumDPUs())
+	}
+	if err := checkDims(m, n, k, a, bs[0]); err != nil {
+		return nil, st, err
+	}
+	if k > r.cfg.MaxK || n > r.cfg.MaxN {
+		return nil, st, fmt.Errorf("gemm: problem K=%d N=%d exceeds runner bounds K<=%d N<=%d",
+			k, n, r.cfg.MaxK, r.cfg.MaxN)
+	}
+	for i, b := range bs {
+		if len(b) != k*n {
+			return nil, st, fmt.Errorf("gemm: B[%d] has %d elements, want %d", i, len(b), k*n)
+		}
+	}
+
+	// Broadcast the weight matrix A to every DPU at the padded row
+	// stride the kernel stages from.
+	aRowBytes := (k*2 + 7) &^ 7
+	aBytes := make([]byte, m*aRowBytes)
+	for row := 0; row < m; row++ {
+		for kk := 0; kk < k; kk++ {
+			binary.LittleEndian.PutUint16(aBytes[row*aRowBytes+kk*2:], uint16(a[row*k+kk]))
+		}
+	}
+	if err := r.sys.CopyToSymbol(symAFull, 0, aBytes); err != nil {
+		return nil, st, err
+	}
+
+	// Scatter each image's B matrix, row-stride padded.
+	stride := pad4(n)
+	bufs := make([][]byte, r.sys.NumDPUs())
+	empty := make([]byte, k*stride*2)
+	for i := range bufs {
+		if i < len(bs) {
+			buf := make([]byte, k*stride*2)
+			for kk := 0; kk < k; kk++ {
+				for j := 0; j < n; j++ {
+					binary.LittleEndian.PutUint16(buf[(kk*stride+j)*2:], uint16(bs[i][kk*n+j]))
+				}
+			}
+			bufs[i] = buf
+		} else {
+			bufs[i] = empty
+		}
+	}
+	if err := r.sys.PushXfer(symB, 0, bufs); err != nil {
+		return nil, st, err
+	}
+
+	params := make([]byte, 16)
+	binary.LittleEndian.PutUint32(params[0:], uint32(n))
+	binary.LittleEndian.PutUint32(params[4:], uint32(k))
+	binary.LittleEndian.PutUint32(params[8:], uint32(uint16(alpha)))
+	binary.LittleEndian.PutUint32(params[12:], uint32(m))
+	if err := r.sys.CopyToSymbol(symParams, 0, params); err != nil {
+		return nil, st, err
+	}
+
+	ls, err := r.sys.LaunchOn(len(bs), r.cfg.Tasklets, r.kernelBatch())
+	if err != nil {
+		return nil, st, err
+	}
+	st.Waves = 1
+	st.DPUsUsed = len(bs)
+	st.Cycles = ls.Cycles
+	st.Seconds = ls.Seconds
+
+	// Gather every DPU's full C.
+	out := make([][]int16, len(bs))
+	for i := range bs {
+		raw, err := r.sys.CopyFromDPU(i, symCFull, 0, m*stride*2)
+		if err != nil {
+			return nil, st, err
+		}
+		c := make([]int16, m*n)
+		for row := 0; row < m; row++ {
+			for j := 0; j < n; j++ {
+				c[row*n+j] = int16(binary.LittleEndian.Uint16(raw[(row*stride+j)*2:]))
+			}
+		}
+		out[i] = c
+	}
+	return out, st, nil
+}

@@ -1,0 +1,157 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+)
+
+func newBatchRunner(t *testing.T, nDPU, maxM int, cfg RunnerConfig) *Runner {
+	t.Helper()
+	sys, err := host.NewSystem(nDPU, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnableBatch(maxM); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestEnableBatchValidation(t *testing.T) {
+	sys, _ := host.NewSystem(1, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{MaxK: 8, MaxN: 8, Tasklets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnableBatch(0); err == nil {
+		t.Error("EnableBatch(0) accepted")
+	}
+	if err := r.EnableBatch(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnableBatch(4); err == nil {
+		t.Error("double EnableBatch accepted")
+	}
+}
+
+func TestMultiplyBatchRequiresEnable(t *testing.T) {
+	sys, _ := host.NewSystem(1, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{MaxK: 8, MaxN: 8, Tasklets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]int16, 2*8)
+	b := make([]int16, 8*8)
+	if _, _, err := r.MultiplyBatch(2, 8, 8, 1, a, [][]int16{b}); err == nil {
+		t.Error("MultiplyBatch without EnableBatch accepted")
+	}
+}
+
+// TestBatchMatchesReference: the image-per-DPU mapping must produce the
+// same bits as the host Algorithm 2 for every image in the batch.
+func TestBatchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const m, n, k = 6, 70, 18
+	r := newBatchRunner(t, 3, m, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 8, TileCols: 16})
+	a := randMat(rng, m*k, 100)
+	bs := make([][]int16, 3)
+	for i := range bs {
+		bs[i] = randMat(rng, k*n, 100)
+	}
+	got, st, err := r.MultiplyBatch(m, n, k, 1, a, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DPUsUsed != 3 || st.Waves != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	for i := range bs {
+		want, err := Reference(m, n, k, 1, a, bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("image %d: C[%d] = %d, want %d", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	r := newBatchRunner(t, 2, 4, RunnerConfig{MaxK: 8, MaxN: 8, Tasklets: 2})
+	a := make([]int16, 4*8)
+	b := make([]int16, 8*8)
+	if _, _, err := r.MultiplyBatch(5, 8, 8, 1, make([]int16, 5*8), [][]int16{b}); err == nil {
+		t.Error("M over batch bound accepted")
+	}
+	if _, _, err := r.MultiplyBatch(4, 8, 8, 1, a, [][]int16{b, b, b}); err == nil {
+		t.Error("more images than DPUs accepted")
+	}
+	if _, _, err := r.MultiplyBatch(4, 8, 8, 1, a, [][]int16{b, b[:10]}); err == nil {
+		t.Error("short B accepted")
+	}
+	if _, _, err := r.MultiplyBatch(4, 8, 8, 1, a, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+// TestBatchVersusRowMappingTradeoff answers the §6.1 future-work
+// question: with enough images in flight, image-per-DPU has higher
+// throughput (it wastes no DPUs when M is small), while row-per-DPU
+// retains the lower single-image latency.
+func TestBatchVersusRowMappingTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const (
+		m, n, k = 4, 256, 32 // few filters: row mapping uses only 4 DPUs
+		nDPU    = 8
+		batch   = 8
+	)
+	a := randMat(rng, m*k, 100)
+	bs := make([][]int16, batch)
+	for i := range bs {
+		bs[i] = randMat(rng, k*n, 100)
+	}
+
+	// Row-per-DPU: images processed one after another.
+	sysRow, _ := host.NewSystem(nDPU, host.DefaultConfig(dpu.O3))
+	rowRunner, err := NewRunner(sysRow, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 8, TileCols: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rowCycles uint64
+	var rowSingle uint64
+	for i := range bs {
+		_, st, err := rowRunner.Multiply(m, n, k, 1, a, bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowCycles += st.Cycles
+		rowSingle = st.Cycles
+	}
+
+	// Image-per-DPU: the whole batch in one launch.
+	batchRunner := newBatchRunner(t, nDPU, m, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 8, TileCols: 32})
+	_, stBatch, err := batchRunner.MultiplyBatch(m, n, k, 1, a, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stBatch.Cycles >= rowCycles {
+		t.Errorf("batch mapping (%d cycles) should beat serial row mapping (%d) for %d images on %d DPUs",
+			stBatch.Cycles, rowCycles, batch, nDPU)
+	}
+	if rowSingle >= stBatch.Cycles {
+		t.Errorf("row mapping should retain the single-image latency edge: single %d vs batch %d",
+			rowSingle, stBatch.Cycles)
+	}
+	t.Logf("8-image batch: row-per-DPU %d cycles total (%d per image), image-per-DPU %d cycles total (%.1fx throughput)",
+		rowCycles, rowSingle, stBatch.Cycles, float64(rowCycles)/float64(stBatch.Cycles))
+}

@@ -1,0 +1,95 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+)
+
+func benchProblem(m, n, k int) (a, b []int16) {
+	rng := rand.New(rand.NewSource(99))
+	return randMat(rng, m*k, 100), randMat(rng, k*n, 100)
+}
+
+// BenchmarkReference measures the host Algorithm 2 GEMM.
+func BenchmarkReference(b *testing.B) {
+	const m, n, k = 8, 1024, 64
+	am, bm := benchProblem(m, n, k)
+	b.SetBytes(int64(m * n * k * 2))
+	for i := 0; i < b.N; i++ {
+		if _, err := Reference(m, n, k, 1, am, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTiledKernel measures the simulated WRAM-tiled DPU GEMM and
+// reports its modeled cycles.
+func BenchmarkTiledKernel(b *testing.B) {
+	const m, n, k = 2, 1024, 64
+	am, bm := benchProblem(m, n, k)
+	sys, _ := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 11, TileCols: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := r.Multiply(m, n, k, 1, am, bm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "dpu-cycles")
+}
+
+// BenchmarkNaiveKernel measures the thesis-faithful MRAM-bound kernel.
+func BenchmarkNaiveKernel(b *testing.B) {
+	const m, n, k = 2, 1024, 64
+	am, bm := benchProblem(m, n, k)
+	sys, _ := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 11, Naive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := r.Multiply(m, n, k, 1, am, bm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "dpu-cycles")
+}
+
+// BenchmarkBatchKernel measures the image-per-DPU mapping over a batch.
+func BenchmarkBatchKernel(b *testing.B) {
+	const m, n, k, images = 4, 512, 32, 4
+	am, _ := benchProblem(m, n, k)
+	rng := rand.New(rand.NewSource(7))
+	bs := make([][]int16, images)
+	for i := range bs {
+		bs[i] = randMat(rng, k*n, 100)
+	}
+	sys, _ := host.NewSystem(images, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 11, TileCols: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.EnableBatch(m); err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := r.MultiplyBatch(m, n, k, 1, am, bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "dpu-cycles")
+}

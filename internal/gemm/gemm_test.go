@@ -1,0 +1,319 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+)
+
+func randMat(rng *rand.Rand, n int, lim int) []int16 {
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(rng.Intn(2*lim+1) - lim)
+	}
+	return out
+}
+
+func TestReferenceAgainstFloat(t *testing.T) {
+	// Small values: no clamping, /32 is the only quantization.
+	rng := rand.New(rand.NewSource(1))
+	m, n, k := 3, 5, 4
+	a := randMat(rng, m*k, 10)
+	b := randMat(rng, k*n, 10)
+	got, err := Reference(m, n, k, 1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af := make([]float64, len(a))
+	bf := make([]float64, len(b))
+	for i, v := range a {
+		af[i] = float64(v)
+	}
+	for i, v := range b {
+		bf[i] = float64(v)
+	}
+	cf, err := ReferenceFloat(m, n, k, 1, af, bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := int16(int32(cf[i]) / 32) // trunc toward zero matches: products are exact ints
+		// Go integer division truncates toward zero like C.
+		wantC := int32(cf[i]) / 32
+		want = int16(wantC)
+		if got[i] != want {
+			t.Errorf("C[%d] = %d, want %d (float %v)", i, got[i], want, cf[i])
+		}
+	}
+}
+
+func TestReferenceClamps(t *testing.T) {
+	// A single huge dot product must clamp to ±32767.
+	k := 100
+	a := make([]int16, k)
+	b := make([]int16, k)
+	for i := range a {
+		a[i] = 1000
+		b[i] = 1000
+	}
+	c, err := Reference(1, 1, k, 1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 32767 {
+		t.Errorf("positive clamp = %d", c[0])
+	}
+	for i := range b {
+		b[i] = -1000
+	}
+	c, _ = Reference(1, 1, k, 1, a, b)
+	if c[0] != -32767 {
+		t.Errorf("negative clamp = %d (absolutemax clamps to -limit)", c[0])
+	}
+}
+
+func TestReferenceAlpha(t *testing.T) {
+	a := []int16{2, 3}
+	b := []int16{4, 5, 6, 7}
+	// alpha=2: C[0] = 2*(2*4+3*6)/32 = 52/32 = 1 (trunc)
+	c, err := Reference(1, 2, 2, 2, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 52/32 || c[1] != (2*(2*5+3*7))/32 {
+		t.Errorf("alpha GEMM = %v", c)
+	}
+}
+
+func TestReferenceValidation(t *testing.T) {
+	if _, err := Reference(0, 1, 1, 1, nil, nil); err == nil {
+		t.Error("zero dims accepted")
+	}
+	if _, err := Reference(1, 1, 2, 1, []int16{1}, []int16{1, 2}); err == nil {
+		t.Error("short A accepted")
+	}
+	if _, err := Reference(1, 2, 1, 1, []int16{1}, []int16{1}); err == nil {
+		t.Error("short B accepted")
+	}
+	if _, err := ReferenceFloat(1, 2, 1, 1, []float64{1}, []float64{1}); err == nil {
+		t.Error("float short B accepted")
+	}
+}
+
+// Property: row i of the result depends only on row i of A.
+func TestReferenceRowIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 3, 4, 5
+		a := randMat(rng, m*k, 50)
+		b := randMat(rng, k*n, 50)
+		c1, _ := Reference(m, n, k, 1, a, b)
+		// Perturb row 2 of A; rows 0 and 1 of C must not change.
+		a2 := append([]int16(nil), a...)
+		a2[2*k] += 7
+		c2, _ := Reference(m, n, k, 1, a2, b)
+		for i := 0; i < 2*n; i++ {
+			if c1[i] != c2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newGEMMRunner(t *testing.T, nDPU int, cfg RunnerConfig) *Runner {
+	t.Helper()
+	sys, err := host.NewSystem(nDPU, host.DefaultConfig(dpu.O0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunnerValidation(t *testing.T) {
+	sys, _ := host.NewSystem(1, host.DefaultConfig(dpu.O0))
+	cases := []RunnerConfig{
+		{MaxK: 0, MaxN: 4, Tasklets: 1},
+		{MaxK: 4, MaxN: 4, Tasklets: 0},
+		{MaxK: 4, MaxN: 4, Tasklets: 99},
+		{MaxK: 4, MaxN: 4, Tasklets: 1, TileCols: 3},
+		{MaxK: 4, MaxN: 4, Tasklets: 1, TileCols: 4096},
+	}
+	for i, cfg := range cases {
+		if _, err := NewRunner(sys, cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestDPUMatchesReference: the distributed kernel must agree with the
+// host Algorithm 2 bit-for-bit across awkward shapes.
+func TestDPUMatchesReference(t *testing.T) {
+	shapes := []struct{ m, n, k int }{
+		{1, 8, 4},
+		{3, 300, 7},  // N not a tile multiple
+		{5, 256, 16}, // exact tiles
+		{2, 513, 33}, // odd everything
+		{7, 64, 100}, // K heavy
+		{13, 40, 3},  // M > DPUs: multiple waves
+	}
+	rng := rand.New(rand.NewSource(7))
+	r := newGEMMRunner(t, 4, RunnerConfig{MaxK: 128, MaxN: 600, Tasklets: 8, TileCols: 64})
+	for _, s := range shapes {
+		a := randMat(rng, s.m*s.k, 100)
+		b := randMat(rng, s.k*s.n, 100)
+		want, err := Reference(s.m, s.n, s.k, 1, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := r.Multiply(s.m, s.n, s.k, 1, a, b)
+		if err != nil {
+			t.Fatalf("%dx%dx%d: %v", s.m, s.n, s.k, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%dx%dx%d: C[%d] = %d, want %d", s.m, s.n, s.k, i, got[i], want[i])
+			}
+		}
+		wantDPUs := s.m
+		if wantDPUs > 4 {
+			wantDPUs = 4
+		}
+		if st.DPUsUsed != wantDPUs {
+			t.Errorf("%dx%dx%d: used %d DPUs, want %d", s.m, s.n, s.k, st.DPUsUsed, wantDPUs)
+		}
+	}
+}
+
+func TestDPUMatchesReferenceWithAlphaAndWrap(t *testing.T) {
+	// Large magnitudes force both the int32 wrap path and the clamp.
+	rng := rand.New(rand.NewSource(9))
+	r := newGEMMRunner(t, 2, RunnerConfig{MaxK: 64, MaxN: 64, Tasklets: 4, TileCols: 16})
+	a := randMat(rng, 2*64, 32000)
+	b := randMat(rng, 64*64, 32000)
+	want, _ := Reference(2, 64, 64, 3, a, b)
+	got, _, err := r.Multiply(2, 64, 64, 3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("C[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMultiplyBoundsChecked(t *testing.T) {
+	r := newGEMMRunner(t, 1, RunnerConfig{MaxK: 8, MaxN: 8, Tasklets: 1})
+	a := make([]int16, 16)
+	b := make([]int16, 16*8)
+	if _, _, err := r.Multiply(1, 8, 16, 1, a, b); err == nil {
+		t.Error("K over bound accepted")
+	}
+	if _, _, err := r.Multiply(1, 16, 1, 1, a[:1], b[:16]); err == nil {
+		t.Error("N over bound accepted")
+	}
+}
+
+// TestGEMMTaskletSaturation reproduces the YOLOv3 curve of Fig 4.7(a):
+// speedup grows with tasklets and saturates at the 11-stage pipeline.
+func TestGEMMTaskletSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const m, n, k = 1, 2048, 16
+	a := randMat(rng, m*k, 100)
+	b := randMat(rng, k*n, 100)
+
+	cycles := map[int]uint64{}
+	for _, tl := range []int{1, 2, 4, 8, 11, 16} {
+		r := newGEMMRunner(t, 1, RunnerConfig{MaxK: k, MaxN: n, Tasklets: tl, TileCols: 64})
+		_, st, err := r.Multiply(m, n, k, 1, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[tl] = st.Cycles
+	}
+	speedup := func(tl int) float64 { return float64(cycles[1]) / float64(cycles[tl]) }
+	if !(speedup(2) > 1.5 && speedup(4) > 3 && speedup(8) > 5) {
+		t.Errorf("speedups: 2->%.1f 4->%.1f 8->%.1f", speedup(2), speedup(4), speedup(8))
+	}
+	// Saturation: 16 tasklets gain little over 11.
+	if gain := speedup(16) / speedup(11); gain > 1.15 {
+		t.Errorf("16 vs 11 tasklets gained %.2fx; should saturate at the pipeline depth", gain)
+	}
+	t.Logf("Fig 4.7a (YOLO GEMM): speedups %v", map[int]float64{
+		2: speedup(2), 4: speedup(4), 8: speedup(8), 11: speedup(11), 16: speedup(16)})
+}
+
+// TestGEMMOptimizationLevels reproduces the Fig 4.7(b) ingredient: O3
+// beats O0 (inline 16-bit multiplies, no per-statement overhead).
+func TestGEMMOptimizationLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const m, n, k = 1, 512, 16
+	a := randMat(rng, m*k, 100)
+	b := randMat(rng, k*n, 100)
+
+	cyclesAt := func(opt dpu.OptLevel) uint64 {
+		sys, err := host.NewSystem(1, host.DefaultConfig(opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 8, TileCols: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := r.Multiply(m, n, k, 1, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	o0, o3 := cyclesAt(dpu.O0), cyclesAt(dpu.O3)
+	if o3 >= o0 {
+		t.Errorf("O3 (%d cycles) not faster than O0 (%d)", o3, o0)
+	}
+	if ratio := float64(o0) / float64(o3); ratio < 1.5 {
+		t.Errorf("O0/O3 ratio %.2f too small; 16-bit multiply must collapse at O3", ratio)
+	}
+}
+
+// TestGEMMIsMRAMBound verifies the §4.3.3 observation: the GEMM kernel's
+// B matrix streams from MRAM, so DMA cycles are a significant share.
+func TestGEMMIsMRAMBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const m, n, k = 1, 1024, 64
+	a := randMat(rng, m*k, 100)
+	b := randMat(rng, k*n, 100)
+	sys, _ := host.NewSystem(1, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 11, TileCols: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+		t.Fatal(err)
+	}
+	var slots, dma uint64
+	// Re-run on the bare DPU to read per-launch stats.
+	st, err := sys.DPU(0).Launch(11, r.kernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, dma = st.IssueSlots, st.DMACycles
+	if dma == 0 {
+		t.Fatal("no DMA cycles recorded")
+	}
+	frac := float64(dma) / float64(slots+dma)
+	if frac < 0.05 {
+		t.Errorf("DMA fraction %.3f too small for an MRAM-bound kernel", frac)
+	}
+	t.Logf("GEMM O3: DMA fraction of work = %.2f", frac)
+}

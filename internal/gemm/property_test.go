@@ -1,0 +1,114 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+)
+
+// TestPropertyDPUEqualsReference: for random shapes and operands, every
+// kernel variant agrees with the host Algorithm 2 bit for bit.
+func TestPropertyDPUEqualsReference(t *testing.T) {
+	type shapeSeed struct {
+		M, N, K uint8
+		Seed    int64
+	}
+	run := func(naive bool) func(shapeSeed) bool {
+		return func(ss shapeSeed) bool {
+			m := int(ss.M%4) + 1
+			n := int(ss.N%96) + 1
+			k := int(ss.K%24) + 1
+			rng := rand.New(rand.NewSource(ss.Seed))
+			a := randMat(rng, m*k, 3000)
+			b := randMat(rng, k*n, 3000)
+			want, err := Reference(m, n, k, 1, a, b)
+			if err != nil {
+				return false
+			}
+			sys, err := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+			if err != nil {
+				return false
+			}
+			r, err := NewRunner(sys, RunnerConfig{
+				MaxK: 24, MaxN: 96, Tasklets: 1 + int(ss.Seed%8&7), TileCols: 16, Naive: naive,
+			})
+			if err != nil {
+				return false
+			}
+			got, _, err := r.Multiply(m, n, k, 1, a, b)
+			if err != nil {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	if err := quick.Check(run(false), &quick.Config{MaxCount: 25}); err != nil {
+		t.Errorf("tiled: %v", err)
+	}
+	if err := quick.Check(run(true), &quick.Config{MaxCount: 25}); err != nil {
+		t.Errorf("naive: %v", err)
+	}
+}
+
+// TestPropertyAlphaScaling: for operands small enough to avoid the /32
+// truncation interacting with sign, alpha=2 equals doubling A.
+func TestPropertyAlphaScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const m, n, k = 2, 10, 6
+		a := randMat(rng, m*k, 50)
+		b := randMat(rng, k*n, 50)
+		a2 := make([]int16, len(a))
+		for i, v := range a {
+			a2[i] = v * 2
+		}
+		c1, err := Reference(m, n, k, 2, a, b)
+		if err != nil {
+			return false
+		}
+		c2, err := Reference(m, n, k, 1, a2, b)
+		if err != nil {
+			return false
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyZeroMatrix: a zero A or zero B yields an all-zero C.
+func TestPropertyZeroMatrix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const m, n, k = 3, 12, 8
+		a := randMat(rng, m*k, 1000)
+		zero := make([]int16, k*n)
+		c, err := Reference(m, n, k, 1, a, zero)
+		if err != nil {
+			return false
+		}
+		for _, v := range c {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

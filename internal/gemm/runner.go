@@ -1,0 +1,438 @@
+package gemm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/fixed"
+	"pimdnn/internal/host"
+)
+
+// Symbol names used by the GEMM DPU program.
+const (
+	symA      = "gemm_a_row"
+	symB      = "gemm_b"
+	symC      = "gemm_c_row"
+	symCtmp   = "gemm_ctmp"
+	symParams = "gemm_params"
+	symAWRAM  = "gemm_a_wram"
+	symTiles  = "gemm_tiles"
+)
+
+// DefaultTileCols is the number of output columns a tasklet processes per
+// WRAM tile. 256 columns keep the per-k B-row DMA at 512 bytes while
+// amortizing the 25-cycle DMA setup.
+const DefaultTileCols = 256
+
+// RunnerConfig sizes the per-DPU buffers. MRAM symbols are allocated once
+// for the largest problem the runner will see.
+type RunnerConfig struct {
+	// MaxK and MaxN bound the problem sizes Multiply accepts.
+	MaxK, MaxN int
+	// Tasklets is the per-DPU tasklet count (Fig 4.7a sweeps this).
+	Tasklets int
+	// TileCols overrides DefaultTileCols when non-zero. Must be a
+	// multiple of 4 so tile DMAs honor the 8-byte granularity.
+	TileCols int
+	// Naive selects the thesis's own kernel structure (§4.2.3/§4.3.3):
+	// each tasklet owns the strided column set j, j+T, ..., and the
+	// ctmp accumulator lives in MRAM because it is too large for WRAM
+	// ("the internal buffer can reach up to 160 KB"), so every
+	// multiply-accumulate performs per-element MRAM traffic. This is
+	// the configuration behind the thesis's 65 s YOLOv3 headline; the
+	// default (tiled) kernel is the §4.3.4-style improvement that
+	// maximizes WRAM accesses.
+	Naive bool
+}
+
+// Runner distributes Algorithm 2 GEMMs across a DPU system with the
+// Fig 4.6 row-per-DPU mapping.
+type Runner struct {
+	sys      *host.System
+	cfg      RunnerConfig
+	tileCols int
+
+	aOff, bOff, cOff, ctmpOff int64 // MRAM
+	paramsOff, aWRAM, tileOff int64 // WRAM
+
+	// Batch (image-per-DPU) mode, set up by EnableBatch.
+	maxM                          int
+	aFullOff, cFullOff, aCacheOff int64
+}
+
+// NewRunner allocates the GEMM symbols on every DPU of the system.
+func NewRunner(sys *host.System, cfg RunnerConfig) (*Runner, error) {
+	if cfg.MaxK < 1 || cfg.MaxN < 1 {
+		return nil, fmt.Errorf("gemm: bad bounds MaxK=%d MaxN=%d", cfg.MaxK, cfg.MaxN)
+	}
+	if cfg.Tasklets < 1 || cfg.Tasklets > dpu.MaxTasklets {
+		return nil, fmt.Errorf("gemm: tasklet count %d outside 1..%d", cfg.Tasklets, dpu.MaxTasklets)
+	}
+	tileCols := cfg.TileCols
+	if tileCols == 0 {
+		tileCols = DefaultTileCols
+	}
+	if tileCols%4 != 0 || tileCols < 4 {
+		return nil, fmt.Errorf("gemm: TileCols %d must be a positive multiple of 4", tileCols)
+	}
+	if 2*tileCols > dpu.MaxDMATransfer {
+		return nil, fmt.Errorf("gemm: TileCols %d exceeds the DMA transfer limit", tileCols)
+	}
+	r := &Runner{sys: sys, cfg: cfg, tileCols: tileCols}
+
+	// Per-tasklet tile area: B chunk (2 bytes/col) + ctmp (4 bytes/col)
+	// + C out (2 bytes/col).
+	tileBytes := int64(tileCols) * 8
+	// B rows are stored at a stride padded to 4 columns so every row
+	// base stays 8-byte aligned for DMA (§3.2's padding rule applied to
+	// the matrix layout).
+	maxStride := int64(pad4(cfg.MaxN))
+	allocs := []struct {
+		name string
+		size int64
+		wram bool
+	}{
+		{symA, int64(cfg.MaxK) * 2, false},
+		{symB, int64(cfg.MaxK) * maxStride * 2, false},
+		{symC, maxStride * 2, false},
+		{symCtmp, maxStride * 4, false},
+		{symParams, 16, true},
+		{symAWRAM, int64(cfg.MaxK) * 2, true},
+		{symTiles, int64(cfg.Tasklets) * tileBytes, true},
+	}
+	for _, a := range allocs {
+		var err error
+		if a.wram {
+			err = r.sys.AllocWRAM(a.name, a.size)
+		} else {
+			err = r.sys.AllocMRAM(a.name, a.size)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gemm: %w", err)
+		}
+	}
+	look := func(name string) int64 {
+		s, _ := sys.DPU(0).Symbol(name)
+		return s.Offset
+	}
+	r.aOff, r.bOff, r.cOff, r.ctmpOff = look(symA), look(symB), look(symC), look(symCtmp)
+	r.paramsOff, r.aWRAM, r.tileOff = look(symParams), look(symAWRAM), look(symTiles)
+	return r, nil
+}
+
+// Naive reports whether the runner uses the thesis-faithful kernel.
+func (r *Runner) Naive() bool { return r.cfg.Naive }
+
+// Tasklets returns the configured per-DPU tasklet count.
+func (r *Runner) Tasklets() int { return r.cfg.Tasklets }
+
+// System returns the underlying DPU system.
+func (r *Runner) System() *host.System { return r.sys }
+
+// kernel computes one row of C for the row of A resident in this DPU's
+// MRAM. Tasklets claim column tiles round-robin; per tile the kernel
+// streams each B row chunk from MRAM (Eq 3.4 cost per transfer) into a
+// private WRAM buffer, multiply-accumulates into a WRAM ctmp buffer, and
+// writes the clamped outputs back to MRAM.
+//
+// Arithmetic is computed natively and charged in bulk (ChargeBulk), with
+// cycle totals identical to per-operation charging; the data movement is
+// real DMA through the simulator.
+func (r *Runner) kernel() dpu.KernelFunc {
+	tileCols := r.tileCols
+	return func(t *dpu.Tasklet) error {
+		n := int(t.LoadI32(r.paramsOff))
+		k := int(t.LoadI32(r.paramsOff + 4))
+		alpha := int16(t.LoadI32(r.paramsOff + 8))
+		if n < 1 || k < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK {
+			return fmt.Errorf("gemm kernel: bad params N=%d K=%d", n, k)
+		}
+
+		d := t.DPU()
+		// Tasklet 0 stages the A row into WRAM in DMA-sized chunks;
+		// later tasklets (run in ID order) read it shared.
+		if t.ID() == 0 {
+			bytes := (k*2 + 7) &^ 7
+			for off := 0; off < bytes; off += dpu.MaxDMATransfer {
+				chunk := bytes - off
+				if chunk > dpu.MaxDMATransfer {
+					chunk = dpu.MaxDMATransfer
+				}
+				t.MRAMToWRAM(r.aWRAM+int64(off), r.aOff+int64(off), chunk)
+			}
+		}
+		aRow, err := d.CopyFromWRAM(r.aWRAM, k*2)
+		if err != nil {
+			return err
+		}
+		a := make([]int16, k)
+		for i := range a {
+			a[i] = int16(binary.LittleEndian.Uint16(aRow[i*2:]))
+		}
+		// Loading A[kk] each outer iteration: one WRAM load per k, plus
+		// the APART multiply (Algorithm 2 line 5).
+		t.ChargeBulk(dpu.OpLoad, uint64(k))
+		t.ChargeBulk(dpu.OpMul16, uint64(k))
+		apart := make([]int32, k)
+		for i := range a {
+			apart[i] = int32(alpha) * int32(a[i])
+		}
+
+		tiles := (n + tileCols - 1) / tileCols
+		tileBase := r.tileOff + int64(t.ID())*int64(tileCols)*8
+		ctmp := make([]int32, tileCols)
+
+		for tile := t.ID(); tile < tiles; tile += t.Count() {
+			j0 := tile * tileCols
+			cols := n - j0
+			if cols > tileCols {
+				cols = tileCols
+			}
+			chunkBytes := (cols*2 + 7) &^ 7
+
+			for i := range ctmp[:cols] {
+				ctmp[i] = 0
+			}
+			t.ChargeBulk(dpu.OpStore, uint64(cols)) // zeroing ctmp
+
+			stride := pad4(n)
+			for kk := 0; kk < k; kk++ {
+				// Stream B[kk, j0:j0+cols] from MRAM.
+				t.MRAMToWRAM(tileBase, r.bOff+int64(kk*stride+j0)*2, chunkBytes)
+				bChunk, err := d.CopyFromWRAM(tileBase, cols*2)
+				if err != nil {
+					return err
+				}
+				ap := apart[kk]
+				for j := 0; j < cols; j++ {
+					bv := int16(binary.LittleEndian.Uint16(bChunk[j*2:]))
+					ctmp[j] += ap * int32(bv)
+				}
+				// Per element: load B, load ctmp, 16-bit multiply,
+				// accumulate, store ctmp (Algorithm 2 line 7).
+				t.ChargeBulk(dpu.OpLoad, uint64(2*cols))
+				t.ChargeBulk(dpu.OpMul16, uint64(cols))
+				t.ChargeBulk(dpu.OpAddInt, uint64(cols))
+				t.ChargeBulk(dpu.OpStore, uint64(cols))
+			}
+
+			// Output rescale and clamp (Algorithm 2 lines 8-10), then
+			// write the C chunk back to MRAM.
+			out := make([]byte, chunkBytes)
+			for j := 0; j < cols; j++ {
+				binary.LittleEndian.PutUint16(out[j*2:], uint16(fixed.GEMMOutputClamp(ctmp[j])))
+			}
+			t.ChargeBulk(dpu.OpShift, uint64(cols))  // /32
+			t.ChargeBulk(dpu.OpBranch, uint64(cols)) // clamp compare
+			t.ChargeBulk(dpu.OpStore, uint64(cols))
+			if err := d.CopyToWRAM(tileBase, out); err != nil {
+				return err
+			}
+			t.WRAMToMRAM(r.cOff+int64(j0*2), tileBase, chunkBytes)
+		}
+		return nil
+	}
+}
+
+// kernelNaive reproduces the thesis's own GEMM kernel (§4.2.3):
+// Algorithm 2's loop order is preserved (k outer so APART is computed
+// once per k, line 5), tasklet j owns output columns j, j+T, ..., and
+// the ctmp accumulator array — far too large for the tasklet's WRAM
+// share — lives in MRAM. Every inner-loop iteration therefore performs
+// three per-element MRAM transfers (read ctmp, read B, write ctmp),
+// which is exactly the "almost all of its memory accesses go to MRAM"
+// behaviour the thesis blames for YOLOv3's latency (§4.3.3).
+//
+// Arithmetic and accumulator state are computed natively with bulk cycle
+// charges; the results are bit-identical to the tiled kernel and the
+// host reference.
+func (r *Runner) kernelNaive() dpu.KernelFunc {
+	return func(t *dpu.Tasklet) error {
+		n := int(t.LoadI32(r.paramsOff))
+		k := int(t.LoadI32(r.paramsOff + 4))
+		alpha := int16(t.LoadI32(r.paramsOff + 8))
+		if n < 1 || k < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK {
+			return fmt.Errorf("gemm kernel: bad params N=%d K=%d", n, k)
+		}
+		d := t.DPU()
+		if t.ID() == 0 {
+			bytes := (k*2 + 7) &^ 7
+			for off := 0; off < bytes; off += dpu.MaxDMATransfer {
+				chunk := bytes - off
+				if chunk > dpu.MaxDMATransfer {
+					chunk = dpu.MaxDMATransfer
+				}
+				t.MRAMToWRAM(r.aWRAM+int64(off), r.aOff+int64(off), chunk)
+			}
+		}
+		aRow, err := d.CopyFromWRAM(r.aWRAM, k*2)
+		if err != nil {
+			return err
+		}
+
+		// The tasklet's strided column set.
+		nCols := (n - t.ID() + t.Count() - 1) / t.Count()
+		if nCols <= 0 {
+			return nil
+		}
+		acc := make([]int32, nCols)
+		stride := pad4(n)
+
+		for kk := 0; kk < k; kk++ {
+			av := int16(binary.LittleEndian.Uint16(aRow[kk*2:]))
+			apart := int32(alpha) * int32(av)
+			// APART: one WRAM load and one 16-bit multiply per k
+			// (Algorithm 2 line 5).
+			t.Charge(dpu.OpLoad, 1)
+			t.Charge(dpu.OpMul16, 1)
+
+			bRow, err := d.CopyFromMRAM(r.bOff+int64(kk*stride)*2, stride*2)
+			if err != nil {
+				return err
+			}
+			ci := 0
+			for j := t.ID(); j < n; j += t.Count() {
+				bv := int16(binary.LittleEndian.Uint16(bRow[j*2:]))
+				acc[ci] += apart * int32(bv)
+				ci++
+			}
+			// Per element: MRAM read of ctmp[j], MRAM read of B[k*N+j],
+			// MRAM write of ctmp[j] (8-byte minimum transfers), plus the
+			// multiply-accumulate and address arithmetic.
+			t.ChargeDMA(uint64(3*nCols), 8)
+			t.ChargeBulk(dpu.OpMul16, uint64(nCols))
+			t.ChargeBulk(dpu.OpAddInt, uint64(2*nCols)) // accumulate + index
+		}
+
+		// Output pass (Algorithm 2 lines 8-10): read ctmp, rescale,
+		// clamp, write C — one more element-wise MRAM round trip.
+		cRow, err := d.CopyFromMRAM(r.cOff, stride*2)
+		if err != nil {
+			return err
+		}
+		ci := 0
+		for j := t.ID(); j < n; j += t.Count() {
+			binary.LittleEndian.PutUint16(cRow[j*2:], uint16(fixed.GEMMOutputClamp(acc[ci])))
+			ci++
+		}
+		if err := d.CopyToMRAM(r.cOff, cRow); err != nil {
+			return err
+		}
+		t.ChargeDMA(uint64(2*nCols), 8) // ctmp read + C write
+		t.ChargeBulk(dpu.OpShift, uint64(nCols))
+		t.ChargeBulk(dpu.OpBranch, uint64(nCols))
+		return nil
+	}
+}
+
+// Kernel returns the configured kernel variant, exposed so callers can
+// launch it directly on a bare DPU for profiling.
+func (r *Runner) Kernel() dpu.KernelFunc {
+	if r.cfg.Naive {
+		return r.kernelNaive()
+	}
+	return r.kernel()
+}
+
+// Stats describes one distributed GEMM.
+type Stats struct {
+	// Waves is the number of sequential launches (rows beyond the DPU
+	// count queue into later waves).
+	Waves int
+	// DPUsUsed is the largest number of DPUs active in a wave — the
+	// thesis's dynamic DPU count, equal to min(M, system size).
+	DPUsUsed int
+	// Cycles is the summed per-wave maximum DPU cycles.
+	Cycles uint64
+	// Seconds is Cycles through the DPU clock.
+	Seconds float64
+}
+
+// Multiply runs C = clamp((alpha·A·B)/32) with A of M×K, B of K×N,
+// distributing one row of A (and one row of C) per DPU as in Fig 4.6.
+func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stats, error) {
+	var st Stats
+	if err := checkDims(m, n, k, a, b); err != nil {
+		return nil, st, err
+	}
+	if k > r.cfg.MaxK || n > r.cfg.MaxN {
+		return nil, st, fmt.Errorf("gemm: problem K=%d N=%d exceeds runner bounds K<=%d N<=%d",
+			k, n, r.cfg.MaxK, r.cfg.MaxN)
+	}
+
+	// Broadcast B (the whole input matrix goes to every DPU, Fig 4.6),
+	// stored at the 4-column-padded row stride the kernel expects.
+	stride := pad4(n)
+	bBytes := make([]byte, k*stride*2)
+	for kk := 0; kk < k; kk++ {
+		for j := 0; j < n; j++ {
+			binary.LittleEndian.PutUint16(bBytes[(kk*stride+j)*2:], uint16(b[kk*n+j]))
+		}
+	}
+	if err := r.sys.CopyToSymbol(symB, 0, bBytes); err != nil {
+		return nil, st, err
+	}
+
+	params := make([]byte, 16)
+	binary.LittleEndian.PutUint32(params[0:], uint32(n))
+	binary.LittleEndian.PutUint32(params[4:], uint32(k))
+	binary.LittleEndian.PutUint32(params[8:], uint32(uint16(alpha)))
+	if err := r.sys.CopyToSymbol(symParams, 0, params); err != nil {
+		return nil, st, err
+	}
+
+	c := make([]int16, m*n)
+	rowBytes := (k*2 + 7) &^ 7
+	cBytes := stride * 2
+	nd := r.sys.NumDPUs()
+
+	for start := 0; start < m; start += nd {
+		rows := m - start
+		if rows > nd {
+			rows = nd
+		}
+		// Scatter one A row per DPU.
+		aBufs := make([][]byte, nd)
+		for i := range aBufs {
+			aBufs[i] = make([]byte, rowBytes)
+			if i < rows {
+				for kk := 0; kk < k; kk++ {
+					binary.LittleEndian.PutUint16(aBufs[i][kk*2:], uint16(a[(start+i)*k+kk]))
+				}
+			}
+		}
+		if err := r.sys.PushXfer(symA, 0, aBufs); err != nil {
+			return nil, st, err
+		}
+
+		ls, err := r.sys.LaunchOn(rows, r.cfg.Tasklets, r.Kernel())
+		if err != nil {
+			return nil, st, err
+		}
+		st.Waves++
+		st.Cycles += ls.Cycles
+		st.Seconds += ls.Seconds
+		if rows > st.DPUsUsed {
+			st.DPUsUsed = rows
+		}
+
+		// Gather the C rows.
+		for i := 0; i < rows; i++ {
+			raw, err := r.sys.CopyFromDPU(i, symC, 0, cBytes)
+			if err != nil {
+				return nil, st, err
+			}
+			for j := 0; j < n; j++ {
+				c[(start+i)*n+j] = int16(binary.LittleEndian.Uint16(raw[j*2:]))
+			}
+		}
+	}
+	return c, st, nil
+}
+
+// pad4 rounds n up to a multiple of 4 (columns), keeping 2-byte element
+// rows 8-byte aligned.
+func pad4(n int) int {
+	return (n + 3) &^ 3
+}

@@ -1,0 +1,112 @@
+package host
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pimdnn/internal/dpu"
+)
+
+// TestLaunchSingleDPUFailure: a fault on one DPU of a parallel launch
+// must surface as an error naming that DPU, and the system must remain
+// usable afterwards.
+func TestLaunchSingleDPUFailure(t *testing.T) {
+	s := newTestSystem(t, 4)
+	bad := s.DPU(2)
+	_, err := s.Launch(1, func(tk *dpu.Tasklet) error {
+		if tk.DPU() == bad {
+			return fmt.Errorf("injected failure")
+		}
+		tk.Charge(dpu.OpAddInt, 10)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	if !strings.Contains(err.Error(), "DPU 2") {
+		t.Errorf("error does not name the failing DPU: %v", err)
+	}
+	// The system still works.
+	if _, err := s.Launch(1, func(tk *dpu.Tasklet) error { return nil }); err != nil {
+		t.Errorf("system unusable after failure: %v", err)
+	}
+}
+
+// TestLaunchTrapOnOneDPU: a memory trap (not an error return) on one DPU
+// propagates the same way.
+func TestLaunchTrapOnOneDPU(t *testing.T) {
+	s := newTestSystem(t, 3)
+	bad := s.DPU(0)
+	_, err := s.Launch(1, func(tk *dpu.Tasklet) error {
+		if tk.DPU() == bad {
+			tk.Load8(-1) // trap
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "memory fault") {
+		t.Errorf("trap not propagated: %v", err)
+	}
+}
+
+func TestGatherUnknownSymbol(t *testing.T) {
+	s := newTestSystem(t, 2)
+	if _, err := s.GatherXfer("missing", 0, 8); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+}
+
+func TestPushXferOverflowsSymbol(t *testing.T) {
+	s := newTestSystem(t, 2)
+	if err := s.AllocWRAM("small", 8); err != nil {
+		t.Fatal(err)
+	}
+	bufs := [][]byte{make([]byte, 16), make([]byte, 16)}
+	if err := s.PushXfer("small", 0, bufs); err == nil {
+		t.Error("overflowing push accepted")
+	}
+}
+
+// TestAllocFailurePropagatesPerDPU: exhausting WRAM on every DPU reports
+// which DPU refused.
+func TestAllocFailurePropagatesPerDPU(t *testing.T) {
+	s := newTestSystem(t, 2)
+	if err := s.AllocWRAM("big", dpu.DefaultWRAMSize-512); err != nil {
+		t.Fatal(err)
+	}
+	err := s.AllocWRAM("more", 4096)
+	if err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if !strings.Contains(err.Error(), "DPU 0") {
+		t.Errorf("error does not name the DPU: %v", err)
+	}
+}
+
+// TestEnergyAccumulates: launch energy is per-DPU time x 120 mW.
+func TestEnergyAccumulates(t *testing.T) {
+	s := newTestSystem(t, 4)
+	ls, err := s.Launch(1, func(tk *dpu.Tasklet) error {
+		tk.Charge(dpu.OpAddInt, 35000) // 385000 cycles = 1.1 ms per DPU
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy sums each participating DPU's time x 120 mW.
+	var want float64
+	for _, st := range ls.PerDPU {
+		want += st.Seconds * dpu.DPUPowerW
+	}
+	if want <= 0 {
+		t.Fatal("no energy expected?")
+	}
+	if ls.EnergyJ < want*0.999 || ls.EnergyJ > want*1.001 {
+		t.Errorf("EnergyJ = %g, want %g", ls.EnergyJ, want)
+	}
+	// Sanity: per-DPU energy is time x power.
+	st := ls.PerDPU[0]
+	if st.EnergyJ != st.Seconds*dpu.DPUPowerW {
+		t.Errorf("per-DPU energy %g != %g", st.EnergyJ, st.Seconds*dpu.DPUPowerW)
+	}
+}

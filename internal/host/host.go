@@ -1,0 +1,391 @@
+// Package host implements the host-side runtime that drives a set of
+// simulated UPMEM DPUs.
+//
+// It mirrors the UPMEM SDK's host API surface as described in thesis §3.1
+// and §3.2: DPU-set allocation, broadcast transfers (dpu_copy_to,
+// Eq 3.1), per-DPU scatter/gather transfers (dpu_prepare_xfer +
+// dpu_push_xfer, Eqs 3.2–3.3), symbol-addressed MRAM/WRAM buffers, the
+// 8-byte alignment/padding rule, and synchronous parallel kernel launch.
+// System-level time for a launch is the maximum over the participating
+// DPUs, which is how the thesis computes multi-DPU completion time
+// (§4.1.3: "run in parallel to finish their batch of images at the max
+// time for one DPU").
+package host
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/trace"
+)
+
+// Config parameterizes the simulated host<->PIM interconnect.
+type Config struct {
+	// DPU is the configuration applied to every allocated DPU.
+	DPU dpu.Config
+	// TransferBandwidth is the host<->MRAM streaming rate in bytes/s
+	// used by the host clock (typical DDR4 DIMM-level rate).
+	TransferBandwidth float64
+	// TransferLatency is the fixed per-transfer host overhead.
+	TransferLatency time.Duration
+}
+
+// DefaultConfig returns a host configuration wrapping the Table 2.1 DPU
+// defaults at the given optimization level.
+func DefaultConfig(opt dpu.OptLevel) Config {
+	return Config{
+		DPU:               dpu.DefaultConfig(opt),
+		TransferBandwidth: 1 << 30, // 1 GiB/s
+		TransferLatency:   20 * time.Microsecond,
+	}
+}
+
+// System is an allocated set of DPUs (the SDK's dpu_set_t).
+type System struct {
+	cfg  Config
+	dpus []*dpu.DPU
+	prof *trace.Profile
+
+	mu           sync.Mutex
+	hostXferTime time.Duration
+	dpuTime      time.Duration
+	xferCount    uint64
+	xferBytes    uint64
+}
+
+// XferStats summarizes host<->PIM traffic since the last reset.
+type XferStats struct {
+	// Transfers is the number of transfer operations (a broadcast or
+	// scatter over N DPUs counts once per API call).
+	Transfers uint64
+	// Bytes is the total payload moved, summed over DPUs.
+	Bytes uint64
+	// Time is the simulated transfer time.
+	Time time.Duration
+}
+
+// NewSystem allocates n DPUs. n may not exceed the full UPMEM system size
+// (2,560 DPUs across 20 DIMMs, Table 2.1).
+func NewSystem(n int, cfg Config) (*System, error) {
+	if n < 1 || n > dpu.SystemDPUs {
+		return nil, fmt.Errorf("host: DPU count %d outside 1..%d", n, dpu.SystemDPUs)
+	}
+	if cfg.TransferBandwidth <= 0 {
+		return nil, fmt.Errorf("host: non-positive transfer bandwidth %v", cfg.TransferBandwidth)
+	}
+	prof := trace.NewProfile()
+	dpus := make([]*dpu.DPU, n)
+	for i := range dpus {
+		d, err := dpu.New(cfg.DPU)
+		if err != nil {
+			return nil, fmt.Errorf("host: allocating DPU %d: %w", i, err)
+		}
+		d.SetProfile(prof)
+		dpus[i] = d
+	}
+	return &System{cfg: cfg, dpus: dpus, prof: prof}, nil
+}
+
+// NumDPUs returns the number of allocated DPUs.
+func (s *System) NumDPUs() int { return len(s.dpus) }
+
+// DPU returns the i-th DPU.
+func (s *System) DPU(i int) *dpu.DPU { return s.dpus[i] }
+
+// Profile returns the aggregate subroutine profile shared by all DPUs.
+func (s *System) Profile() *trace.Profile { return s.prof }
+
+// Config returns the host configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// AllocMRAM defines an MRAM symbol of the given size on every DPU.
+func (s *System) AllocMRAM(name string, size int64) error {
+	for i, d := range s.dpus {
+		if _, err := d.AllocMRAM(name, size); err != nil {
+			return fmt.Errorf("host: DPU %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// AllocWRAM defines a host-visible WRAM symbol on every DPU.
+func (s *System) AllocWRAM(name string, size int64) error {
+	for i, d := range s.dpus {
+		if _, err := d.AllocWRAM(name, size); err != nil {
+			return fmt.Errorf("host: DPU %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// symbolTarget resolves a symbol and bounds-checks an access of n bytes
+// at offset within it.
+func (s *System) symbolTarget(dpuIdx int, symbol string, offset int64, n int) (dpu.Symbol, error) {
+	sym, ok := s.dpus[dpuIdx].Symbol(symbol)
+	if !ok {
+		return dpu.Symbol{}, fmt.Errorf("host: DPU %d: unknown symbol %q", dpuIdx, symbol)
+	}
+	if offset < 0 || offset+int64(n) > sym.Size {
+		return dpu.Symbol{}, fmt.Errorf("host: DPU %d: access [%d, %d) outside symbol %q of size %d",
+			dpuIdx, offset, offset+int64(n), symbol, sym.Size)
+	}
+	return sym, nil
+}
+
+// CopyToSymbol broadcasts the same data to the named symbol on every DPU
+// (dpu_copy_to, Eq 3.1). Data destined for MRAM must be 8-byte padded;
+// use Pad8 for arbitrary payloads.
+func (s *System) CopyToSymbol(symbol string, offset int64, data []byte) error {
+	for i := range s.dpus {
+		if err := s.copyToOne(i, symbol, offset, data); err != nil {
+			return err
+		}
+	}
+	s.chargeTransfer(len(data) * len(s.dpus))
+	return nil
+}
+
+// CopyToDPU writes data to the named symbol on a single DPU.
+func (s *System) CopyToDPU(dpuIdx int, symbol string, offset int64, data []byte) error {
+	if err := s.checkIdx(dpuIdx); err != nil {
+		return err
+	}
+	if err := s.copyToOne(dpuIdx, symbol, offset, data); err != nil {
+		return err
+	}
+	s.chargeTransfer(len(data))
+	return nil
+}
+
+func (s *System) copyToOne(dpuIdx int, symbol string, offset int64, data []byte) error {
+	sym, err := s.symbolTarget(dpuIdx, symbol, offset, len(data))
+	if err != nil {
+		return err
+	}
+	d := s.dpus[dpuIdx]
+	if sym.Kind == dpu.SymbolWRAM {
+		return d.CopyToWRAM(sym.Offset+offset, data)
+	}
+	return d.CopyToMRAM(sym.Offset+offset, data)
+}
+
+// PushXfer scatters per-DPU buffers to the named symbol: buffers[i] goes
+// to DPU i (dpu_prepare_xfer + dpu_push_xfer, Eqs 3.2–3.3). All buffers
+// must share one length, the transfer length of the push; pad shorter
+// payloads with Pad8 and communicate true sizes separately, as §3.2
+// prescribes.
+func (s *System) PushXfer(symbol string, offset int64, buffers [][]byte) error {
+	if len(buffers) != len(s.dpus) {
+		return fmt.Errorf("host: PushXfer got %d buffers for %d DPUs", len(buffers), len(s.dpus))
+	}
+	if len(buffers) == 0 {
+		return nil
+	}
+	n := len(buffers[0])
+	for i, b := range buffers {
+		if len(b) != n {
+			return fmt.Errorf("host: PushXfer buffer %d has length %d, want %d (single transfer length)", i, len(b), n)
+		}
+	}
+	for i, b := range buffers {
+		if err := s.copyToOne(i, symbol, offset, b); err != nil {
+			return err
+		}
+	}
+	s.chargeTransfer(n * len(buffers))
+	return nil
+}
+
+// GatherXfer reads n bytes from the named symbol on every DPU and returns
+// one buffer per DPU.
+func (s *System) GatherXfer(symbol string, offset int64, n int) ([][]byte, error) {
+	out := make([][]byte, len(s.dpus))
+	for i := range s.dpus {
+		b, err := s.copyFromOne(i, symbol, offset, n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	s.chargeTransfer(n * len(s.dpus))
+	return out, nil
+}
+
+// CopyFromDPU reads n bytes from the named symbol on one DPU.
+func (s *System) CopyFromDPU(dpuIdx int, symbol string, offset int64, n int) ([]byte, error) {
+	if err := s.checkIdx(dpuIdx); err != nil {
+		return nil, err
+	}
+	b, err := s.copyFromOne(dpuIdx, symbol, offset, n)
+	if err != nil {
+		return nil, err
+	}
+	s.chargeTransfer(n)
+	return b, nil
+}
+
+func (s *System) copyFromOne(dpuIdx int, symbol string, offset int64, n int) ([]byte, error) {
+	sym, err := s.symbolTarget(dpuIdx, symbol, offset, n)
+	if err != nil {
+		return nil, err
+	}
+	d := s.dpus[dpuIdx]
+	if sym.Kind == dpu.SymbolWRAM {
+		return d.CopyFromWRAM(sym.Offset+offset, n)
+	}
+	return d.CopyFromMRAM(sym.Offset+offset, n)
+}
+
+func (s *System) checkIdx(i int) error {
+	if i < 0 || i >= len(s.dpus) {
+		return fmt.Errorf("host: DPU index %d outside 0..%d", i, len(s.dpus)-1)
+	}
+	return nil
+}
+
+// LaunchStats aggregates one parallel launch across the system.
+type LaunchStats struct {
+	// PerDPU holds each DPU's launch statistics.
+	PerDPU []dpu.Stats
+	// Cycles is the system completion time in DPU cycles: the maximum
+	// over DPUs, since they run in parallel.
+	Cycles uint64
+	// Seconds is Cycles through the DPU clock.
+	Seconds float64
+	// Time is Seconds as a duration.
+	Time time.Duration
+	// EnergyJ sums the participating DPUs' energy for the launch.
+	EnergyJ float64
+}
+
+// Launch runs the kernel with the given tasklet count on every DPU in
+// parallel (dpu_launch with DPU_SYNCHRONOUS) and blocks until all finish.
+func (s *System) Launch(tasklets int, kernel dpu.KernelFunc) (LaunchStats, error) {
+	return s.LaunchOn(len(s.dpus), tasklets, kernel)
+}
+
+// LaunchOn runs the kernel on the first n DPUs only, which is how the
+// thesis's dynamic DPU assignment uses "an optimum number of DPUs for
+// processing each layer" (§4.2, Fig 4.6: one DPU per output row).
+func (s *System) LaunchOn(n, tasklets int, kernel dpu.KernelFunc) (LaunchStats, error) {
+	if n < 1 || n > len(s.dpus) {
+		return LaunchStats{}, fmt.Errorf("host: launch on %d DPUs, system has %d", n, len(s.dpus))
+	}
+	stats := make([]dpu.Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = s.dpus[i].Launch(tasklets, kernel)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return LaunchStats{}, fmt.Errorf("host: DPU %d: %w", i, err)
+		}
+	}
+	var maxCycles uint64
+	var energy float64
+	for _, st := range stats {
+		if st.Cycles > maxCycles {
+			maxCycles = st.Cycles
+		}
+		energy += st.EnergyJ
+	}
+	sec := float64(maxCycles) / s.cfg.DPU.FrequencyHz
+	ls := LaunchStats{
+		PerDPU:  stats,
+		Cycles:  maxCycles,
+		Seconds: sec,
+		Time:    time.Duration(sec * float64(time.Second)),
+		EnergyJ: energy,
+	}
+	s.mu.Lock()
+	s.dpuTime += ls.Time
+	s.mu.Unlock()
+	return ls, nil
+}
+
+// chargeTransfer advances the host clock for a host<->PIM transfer of n
+// payload bytes.
+func (s *System) chargeTransfer(n int) {
+	d := s.cfg.TransferLatency +
+		time.Duration(float64(n)/s.cfg.TransferBandwidth*float64(time.Second))
+	s.mu.Lock()
+	s.hostXferTime += d
+	s.xferCount++
+	s.xferBytes += uint64(n)
+	s.mu.Unlock()
+}
+
+// TransferStats returns the accumulated host<->PIM traffic summary.
+func (s *System) TransferStats() XferStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return XferStats{Transfers: s.xferCount, Bytes: s.xferBytes, Time: s.hostXferTime}
+}
+
+// HostTransferTime returns the accumulated simulated host<->PIM transfer
+// time.
+func (s *System) HostTransferTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hostXferTime
+}
+
+// DPUTime returns the accumulated simulated DPU execution time across
+// launches (system-parallel time, not per-DPU busy time).
+func (s *System) DPUTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dpuTime
+}
+
+// ResetClocks zeroes the accumulated host and DPU clocks and the
+// transfer counters.
+func (s *System) ResetClocks() {
+	s.mu.Lock()
+	s.hostXferTime = 0
+	s.dpuTime = 0
+	s.xferCount = 0
+	s.xferBytes = 0
+	s.mu.Unlock()
+	for _, d := range s.dpus {
+		d.ResetClock()
+	}
+}
+
+// Pad8 returns data padded with zeros to the next multiple of 8 bytes,
+// together with the original length. It implements the §3.2 workaround:
+// "padding to the sent/received memory buffers from the DPUs needs to be
+// added [and] the size of the non-padded buffer must be sent from the
+// host to the DPU."
+func Pad8(data []byte) (padded []byte, origLen int) {
+	origLen = len(data)
+	rem := origLen % dpu.DMAAlignment
+	if rem == 0 {
+		return data, origLen
+	}
+	padded = make([]byte, origLen+dpu.DMAAlignment-rem)
+	copy(padded, data)
+	return padded, origLen
+}
+
+// PadTo returns data zero-padded to exactly n bytes. It errors if data is
+// longer than n.
+func PadTo(data []byte, n int) ([]byte, error) {
+	if len(data) > n {
+		return nil, fmt.Errorf("host: PadTo: data length %d exceeds target %d", len(data), n)
+	}
+	if len(data) == n {
+		return data, nil
+	}
+	out := make([]byte, n)
+	copy(out, data)
+	return out, nil
+}

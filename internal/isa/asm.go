@@ -1,0 +1,295 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into a Program. The syntax is one
+// instruction per line:
+//
+//	; comment
+//	loop:                 ; label
+//	    movi r1, 100
+//	    addi r1, r1, -1
+//	    bne  r1, r0, loop
+//	    halt
+//
+// Registers are r0..r31 (all general purpose). Immediates are decimal or
+// 0x-hex. Branch and jump targets are labels. Memory operands use the
+// off(rN) form: `lw r2, 8(r3)`.
+func Assemble(src string) (Program, error) {
+	type pending struct {
+		ins   int    // instruction index needing a label patch
+		label string // label name
+		line  int
+	}
+	p := Program{Labels: map[string]int{}}
+	var patches []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return Program{}, fmt.Errorf("isa: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return Program{}, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, label)
+			}
+			p.Labels[label] = len(p.Ins)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		op, ok := nameOps[strings.ToLower(mnemonic)]
+		if !ok {
+			return Program{}, fmt.Errorf("isa: line %d: unknown mnemonic %q", lineNo+1, mnemonic)
+		}
+		args := splitArgs(rest)
+		in := Instruction{Op: op}
+		err := func() error {
+			switch op {
+			case OpNOP, OpHALT, OpPCFG:
+				return expectArgs(args, 0)
+			case OpMOVI:
+				if err := expectArgs(args, 2); err != nil {
+					return err
+				}
+				return firstErr(parseReg(args[0], &in.Rd), parseImm(args[1], &in.Imm))
+			case OpMOV, OpCAO, OpFSI, OpFTS:
+				if err := expectArgs(args, 2); err != nil {
+					return err
+				}
+				return firstErr(parseReg(args[0], &in.Rd), parseReg(args[1], &in.Rs1))
+			case OpLB, OpLH, OpLW:
+				if err := expectArgs(args, 2); err != nil {
+					return err
+				}
+				return firstErr(parseReg(args[0], &in.Rd), parseMem(args[1], &in.Rs1, &in.Imm))
+			case OpSB, OpSH, OpSW:
+				if err := expectArgs(args, 2); err != nil {
+					return err
+				}
+				return firstErr(parseReg(args[0], &in.Rs2), parseMem(args[1], &in.Rs1, &in.Imm))
+			case OpADD, OpSUB, OpAND, OpOR, OpXOR,
+				OpMUL8, OpMUL16, OpMUL, OpDIV, OpREM,
+				OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFLT:
+				if err := expectArgs(args, 3); err != nil {
+					return err
+				}
+				return firstErr(parseReg(args[0], &in.Rd), parseReg(args[1], &in.Rs1), parseReg(args[2], &in.Rs2))
+			case OpADDI, OpSLL, OpSRL, OpSRA:
+				if err := expectArgs(args, 3); err != nil {
+					return err
+				}
+				return firstErr(parseReg(args[0], &in.Rd), parseReg(args[1], &in.Rs1), parseImm(args[2], &in.Imm))
+			case OpJ:
+				if err := expectArgs(args, 1); err != nil {
+					return err
+				}
+				patches = append(patches, pending{ins: len(p.Ins), label: args[0], line: lineNo + 1})
+				return nil
+			case OpBEQ, OpBNE, OpBLT, OpBGE:
+				if err := expectArgs(args, 3); err != nil {
+					return err
+				}
+				if err := firstErr(parseReg(args[0], &in.Rs1), parseReg(args[1], &in.Rs2)); err != nil {
+					return err
+				}
+				patches = append(patches, pending{ins: len(p.Ins), label: args[2], line: lineNo + 1})
+				return nil
+			case OpLDMA, OpSDMA:
+				if err := expectArgs(args, 3); err != nil {
+					return err
+				}
+				return firstErr(parseReg(args[0], &in.Rs1), parseReg(args[1], &in.Rs2), parseImm(args[2], &in.Imm))
+			case OpPGET, OpTID:
+				if err := expectArgs(args, 1); err != nil {
+					return err
+				}
+				return parseReg(args[0], &in.Rd)
+			default:
+				return fmt.Errorf("unhandled opcode %v", op)
+			}
+		}()
+		if err != nil {
+			return Program{}, fmt.Errorf("isa: line %d: %v", lineNo+1, err)
+		}
+		p.Ins = append(p.Ins, in)
+	}
+
+	for _, pt := range patches {
+		target, ok := p.Labels[pt.label]
+		if !ok {
+			return Program{}, fmt.Errorf("isa: line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Ins[pt.ins].Imm = int32(target)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for static program text; it panics on error.
+func MustAssemble(src string) Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders the program back to assembly text, one instruction
+// per line, with label comments for branch targets.
+func Disassemble(p Program) string {
+	targets := make(map[int]string)
+	for name, idx := range p.Labels {
+		targets[idx] = name
+	}
+	var b strings.Builder
+	for i, in := range p.Ins {
+		if name, ok := targets[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "    %s\n", formatIns(in))
+	}
+	return b.String()
+}
+
+// String renders the instruction in assembly syntax.
+func (in Instruction) String() string { return formatIns(in) }
+
+func formatIns(in Instruction) string {
+	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
+	switch in.Op {
+	case OpNOP, OpHALT, OpPCFG:
+		return in.Op.String()
+	case OpMOVI:
+		return fmt.Sprintf("movi %s, %d", r(in.Rd), in.Imm)
+	case OpMOV, OpCAO, OpFSI, OpFTS:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rd), r(in.Rs1))
+	case OpLB, OpLH, OpLW:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.Rd), in.Imm, r(in.Rs1))
+	case OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.Rs2), in.Imm, r(in.Rs1))
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpMUL8, OpMUL16, OpMUL, OpDIV, OpREM,
+		OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFLT:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rs1), r(in.Rs2))
+	case OpADDI, OpSLL, OpSRL, OpSRA:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Rs1), in.Imm)
+	case OpJ:
+		return fmt.Sprintf("j %d", in.Imm)
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rs1), r(in.Rs2), in.Imm)
+	case OpLDMA, OpSDMA:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rs1), r(in.Rs2), in.Imm)
+	case OpPGET, OpTID:
+		return fmt.Sprintf("%s %s", in.Op, r(in.Rd))
+	default:
+		return fmt.Sprintf("%s %s, %s, %s ; imm=%d", in.Op, r(in.Rd), r(in.Rs1), r(in.Rs2), in.Imm)
+	}
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func expectArgs(args []string, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("expected %d operands, got %d", n, len(args))
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseReg(s string, out *uint8) error {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return fmt.Errorf("bad register %q", s)
+	}
+	*out = uint8(n)
+	return nil
+}
+
+func parseImm(s string, out *int32) error {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad immediate %q", s)
+	}
+	// Accept the signed range plus unsigned 32-bit bit patterns (so hex
+	// constants like 0x80000000 assemble), wrapping to the register
+	// representation.
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	*out = int32(uint32(v))
+	return nil
+}
+
+// parseMem parses the off(rN) addressing form.
+func parseMem(s string, reg *uint8, imm *int32) error {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return fmt.Errorf("bad memory operand %q (want off(rN))", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	if err := parseImm(offStr, imm); err != nil {
+		return err
+	}
+	return parseReg(strings.TrimSpace(s[open+1:len(s)-1]), reg)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

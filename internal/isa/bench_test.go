@@ -1,0 +1,62 @@
+package isa
+
+import (
+	"testing"
+
+	"pimdnn/internal/dpu"
+)
+
+// BenchmarkInterpreterLoop measures interpreted instructions per second
+// on a tight counting loop.
+func BenchmarkInterpreterLoop(b *testing.B) {
+	prog := MustAssemble(`
+		movi r1, 1000
+	loop:
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`)
+	d := dpu.MustNew(dpu.DefaultConfig(dpu.O2))
+	if err := Load(d, prog); err != nil {
+		b.Fatal(err)
+	}
+	k := Kernel(nil, nil)
+	b.SetBytes(2001 * WordSize) // ~2001 executed instructions per run
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Launch(1, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssemble measures assembly speed on a representative program.
+func BenchmarkAssemble(b *testing.B) {
+	src := `
+	start:
+		movi r1, 100
+		movi r2, 0
+	loop:
+		add  r2, r2, r1
+		lw   r3, 0(r2)
+		sw   r3, 4(r2)
+		fadd r4, r3, r2
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeDecode measures instruction word packing.
+func BenchmarkEncodeDecode(b *testing.B) {
+	in := Instruction{Op: OpADDI, Rd: 5, Rs1: 6, Imm: -1234}
+	var sink Instruction
+	for i := 0; i < b.N; i++ {
+		sink = Decode(in.Encode())
+	}
+	_ = sink
+}

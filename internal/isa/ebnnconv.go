@@ -1,0 +1,143 @@
+package isa
+
+import "fmt"
+
+// EBNNConvProgram builds the eBNN binary convolution + 2×2 max-pool as a
+// real DPU assembly program: the chapter 4.1 inner loop (XNOR + CAO
+// popcount over 3×3 windows of a bit-packed 28×28 image) expressed in the
+// instruction set instead of the functional kernel. It demonstrates that
+// the thesis's workload fits the DPU programming model end to end and
+// gives the cost model an instruction-true cross-check.
+//
+// WRAM contract:
+//   - rowsOff: 28 uint32 words, row r's bit c = binarized pixel (r, c)
+//     (the mnist.Pack layout after MRAM->WRAM staging);
+//   - filter: the 9-bit binary 3×3 kernel, passed as an immediate;
+//   - outOff: 169 bytes out, one per pooled cell (row-major 13×13),
+//     holding the pooled conv value biased by +9 (so 0..18 fits a byte).
+//
+// Tasklets split the 13 pooled rows round-robin.
+func EBNNConvProgram(rowsOff, outOff int, filter uint16, tasklets int) (Program, error) {
+	if filter >= 1<<9 {
+		return Program{}, fmt.Errorf("isa: filter %#x exceeds 9 bits", filter)
+	}
+	if tasklets < 1 {
+		return Program{}, fmt.Errorf("isa: tasklets %d", tasklets)
+	}
+	// Register plan:
+	//  r1  pooled row pr          r2  pooled col pc
+	//  r3  filter row slice f0    r4  f1          r5  f2
+	//  r6  input row words r0/r1/r2 (transient)
+	//  r8  window best (max)      r9  conv value
+	//  r10 dr loop                r11 dc loop
+	//  r12 row base address       r13 shift amount c
+	//  r14..r17 scratch           r20 tasklet stride
+	f0 := int(filter) & 7
+	f1 := (int(filter) >> 3) & 7
+	f2 := (int(filter) >> 6) & 7
+	src := fmt.Sprintf(`
+		; filter slices as immediates
+		movi r3, %d          ; f0
+		movi r4, %d          ; f1
+		movi r5, %d          ; f2
+		movi r20, %d         ; tasklet count
+		tid  r1              ; pr = tid
+	prloop:
+		movi r14, 13
+		bge  r1, r14, done
+		movi r2, 0           ; pc = 0
+	pcloop:
+		movi r14, 13
+		bge  r2, r14, prnext
+		movi r8, -100        ; best = sentinel below the conv minimum (-9)
+		movi r10, 0          ; dr = 0
+	drloop:
+		movi r14, 2
+		bge  r10, r14, cellend
+		; row = pr*2 + dr
+		add  r12, r1, r1     ; 2*pr
+		add  r12, r12, r10
+		sll  r12, r12, 2     ; *4 bytes
+		addi r12, r12, %d    ; + rowsOff
+		movi r11, 0          ; dc = 0
+	dcloop:
+		movi r14, 2
+		bge  r11, r14, drnext
+		; c = pc*2 + dc
+		add  r13, r2, r2
+		add  r13, r13, r11
+		; w0 = (rows[row] >> c) & 7, via variable shift loop (the mini
+		; ISA shifts by immediates only, so shift c times by 1... instead
+		; load and use repeated halving: cheaper to compute with a data
+		; loop below)
+		lw   r15, 0(r12)     ; row word 0
+		mov  r16, r13        ; shift count
+	sh0:
+		beq  r16, r0, sh0d
+		srl  r15, r15, 1
+		addi r16, r16, -1
+		j    sh0
+	sh0d:
+		movi r16, 7
+		and  r15, r15, r16   ; w0
+		xor  r15, r15, r3    ; ^ f0
+		mov  r17, r15        ; acc bits = w0^f0
+
+		lw   r15, 4(r12)     ; row word 1
+		mov  r16, r13
+	sh1:
+		beq  r16, r0, sh1d
+		srl  r15, r15, 1
+		addi r16, r16, -1
+		j    sh1
+	sh1d:
+		movi r16, 7
+		and  r15, r15, r16
+		xor  r15, r15, r4
+		sll  r15, r15, 3
+		or   r17, r17, r15
+
+		lw   r15, 8(r12)     ; row word 2
+		mov  r16, r13
+	sh2:
+		beq  r16, r0, sh2d
+		srl  r15, r15, 1
+		addi r16, r16, -1
+		j    sh2
+	sh2d:
+		movi r16, 7
+		and  r15, r15, r16
+		xor  r15, r15, r5
+		sll  r15, r15, 6
+		or   r17, r17, r15
+
+		cao  r15, r17        ; mismatches
+		sll  r15, r15, 1
+		movi r16, 9
+		sub  r9, r16, r15    ; conv = 9 - 2*mismatch
+		bge  r8, r9, nomax
+		mov  r8, r9
+	nomax:
+		addi r11, r11, 1
+		j    dcloop
+	drnext:
+		addi r10, r10, 1
+		j    drloop
+	cellend:
+		; out[pr*13+pc] = best + 9
+		addi r8, r8, 9
+		movi r14, 13
+		mul8 r15, r1, r14    ; pr*13 (values < 128: mul8 suffices)
+		add  r15, r15, r2
+		addi r15, r15, %d    ; + outOff
+		sb   r8, 0(r15)
+		addi r2, r2, 1
+		j    pcloop
+	prnext:
+		add  r1, r1, r20
+		j    prloop
+	done:
+		halt
+	`, f0, f1, f2, tasklets, rowsOff, outOff)
+	return Assemble(src)
+}

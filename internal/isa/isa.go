@@ -1,0 +1,176 @@
+// Package isa defines a miniature RISC instruction set in the style of
+// the UPMEM DPU's proprietary ISA, with an assembler, disassembler and an
+// interpreter that executes programs on a simulated DPU tasklet.
+//
+// The thesis profiles DPU behaviour with small C programs compiled by
+// dpu-clang (Fig 3.1) and by "counting the number of instructions when
+// observing assembly output of a C-based multiplication program" (§5.2.4).
+// This package makes those experiments concrete in the simulator: the
+// microbenchmarks in cmd/upmem-profile are real assembled programs whose
+// instructions charge the same cost model as the functional kernels,
+// giving an independent check on the calibration.
+//
+// Programs are encoded as 8-byte instruction words (opcode, rd, rs1, rs2,
+// 32-bit immediate) and loaded into the DPU's 24 KB IRAM, which bounds
+// program size exactly as on hardware.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcode identifies an instruction.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	OpNOP Opcode = iota + 1
+	OpHALT
+	OpMOVI // rd <- imm
+	OpMOV  // rd <- rs1
+	OpLB   // rd <- sign-extended WRAM byte at rs1+imm
+	OpLH   // rd <- sign-extended WRAM half at rs1+imm
+	OpLW   // rd <- WRAM word at rs1+imm
+	OpSB   // WRAM byte at rs1+imm <- rs2
+	OpSH   // WRAM half at rs1+imm <- rs2
+	OpSW   // WRAM word at rs1+imm <- rs2
+	OpADD  // rd <- rs1 + rs2
+	OpADDI // rd <- rs1 + imm
+	OpSUB  // rd <- rs1 - rs2
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL // rd <- rs1 << imm
+	OpSRL // rd <- rs1 >> imm (logical)
+	OpSRA // rd <- rs1 >> imm (arithmetic)
+	OpCAO // rd <- popcount(rs1) ("count all ones", the DPU instruction)
+	OpMUL8
+	OpMUL16
+	OpMUL // 32-bit multiply (lowered to __mulsi3 on the DPU)
+	OpDIV
+	OpREM
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFLT  // rd <- 1 if rs1 < rs2 (float), else 0
+	OpFSI  // rd <- float(int rs1)   (__floatsisf)
+	OpFTS  // rd <- int(float rs1)   (__fixsfsi)
+	OpJ    // jump to imm (instruction index)
+	OpBEQ  // branch to imm if rs1 == rs2
+	OpBNE  // branch to imm if rs1 != rs2
+	OpBLT  // branch to imm if rs1 < rs2 (signed)
+	OpBGE  // branch to imm if rs1 >= rs2 (signed)
+	OpLDMA // DMA MRAM->WRAM: wram rs1, mram rs2, imm bytes
+	OpSDMA // DMA WRAM->MRAM: wram rs1, mram rs2, imm bytes
+	OpPCFG // perfcounter_config()
+	OpPGET // rd <- perfcounter_get()
+	OpTID  // rd <- tasklet id
+	opEnd  // sentinel
+)
+
+var opNames = map[Opcode]string{
+	OpNOP: "nop", OpHALT: "halt", OpMOVI: "movi", OpMOV: "mov",
+	OpLB: "lb", OpLH: "lh", OpLW: "lw", OpSB: "sb", OpSH: "sh", OpSW: "sw",
+	OpADD: "add", OpADDI: "addi", OpSUB: "sub", OpAND: "and", OpOR: "or",
+	OpXOR: "xor", OpSLL: "sll", OpSRL: "srl", OpSRA: "sra", OpCAO: "cao",
+	OpMUL8: "mul8", OpMUL16: "mul16", OpMUL: "mul", OpDIV: "div", OpREM: "rem",
+	OpFADD: "fadd", OpFSUB: "fsub", OpFMUL: "fmul", OpFDIV: "fdiv",
+	OpFLT: "flt", OpFSI: "fsi", OpFTS: "fts",
+	OpJ: "j", OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpLDMA: "ldma", OpSDMA: "sdma", OpPCFG: "pcfg", OpPGET: "pget", OpTID: "tid",
+}
+
+var nameOps = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opNames))
+	for op, n := range opNames {
+		m[n] = op
+	}
+	return m
+}()
+
+func (o Opcode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumRegs is the per-tasklet register file size (Table 2.1).
+const NumRegs = 32
+
+// WordSize is the encoded instruction width in bytes.
+const WordSize = 8
+
+// Instruction is one decoded instruction.
+type Instruction struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// Encode packs the instruction into an 8-byte word.
+func (in Instruction) Encode() uint64 {
+	return uint64(in.Op) |
+		uint64(in.Rd)<<8 |
+		uint64(in.Rs1)<<16 |
+		uint64(in.Rs2)<<24 |
+		uint64(uint32(in.Imm))<<32
+}
+
+// Decode unpacks an 8-byte instruction word.
+func Decode(w uint64) Instruction {
+	return Instruction{
+		Op:  Opcode(w & 0xFF),
+		Rd:  uint8(w >> 8),
+		Rs1: uint8(w >> 16),
+		Rs2: uint8(w >> 24),
+		Imm: int32(uint32(w >> 32)),
+	}
+}
+
+// Valid reports whether the instruction's opcode and register fields are
+// in range.
+func (in Instruction) Valid() bool {
+	if in.Op < OpNOP || in.Op >= opEnd {
+		return false
+	}
+	return in.Rd < NumRegs && in.Rs1 < NumRegs && in.Rs2 < NumRegs
+}
+
+// Program is an assembled instruction sequence plus its label table.
+type Program struct {
+	Ins    []Instruction
+	Labels map[string]int
+}
+
+// Image serializes the program to the byte image loaded into IRAM.
+func (p Program) Image() []byte {
+	out := make([]byte, len(p.Ins)*WordSize)
+	for i, in := range p.Ins {
+		binary.LittleEndian.PutUint64(out[i*WordSize:], in.Encode())
+	}
+	return out
+}
+
+// FromImage deserializes an IRAM image of n instructions.
+func FromImage(img []byte) (Program, error) {
+	if len(img)%WordSize != 0 {
+		return Program{}, fmt.Errorf("isa: image length %d not a multiple of %d", len(img), WordSize)
+	}
+	p := Program{Labels: map[string]int{}}
+	for off := 0; off < len(img); off += WordSize {
+		in := Decode(binary.LittleEndian.Uint64(img[off:]))
+		if in.Op == 0 {
+			break // zero padding after the program
+		}
+		if !in.Valid() {
+			return Program{}, fmt.Errorf("isa: invalid instruction word at offset %d", off)
+		}
+		p.Ins = append(p.Ins, in)
+	}
+	return p, nil
+}

@@ -1,0 +1,163 @@
+package isa
+
+import "fmt"
+
+// Canonical DPU assembly programs, in the style of the UPMEM SDK's
+// sample kernels. They exercise the full toolchain (assemble → IRAM →
+// interpret) and serve as documented references for writing new
+// programs. Each builder parameterizes sizes through immediates, and the
+// comments carry the WRAM layout contract the host must honor.
+
+// VecAddProgram builds a tasklet-parallel int32 vector add:
+//
+//	WRAM layout: a at aOff, b at bOff, result at dstOff, n words each.
+//	Tasklet t processes elements t, t+T, t+2T, ...
+func VecAddProgram(aOff, bOff, dstOff, n, tasklets int) (Program, error) {
+	if n < 1 || tasklets < 1 {
+		return Program{}, fmt.Errorf("isa: VecAddProgram: bad n=%d tasklets=%d", n, tasklets)
+	}
+	src := fmt.Sprintf(`
+	; r1 = element index (starts at tasklet id), r2 = stride
+		tid  r1
+		movi r2, %d          ; tasklet count
+		movi r3, %d          ; n
+	loop:
+		bge  r1, r3, done
+		sll  r4, r1, 2       ; byte offset
+		addi r5, r4, %d      ; &a[i]
+		lw   r6, 0(r5)
+		addi r5, r4, %d      ; &b[i]
+		lw   r7, 0(r5)
+		add  r6, r6, r7
+		addi r5, r4, %d      ; &dst[i]
+		sw   r6, 0(r5)
+		add  r1, r1, r2
+		j    loop
+	done:
+		halt
+	`, tasklets, n, aOff, bOff, dstOff)
+	return Assemble(src)
+}
+
+// DotProductProgram builds a single-tasklet int32 dot product of two
+// n-word WRAM vectors, leaving the (wrapping) result in WRAM at dstOff.
+func DotProductProgram(aOff, bOff, dstOff, n int) (Program, error) {
+	if n < 1 {
+		return Program{}, fmt.Errorf("isa: DotProductProgram: bad n=%d", n)
+	}
+	src := fmt.Sprintf(`
+		movi r1, 0           ; i
+		movi r2, %d          ; n
+		movi r3, 0           ; acc
+	loop:
+		bge  r1, r2, done
+		sll  r4, r1, 2
+		addi r5, r4, %d
+		lw   r6, 0(r5)
+		addi r5, r4, %d
+		lw   r7, 0(r5)
+		mul  r6, r6, r7      ; __mulsi3 on the DPU
+		add  r3, r3, r6
+		addi r1, r1, 1
+		j    loop
+	done:
+		movi r5, %d
+		sw   r3, 0(r5)
+		halt
+	`, n, aOff, bOff, dstOff)
+	return Assemble(src)
+}
+
+// MemcpyProgram builds an MRAM→MRAM copy staged through WRAM in
+// 2048-byte DMA transfers — the canonical streaming pattern (§3.2).
+// bytes must be a positive multiple of 8; wramBuf is the staging area.
+func MemcpyProgram(srcMRAM, dstMRAM, wramBuf, bytes int) (Program, error) {
+	if bytes < 8 || bytes%8 != 0 {
+		return Program{}, fmt.Errorf("isa: MemcpyProgram: bytes %d must be a positive multiple of 8", bytes)
+	}
+	full := bytes / 2048
+	rem := bytes % 2048
+	src := fmt.Sprintf(`
+		movi r1, %d          ; remaining full chunks
+		movi r2, %d          ; src cursor
+		movi r3, %d          ; dst cursor
+		movi r4, %d          ; wram staging buffer
+	loop:
+		beq  r1, r0, tail
+		ldma r4, r2, 2048
+		sdma r4, r3, 2048
+		addi r2, r2, 2048
+		addi r3, r3, 2048
+		addi r1, r1, -1
+		j    loop
+	tail:
+	`, full, srcMRAM, dstMRAM, wramBuf)
+	if rem > 0 {
+		src += fmt.Sprintf(`
+		ldma r4, r2, %d
+		sdma r4, r3, %d
+		`, rem, rem)
+	}
+	src += "\n\t\thalt\n"
+	return Assemble(src)
+}
+
+// PopcountProgram builds a single-tasklet bit-count over n WRAM words
+// using the CAO instruction (the primitive behind binary convolutions),
+// leaving the total at dstOff.
+func PopcountProgram(srcOff, dstOff, n int) (Program, error) {
+	if n < 1 {
+		return Program{}, fmt.Errorf("isa: PopcountProgram: bad n=%d", n)
+	}
+	src := fmt.Sprintf(`
+		movi r1, 0           ; i
+		movi r2, %d          ; n
+		movi r3, 0           ; total
+	loop:
+		bge  r1, r2, done
+		sll  r4, r1, 2
+		addi r5, r4, %d
+		lw   r6, 0(r5)
+		cao  r7, r6
+		add  r3, r3, r7
+		addi r1, r1, 1
+		j    loop
+	done:
+		movi r5, %d
+		sw   r3, 0(r5)
+		halt
+	`, n, srcOff, dstOff)
+	return Assemble(src)
+}
+
+// ReduceMaxProgram builds a tasklet-parallel signed max reduction: each
+// tasklet scans its stride of the n-word vector and writes its local max
+// to dstOff + 4*tid; the host (or a final pass) combines the partials.
+func ReduceMaxProgram(srcOff, dstOff, n, tasklets int) (Program, error) {
+	if n < 1 || tasklets < 1 {
+		return Program{}, fmt.Errorf("isa: ReduceMaxProgram: bad n=%d tasklets=%d", n, tasklets)
+	}
+	src := fmt.Sprintf(`
+		tid  r1
+		movi r2, %d          ; stride
+		movi r3, %d          ; n
+		movi r8, 0x80000000  ; running max = INT32_MIN
+		mov  r9, r1          ; remember tid
+	loop:
+		bge  r1, r3, done
+		sll  r4, r1, 2
+		addi r5, r4, %d
+		lw   r6, 0(r5)
+		bge  r8, r6, skip
+		mov  r8, r6
+	skip:
+		add  r1, r1, r2
+		j    loop
+	done:
+		sll  r4, r9, 2
+		addi r5, r4, %d
+		sw   r8, 0(r5)
+		halt
+	`, tasklets, n, srcOff, dstOff)
+	return Assemble(src)
+}

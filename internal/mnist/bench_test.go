@@ -1,0 +1,31 @@
+package mnist
+
+import "testing"
+
+// BenchmarkGenerate measures digit rendering throughput.
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Generate(10, int64(i))
+	}
+}
+
+// BenchmarkPack measures the bit-packing used for DPU transfer.
+func BenchmarkPack(b *testing.B) {
+	imgs := Generate(16, 1)
+	b.SetBytes(PixelCount)
+	var sink [PackedSize]byte
+	for i := 0; i < b.N; i++ {
+		sink = imgs[i%16].Pack()
+	}
+	_ = sink
+}
+
+// BenchmarkBinarize measures input thresholding.
+func BenchmarkBinarize(b *testing.B) {
+	imgs := Generate(16, 1)
+	var sink [PixelCount]byte
+	for i := 0; i < b.N; i++ {
+		sink = imgs[i%16].Binarize()
+	}
+	_ = sink
+}

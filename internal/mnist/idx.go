@@ -1,0 +1,104 @@
+package mnist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// IDX format support. The real MNIST distribution ships as IDX files
+// (big-endian magic, dimension sizes, raw bytes); these readers/writers
+// let users of this package substitute the genuine dataset for the
+// synthetic one when they have it, and serve as the interchange format
+// for the synthetic digits.
+
+// IDX magic numbers: 0x08 = unsigned byte data, preceded by the
+// dimension count.
+const (
+	idxMagicImages = 0x00000803 // 3 dimensions: count, rows, cols
+	idxMagicLabels = 0x00000801 // 1 dimension: count
+)
+
+// WriteIDXImages serializes images (pixels only) in the IDX3 format.
+func WriteIDXImages(w io.Writer, imgs []Image) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{idxMagicImages, uint32(len(imgs)), Side, Side}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return fmt.Errorf("mnist: writing IDX header: %w", err)
+		}
+	}
+	for i := range imgs {
+		if _, err := bw.Write(imgs[i].Pixels[:]); err != nil {
+			return fmt.Errorf("mnist: writing image %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteIDXLabels serializes the labels in the IDX1 format.
+func WriteIDXLabels(w io.Writer, imgs []Image) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{idxMagicLabels, uint32(len(imgs))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return fmt.Errorf("mnist: writing IDX header: %w", err)
+		}
+	}
+	for i := range imgs {
+		if err := bw.WriteByte(byte(imgs[i].Label)); err != nil {
+			return fmt.Errorf("mnist: writing label %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIDX reads paired IDX image and label streams (e.g.
+// train-images-idx3-ubyte and train-labels-idx1-ubyte) into labeled
+// images. maxImages > 0 truncates the read.
+func ReadIDX(images, labels io.Reader, maxImages int) ([]Image, error) {
+	bi := bufio.NewReader(images)
+	bl := bufio.NewReader(labels)
+
+	var ihdr [4]uint32
+	if err := binary.Read(bi, binary.BigEndian, &ihdr); err != nil {
+		return nil, fmt.Errorf("mnist: reading image header: %w", err)
+	}
+	if ihdr[0] != idxMagicImages {
+		return nil, fmt.Errorf("mnist: bad image magic %#x (want %#x)", ihdr[0], idxMagicImages)
+	}
+	if ihdr[2] != Side || ihdr[3] != Side {
+		return nil, fmt.Errorf("mnist: image dimensions %dx%d, want %dx%d", ihdr[2], ihdr[3], Side, Side)
+	}
+	var lhdr [2]uint32
+	if err := binary.Read(bl, binary.BigEndian, &lhdr); err != nil {
+		return nil, fmt.Errorf("mnist: reading label header: %w", err)
+	}
+	if lhdr[0] != idxMagicLabels {
+		return nil, fmt.Errorf("mnist: bad label magic %#x (want %#x)", lhdr[0], idxMagicLabels)
+	}
+	if ihdr[1] != lhdr[1] {
+		return nil, fmt.Errorf("mnist: %d images but %d labels", ihdr[1], lhdr[1])
+	}
+
+	n := int(ihdr[1])
+	if maxImages > 0 && n > maxImages {
+		n = maxImages
+	}
+	out := make([]Image, n)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(bi, out[i].Pixels[:]); err != nil {
+			return nil, fmt.Errorf("mnist: reading image %d: %w", i, err)
+		}
+		lb, err := bl.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("mnist: reading label %d: %w", i, err)
+		}
+		if lb >= NumClasses {
+			return nil, fmt.Errorf("mnist: label %d of image %d outside 0..9", lb, i)
+		}
+		out[i].Label = int(lb)
+	}
+	return out, nil
+}

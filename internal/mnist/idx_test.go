@@ -1,0 +1,104 @@
+package mnist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestIDXRoundTrip(t *testing.T) {
+	imgs := Generate(25, 81)
+	var ibuf, lbuf bytes.Buffer
+	if err := WriteIDXImages(&ibuf, imgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(&lbuf, imgs); err != nil {
+		t.Fatal(err)
+	}
+	// IDX3 size: 16-byte header + 25*784 pixels.
+	if ibuf.Len() != 16+25*PixelCount {
+		t.Errorf("image stream = %d bytes", ibuf.Len())
+	}
+	if lbuf.Len() != 8+25 {
+		t.Errorf("label stream = %d bytes", lbuf.Len())
+	}
+	got, err := ReadIDX(&ibuf, &lbuf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("read %d images", len(got))
+	}
+	for i := range imgs {
+		if got[i] != imgs[i] {
+			t.Fatalf("image %d differs after round trip", i)
+		}
+	}
+}
+
+func TestIDXTruncatedRead(t *testing.T) {
+	imgs := Generate(10, 82)
+	var ibuf, lbuf bytes.Buffer
+	if err := WriteIDXImages(&ibuf, imgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(&lbuf, imgs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIDX(&ibuf, &lbuf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Errorf("maxImages=4 read %d", len(got))
+	}
+}
+
+func TestIDXRejectsCorruption(t *testing.T) {
+	imgs := Generate(3, 83)
+	build := func() (ib, lb []byte) {
+		var ibuf, lbuf bytes.Buffer
+		if err := WriteIDXImages(&ibuf, imgs); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteIDXLabels(&lbuf, imgs); err != nil {
+			t.Fatal(err)
+		}
+		return ibuf.Bytes(), lbuf.Bytes()
+	}
+
+	ib, lb := build()
+	ib[3] = 0xFF // bad image magic
+	if _, err := ReadIDX(bytes.NewReader(ib), bytes.NewReader(lb), 0); err == nil {
+		t.Error("bad image magic accepted")
+	}
+
+	ib, lb = build()
+	lb[3] = 0xFF // bad label magic
+	if _, err := ReadIDX(bytes.NewReader(ib), bytes.NewReader(lb), 0); err == nil {
+		t.Error("bad label magic accepted")
+	}
+
+	ib, lb = build()
+	binary.BigEndian.PutUint32(lb[4:], 99) // count mismatch
+	if _, err := ReadIDX(bytes.NewReader(ib), bytes.NewReader(lb), 0); err == nil {
+		t.Error("count mismatch accepted")
+	}
+
+	ib, lb = build()
+	binary.BigEndian.PutUint32(ib[8:], 14) // wrong dimensions
+	if _, err := ReadIDX(bytes.NewReader(ib), bytes.NewReader(lb), 0); err == nil {
+		t.Error("wrong dimensions accepted")
+	}
+
+	ib, lb = build()
+	lb[8] = 99 // label out of range
+	if _, err := ReadIDX(bytes.NewReader(ib), bytes.NewReader(lb), 0); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+
+	ib, lb = build()
+	if _, err := ReadIDX(bytes.NewReader(ib[:100]), bytes.NewReader(lb), 0); err == nil {
+		t.Error("truncated images accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package model
+
+import "testing"
+
+// BenchmarkTable51 measures computational-model evaluation.
+func BenchmarkTable51(b *testing.B) {
+	var sink []Table51Row
+	for i := 0; i < b.N; i++ {
+		sink = Table51()
+	}
+	_ = sink
+}
+
+// BenchmarkAlgorithm3 measures the pPIM multiplication estimate across
+// widths.
+func BenchmarkAlgorithm3(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = PPIMMultEstimate(64)
+	}
+	_ = sink
+}
+
+// BenchmarkEvaluateWorkloads measures the extended CNN catalog sweep.
+func BenchmarkEvaluateWorkloads(b *testing.B) {
+	var sink []WorkloadResult
+	for i := 0; i < b.N; i++ {
+		sink = EvaluateWorkloads()
+	}
+	_ = sink
+}
+
+// BenchmarkSweeps measures the Fig 5.5 series generation.
+func BenchmarkSweeps(b *testing.B) {
+	p := UPMEM()
+	tops := LogSpace(100, 1e6, 100)
+	var sink []SweepPoint
+	for i := 0; i < b.N; i++ {
+		sink = p.TOPsSweep(8, tops)
+	}
+	_ = sink
+}

@@ -1,0 +1,46 @@
+package model
+
+// CPU is the host-processor baseline of the thesis's Fig 4.7(c)
+// comparison ("a single Intel Xeon CPU"). The figure reports relative
+// speedup versus the DPU system; this simple ops/cycle model reproduces
+// the linear-in-DPU-count speedup shape.
+type CPU struct {
+	Name string
+	// FreqHz is the core clock.
+	FreqHz float64
+	// OpsPerCycle is the sustained per-core operation throughput
+	// (SIMD lanes × issue width, derated for memory stalls).
+	OpsPerCycle float64
+}
+
+// Xeon returns the single-core baseline used by the Fig 4.7(c)
+// reproduction.
+func Xeon() CPU {
+	return CPU{Name: "Intel Xeon (1 core)", FreqHz: 2.5e9, OpsPerCycle: 4}
+}
+
+// Seconds returns the time to execute the given operation count.
+func (c CPU) Seconds(ops float64) float64 {
+	return ops / (c.FreqHz * c.OpsPerCycle)
+}
+
+// Throughput returns items/second given per-item operations.
+func (c CPU) Throughput(opsPerItem float64) float64 {
+	return 1 / c.Seconds(opsPerItem)
+}
+
+// SpeedupSeries computes the Fig 4.7(c) curve: the throughput speedup of
+// an n-DPU UPMEM system over the CPU. Each item takes dpuItemSeconds of
+// DPU time (amortized over its batch) and cpuOpsPerItem operations on the
+// CPU; n DPUs working on independent batches finish n items per
+// dpuItemSeconds (§4.1.3: parallel DPUs complete at the max time for one
+// DPU), so the speedup is linear in the DPU count.
+func (c CPU) SpeedupSeries(dpuItemSeconds, cpuOpsPerItem float64, dpuCounts []int) []SweepPoint {
+	cpuThroughput := c.Throughput(cpuOpsPerItem)
+	out := make([]SweepPoint, len(dpuCounts))
+	for i, n := range dpuCounts {
+		dpuThroughput := float64(n) / dpuItemSeconds
+		out[i] = SweepPoint{X: float64(n), Cycles: dpuThroughput / cpuThroughput}
+	}
+	return out
+}

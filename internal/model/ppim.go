@@ -1,0 +1,55 @@
+package model
+
+// Algorithm 3: the worst-case estimate of pPIM's LUT-based multiplication
+// cost. Operands of x bits split into 4-bit blocks; every block pair
+// multiplies through a LUT (one cycle each), and the partial products are
+// summed column by column with carries rippling leftward (Fig 5.3). The
+// number of adds-without-carry per column follows the Fig 5.4 tent
+// pattern (+2 per column to the midpoint, then -2), and the recursive
+// carry structure makes the total adds the running-sum of that pattern.
+
+// PPIMAddsPattern returns the Fig 5.4 "number of internal adds without
+// carry" sequence g(n) for an operand of the given bit width, ordered
+// from the leftmost column (n = k) to the rightmost (n = 1), where
+// k = bits/2.
+func PPIMAddsPattern(bits int) []int {
+	k := bits / 2
+	out := make([]int, 0, k)
+	for n := k; n >= 1; n-- {
+		out = append(out, addsWithoutCarry(n, k))
+	}
+	return out
+}
+
+func addsWithoutCarry(n, k int) int {
+	if 2*n > k {
+		return -2*n + 2*k
+	}
+	return 2*n - 2
+}
+
+// PPIMAddsEstimate runs Algorithm 3: the total number of internal LUT
+// additions for a worst-case block-by-block multiplication of two
+// bits-wide operands.
+func PPIMAddsEstimate(bits int) int {
+	k := bits / 2
+	total := 0
+	temp := 0
+	for n := k; n >= 1; n-- { // the thesis writes this recursion iteratively here
+		temp += addsWithoutCarry(n, k)
+		total += temp
+	}
+	return total
+}
+
+// PPIMMultEstimate is the full worst-case multiplication cycle count:
+// one LUT cycle per 4-bit block product ((bits/4)²) plus the Algorithm 3
+// additions. It reproduces the starred Table 5.2 entries: 124 cycles at
+// 16 bits and 1016 at 32.
+func PPIMMultEstimate(bits int) int {
+	blocks := bits / 4
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks*blocks + PPIMAddsEstimate(bits)
+}

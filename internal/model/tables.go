@@ -1,0 +1,298 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table51Row is one architecture's column of Table 5.1 (computational
+// model usage, 8-bit AlexNet).
+type Table51Row struct {
+	Name        string
+	Dp, CBB     float64
+	Bits        int
+	AccumF      float64
+	MultF       float64
+	Cop         float64
+	PEs         float64
+	FreqHz      float64
+	TOPs        float64
+	CcompOneMAC float64
+	TcompOneMAC float64
+	CcompTOPs   float64
+	TcompTOPs   float64
+}
+
+// Table51 computes Table 5.1 for the three §5.2 architectures at 8-bit
+// AlexNet.
+func Table51() []Table51Row {
+	const bits = 8
+	rows := make([]Table51Row, 0, 3)
+	for _, p := range Architectures() {
+		cop := p.MACCop(bits)
+		rows = append(rows, Table51Row{
+			Name:        p.Name,
+			Dp:          p.Dp,
+			CBB:         p.CBB,
+			Bits:        bits,
+			AccumF:      p.AccumScale(bits),
+			MultF:       p.MultScale(bits),
+			Cop:         cop,
+			PEs:         p.PEs,
+			FreqHz:      p.FreqHz,
+			TOPs:        AlexNetTOPs,
+			CcompOneMAC: cop,
+			TcompOneMAC: cop / p.FreqHz,
+			CcompTOPs:   Ccomp(cop, AlexNetTOPs, p.PEs),
+			TcompTOPs:   p.Tcomp(cop, AlexNetTOPs),
+		})
+	}
+	return rows
+}
+
+// Table52 returns the Cop for multiplication at each operand size
+// (Table 5.2), in the paper's column order pPIM, DRISA, UPMEM.
+func Table52() map[string]map[int]float64 {
+	out := make(map[string]map[int]float64, 3)
+	for _, p := range Architectures() {
+		col := make(map[int]float64, 4)
+		for _, bits := range []int{4, 8, 16, 32} {
+			col[bits] = p.MultCop(bits)
+		}
+		out[p.Name] = col
+	}
+	return out
+}
+
+// Table53Row is one architecture's column of the memory-model analysis.
+type Table53Row struct {
+	Name        string
+	TtransferS  float64
+	TOPs        float64
+	PEs         float64
+	SizeBufBits float64
+	LenOpBits   int
+	OpsPerPE    float64
+	LocalOps    float64
+	TmemS       float64
+	// TtotS adds the Table 5.1 Tcomp, giving the §5.3.1 totals.
+	TtotS float64
+}
+
+// Table53 computes Table 5.3 (8-bit AlexNet).
+func Table53() []Table53Row {
+	const bits = 8
+	rows := make([]Table53Row, 0, 3)
+	for _, p := range Architectures() {
+		tmem := p.Tmem(AlexNetTOPs, bits)
+		rows = append(rows, Table53Row{
+			Name:        p.Name,
+			TtransferS:  p.TtransferS,
+			TOPs:        AlexNetTOPs,
+			PEs:         p.PEs,
+			SizeBufBits: p.SizeBufBits,
+			LenOpBits:   bits,
+			OpsPerPE:    p.OpsPerPE(bits),
+			LocalOps:    p.LocalOps(bits),
+			TmemS:       tmem,
+			TtotS:       tmem + p.Tcomp(p.MACCop(bits), AlexNetTOPs),
+		})
+	}
+	return rows
+}
+
+// Device is one row of the Table 5.4 benchmarking: a PIM device with its
+// published chip power/area and per-frame CNN latencies. The thesis
+// measures UPMEM on hardware and derives the others analytically from
+// the literature; both latencies enter this catalog as reported, and the
+// throughput columns are recomputed from them.
+type Device struct {
+	Name       string
+	PowerChipW float64
+	AreaMM2    float64
+	EBNNLatS   float64
+	YOLOLatS   float64
+	// Effective power/area per workload. For most devices these equal
+	// the chip values; UPMEM's eBNN runs on a single DPU (0.12 W,
+	// 3.75 mm²) while YOLOv3 engages up to 1024 DPUs (the largest
+	// filter count) for power and an average of ~361 concurrent DPUs
+	// for area, which is how the thesis's Table 5.4 numbers decompose.
+	EBNNPowerW, EBNNAreaMM2 float64
+	YOLOPowerW, YOLOAreaMM2 float64
+}
+
+// Throughputs per the Table 5.4 definitions: frames per second per watt
+// and per mm².
+
+// EBNNThroughputPower returns eBNN frames/s-W.
+func (d Device) EBNNThroughputPower() float64 { return 1 / (d.EBNNLatS * d.EBNNPowerW) }
+
+// EBNNThroughputArea returns eBNN frames/s-mm².
+func (d Device) EBNNThroughputArea() float64 { return 1 / (d.EBNNLatS * d.EBNNAreaMM2) }
+
+// YOLOThroughputPower returns YOLOv3 frames/s-W.
+func (d Device) YOLOThroughputPower() float64 { return 1 / (d.YOLOLatS * d.YOLOPowerW) }
+
+// YOLOThroughputArea returns YOLOv3 frames/s-mm².
+func (d Device) YOLOThroughputArea() float64 { return 1 / (d.YOLOLatS * d.YOLOAreaMM2) }
+
+// UPMEM per-DPU constants used in the Table 5.4 decomposition.
+const (
+	upmemDPUPowerW  = 0.12
+	upmemDPUAreaMM2 = 3.75
+	// upmemYOLOMaxDPUs is YOLOv3's largest per-layer DPU demand (1,024
+	// filters); upmemYOLOAvgDPUs is the mean conv-layer filter count
+	// (27,069 filters over 75 layers).
+	upmemYOLOMaxDPUs = 1024
+	upmemYOLOAvgDPUs = 27069.0 / 75
+)
+
+// Table54Devices returns the seven benchmarked devices with the thesis's
+// published parameters (Table 5.4).
+func Table54Devices() []Device {
+	std := func(name string, pw, area, ebnn, yolo float64) Device {
+		return Device{
+			Name: name, PowerChipW: pw, AreaMM2: area,
+			EBNNLatS: ebnn, YOLOLatS: yolo,
+			EBNNPowerW: pw, EBNNAreaMM2: area,
+			YOLOPowerW: pw, YOLOAreaMM2: area,
+		}
+	}
+	upmem := Device{
+		Name:       "UPMEM",
+		PowerChipW: 0.96, AreaMM2: 30,
+		EBNNLatS: 1.48e-3, YOLOLatS: 65,
+		EBNNPowerW: upmemDPUPowerW, EBNNAreaMM2: upmemDPUAreaMM2,
+		YOLOPowerW:  upmemYOLOMaxDPUs * upmemDPUPowerW,
+		YOLOAreaMM2: upmemYOLOAvgDPUs * upmemDPUAreaMM2,
+	}
+	return []Device{
+		upmem,
+		std("pPIM", 3.5, 25.75, 3.80e-7, 0.68),
+		std("DRISA-3T1C", 98, 65.2, 8.21e-7, 1.47),
+		std("DRISA-1T1C-NOR", 98, 65.2, 1.96e-6, 3.51),
+		std("SCOPE-Vanilla", 176.4, 273, 1.30e-8, 0.0233),
+		std("SCOPE-H2d", 176.4, 273, 4.64e-8, 0.0831),
+		std("LACC", 5.3, 54.8, 2.14e-7, 0.384),
+	}
+}
+
+// SweepPoint is one sample of a Fig 5.5/5.6 series.
+type SweepPoint struct {
+	X      float64
+	Cycles float64
+}
+
+// TOPsSweep produces the Fig 5.5(a)-(c) series: Ccomp versus total
+// operations at fixed PEs, for a multiplication of the given width.
+func (p PIM) TOPsSweep(bits int, tops []float64) []SweepPoint {
+	cop := p.MultCop(bits)
+	out := make([]SweepPoint, len(tops))
+	for i, t := range tops {
+		out[i] = SweepPoint{X: t, Cycles: Ccomp(cop, t, p.PEs)}
+	}
+	return out
+}
+
+// PESweep produces the Fig 5.5(d)-(f) series: Ccomp versus PE count at
+// fixed total operations.
+func (p PIM) PESweep(bits int, tops float64, pes []float64) []SweepPoint {
+	cop := p.MultCop(bits)
+	out := make([]SweepPoint, len(pes))
+	for i, n := range pes {
+		out[i] = SweepPoint{X: n, Cycles: Ccomp(cop, tops, n)}
+	}
+	return out
+}
+
+// Fig56Point is one bar of the Fig 5.6 comparison.
+type Fig56Point struct {
+	PIM    string
+	Bits   int
+	Cycles float64
+}
+
+// Fig56 compares the three architectures on a multiplication workload at
+// the paper's constants: 2,560 PEs and 100,000 total operations.
+func Fig56() []Fig56Point {
+	const (
+		pes  = 2560
+		tops = 100000
+	)
+	var out []Fig56Point
+	for _, p := range Architectures() {
+		for _, bits := range []int{4, 8, 16, 32} {
+			out = append(out, Fig56Point{
+				PIM:    p.Name,
+				Bits:   bits,
+				Cycles: Ccomp(p.MultCop(bits), tops, pes),
+			})
+		}
+	}
+	return out
+}
+
+// FormatTable51 renders Table 5.1 in the thesis's layout.
+func FormatTable51(rows []Table51Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%14s", r.Name)
+	}
+	b.WriteByte('\n')
+	line := func(label string, get func(Table51Row) string) {
+		fmt.Fprintf(&b, "%-22s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%14s", get(r))
+		}
+		b.WriteByte('\n')
+	}
+	line("Dp", func(r Table51Row) string { return fmt.Sprintf("%g", r.Dp) })
+	line("CBB", func(r Table51Row) string { return fmt.Sprintf("%g", r.CBB) })
+	line("x (bits)", func(r Table51Row) string { return fmt.Sprintf("%d", r.Bits) })
+	line("Accum.-f(x)", func(r Table51Row) string { return fmt.Sprintf("%g", r.AccumF) })
+	line("Mult.-f(x)", func(r Table51Row) string { return fmt.Sprintf("%g", r.MultF) })
+	line("Cop", func(r Table51Row) string { return fmt.Sprintf("%g", r.Cop) })
+	line("PEs", func(r Table51Row) string { return fmt.Sprintf("%g", r.PEs) })
+	line("Freq (Hz)", func(r Table51Row) string { return fmt.Sprintf("%.3g", r.FreqHz) })
+	line("TOPs (AlexNet)", func(r Table51Row) string { return fmt.Sprintf("%.3g", r.TOPs) })
+	line("Ccomp (1 MAC)", func(r Table51Row) string { return fmt.Sprintf("%g", r.CcompOneMAC) })
+	line("Tcomp (1 MAC) (s)", func(r Table51Row) string { return fmt.Sprintf("%.3g", r.TcompOneMAC) })
+	line("Ccomp (TOPs)", func(r Table51Row) string { return fmt.Sprintf("%.5g", r.CcompTOPs) })
+	line("Tcomp (TOPs) (s)", func(r Table51Row) string { return fmt.Sprintf("%.3g", r.TcompTOPs) })
+	return b.String()
+}
+
+// FormatTable54 renders the benchmarking table.
+func FormatTable54(devs []Device) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %12s %14s %14s %12s %14s %14s\n",
+		"device", "power(W)", "area(mm2)",
+		"eBNN lat(s)", "eBNN f/s-W", "eBNN f/s-mm2",
+		"YOLO lat(s)", "YOLO f/s-W", "YOLO f/s-mm2")
+	for _, d := range devs {
+		fmt.Fprintf(&b, "%-16s %10.3g %10.4g %12.3g %14.3g %14.3g %12.3g %14.3g %14.3g\n",
+			d.Name, d.PowerChipW, d.AreaMM2,
+			d.EBNNLatS, d.EBNNThroughputPower(), d.EBNNThroughputArea(),
+			d.YOLOLatS, d.YOLOThroughputPower(), d.YOLOThroughputArea())
+	}
+	return b.String()
+}
+
+// LogSpace returns n log-spaced values between lo and hi inclusive,
+// handy for sweep inputs.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out
+}

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadCatalog(t *testing.T) {
+	ws := Workloads()
+	if len(ws) < 5 {
+		t.Fatalf("catalog has %d workloads", len(ws))
+	}
+	byName := map[string]Workload{}
+	for _, w := range ws {
+		if w.MACs <= 0 || w.Bits <= 0 {
+			t.Errorf("workload %s has invalid parameters %+v", w.Name, w)
+		}
+		byName[w.Name] = w
+	}
+	if byName["AlexNet"].MACs != AlexNetTOPs {
+		t.Errorf("AlexNet MACs = %g, want the Table 5.1 value %g",
+			byName["AlexNet"].MACs, AlexNetTOPs)
+	}
+	// Ordering sanity: eBNN << AlexNet << YOLOv3.
+	if !(byName["eBNN"].MACs < byName["AlexNet"].MACs &&
+		byName["AlexNet"].MACs < byName["YOLOv3-416"].MACs) {
+		t.Error("workload sizes out of order")
+	}
+}
+
+func TestEvaluateWorkloadsConsistentWithTables(t *testing.T) {
+	// The AlexNet rows must equal the Table 5.1 + Table 5.3 composition.
+	var alexUPMEM, alexPPIM WorkloadResult
+	for _, r := range EvaluateWorkloads() {
+		if r.Workload != "AlexNet" {
+			continue
+		}
+		switch r.PIM {
+		case "UPMEM":
+			alexUPMEM = r
+		case "pPIM":
+			alexPPIM = r
+		}
+	}
+	approx(t, "AlexNet UPMEM Ttot", alexUPMEM.TtotS, 2.57e-1, 0.005)
+	approx(t, "AlexNet pPIM Ttot", alexPPIM.TtotS, 6.90e-2, 0.005)
+	if alexUPMEM.FramesPerSec <= 0 {
+		t.Error("non-positive frames/s")
+	}
+}
+
+func TestEvaluateWorkloadsMonotoneInMACs(t *testing.T) {
+	// For a fixed PIM, more MACs never means less total time.
+	perPIM := map[string][]WorkloadResult{}
+	for _, r := range EvaluateWorkloads() {
+		perPIM[r.PIM] = append(perPIM[r.PIM], r)
+	}
+	for name, rs := range perPIM {
+		for i := range rs {
+			for j := range rs {
+				if rs[i].MACs < rs[j].MACs && rs[i].TtotS > rs[j].TtotS {
+					t.Errorf("%s: %s (%.3g MACs, %.3g s) slower than %s (%.3g MACs, %.3g s)",
+						name, rs[i].Workload, rs[i].MACs, rs[i].TtotS,
+						rs[j].Workload, rs[j].MACs, rs[j].TtotS)
+				}
+			}
+		}
+	}
+}
+
+func TestBestPIMPerWorkload(t *testing.T) {
+	best := BestPIMPerWorkload()
+	if len(best) != len(Workloads()) {
+		t.Fatalf("best map has %d entries", len(best))
+	}
+	// At 8-bit, pPIM's 8-cycle MAC at 1.25 GHz beats DRISA and UPMEM on
+	// every compute-dominated workload (Table 5.1's conclusion).
+	if best["AlexNet"] != "pPIM" {
+		t.Errorf("AlexNet best = %s, want pPIM (Table 5.1)", best["AlexNet"])
+	}
+}
+
+func TestFormatWorkloads(t *testing.T) {
+	s := FormatWorkloads(EvaluateWorkloads())
+	for _, want := range []string{"AlexNet", "ResNet-50", "YOLOv3-416", "frames/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Sorted by workload size: eBNN/LeNet rows precede YOLOv3 rows.
+	if strings.Index(s, "LeNet-5") > strings.Index(s, "YOLOv3-416") {
+		t.Error("render not sorted by workload size")
+	}
+}

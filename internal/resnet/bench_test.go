@@ -1,0 +1,58 @@
+package resnet
+
+import (
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/gemm"
+	"pimdnn/internal/host"
+	"pimdnn/internal/tensor"
+)
+
+func benchInput(size int) *tensor.Tensor {
+	t := tensor.New(3, size, size)
+	for i := range t.Data {
+		t.Data[i] = int16(i%61 - 30)
+	}
+	return t
+}
+
+// BenchmarkForwardHost measures the host reference ResNet-18 (lite).
+func BenchmarkForwardHost(b *testing.B) {
+	n, err := New(LiteConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := benchInput(n.Cfg.InputSize)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.Forward(in, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardDPU measures the DPU-delegated ResNet-18.
+func BenchmarkForwardDPU(b *testing.B) {
+	n, err := New(LiteConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := benchInput(n.Cfg.InputSize)
+	maxK, maxN := n.GEMMBounds()
+	sys, _ := host.NewSystem(8, host.DefaultConfig(dpu.O3))
+	r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+		MaxK: maxK, MaxN: maxN, Tasklets: 11, TileCols: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		_, st, err := n.Forward(in, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = st.Seconds
+	}
+	b.ReportMetric(sec, "sim-seconds")
+}

@@ -1,0 +1,68 @@
+package softfloat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchInputs(n int) []uint32 {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = rng.Uint32()
+	}
+	return out
+}
+
+func BenchmarkAdd(b *testing.B) {
+	in := benchInputs(1024)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink = Add(in[i%1024], in[(i+1)%1024])
+	}
+	_ = sink
+}
+
+func BenchmarkMul(b *testing.B) {
+	in := benchInputs(1024)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink = Mul(in[i%1024], in[(i+1)%1024])
+	}
+	_ = sink
+}
+
+func BenchmarkDiv(b *testing.B) {
+	in := benchInputs(1024)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink = Div(in[i%1024], in[(i+1)%1024]|1)
+	}
+	_ = sink
+}
+
+func BenchmarkCmp(b *testing.B) {
+	in := benchInputs(1024)
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = Lt(in[i%1024], in[(i+1)%1024])
+	}
+	_ = sink
+}
+
+func BenchmarkFromInt32(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink = FromInt32(int32(i*2654435761) ^ 12345)
+	}
+	_ = sink
+}
+
+func BenchmarkToInt32(b *testing.B) {
+	in := benchInputs(1024)
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink = ToInt32(in[i%1024])
+	}
+	_ = sink
+}

@@ -1,0 +1,15 @@
+package softfloat
+
+import "math"
+
+// f32bits and f32frombits isolate the only places the package touches the
+// host floating-point representation; everything else is pure integer
+// arithmetic, as on the DPU.
+
+func f32bits(f float32) uint32 {
+	return math.Float32bits(f)
+}
+
+func f32frombits(b uint32) float32 {
+	return math.Float32frombits(b)
+}

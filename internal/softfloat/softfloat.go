@@ -1,0 +1,444 @@
+// Package softfloat implements IEEE-754 binary32 arithmetic using only
+// integer operations.
+//
+// The UPMEM DPU has no floating-point hardware; its compiler lowers every
+// floating-point operation to a software subroutine (__addsf3, __mulsf3,
+// __divsf3, __ltsf2, __floatsisf, ... — thesis §3.3, Fig 3.2). This
+// package is the simulator's implementation of those subroutines: each
+// function is bit-exact against hardware IEEE-754 round-to-nearest-even
+// for non-NaN results, so DPU-side computations agree with the host
+// reference, while the DPU cost model charges the (large) cycle counts the
+// thesis measures for them.
+//
+// All values are passed as raw binary32 bit patterns (uint32), matching
+// how the subroutines receive operands in DPU registers.
+package softfloat
+
+// Subroutine names as they appear in DPU profiles (thesis Fig 3.2, 4.3).
+const (
+	SubAddSF3      = "__addsf3"
+	SubSubSF3      = "__subsf3"
+	SubMulSF3      = "__mulsf3"
+	SubDivSF3      = "__divsf3"
+	SubLtSF2       = "__ltsf2"
+	SubGtSF2       = "__gtsf2"
+	SubGeSF2       = "__gesf2"
+	SubLeSF2       = "__lesf2"
+	SubEqSF2       = "__eqsf2"
+	SubFloatSiSF   = "__floatsisf"
+	SubFixSFSi     = "__fixsfsi"
+	SubMulSI3      = "__mulsi3"
+	SubDivSI3      = "__divsi3"
+	SubFloatUnSiSF = "__floatunsisf"
+)
+
+const (
+	signMask  = uint32(1) << 31
+	expMask   = uint32(0xFF) << 23
+	fracMask  = uint32(1)<<23 - 1
+	hiddenBit = uint32(1) << 23
+
+	// QNaN is the canonical quiet NaN returned by arithmetic on invalid
+	// inputs (0*inf, inf-inf, 0/0, inf/inf, or any NaN operand).
+	QNaN = uint32(0x7FC00000)
+
+	// PosInf and NegInf are the binary32 infinities.
+	PosInf = uint32(0x7F800000)
+	NegInf = uint32(0xFF800000)
+)
+
+// IsNaN reports whether the bit pattern encodes a NaN.
+func IsNaN(a uint32) bool {
+	return a&expMask == expMask && a&fracMask != 0
+}
+
+// IsInf reports whether the bit pattern encodes +inf or -inf.
+func IsInf(a uint32) bool {
+	return a&^signMask == PosInf
+}
+
+// IsZero reports whether the bit pattern encodes +0 or -0.
+func IsZero(a uint32) bool {
+	return a&^signMask == 0
+}
+
+// Sign reports whether the sign bit is set.
+func Sign(a uint32) bool { return a&signMask != 0 }
+
+// Neg flips the sign bit (exact IEEE negation, including for NaN).
+func Neg(a uint32) uint32 { return a ^ signMask }
+
+// Abs clears the sign bit.
+func Abs(a uint32) uint32 { return a &^ signMask }
+
+// unpack splits a into sign, biased exponent field and fraction field.
+func unpack(a uint32) (sign bool, exp int32, frac uint32) {
+	return a&signMask != 0, int32(a>>23) & 0xFF, a & fracMask
+}
+
+// packBits assembles a binary32 value from its fields. frac must already
+// exclude the hidden bit for normal numbers.
+func packBits(sign bool, exp uint32, frac uint32) uint32 {
+	v := exp<<23 | frac
+	if sign {
+		v |= signMask
+	}
+	return v
+}
+
+// normMant returns the operand's mantissa with the hidden bit applied and
+// its effective biased exponent. Subnormals are normalized (mantissa
+// shifted up until bit 23 is set, exponent decremented accordingly), so
+// callers can treat every finite non-zero operand uniformly as
+// value = mant * 2^(exp-150) with mant in [2^23, 2^24).
+func normMant(exp int32, frac uint32) (uint32, int32) {
+	if exp != 0 {
+		return frac | hiddenBit, exp
+	}
+	e := int32(1)
+	for frac&hiddenBit == 0 {
+		frac <<= 1
+		e--
+	}
+	return frac, e
+}
+
+// shiftRightSticky shifts v right by n, OR-ing any bits shifted out into
+// the result's least-significant bit (the "sticky" bit used for correct
+// round-to-nearest-even).
+func shiftRightSticky(v uint32, n int32) uint32 {
+	if n <= 0 {
+		return v
+	}
+	if n > 31 {
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+	sticky := uint32(0)
+	if v&(uint32(1)<<n-1) != 0 {
+		sticky = 1
+	}
+	return v>>n | sticky
+}
+
+// roundPack rounds and packs a result whose significand sig carries the
+// hidden bit at bit 26 with three guard/round/sticky bits below it, i.e.
+// value = sig * 2^(exp-153) with sig in [2^26, 2^27) for normalized
+// results. exp may be <= 0 for values that underflow into the subnormal
+// range; exp == 1 with sig < 2^26 denotes an already-subnormal result.
+func roundPack(sign bool, exp int32, sig uint32) uint32 {
+	if exp <= 0 {
+		sig = shiftRightSticky(sig, 1-exp)
+		exp = 1
+	}
+	round := sig & 7
+	sig >>= 3
+	if round > 4 || (round == 4 && sig&1 == 1) {
+		sig++
+	}
+	if sig >= 1<<24 {
+		sig >>= 1
+		exp++
+	}
+	if exp >= 255 {
+		return packBits(sign, 255, 0)
+	}
+	if sig < hiddenBit {
+		// Subnormal: the exponent field is zero and there is no hidden
+		// bit. This branch is only reachable with exp == 1.
+		return packBits(sign, 0, sig)
+	}
+	return packBits(sign, uint32(exp), sig&fracMask)
+}
+
+// Add returns a + b with round-to-nearest-even (the __addsf3 subroutine).
+func Add(a, b uint32) uint32 {
+	asign, aexp, afrac := unpack(a)
+	bsign, bexp, bfrac := unpack(b)
+	if IsNaN(a) || IsNaN(b) {
+		return QNaN
+	}
+	if aexp == 0xFF { // a is inf
+		if bexp == 0xFF && asign != bsign {
+			return QNaN // inf + -inf
+		}
+		return a
+	}
+	if bexp == 0xFF {
+		return b
+	}
+	if afrac == 0 && aexp == 0 { // a is zero
+		if bfrac == 0 && bexp == 0 {
+			// (+0)+(+0)=+0, (-0)+(-0)=-0, mixed = +0 under RNE.
+			if asign && bsign {
+				return signMask
+			}
+			return 0
+		}
+		return b
+	}
+	if bfrac == 0 && bexp == 0 {
+		return a
+	}
+
+	amant, ae := normMant(aexp, afrac)
+	bmant, be := normMant(bexp, bfrac)
+	asig, bsig := amant<<3, bmant<<3
+
+	// Ensure (asig, ae) is the larger magnitude.
+	if ae < be || (ae == be && asig < bsig) {
+		asig, bsig = bsig, asig
+		ae, be = be, ae
+		asign, bsign = bsign, asign
+	}
+	bsig = shiftRightSticky(bsig, ae-be)
+
+	if asign == bsign {
+		sig := asig + bsig
+		exp := ae
+		if sig >= 1<<27 {
+			sig = sig>>1 | sig&1
+			exp++
+		}
+		return roundPack(asign, exp, sig)
+	}
+	sig := asig - bsig
+	if sig == 0 {
+		return 0 // exact cancellation is +0 under RNE
+	}
+	exp := ae
+	for sig < 1<<26 && exp > 1 {
+		sig <<= 1
+		exp--
+	}
+	return roundPack(asign, exp, sig)
+}
+
+// Sub returns a - b (the __subsf3 subroutine).
+func Sub(a, b uint32) uint32 {
+	if IsNaN(b) {
+		return QNaN
+	}
+	return Add(a, Neg(b))
+}
+
+// Mul returns a * b with round-to-nearest-even (the __mulsf3 subroutine).
+func Mul(a, b uint32) uint32 {
+	asign, aexp, afrac := unpack(a)
+	bsign, bexp, bfrac := unpack(b)
+	sign := asign != bsign
+	if IsNaN(a) || IsNaN(b) {
+		return QNaN
+	}
+	if aexp == 0xFF || bexp == 0xFF {
+		if IsZero(a) || IsZero(b) {
+			return QNaN // inf * 0
+		}
+		return packBits(sign, 255, 0)
+	}
+	if IsZero(a) || IsZero(b) {
+		return packBits(sign, 0, 0)
+	}
+
+	amant, ae := normMant(aexp, afrac)
+	bmant, be := normMant(bexp, bfrac)
+	product := uint64(amant) * uint64(bmant) // in [2^46, 2^48)
+	exp := ae + be - 127
+
+	sig := uint32(product >> 20)
+	if product&(1<<20-1) != 0 {
+		sig |= 1
+	}
+	if sig >= 1<<27 {
+		sig = sig>>1 | sig&1
+		exp++
+	}
+	return roundPack(sign, exp, sig)
+}
+
+// Div returns a / b with round-to-nearest-even (the __divsf3 subroutine).
+func Div(a, b uint32) uint32 {
+	asign, aexp, afrac := unpack(a)
+	bsign, bexp, bfrac := unpack(b)
+	sign := asign != bsign
+	if IsNaN(a) || IsNaN(b) {
+		return QNaN
+	}
+	if aexp == 0xFF {
+		if bexp == 0xFF {
+			return QNaN // inf / inf
+		}
+		return packBits(sign, 255, 0)
+	}
+	if bexp == 0xFF {
+		return packBits(sign, 0, 0)
+	}
+	if IsZero(b) {
+		if IsZero(a) {
+			return QNaN // 0 / 0
+		}
+		return packBits(sign, 255, 0) // x / 0 = inf
+	}
+	if IsZero(a) {
+		return packBits(sign, 0, 0)
+	}
+
+	amant, ae := normMant(aexp, afrac)
+	bmant, be := normMant(bexp, bfrac)
+	num := uint64(amant) << 27
+	q := num / uint64(bmant) // in (2^26, 2^28)
+	if num%uint64(bmant) != 0 {
+		q |= 1
+	}
+	exp := ae - be + 126
+	sig := uint32(q)
+	if sig >= 1<<27 {
+		sig = sig>>1 | sig&1
+		exp++
+	}
+	return roundPack(sign, exp, sig)
+}
+
+// Cmp compares a and b. It returns (-1, 0, +1) for less / equal / greater
+// and unordered=true when either operand is NaN (in which case the
+// integer result is meaningless). It backs the __ltsf2/__gtsf2/... family.
+func Cmp(a, b uint32) (r int, unordered bool) {
+	if IsNaN(a) || IsNaN(b) {
+		return 0, true
+	}
+	if IsZero(a) && IsZero(b) {
+		return 0, false // +0 == -0
+	}
+	// Map to a monotone integer ordering: for positive values the bit
+	// pattern already orders correctly; for negative values it reverses.
+	ka := orderKey(a)
+	kb := orderKey(b)
+	switch {
+	case ka < kb:
+		return -1, false
+	case ka > kb:
+		return 1, false
+	default:
+		return 0, false
+	}
+}
+
+// orderKey maps a non-NaN binary32 pattern to an int64 that orders the
+// same way as the encoded real values.
+func orderKey(a uint32) int64 {
+	if a&signMask == 0 {
+		return int64(a)
+	}
+	return -int64(a &^ signMask)
+}
+
+// Lt reports a < b (false on unordered).
+func Lt(a, b uint32) bool { r, un := Cmp(a, b); return !un && r < 0 }
+
+// Le reports a <= b (false on unordered).
+func Le(a, b uint32) bool { r, un := Cmp(a, b); return !un && r <= 0 }
+
+// Gt reports a > b (false on unordered).
+func Gt(a, b uint32) bool { r, un := Cmp(a, b); return !un && r > 0 }
+
+// Ge reports a >= b (false on unordered).
+func Ge(a, b uint32) bool { r, un := Cmp(a, b); return !un && r >= 0 }
+
+// Eq reports a == b (false on unordered; +0 == -0).
+func Eq(a, b uint32) bool { r, un := Cmp(a, b); return !un && r == 0 }
+
+// FromInt32 converts a signed integer to binary32 with round-to-nearest-
+// even (the __floatsisf subroutine).
+func FromInt32(v int32) uint32 {
+	if v == 0 {
+		return 0
+	}
+	sign := v < 0
+	var mag uint32
+	if sign {
+		mag = uint32(-int64(v))
+	} else {
+		mag = uint32(v)
+	}
+	return fromMag(sign, mag)
+}
+
+// FromUint32 converts an unsigned integer to binary32 with round-to-
+// nearest-even (the __floatunsisf subroutine).
+func FromUint32(v uint32) uint32 {
+	if v == 0 {
+		return 0
+	}
+	return fromMag(false, v)
+}
+
+func fromMag(sign bool, mag uint32) uint32 {
+	h := 31
+	for mag&(uint32(1)<<h) == 0 {
+		h--
+	}
+	exp := int32(127 + h)
+	var sig uint32
+	if h <= 26 {
+		sig = mag << (26 - h)
+	} else {
+		sig = shiftRightSticky(mag, int32(h-26))
+	}
+	return roundPack(sign, exp, sig)
+}
+
+// ToInt32 converts binary32 to a signed integer, truncating toward zero
+// (the __fixsfsi subroutine). NaN converts to 0; values outside the int32
+// range saturate, matching common RISC hardware behaviour.
+func ToInt32(a uint32) int32 {
+	if IsNaN(a) {
+		return 0
+	}
+	sign, exp, frac := unpack(a)
+	if exp == 0xFF { // infinity
+		if sign {
+			return -2147483648
+		}
+		return 2147483647
+	}
+	if exp < 127 {
+		return 0 // |a| < 1 truncates to 0 (covers zeros and subnormals)
+	}
+	shift := exp - 127 // number of integer bits above the leading 1
+	if shift > 31 {
+		if sign {
+			return -2147483648
+		}
+		return 2147483647
+	}
+	mant := uint64(frac | hiddenBit) // 1.frac with 23 fraction bits
+	var mag uint64
+	if shift >= 23 {
+		mag = mant << (shift - 23)
+	} else {
+		mag = mant >> (23 - shift)
+	}
+	if sign {
+		if mag > 1<<31 {
+			return -2147483648
+		}
+		return int32(-int64(mag))
+	}
+	if mag > (1<<31)-1 {
+		return 2147483647
+	}
+	return int32(mag)
+}
+
+// FromFloat32 returns the bit pattern of f. It exists so callers outside
+// this package never need to import math just to bridge representations.
+func FromFloat32(f float32) uint32 {
+	return f32bits(f)
+}
+
+// ToFloat32 reinterprets a bit pattern as a float32.
+func ToFloat32(a uint32) float32 {
+	return f32frombits(a)
+}

@@ -1,0 +1,402 @@
+package softfloat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// specials is a set of binary32 bit patterns that exercise every encoding
+// class: zeros, subnormals (min/max), normal boundaries, exact powers of
+// two, infinities and NaNs.
+var specials = []uint32{
+	0x00000000, // +0
+	0x80000000, // -0
+	0x00000001, // smallest +subnormal
+	0x80000001, // smallest -subnormal
+	0x007FFFFF, // largest +subnormal
+	0x807FFFFF, // largest -subnormal
+	0x00800000, // smallest +normal
+	0x80800000, // smallest -normal
+	0x7F7FFFFF, // largest finite
+	0xFF7FFFFF, // most negative finite
+	0x3F800000, // 1.0
+	0xBF800000, // -1.0
+	0x3FC00000, // 1.5
+	0x40000000, // 2.0
+	0x40490FDB, // pi
+	0x3EAAAAAB, // 1/3
+	0x7F800000, // +inf
+	0xFF800000, // -inf
+	0x7FC00000, // qNaN
+	0x7F800001, // sNaN
+	0x4B7FFFFF, // 16777215 (largest exact odd int)
+	0xCB000000, // -8388608
+	0x34000000, // 2^-23
+	0x7F000000, // 2^127
+	0x00FFFFFF, // just above min normal
+}
+
+// eq32 compares results treating every NaN as equal (hardware NaN
+// payloads are not specified).
+func eq32(a, b uint32) bool {
+	if IsNaN(a) && IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+func hwAdd(a, b uint32) uint32 {
+	return math.Float32bits(math.Float32frombits(a) + math.Float32frombits(b))
+}
+
+func hwSub(a, b uint32) uint32 {
+	return math.Float32bits(math.Float32frombits(a) - math.Float32frombits(b))
+}
+
+func hwMul(a, b uint32) uint32 {
+	return math.Float32bits(math.Float32frombits(a) * math.Float32frombits(b))
+}
+
+func hwDiv(a, b uint32) uint32 {
+	return math.Float32bits(math.Float32frombits(a) / math.Float32frombits(b))
+}
+
+func TestAddSpecialsMatchHardware(t *testing.T) {
+	for _, a := range specials {
+		for _, b := range specials {
+			got, want := Add(a, b), hwAdd(a, b)
+			if !eq32(got, want) {
+				t.Errorf("Add(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSubSpecialsMatchHardware(t *testing.T) {
+	for _, a := range specials {
+		for _, b := range specials {
+			got, want := Sub(a, b), hwSub(a, b)
+			if !eq32(got, want) {
+				t.Errorf("Sub(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulSpecialsMatchHardware(t *testing.T) {
+	for _, a := range specials {
+		for _, b := range specials {
+			got, want := Mul(a, b), hwMul(a, b)
+			if !eq32(got, want) {
+				t.Errorf("Mul(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestDivSpecialsMatchHardware(t *testing.T) {
+	for _, a := range specials {
+		for _, b := range specials {
+			got, want := Div(a, b), hwDiv(a, b)
+			if !eq32(got, want) {
+				t.Errorf("Div(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestAddRandomMatchesHardware(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		a, b := rng.Uint32(), rng.Uint32()
+		got, want := Add(a, b), hwAdd(a, b)
+		if !eq32(got, want) {
+			t.Fatalf("Add(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+		}
+	}
+}
+
+func TestMulRandomMatchesHardware(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200000; i++ {
+		a, b := rng.Uint32(), rng.Uint32()
+		got, want := Mul(a, b), hwMul(a, b)
+		if !eq32(got, want) {
+			t.Fatalf("Mul(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+		}
+	}
+}
+
+func TestDivRandomMatchesHardware(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200000; i++ {
+		a, b := rng.Uint32(), rng.Uint32()
+		got, want := Div(a, b), hwDiv(a, b)
+		if !eq32(got, want) {
+			t.Fatalf("Div(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+		}
+	}
+}
+
+func TestSubRandomMatchesHardware(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		a, b := rng.Uint32(), rng.Uint32()
+		got, want := Sub(a, b), hwSub(a, b)
+		if !eq32(got, want) {
+			t.Fatalf("Sub(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+		}
+	}
+}
+
+// Randomized inputs biased toward nearby exponents, where alignment and
+// cancellation paths are exercised hardest.
+func TestAddNearbyExponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100000; i++ {
+		exp := uint32(rng.Intn(254) + 1)
+		a := rng.Uint32()&(signMask|fracMask) | exp<<23
+		d := uint32(rng.Intn(5)) - 2
+		bexp := (exp + d) % 255
+		if bexp == 0 {
+			bexp = 1
+		}
+		b := rng.Uint32()&(signMask|fracMask) | bexp<<23
+		got, want := Add(a, b), hwAdd(a, b)
+		if !eq32(got, want) {
+			t.Fatalf("Add(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+		}
+	}
+}
+
+// Subnormal-heavy random testing: products and quotients that underflow.
+func TestMulDivSubnormalRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100000; i++ {
+		// Small exponents force underflow paths.
+		a := rng.Uint32()&(signMask|fracMask) | uint32(rng.Intn(40))<<23
+		b := rng.Uint32()&(signMask|fracMask) | uint32(rng.Intn(40))<<23
+		if got, want := Mul(a, b), hwMul(a, b); !eq32(got, want) {
+			t.Fatalf("Mul(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+		}
+		if !IsZero(b) {
+			if got, want := Div(a, b), hwDiv(a, b); !eq32(got, want) {
+				t.Fatalf("Div(%#08x, %#08x) = %#08x, want %#08x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCmpMatchesHardware(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(a, b uint32) {
+		fa, fb := math.Float32frombits(a), math.Float32frombits(b)
+		if got, want := Lt(a, b), fa < fb; got != want {
+			t.Fatalf("Lt(%#08x, %#08x) = %v, want %v", a, b, got, want)
+		}
+		if got, want := Le(a, b), fa <= fb; got != want {
+			t.Fatalf("Le(%#08x, %#08x) = %v, want %v", a, b, got, want)
+		}
+		if got, want := Gt(a, b), fa > fb; got != want {
+			t.Fatalf("Gt(%#08x, %#08x) = %v, want %v", a, b, got, want)
+		}
+		if got, want := Ge(a, b), fa >= fb; got != want {
+			t.Fatalf("Ge(%#08x, %#08x) = %v, want %v", a, b, got, want)
+		}
+		if got, want := Eq(a, b), fa == fb; got != want {
+			t.Fatalf("Eq(%#08x, %#08x) = %v, want %v", a, b, got, want)
+		}
+	}
+	for _, a := range specials {
+		for _, b := range specials {
+			check(a, b)
+		}
+	}
+	for i := 0; i < 50000; i++ {
+		check(rng.Uint32(), rng.Uint32())
+	}
+}
+
+func TestFromInt32MatchesHardware(t *testing.T) {
+	cases := []int32{0, 1, -1, 2, 16777215, 16777216, 16777217, -16777217,
+		2147483647, -2147483648, 123456789, -987654321, 1 << 30, -(1 << 30)}
+	for _, v := range cases {
+		got, want := FromInt32(v), math.Float32bits(float32(v))
+		if got != want {
+			t.Errorf("FromInt32(%d) = %#08x, want %#08x", v, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100000; i++ {
+		v := int32(rng.Uint32())
+		got, want := FromInt32(v), math.Float32bits(float32(v))
+		if got != want {
+			t.Fatalf("FromInt32(%d) = %#08x, want %#08x", v, got, want)
+		}
+	}
+}
+
+func TestFromUint32MatchesHardware(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100000; i++ {
+		v := rng.Uint32()
+		got, want := FromUint32(v), math.Float32bits(float32(v))
+		if got != want {
+			t.Fatalf("FromUint32(%d) = %#08x, want %#08x", v, got, want)
+		}
+	}
+}
+
+func TestToInt32(t *testing.T) {
+	tests := []struct {
+		give float32
+		want int32
+	}{
+		{0, 0},
+		{0.99, 0},
+		{-0.99, 0},
+		{1, 1},
+		{-1, -1},
+		{1.5, 1},
+		{-1.5, -1},
+		{123456.78, 123456},
+		{-2147483648, -2147483648},
+		{2147483520, 2147483520}, // largest float32 below 2^31
+		{float32(math.Inf(1)), 2147483647},
+		{float32(math.Inf(-1)), -2147483648},
+		{3e9, 2147483647},   // saturates
+		{-3e9, -2147483648}, // saturates
+	}
+	for _, tt := range tests {
+		if got := ToInt32(math.Float32bits(tt.give)); got != tt.want {
+			t.Errorf("ToInt32(%g) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+	if got := ToInt32(QNaN); got != 0 {
+		t.Errorf("ToInt32(NaN) = %d, want 0", got)
+	}
+}
+
+func TestToInt32RandomInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 100000; i++ {
+		f := (rng.Float32() - 0.5) * 4e9
+		want := int32(0)
+		switch {
+		case float64(f) >= 2147483647:
+			want = 2147483647
+		case float64(f) <= -2147483648:
+			want = -2147483648
+		default:
+			want = int32(f)
+		}
+		if got := ToInt32(math.Float32bits(f)); got != want {
+			t.Fatalf("ToInt32(%g) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+// Property: addition is commutative for all bit patterns.
+func TestAddCommutative(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return eq32(Add(a, b), Add(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiplication is commutative for all bit patterns.
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return eq32(Mul(a, b), Mul(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: x + 0 == x for every non-NaN x (note -0 + +0 = +0).
+func TestAddZeroIdentity(t *testing.T) {
+	f := func(a uint32) bool {
+		if IsNaN(a) {
+			return true
+		}
+		if a == signMask { // -0 + +0 = +0
+			return Add(a, 0) == 0
+		}
+		return Add(a, 0) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: x * 1 == x for every non-NaN x.
+func TestMulOneIdentity(t *testing.T) {
+	one := math.Float32bits(1)
+	f := func(a uint32) bool {
+		if IsNaN(a) {
+			return true
+		}
+		return Mul(a, one) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: x / x == 1 for finite non-zero x.
+func TestDivSelfIsOne(t *testing.T) {
+	one := math.Float32bits(1)
+	f := func(a uint32) bool {
+		if IsNaN(a) || IsInf(a) || IsZero(a) {
+			return true
+		}
+		return Div(a, a) == one
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: negation is an involution and Sub(a,b) == Add(a, Neg(b)).
+func TestNegInvolution(t *testing.T) {
+	f := func(a uint32) bool { return Neg(Neg(a)) == a }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	if !IsNaN(QNaN) || IsNaN(PosInf) || IsNaN(0) {
+		t.Error("IsNaN misclassifies")
+	}
+	if !IsInf(PosInf) || !IsInf(NegInf) || IsInf(QNaN) || IsInf(0x3F800000) {
+		t.Error("IsInf misclassifies")
+	}
+	if !IsZero(0) || !IsZero(signMask) || IsZero(1) {
+		t.Error("IsZero misclassifies")
+	}
+	if Sign(0x3F800000) || !Sign(0xBF800000) {
+		t.Error("Sign misclassifies")
+	}
+	if Abs(0xBF800000) != 0x3F800000 {
+		t.Error("Abs did not clear the sign bit")
+	}
+}
+
+func TestRoundTripFloat32(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		b := rng.Uint32()
+		if IsNaN(b) {
+			continue
+		}
+		if got := FromFloat32(ToFloat32(b)); got != b {
+			t.Fatalf("round trip %#08x -> %#08x", b, got)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package tensor provides the quantized activation tensor shared by the
+// CNN workloads (YOLOv3, AlexNet).
+//
+// Values are int16 in Q10.5 (value × 32): the scale at which the
+// Algorithm 2 GEMM's /32 output rescale keeps products in format, so
+// activations flow through conv layers without further rescaling.
+package tensor
+
+import "fmt"
+
+// QShift is the fixed-point scale: values are stored as round(x * 32).
+const QShift = 5
+
+// QOne is the fixed-point representation of 1.0.
+const QOne = 1 << QShift
+
+// Tensor is a channel-major (C, H, W) int16 activation tensor.
+type Tensor struct {
+	C, H, W int
+	Data    []int16
+}
+
+// New allocates a zero tensor.
+func New(c, h, w int) *Tensor {
+	return &Tensor{C: c, H: h, W: w, Data: make([]int16, c*h*w)}
+}
+
+// At returns the element at (c, y, x).
+func (t *Tensor) At(c, y, x int) int16 {
+	return t.Data[(c*t.H+y)*t.W+x]
+}
+
+// Set writes the element at (c, y, x).
+func (t *Tensor) Set(c, y, x int, v int16) {
+	t.Data[(c*t.H+y)*t.W+x] = v
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return t.C * t.H * t.W }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{C: t.C, H: t.H, W: t.W, Data: make([]int16, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Dequantize converts to float64 values.
+func (t *Tensor) Dequantize() []float64 {
+	out := make([]float64, len(t.Data))
+	for i, v := range t.Data {
+		out[i] = float64(v) / QOne
+	}
+	return out
+}
+
+// Quantize converts a float64 value into Q10.5 with saturation and
+// round-half-away-from-zero.
+func Quantize(x float64) int16 {
+	v := x * QOne
+	if v >= 0 {
+		v += 0.5
+	} else {
+		v -= 0.5
+	}
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// QuantizeTensor builds a tensor from float64 data in (C, H, W) order.
+func QuantizeTensor(c, h, w int, data []float64) (*Tensor, error) {
+	if len(data) != c*h*w {
+		return nil, fmt.Errorf("tensor: %d values for %dx%dx%d tensor", len(data), c, h, w)
+	}
+	t := New(c, h, w)
+	for i, x := range data {
+		t.Data[i] = Quantize(x)
+	}
+	return t, nil
+}
+
+// Im2Col lowers a convolution input into the Algorithm 2 B matrix with
+// explicit padding and stride: rows are the K = C·size² kernel taps,
+// columns the N = outH·outW output pixels.
+func Im2Col(in *Tensor, size, stride, pad int) (b []int16, k, n int) {
+	outH := ConvOut(in.H, size, stride, pad)
+	outW := ConvOut(in.W, size, stride, pad)
+	k = in.C * size * size
+	n = outH * outW
+	b = make([]int16, k*n)
+	row := 0
+	for c := 0; c < in.C; c++ {
+		for dy := 0; dy < size; dy++ {
+			for dx := 0; dx < size; dx++ {
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + dy - pad
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + dx - pad
+						var v int16
+						if iy >= 0 && iy < in.H && ix >= 0 && ix < in.W {
+							v = in.At(c, iy, ix)
+						}
+						b[row*n+oy*outW+ox] = v
+					}
+				}
+				row++
+			}
+		}
+	}
+	return b, k, n
+}
+
+// ConvOut is the convolution/pooling output-size rule.
+func ConvOut(in, size, stride, pad int) int {
+	return (in+2*pad-size)/stride + 1
+}

@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessors(t *testing.T) {
+	tt := New(2, 3, 4)
+	tt.Set(1, 2, 3, -7)
+	if tt.At(1, 2, 3) != -7 || tt.Len() != 24 {
+		t.Error("accessors wrong")
+	}
+	cl := tt.Clone()
+	cl.Set(0, 0, 0, 9)
+	if tt.At(0, 0, 0) == 9 {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestQuantizeEdges(t *testing.T) {
+	tests := []struct {
+		give float64
+		want int16
+	}{
+		{0, 0}, {1, 32}, {-1, -32}, {1e9, 32767}, {-1e9, -32768},
+		{1.0 / 64, 1}, {-1.0 / 64, -1},
+	}
+	for _, tt := range tests {
+		if got := Quantize(tt.give); got != tt.want {
+			t.Errorf("Quantize(%v) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestQuantizeDequantizeProperty(t *testing.T) {
+	f := func(v int16) bool {
+		// Round-trip through float is the identity for representable
+		// values.
+		x := float64(v) / QOne
+		return Quantize(x) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvOut(t *testing.T) {
+	tests := []struct {
+		in, size, stride, pad, want int
+	}{
+		{227, 11, 4, 0, 55}, // AlexNet conv1
+		{55, 3, 2, 0, 27},   // AlexNet pool1
+		{27, 5, 1, 2, 27},   // AlexNet conv2
+		{416, 3, 1, 1, 416}, // YOLO stride-1
+		{416, 3, 2, 1, 208}, // YOLO downsample
+	}
+	for _, tt := range tests {
+		if got := ConvOut(tt.in, tt.size, tt.stride, tt.pad); got != tt.want {
+			t.Errorf("ConvOut(%d,%d,%d,%d) = %d, want %d",
+				tt.in, tt.size, tt.stride, tt.pad, got, tt.want)
+		}
+	}
+}
+
+func TestIm2ColZeroPad(t *testing.T) {
+	in := New(1, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = int16(i + 1)
+	}
+	// 3x3 kernel, stride 1, pad 1: out 3x3; K=9, N=9.
+	b, k, n := Im2Col(in, 3, 1, 1)
+	if k != 9 || n != 9 {
+		t.Fatalf("K=%d N=%d", k, n)
+	}
+	// Top-left output's top-left tap is padding.
+	if b[0] != 0 {
+		t.Errorf("pad tap = %d", b[0])
+	}
+	// Center output (index 4) with center tap (row 4) is input (1,1)=5.
+	if b[4*n+4] != 5 {
+		t.Errorf("center tap = %d, want 5", b[4*n+4])
+	}
+}
+
+func TestIm2ColStrideNoPad(t *testing.T) {
+	in := New(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = int16(i)
+	}
+	// 2x2 kernel, stride 2, no pad: out 2x2.
+	b, k, n := Im2Col(in, 2, 2, 0)
+	if k != 4 || n != 4 {
+		t.Fatalf("K=%d N=%d", k, n)
+	}
+	// Tap (0,0) of output (1,1) is input (2,2) = 10.
+	if b[0*n+3] != 10 {
+		t.Errorf("tap = %d, want 10", b[3])
+	}
+}
+
+func TestQuantizeTensorValidation(t *testing.T) {
+	if _, err := QuantizeTensor(1, 2, 2, []float64{1}); err == nil {
+		t.Error("short data accepted")
+	}
+	tt, err := QuantizeTensor(1, 1, 2, []float64{1, -0.5})
+	if err != nil || tt.Data[0] != 32 || tt.Data[1] != -16 {
+		t.Errorf("QuantizeTensor = %+v, %v", tt, err)
+	}
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Weight-set serialization shared by the GEMM-backed networks (YOLOv3,
+// AlexNet, ResNet-18): a versioned little-endian container of per-layer
+// int16 weight and bias slices. Layers without parameters store empty
+// slices, so a network round-trips positionally.
+
+const (
+	weightsMagic   = 0x31575054 // "TPW1"
+	weightsVersion = 1
+	// maxLayerElems bounds a single slice read so corrupt headers
+	// cannot trigger huge allocations (the largest real layer, YOLOv3's
+	// 1024x512x3x3 conv, has 4.7M weights).
+	maxLayerElems = 64 << 20
+)
+
+// LayerWeights is one layer's parameters.
+type LayerWeights struct {
+	W    []int16
+	Bias []int16
+}
+
+// WriteWeights serializes the layer list.
+func WriteWeights(w io.Writer, layers []LayerWeights) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{weightsMagic, weightsVersion, uint32(len(layers))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("tensor: writing weights header: %w", err)
+		}
+	}
+	for i, l := range layers {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(l.W))); err != nil {
+			return fmt.Errorf("tensor: layer %d: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(l.Bias))); err != nil {
+			return fmt.Errorf("tensor: layer %d: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, l.W); err != nil {
+			return fmt.Errorf("tensor: layer %d weights: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, l.Bias); err != nil {
+			return fmt.Errorf("tensor: layer %d bias: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeights deserializes a layer list written by WriteWeights.
+func ReadWeights(r io.Reader) ([]LayerWeights, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("tensor: reading weights header: %w", err)
+	}
+	if hdr[0] != weightsMagic {
+		return nil, fmt.Errorf("tensor: bad weights magic %#x", hdr[0])
+	}
+	if hdr[1] != weightsVersion {
+		return nil, fmt.Errorf("tensor: unsupported weights version %d", hdr[1])
+	}
+	nLayers := int(hdr[2])
+	if nLayers < 0 || nLayers > 4096 {
+		return nil, fmt.Errorf("tensor: corrupt layer count %d", nLayers)
+	}
+	out := make([]LayerWeights, nLayers)
+	for i := range out {
+		var sizes [2]uint32
+		if err := binary.Read(br, binary.LittleEndian, &sizes); err != nil {
+			return nil, fmt.Errorf("tensor: layer %d sizes: %w", i, err)
+		}
+		if sizes[0] > maxLayerElems || sizes[1] > maxLayerElems {
+			return nil, fmt.Errorf("tensor: layer %d implausibly large (%d, %d)", i, sizes[0], sizes[1])
+		}
+		out[i].W = make([]int16, sizes[0])
+		out[i].Bias = make([]int16, sizes[1])
+		if err := binary.Read(br, binary.LittleEndian, out[i].W); err != nil {
+			return nil, fmt.Errorf("tensor: layer %d weights: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, out[i].Bias); err != nil {
+			return nil, fmt.Errorf("tensor: layer %d bias: %w", i, err)
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("tensor: trailing bytes after weights")
+	}
+	return out, nil
+}

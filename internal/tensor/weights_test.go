@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestWeightsRoundTrip(t *testing.T) {
+	layers := []LayerWeights{
+		{W: []int16{1, -2, 3}, Bias: []int16{7}},
+		{}, // parameterless layer
+		{W: []int16{9}, Bias: []int16{-1, -2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteWeights(&buf, layers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWeights(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("layers = %d", len(got))
+	}
+	for i := range layers {
+		if len(got[i].W) != len(layers[i].W) || len(got[i].Bias) != len(layers[i].Bias) {
+			t.Fatalf("layer %d sizes differ", i)
+		}
+		for j := range layers[i].W {
+			if got[i].W[j] != layers[i].W[j] {
+				t.Errorf("layer %d W[%d]", i, j)
+			}
+		}
+		for j := range layers[i].Bias {
+			if got[i].Bias[j] != layers[i].Bias[j] {
+				t.Errorf("layer %d Bias[%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestWeightsRejectCorruption(t *testing.T) {
+	layers := []LayerWeights{{W: []int16{1, 2}, Bias: []int16{3}}}
+	var buf bytes.Buffer
+	if err := WriteWeights(&buf, layers); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mutate := func(name string, f func([]byte)) {
+		b := append([]byte(nil), good...)
+		f(b)
+		if _, err := ReadWeights(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) { b[0] ^= 0xFF })
+	mutate("bad version", func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 9) })
+	mutate("huge layer count", func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 1<<20) })
+	mutate("huge slice", func(b []byte) { binary.LittleEndian.PutUint32(b[12:], 1<<30) })
+
+	if _, err := ReadWeights(bytes.NewReader(good[:10])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := ReadWeights(bytes.NewReader(append(append([]byte(nil), good...), 1))); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}

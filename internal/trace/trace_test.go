@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	p := NewProfile()
+	p.Record("__addsf3", 57)
+	p.Record("__addsf3", 57)
+	p.Record("__mulsi3", 31)
+	if got := p.Occ("__addsf3"); got != 2 {
+		t.Errorf("Occ = %d, want 2", got)
+	}
+	if got := p.Cycles("__addsf3"); got != 114 {
+		t.Errorf("Cycles = %d, want 114", got)
+	}
+	if got := p.Occ("__divsf3"); got != 0 {
+		t.Errorf("Occ(unrecorded) = %d, want 0", got)
+	}
+}
+
+func TestSubroutinesSorted(t *testing.T) {
+	p := NewProfile()
+	p.Record("__mulsi3", 1)
+	p.Record("__addsf3", 1)
+	p.Record("__divsf3", 1)
+	got := p.Subroutines()
+	want := []string{"__addsf3", "__divsf3", "__mulsi3"}
+	if len(got) != len(want) {
+		t.Fatalf("Subroutines = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Subroutines[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFloatSubroutinesFilter(t *testing.T) {
+	p := NewProfile()
+	p.Record("__addsf3", 1)
+	p.Record("__mulsi3", 1) // integer: excluded
+	p.Record("__ltsf2", 1)
+	p.Record("__adddf3", 1) // double: included
+	got := p.FloatSubroutines()
+	if len(got) != 3 {
+		t.Errorf("FloatSubroutines = %v, want 3 entries", got)
+	}
+	for _, n := range got {
+		if n == "__mulsi3" {
+			t.Error("integer subroutine leaked into float list")
+		}
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	p := NewProfile()
+	p.Record("a", 1)
+	s := p.Snapshot()
+	s["a"] = 99
+	if p.Occ("a") != 1 {
+		t.Error("snapshot mutation affected profile")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := NewProfile()
+	p.Record("a", 1)
+	p.Reset()
+	if p.Occ("a") != 0 || len(p.Subroutines()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewProfile()
+	b := NewProfile()
+	a.Record("x", 10)
+	b.Record("x", 5)
+	b.Record("y", 1)
+	a.Merge(b)
+	if a.Occ("x") != 2 || a.Cycles("x") != 15 || a.Occ("y") != 1 {
+		t.Errorf("merge wrong: x occ=%d cyc=%d, y occ=%d", a.Occ("x"), a.Cycles("x"), a.Occ("y"))
+	}
+	// b unchanged
+	if b.Occ("x") != 1 {
+		t.Error("merge mutated source")
+	}
+}
+
+func TestReportOrderingAndContent(t *testing.T) {
+	p := NewProfile()
+	p.Record("cheap", 1)
+	p.Record("expensive", 1000)
+	rep := p.Report()
+	if !strings.Contains(rep, "#occ") {
+		t.Error("report missing #occ header")
+	}
+	if strings.Index(rep, "expensive") > strings.Index(rep, "cheap") {
+		t.Errorf("report not sorted by cycles:\n%s", rep)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	before := NewProfile()
+	before.RecordN("__divsf3", 100, 1072)
+	before.RecordN("__mulsi3", 5, 31)
+	after := NewProfile()
+	after.RecordN("__mulsi3", 50, 31)
+
+	rows := Diff(before, after)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// __divsf3 has the largest cycle reduction: first.
+	if rows[0].Name != "__divsf3" {
+		t.Errorf("first row = %s", rows[0].Name)
+	}
+	if rows[0].BeforeOcc != 100 || rows[0].AfterOcc != 0 {
+		t.Errorf("divsf3 occ %d -> %d", rows[0].BeforeOcc, rows[0].AfterOcc)
+	}
+	if rows[1].Name != "__mulsi3" || rows[1].AfterOcc != 50 {
+		t.Errorf("mulsi3 row: %+v", rows[1])
+	}
+	out := FormatDiff(rows)
+	if !strings.Contains(out, "__divsf3") || !strings.Contains(out, "occ before") {
+		t.Errorf("FormatDiff output:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	p := NewProfile()
+	p.Record("__addsf3", 57)
+	p.Record("__addsf3", 57)
+	p.Record("__divsf3", 1072)
+	csv := p.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d: %q", len(lines), csv)
+	}
+	if lines[0] != "subroutine,occ,cycles" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "__divsf3,1,1072" {
+		t.Errorf("first row = %q (sorted by cycles)", lines[1])
+	}
+	if lines[2] != "__addsf3,2,114" {
+		t.Errorf("second row = %q", lines[2])
+	}
+	var nilP *Profile
+	if nilP.CSV() != "" {
+		t.Error("nil CSV not empty")
+	}
+}
+
+func TestNilProfileSafe(t *testing.T) {
+	var p *Profile
+	p.Record("x", 1) // must not panic
+	if p.Occ("x") != 0 || p.Cycles("x") != 0 || p.Subroutines() != nil ||
+		p.Snapshot() != nil || p.Report() != "" {
+		t.Error("nil profile not inert")
+	}
+	p.Reset()
+	p.Merge(NewProfile())
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	p := NewProfile()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				p.Record("op", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Occ("op"); got != 8000 {
+		t.Errorf("concurrent Occ = %d, want 8000", got)
+	}
+	if got := p.Cycles("op"); got != 16000 {
+		t.Errorf("concurrent Cycles = %d, want 16000", got)
+	}
+}

@@ -1,0 +1,164 @@
+package yolo
+
+import (
+	"fmt"
+
+	"pimdnn/internal/gemm"
+)
+
+// ForwardBatch runs a batch of images with the image-per-DPU mapping the
+// thesis's future work proposes (§6.1): every DPU holds one image's
+// im2col matrix and computes entire convolution layers for it, emulating
+// the eBNN multi-image-per-DPU method. The runner must have batch mode
+// enabled with maxM >= the largest filter count (Network.MaxFilters).
+//
+// Results are bit-exact against per-image Forward.
+func (n *Network) ForwardBatch(inputs []*Tensor, r *gemm.Runner) ([]*Result, *ForwardStats, error) {
+	if len(inputs) == 0 {
+		return nil, nil, fmt.Errorf("yolo: empty batch")
+	}
+	for i, in := range inputs {
+		if in.C != 3 || in.H != n.Cfg.InputSize || in.W != n.Cfg.InputSize {
+			return nil, nil, fmt.Errorf("yolo: input %d is %dx%dx%d, want 3x%dx%d",
+				i, in.C, in.H, in.W, n.Cfg.InputSize, n.Cfg.InputSize)
+		}
+	}
+	if r == nil {
+		return nil, nil, fmt.Errorf("yolo: ForwardBatch requires a batch-enabled runner")
+	}
+
+	nImg := len(inputs)
+	outputs := make([][]*Tensor, nImg)
+	for i := range outputs {
+		outputs[i] = make([]*Tensor, len(n.Defs))
+	}
+	curs := make([]*Tensor, nImg)
+	copy(curs, inputs)
+	results := make([]*Result, nImg)
+	for i := range results {
+		results[i] = &Result{}
+	}
+	stats := &ForwardStats{}
+
+	for li, def := range n.Defs {
+		switch def.Kind {
+		case Conv:
+			bs := make([][]int16, nImg)
+			var k, cols int
+			for i := range curs {
+				b, kk, cc := Im2Col(curs[i], def.Size, def.Stride)
+				bs[i], k, cols = b, kk, cc
+			}
+			cs, st, err := r.MultiplyBatch(def.Filters, cols, k, 1, n.Weights[li].W, bs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("yolo: layer %d: %w", li, err)
+			}
+			stats.Layers = append(stats.Layers, LayerStat{
+				Layer: li, Kind: Conv, DPUsUsed: st.DPUsUsed,
+				Cycles: st.Cycles, Seconds: st.Seconds,
+			})
+			stats.Cycles += st.Cycles
+			stats.Seconds += st.Seconds
+			s := n.shapes[li]
+			for i := range curs {
+				applyBiasAct(cs[i], def.Filters, cols, n.Weights[li].Bias, def.Activation)
+				curs[i] = &Tensor{C: s.c, H: s.h, W: s.w, Data: cs[i]}
+			}
+		case Shortcut:
+			for i := range curs {
+				out := curs[i].Clone()
+				shortcutAdd(out, outputs[i][li+def.From])
+				curs[i] = out
+			}
+		case Route:
+			for i := range curs {
+				srcs := make([]*Tensor, len(def.Layers))
+				for j, ref := range def.Layers {
+					src := ref
+					if ref < 0 {
+						src = li + ref
+					}
+					srcs[j] = outputs[i][src]
+				}
+				curs[i] = routeConcat(srcs)
+			}
+		case Upsample:
+			for i := range curs {
+				curs[i] = upsample(curs[i], def.Stride)
+			}
+		case Yolo:
+			for i := range curs {
+				results[i].YoloOutputs = append(results[i].YoloOutputs, curs[i])
+				results[i].Detections = append(results[i].Detections,
+					n.decodeScale(curs[i], def.Mask)...)
+			}
+		}
+		for i := range curs {
+			outputs[i][li] = curs[i]
+		}
+	}
+	for i := range results {
+		results[i].Detections = NMS(results[i].Detections, 0.45)
+	}
+	return results, stats, nil
+}
+
+// SizePoint is one sample of the network-size study.
+type SizePoint struct {
+	InputSize int
+	WidthDiv  int
+	MACs      int64
+	// Seconds is the estimated single-image latency on the full system.
+	Seconds float64
+	// SecondsPerMAC normalizes latency by work — the efficiency curve
+	// that shows where the UPMEM mapping stops paying off.
+	SecondsPerMAC float64
+	// MeanDPUs is the average number of DPUs the row-per-DPU mapping
+	// keeps busy (the mean conv filter count); Utilization divides it
+	// by the system size. Small networks leave most of the 2,560 DPUs
+	// idle — the §6.1 "where UPMEM starts losing performance" answer.
+	MeanDPUs    float64
+	Utilization float64
+}
+
+// SizeSweep answers the thesis's future-work question "for what network
+// size does UPMEM's system start losing performance" (§6.1): it estimates
+// the latency of the 75-conv YOLOv3 graph across input resolutions at a
+// fixed width divisor.
+func SizeSweep(sizes []int, widthDiv int, ec EstimateConfig) ([]SizePoint, error) {
+	out := make([]SizePoint, 0, len(sizes))
+	for _, s := range sizes {
+		cfg := Config{InputSize: s, Classes: 80, WidthDiv: widthDiv, Seed: 1}
+		net, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		total, _, err := net.EstimateSeconds(ec)
+		if err != nil {
+			return nil, err
+		}
+		macs := net.MACs()
+		var filters, convs int
+		for _, def := range net.Defs {
+			if def.Kind == Conv {
+				filters += def.Filters
+				convs++
+			}
+		}
+		meanDPUs := float64(filters) / float64(convs)
+		used := meanDPUs
+		if used > float64(ec.DPUs) {
+			used = float64(ec.DPUs)
+		}
+		out = append(out, SizePoint{
+			InputSize:     s,
+			WidthDiv:      widthDiv,
+			MACs:          macs,
+			Seconds:       total,
+			SecondsPerMAC: total / float64(macs),
+			MeanDPUs:      meanDPUs,
+			Utilization:   used / float64(ec.DPUs),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package yolo
+
+import (
+	"math"
+	"sort"
+)
+
+// ConfidenceThreshold filters detections before NMS (darknet default).
+const ConfidenceThreshold = 0.5
+
+// Detection is one decoded box in input-image pixel coordinates.
+type Detection struct {
+	// X, Y are the box center; W, H its size, all in pixels.
+	X, Y, W, H float64
+	// Class is the argmax class index; Confidence is
+	// objectness × class probability.
+	Class      int
+	Confidence float64
+}
+
+// decodeScale converts one yolo head tensor to detections. The tensor is
+// (3*(5+classes), g, g); per anchor a and cell (cy, cx):
+//
+//	bx = (sigmoid(tx) + cx) * stride
+//	by = (sigmoid(ty) + cy) * stride
+//	bw = anchor.W * exp(tw)
+//	bh = anchor.H * exp(th)
+//
+// Objectness and class scores pass through sigmoid. This stage runs on
+// the host in floating point: the thesis delegates only the data-centric
+// GEMM to DPUs (§4.2.3), and the decode consumes dequantized activations.
+func (n *Network) decodeScale(t *Tensor, mask []int) []Detection {
+	var dets []Detection
+	grid := t.H
+	stride := float64(n.Cfg.InputSize) / float64(grid)
+	per := 5 + n.Cfg.Classes
+	for ai, aIdx := range mask {
+		anchor := n.anchors[aIdx]
+		base := ai * per
+		for cy := 0; cy < grid; cy++ {
+			for cx := 0; cx < grid; cx++ {
+				get := func(ch int) float64 {
+					return float64(t.At(base+ch, cy, cx)) / QOne
+				}
+				obj := sigmoid(get(4))
+				if obj < ConfidenceThreshold {
+					continue
+				}
+				bestC, bestP := 0, 0.0
+				for c := 0; c < n.Cfg.Classes; c++ {
+					if p := sigmoid(get(5 + c)); p > bestP {
+						bestC, bestP = c, p
+					}
+				}
+				conf := obj * bestP
+				if conf < ConfidenceThreshold {
+					continue
+				}
+				dets = append(dets, Detection{
+					X:          (sigmoid(get(0)) + float64(cx)) * stride,
+					Y:          (sigmoid(get(1)) + float64(cy)) * stride,
+					W:          anchor.W * math.Exp(clampExp(get(2))),
+					H:          anchor.H * math.Exp(clampExp(get(3))),
+					Class:      bestC,
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	return dets
+}
+
+// clampExp bounds tw/th so synthetic activations cannot explode exp.
+func clampExp(x float64) float64 {
+	if x > 4 {
+		return 4
+	}
+	if x < -4 {
+		return -4
+	}
+	return x
+}
+
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// IoU computes intersection-over-union of two center-format boxes.
+func IoU(a, b Detection) float64 {
+	ax0, ay0, ax1, ay1 := a.X-a.W/2, a.Y-a.H/2, a.X+a.W/2, a.Y+a.H/2
+	bx0, by0, bx1, by1 := b.X-b.W/2, b.Y-b.H/2, b.X+b.W/2, b.Y+b.H/2
+	ix := math.Min(ax1, bx1) - math.Max(ax0, bx0)
+	iy := math.Min(ay1, by1) - math.Max(ay0, by0)
+	if ix <= 0 || iy <= 0 {
+		return 0
+	}
+	inter := ix * iy
+	union := a.W*a.H + b.W*b.H - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// NMS performs per-class non-maximum suppression at the given IoU
+// threshold, keeping the highest-confidence box of each overlapping
+// cluster.
+func NMS(dets []Detection, iouThreshold float64) []Detection {
+	sorted := append([]Detection(nil), dets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Confidence > sorted[j].Confidence })
+	var keep []Detection
+	for _, d := range sorted {
+		ok := true
+		for _, k := range keep {
+			if k.Class == d.Class && IoU(k, d) > iouThreshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, d)
+		}
+	}
+	return keep
+}

@@ -1,0 +1,183 @@
+package yolo
+
+import (
+	"fmt"
+
+	"pimdnn/internal/dpu"
+)
+
+// EstimateConfig parameterizes the analytic latency estimate.
+type EstimateConfig struct {
+	Opt      dpu.OptLevel
+	Tasklets int
+	// DPUs is the system size available to the row-per-DPU mapping.
+	DPUs int
+	// TileCols matches the GEMM runner's tile width (tiled kernel).
+	TileCols int
+	// Naive selects the thesis-faithful kernel with MRAM-resident ctmp
+	// (see gemm.RunnerConfig.Naive).
+	Naive bool
+	// FrequencyHz is the DPU clock.
+	FrequencyHz float64
+}
+
+// DefaultEstimateConfig mirrors the thesis's measured configuration:
+// threading + O3 on the 2,560-DPU system running its own (MRAM-bound)
+// kernel (§4.3.1).
+func DefaultEstimateConfig() EstimateConfig {
+	return EstimateConfig{
+		Opt:         dpu.O3,
+		Tasklets:    11,
+		DPUs:        dpu.SystemDPUs,
+		TileCols:    256,
+		Naive:       true,
+		FrequencyHz: dpu.DefaultFrequencyHz,
+	}
+}
+
+// EstimateSeconds computes the single-image inference latency of the
+// network analytically, layer by layer, mirroring the charge structure of
+// the simulated GEMM kernels exactly. It exists because the full 416×416
+// YOLOv3 (~33 GMACs) is too large to simulate operation-by-operation; on
+// networks small enough to run both ways the estimate tracks the
+// simulator within a few percent (verified in tests).
+//
+// The thesis's measured best case is 65 s per image with a ~6 s max layer
+// (§4.3.1); the Naive estimate reproduces that order for the full
+// configuration.
+func (n *Network) EstimateSeconds(ec EstimateConfig) (total float64, perLayer []float64, err error) {
+	if ec.Tasklets < 1 || ec.Tasklets > dpu.MaxTasklets {
+		return 0, nil, fmt.Errorf("yolo: estimate tasklets %d outside 1..%d", ec.Tasklets, dpu.MaxTasklets)
+	}
+	if ec.DPUs < 1 || ec.TileCols < 4 || ec.FrequencyHz <= 0 {
+		return 0, nil, fmt.Errorf("yolo: bad estimate config %+v", ec)
+	}
+	perLayer = make([]float64, 0, 80)
+	cur := shape{c: 3, h: n.Cfg.InputSize, w: n.Cfg.InputSize}
+	for i, def := range n.Defs {
+		s := n.shapes[i]
+		if def.Kind != Conv {
+			cur = s
+			continue
+		}
+		k := cur.c * def.Size * def.Size
+		cols := s.h * s.w
+		var cycles uint64
+		if ec.Naive {
+			cycles = naiveLayerCycles(k, cols, ec)
+		} else {
+			cycles = tiledLayerCycles(k, cols, ec)
+		}
+		waves := (def.Filters + ec.DPUs - 1) / ec.DPUs
+		sec := float64(cycles) * float64(waves) / ec.FrequencyHz
+		perLayer = append(perLayer, sec)
+		total += sec
+		cur = s
+	}
+	return total, perLayer, nil
+}
+
+// dpuCycles applies the pipeline model to per-tasklet slot/DMA tallies.
+func dpuCycles(slots, dma []uint64) uint64 {
+	var busy, port, crit uint64
+	for i := range slots {
+		busy += slots[i]
+		port += dma[i]
+		if c := slots[i]*dpu.PipelineDepth + dma[i]; c > crit {
+			crit = c
+		}
+	}
+	cycles := busy
+	if crit > cycles {
+		cycles = crit
+	}
+	if port > cycles {
+		cycles = port
+	}
+	return cycles
+}
+
+// tiledLayerCycles mirrors gemm.Runner.kernel's charges for one DPU
+// computing one output row.
+func tiledLayerCycles(k, cols int, ec EstimateConfig) uint64 {
+	var (
+		loadS  = dpu.OpSlots(dpu.OpLoad, ec.Opt)
+		storeS = dpu.OpSlots(dpu.OpStore, ec.Opt)
+		mulS   = dpu.OpSlots(dpu.OpMul16, ec.Opt)
+		addS   = dpu.OpSlots(dpu.OpAddInt, ec.Opt)
+		shiftS = dpu.OpSlots(dpu.OpShift, ec.Opt)
+		brS    = dpu.OpSlots(dpu.OpBranch, ec.Opt)
+	)
+	T := ec.Tasklets
+	slots := make([]uint64, T)
+	dma := make([]uint64, T)
+
+	// Every tasklet reads the params and stages APART (A-row loads and
+	// multiplies); tasklet 0 additionally DMAs the A row from MRAM.
+	setup := 3*loadS + uint64(k)*(loadS+mulS)
+	for t := 0; t < T; t++ {
+		slots[t] = setup
+	}
+	aBytes := (k*2 + 7) &^ 7
+	for off := 0; off < aBytes; off += dpu.MaxDMATransfer {
+		chunk := aBytes - off
+		if chunk > dpu.MaxDMATransfer {
+			chunk = dpu.MaxDMATransfer
+		}
+		dma[0] += dpu.DMACost(chunk)
+	}
+
+	tiles := (cols + ec.TileCols - 1) / ec.TileCols
+	for tile := 0; tile < tiles; tile++ {
+		t := tile % T
+		c := cols - tile*ec.TileCols
+		if c > ec.TileCols {
+			c = ec.TileCols
+		}
+		chunkBytes := (c*2 + 7) &^ 7
+		perElemPerK := 2*loadS + mulS + addS + storeS
+		slots[t] += uint64(c) * storeS // ctmp zeroing
+		slots[t] += uint64(k) * uint64(c) * perElemPerK
+		slots[t] += uint64(c) * (shiftS + brS + storeS) // output clamp
+		dma[t] += uint64(k)*dpu.DMACost(chunkBytes) + dpu.DMACost(chunkBytes)
+	}
+	return dpuCycles(slots, dma)
+}
+
+// naiveLayerCycles mirrors gemm.Runner.kernelNaive's charges.
+func naiveLayerCycles(k, cols int, ec EstimateConfig) uint64 {
+	var (
+		loadS  = dpu.OpSlots(dpu.OpLoad, ec.Opt)
+		mulS   = dpu.OpSlots(dpu.OpMul16, ec.Opt)
+		addS   = dpu.OpSlots(dpu.OpAddInt, ec.Opt)
+		shiftS = dpu.OpSlots(dpu.OpShift, ec.Opt)
+		brS    = dpu.OpSlots(dpu.OpBranch, ec.Opt)
+	)
+	T := ec.Tasklets
+	slots := make([]uint64, T)
+	dma := make([]uint64, T)
+
+	aBytes := (k*2 + 7) &^ 7
+	for off := 0; off < aBytes; off += dpu.MaxDMATransfer {
+		chunk := aBytes - off
+		if chunk > dpu.MaxDMATransfer {
+			chunk = dpu.MaxDMATransfer
+		}
+		dma[0] += dpu.DMACost(chunk)
+	}
+	for t := 0; t < T; t++ {
+		nCols := (cols - t + T - 1) / T
+		if nCols <= 0 {
+			slots[t] += 3 * loadS
+			continue
+		}
+		perK := loadS + mulS + // APART
+			uint64(nCols)*(mulS+2*addS) // MAC + index
+		slots[t] += 3*loadS + uint64(k)*perK
+		dma[t] += uint64(k) * uint64(3*nCols) * dpu.DMACost(8) // ctmp RMW + B read
+		// Output pass.
+		slots[t] += uint64(nCols) * (shiftS + brS)
+		dma[t] += uint64(2*nCols) * dpu.DMACost(8)
+	}
+	return dpuCycles(slots, dma)
+}

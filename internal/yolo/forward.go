@@ -1,0 +1,115 @@
+package yolo
+
+import (
+	"fmt"
+
+	"pimdnn/internal/gemm"
+)
+
+// LayerStat records one layer's DPU execution.
+type LayerStat struct {
+	Layer    int
+	Kind     LayerKind
+	DPUsUsed int
+	Cycles   uint64
+	Seconds  float64
+}
+
+// ForwardStats aggregates a DPU forward pass.
+type ForwardStats struct {
+	Layers []LayerStat
+	// Cycles and Seconds sum the conv layers' DPU time (the host-side
+	// layers are not part of the delegated workload, §4.2.3).
+	Cycles  uint64
+	Seconds float64
+}
+
+// MaxLayerSeconds returns the slowest single layer (the thesis reports a
+// ~6 s max layer within the 65 s total, §4.3.1).
+func (s ForwardStats) MaxLayerSeconds() float64 {
+	var m float64
+	for _, l := range s.Layers {
+		if l.Seconds > m {
+			m = l.Seconds
+		}
+	}
+	return m
+}
+
+// Result carries the network outputs.
+type Result struct {
+	// YoloOutputs are the raw detection tensors at the three scales.
+	YoloOutputs []*Tensor
+	// Detections are the decoded, NMS-filtered boxes.
+	Detections []Detection
+}
+
+// Forward runs the network. If runner is nil every convolution uses the
+// host reference GEMM; otherwise convolutions are delegated to the DPU
+// system with the Fig 4.6 row-per-DPU mapping. Both paths are bit-exact
+// against each other.
+func (n *Network) Forward(input *Tensor, runner *gemm.Runner) (*Result, *ForwardStats, error) {
+	if input.C != 3 || input.H != n.Cfg.InputSize || input.W != n.Cfg.InputSize {
+		return nil, nil, fmt.Errorf("yolo: input %dx%dx%d, want 3x%dx%d",
+			input.C, input.H, input.W, n.Cfg.InputSize, n.Cfg.InputSize)
+	}
+	outputs := make([]*Tensor, len(n.Defs))
+	stats := &ForwardStats{}
+	res := &Result{}
+	cur := input
+
+	for i, def := range n.Defs {
+		switch def.Kind {
+		case Conv:
+			b, k, cols := Im2Col(cur, def.Size, def.Stride)
+			var (
+				c   []int16
+				err error
+			)
+			if runner == nil {
+				c, err = gemm.Reference(def.Filters, cols, k, 1, n.Weights[i].W, b)
+				if err != nil {
+					return nil, nil, fmt.Errorf("yolo: layer %d: %w", i, err)
+				}
+			} else {
+				var st gemm.Stats
+				c, st, err = runner.Multiply(def.Filters, cols, k, 1, n.Weights[i].W, b)
+				if err != nil {
+					return nil, nil, fmt.Errorf("yolo: layer %d: %w", i, err)
+				}
+				stats.Layers = append(stats.Layers, LayerStat{
+					Layer: i, Kind: Conv, DPUsUsed: st.DPUsUsed,
+					Cycles: st.Cycles, Seconds: st.Seconds,
+				})
+				stats.Cycles += st.Cycles
+				stats.Seconds += st.Seconds
+			}
+			applyBiasAct(c, def.Filters, cols, n.Weights[i].Bias, def.Activation)
+			s := n.shapes[i]
+			cur = &Tensor{C: s.c, H: s.h, W: s.w, Data: c}
+		case Shortcut:
+			out := cur.Clone()
+			shortcutAdd(out, outputs[i+def.From])
+			cur = out
+		case Route:
+			srcs := make([]*Tensor, len(def.Layers))
+			for j, ref := range def.Layers {
+				src := ref
+				if ref < 0 {
+					src = i + ref
+				}
+				srcs[j] = outputs[src]
+			}
+			cur = routeConcat(srcs)
+		case Upsample:
+			cur = upsample(cur, def.Stride)
+		case Yolo:
+			res.YoloOutputs = append(res.YoloOutputs, cur)
+			dets := n.decodeScale(cur, def.Mask)
+			res.Detections = append(res.Detections, dets...)
+		}
+		outputs[i] = cur
+	}
+	res.Detections = NMS(res.Detections, 0.45)
+	return res, stats, nil
+}

@@ -1,0 +1,41 @@
+package yolo
+
+import "math/rand"
+
+// SyntheticScene renders a deterministic test image: a smooth gradient
+// background with a few high-contrast rectangles, standing in for the
+// thesis's 416×416 example photograph (§4.2.2 — the reference dog image
+// is not vendored; the network input only needs realistic dynamic range).
+func SyntheticScene(size int, seed int64) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := NewTensor(3, size, size)
+	// Gradient background per channel.
+	for c := 0; c < 3; c++ {
+		phase := rng.Float64()
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				v := 0.25 + 0.5*(phase*float64(x)+(1-phase)*float64(y))/float64(size)
+				t.Set(c, y, x, Quantize(v))
+			}
+		}
+	}
+	// Planted rectangles with distinct per-channel intensity.
+	for i := 0; i < 4; i++ {
+		w := size/8 + rng.Intn(size/4)
+		h := size/8 + rng.Intn(size/4)
+		x0 := rng.Intn(size - w)
+		y0 := rng.Intn(size - h)
+		var col [3]float64
+		for c := range col {
+			col[c] = rng.Float64()
+		}
+		for y := y0; y < y0+h; y++ {
+			for x := x0; x < x0+w; x++ {
+				for c := 0; c < 3; c++ {
+					t.Set(c, y, x, Quantize(col[c]))
+				}
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,80 @@
+package yolo
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadWeights(t *testing.T) {
+	n1, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n1.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second network with a different seed diverges...
+	cfg2 := tinyConfig()
+	cfg2.Seed = 99
+	n2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := SyntheticScene(32, 12)
+	r1, _, err := n1.Forward(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := n2.Forward(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for s := range r1.YoloOutputs {
+		for i := range r1.YoloOutputs[s].Data {
+			if r1.YoloOutputs[s].Data[i] != r2.YoloOutputs[s].Data[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical networks")
+	}
+
+	// ...until it loads n1's weights, after which it is bit-identical.
+	if err := n2.LoadWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r3, _, err := n2.Forward(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range r1.YoloOutputs {
+		for i := range r1.YoloOutputs[s].Data {
+			if r1.YoloOutputs[s].Data[i] != r3.YoloOutputs[s].Data[i] {
+				t.Fatalf("scale %d element %d differs after weight load", s, i)
+			}
+		}
+	}
+}
+
+func TestLoadWeightsRejectsMismatchedGraph(t *testing.T) {
+	n1, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n1.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A wider graph must reject the weight file.
+	wide, err := New(Config{InputSize: 32, Classes: 1, WidthDiv: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.LoadWeights(&buf); err == nil {
+		t.Error("mismatched weight file accepted")
+	}
+}
