@@ -1,0 +1,28 @@
+# Build/test entry points. `make ci` is the full gate: vet, build, tests,
+# and a race pass over the packages with cross-goroutine state (the host
+# runtime's worker pool + sharded transfers, the trace profile, and the
+# gemm runner that drives parallel launches).
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/host ./internal/trace ./internal/gemm
+
+# Regenerate BENCH_baseline.json (see DESIGN.md, "Simulator performance").
+bench:
+	scripts/bench.sh
+
+ci: vet build test race

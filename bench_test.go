@@ -8,6 +8,7 @@ package pimdnn_test
 
 import (
 	"testing"
+	"time"
 
 	"pimdnn/internal/dpu"
 	"pimdnn/internal/ebnn"
@@ -187,6 +188,7 @@ func BenchmarkFig47aTaskletSpeedup(b *testing.B) {
 	m, imgs := trainBenchModel(b)
 	for _, tl := range []int{1, 4, 8, 11, 16} {
 		b.Run("eBNN/tasklets="+itoa(tl), func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				st, _ := runEBNN(b, m, imgs, true, 1, tl)
@@ -203,6 +205,7 @@ func BenchmarkFig47aTaskletSpeedup(b *testing.B) {
 	img := yolo.SyntheticScene(32, 5)
 	for _, tl := range []int{1, 4, 8, 11, 16} {
 		b.Run("YOLO/tasklets="+itoa(tl), func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				sys, _ := host.NewSystem(2, host.DefaultConfig(dpu.O3))
@@ -242,6 +245,7 @@ func BenchmarkFig47bOptimization(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var sec float64
 			for i := 0; i < b.N; i++ {
 				sys, _ := host.NewSystem(2, host.DefaultConfig(c.opt))
@@ -283,6 +287,7 @@ func BenchmarkFig47cMultiDPU(b *testing.B) {
 
 func BenchmarkHeadlineLatency(b *testing.B) {
 	b.Run("eBNN-single-DPU", func(b *testing.B) {
+		b.ReportAllocs()
 		m, imgs := trainBenchModel(b)
 		var perImage float64
 		for i := 0; i < b.N; i++ {
@@ -293,6 +298,7 @@ func BenchmarkHeadlineLatency(b *testing.B) {
 		b.ReportMetric(1.48e-3, "paper-s/image")
 	})
 	b.Run("YOLOv3-full-estimate", func(b *testing.B) {
+		b.ReportAllocs()
 		net, err := yolo.New(yolo.FullConfig())
 		if err != nil {
 			b.Fatal(err)
@@ -315,6 +321,49 @@ func BenchmarkHeadlineLatency(b *testing.B) {
 		b.ReportMetric(65, "paper-s/image")
 		b.ReportMetric(maxLayer, "max-layer-s")
 	})
+}
+
+// --- Simulator throughput: wall-clock health of the simulator itself ---
+
+// BenchmarkSimulatorWallClock tracks how fast the simulator runs, as
+// opposed to how fast the simulated hardware is: it drives the E7
+// YOLO/GEMM forward path on a persistent system/runner pair and reports
+// simulated DPU cycles retired per second of host wall-clock time.
+// Simulated metrics are invariant under host-side optimization, so this
+// is the number perf PRs move (see DESIGN.md "Simulator performance" and
+// scripts/bench.sh).
+func BenchmarkSimulatorWallClock(b *testing.B) {
+	b.ReportAllocs()
+	net, err := yolo.New(yolo.Config{InputSize: 32, Classes: 1, WidthDiv: 64, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := yolo.SyntheticScene(32, 5)
+	sys, err := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	maxK, maxN := net.GEMMBounds()
+	r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+		MaxK: maxK, MaxN: maxN, Tasklets: 11, TileCols: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		_, st, err := net.Forward(img, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += st.Cycles
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(cycles)/elapsed, "sim-cycles/s")
+	}
 }
 
 // --- E11: Table 5.1 — computational model on AlexNet ---

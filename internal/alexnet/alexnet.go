@@ -344,11 +344,15 @@ func (n *Network) Forward(input *tensor.Tensor, runner *gemm.Runner) ([]int16, *
 		return c, nil
 	}
 
+	// One im2col patch matrix reused across conv layers; the GEMM stages
+	// it into DPU MRAM (or consumes it host-side) before returning.
+	var im2colBuf []int16
 	for i, def := range n.Defs {
 		s := n.shapes[i]
 		switch def.Kind {
 		case Conv:
-			b, k, cols := tensor.Im2Col(cur, def.Size, def.Stride, def.Pad)
+			b, k, cols := tensor.Im2ColInto(im2colBuf, cur, def.Size, def.Stride, def.Pad)
+			im2colBuf = b
 			c, err := runGEMM(i, def.Filters, cols, k, b)
 			if err != nil {
 				return nil, nil, fmt.Errorf("alexnet: layer %d: %w", i, err)

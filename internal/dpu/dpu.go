@@ -142,6 +142,18 @@ type DPU struct {
 	totalCycles uint64
 	launches    int
 	log         []byte
+
+	// scratch holds the per-launch tasklet state, reused so Launch does
+	// not heap-allocate tasklet structs on every call. Launch was never
+	// safe for concurrent use on one DPU (tasklets share WRAM state);
+	// the scratch reuse relies on the same sequencing.
+	scratch launchScratch
+}
+
+// launchScratch is the reusable tasklet storage of one DPU.
+type launchScratch struct {
+	tasklets [MaxTasklets]Tasklet
+	ptrs     [MaxTasklets]*Tasklet
 }
 
 // New creates a DPU with the given configuration.
@@ -149,13 +161,17 @@ func New(cfg Config) (*DPU, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &DPU{
+	d := &DPU{
 		cfg:       cfg,
 		wram:      make([]byte, cfg.WRAMSize),
 		mramPages: make(map[int64][]byte),
 		symbols:   make(map[string]Symbol),
 		prof:      trace.NewProfile(),
-	}, nil
+	}
+	for i := range d.scratch.ptrs {
+		d.scratch.ptrs[i] = &d.scratch.tasklets[i]
+	}
+	return d, nil
 }
 
 // MustNew is New for static configurations known to be valid; it panics
@@ -292,9 +308,9 @@ func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
 			n, stack, MinStackBytes)
 	}
 
-	tasklets := make([]*Tasklet, n)
-	for i := range tasklets {
-		tasklets[i] = &Tasklet{dpu: d, id: i, count: n}
+	tasklets := d.scratch.ptrs[:n]
+	for i, t := range tasklets {
+		*t = Tasklet{dpu: d, id: i, count: n}
 	}
 	for _, t := range tasklets {
 		if err := d.runTasklet(t, kernel); err != nil {
@@ -382,14 +398,24 @@ func (d *DPU) CopyToMRAM(off int64, data []byte) error {
 
 // CopyFromMRAM reads n bytes from MRAM at off.
 func (d *DPU) CopyFromMRAM(off int64, n int) ([]byte, error) {
-	if err := d.checkDMAArgs(off, n); err != nil {
+	out := make([]byte, n)
+	if err := d.CopyFromMRAMInto(off, out); err != nil {
 		return nil, err
 	}
-	out := make([]byte, n)
+	return out, nil
+}
+
+// CopyFromMRAMInto reads len(dst) bytes from MRAM at off into dst,
+// letting callers reuse a buffer across transfers instead of allocating
+// per read.
+func (d *DPU) CopyFromMRAMInto(off int64, dst []byte) error {
+	if err := d.checkDMAArgs(off, len(dst)); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.mramRead(off, out)
-	return out, nil
+	d.mramRead(off, dst)
+	return nil
 }
 
 // CopyToWRAM writes a host-visible WRAM variable.
@@ -405,14 +431,24 @@ func (d *DPU) CopyToWRAM(off int64, data []byte) error {
 
 // CopyFromWRAM reads a host-visible WRAM variable.
 func (d *DPU) CopyFromWRAM(off int64, n int) ([]byte, error) {
-	if off < 0 || off+int64(n) > int64(d.cfg.WRAMSize) {
-		return nil, fmt.Errorf("dpu: WRAM read [%d, %d) outside [0, %d)", off, off+int64(n), d.cfg.WRAMSize)
-	}
 	out := make([]byte, n)
-	d.mu.Lock()
-	copy(out, d.wram[off:])
-	d.mu.Unlock()
+	if err := d.CopyFromWRAMInto(off, out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// CopyFromWRAMInto reads len(dst) bytes of WRAM at off into dst, the
+// allocation-free variant kernels use for per-tasklet scratch buffers.
+func (d *DPU) CopyFromWRAMInto(off int64, dst []byte) error {
+	n := len(dst)
+	if off < 0 || off+int64(n) > int64(d.cfg.WRAMSize) {
+		return fmt.Errorf("dpu: WRAM read [%d, %d) outside [0, %d)", off, off+int64(n), d.cfg.WRAMSize)
+	}
+	d.mu.Lock()
+	copy(dst, d.wram[off:])
+	d.mu.Unlock()
+	return nil
 }
 
 func (d *DPU) checkDMAArgs(off int64, n int) error {

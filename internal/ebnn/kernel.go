@@ -59,6 +59,24 @@ type Runner struct {
 	useLUT   bool
 	tasklets int
 	layout   kernelLayout
+
+	// kernelFn is the kernel closure, built once at NewRunner and reused
+	// for every launch.
+	kernelFn dpu.KernelFunc
+
+	// Resolved symbol handles for the per-wave transfer loops.
+	refImages, refNImages, refResults host.SymbolRef
+
+	// Host-side staging reused across waves and Infer calls; Infer is
+	// not safe for concurrent use on one Runner (the DPU symbols are
+	// shared state), so plain fields suffice.
+	imgStage []byte   // flat backing for imgBufs
+	cntStage []byte   // flat backing for cntBufs
+	imgBufs  [][]byte // per-DPU image batch views
+	cntBufs  [][]byte // per-DPU image count views
+	counts   []int
+	resBuf   []byte // per-DPU result gather buffer
+	featBuf  []byte // decoded feature vector for one image
 }
 
 // NewRunner deploys the model onto every DPU of the system: it allocates
@@ -137,6 +155,33 @@ func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, 
 			return nil, err
 		}
 	}
+
+	for _, ref := range []struct {
+		name string
+		dst  *host.SymbolRef
+	}{
+		{symImages, &r.refImages}, {symNImages, &r.refNImages}, {symResults, &r.refResults},
+	} {
+		res, err := sys.Resolve(ref.name)
+		if err != nil {
+			return nil, fmt.Errorf("ebnn: %w", err)
+		}
+		*ref.dst = res
+	}
+
+	nd := sys.NumDPUs()
+	r.imgStage = make([]byte, nd*BatchSize*mnist.PackedSize)
+	r.cntStage = make([]byte, nd*4)
+	r.imgBufs = make([][]byte, nd)
+	r.cntBufs = make([][]byte, nd)
+	for i := 0; i < nd; i++ {
+		r.imgBufs[i] = r.imgStage[i*BatchSize*mnist.PackedSize : (i+1)*BatchSize*mnist.PackedSize]
+		r.cntBufs[i] = r.cntStage[i*4 : (i+1)*4]
+	}
+	r.counts = make([]int, nd)
+	r.resBuf = make([]byte, BatchSize*ResultSize)
+	r.featBuf = make([]byte, PoolCells*m.F)
+	r.kernelFn = r.kernel()
 	return r, nil
 }
 
@@ -171,9 +216,11 @@ func (r *Runner) kernel() dpu.KernelFunc {
 			return fmt.Errorf("ebnn kernel: bad image count %d", n)
 		}
 
-		// Load filters and pre-slice each into its three rows.
+		// Load filters and pre-slice each into its three rows. nf <= 8
+		// is enforced by NewRunner, so fixed-size stack arrays avoid
+		// per-launch heap allocation.
 		type filtRows struct{ f0, f1, f2 uint32 }
-		filters := make([]filtRows, nf)
+		var filters [8]filtRows
 		for f := 0; f < nf; f++ {
 			w := uint32(uint16(t.Load16(l.filters + int64(f)*2)))
 			filters[f] = filtRows{
@@ -185,9 +232,8 @@ func (r *Runner) kernel() dpu.KernelFunc {
 
 		// Default model: fold the BN-BinAct block into a float threshold
 		// per filter, in DPU software floating point (Fig 4.2a).
-		var thresholds []uint32
+		var thresholds [8]uint32
 		if !l.useLUT {
-			thresholds = make([]uint32, nf)
 			for f := 0; f < nf; f++ {
 				base := l.bn + int64(f)*5*4
 				w0 := t.Load32(base)
@@ -315,31 +361,34 @@ func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 	for start := 0; start < len(images); start += perWave {
 		wave := images[start:waveEnd(start+perWave, len(images))]
 		nDPU := (len(wave) + BatchSize - 1) / BatchSize
-		counts := make([]int, nDPU)
-		imgBufs := make([][]byte, r.sys.NumDPUs())
-		cntBufs := make([][]byte, r.sys.NumDPUs())
-		for i := range imgBufs {
-			imgBufs[i] = make([]byte, BatchSize*mnist.PackedSize)
-			cntBufs[i] = make([]byte, 4)
+		// The staging buffers live on the runner and are reused across
+		// waves; only the counts need resetting (stale image bytes in
+		// unused slots are never read by the kernel).
+		counts := r.counts[:nDPU]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range r.cntStage {
+			r.cntStage[i] = 0
 		}
 		for i, img := range wave {
 			d := i / BatchSize
 			slot := i % BatchSize
 			packed := img.Pack()
-			copy(imgBufs[d][slot*mnist.PackedSize:], packed[:])
+			copy(r.imgBufs[d][slot*mnist.PackedSize:], packed[:])
 			counts[d]++
 		}
 		for d, c := range counts {
-			binary.LittleEndian.PutUint32(cntBufs[d], uint32(c))
+			binary.LittleEndian.PutUint32(r.cntBufs[d], uint32(c))
 		}
-		if err := r.sys.PushXfer(symImages, 0, imgBufs); err != nil {
+		if err := r.sys.PushXferRef(r.refImages, 0, r.imgBufs); err != nil {
 			return nil, stats, err
 		}
-		if err := r.sys.PushXfer(symNImages, 0, cntBufs); err != nil {
+		if err := r.sys.PushXferRef(r.refNImages, 0, r.cntBufs); err != nil {
 			return nil, stats, err
 		}
 
-		ls, err := r.sys.LaunchOn(nDPU, r.tasklets, r.kernel())
+		ls, err := r.sys.LaunchOn(nDPU, r.tasklets, r.kernelFn)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -354,13 +403,13 @@ func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 		// temporary results for all images in a single DPU are
 		// inferred, the next DPU's result is read").
 		for d := 0; d < nDPU; d++ {
-			raw, err := r.sys.CopyFromDPU(d, symResults, 0, counts[d]*ResultSize)
-			if err != nil {
+			raw := r.resBuf[:counts[d]*ResultSize]
+			if err := r.sys.CopyFromDPURefInto(d, r.refResults, 0, raw); err != nil {
 				return nil, stats, err
 			}
 			for slot := 0; slot < counts[d]; slot++ {
-				feats := DecodeFeatures(raw[slot*ResultSize:(slot+1)*ResultSize], r.model.F)
-				preds = append(preds, r.model.PredictFeatures(feats))
+				DecodeFeaturesInto(r.featBuf, raw[slot*ResultSize:(slot+1)*ResultSize], r.model.F)
+				preds = append(preds, r.model.PredictFeatures(r.featBuf))
 			}
 		}
 	}
@@ -372,11 +421,18 @@ func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 // Model.Features.
 func DecodeFeatures(result []byte, nf int) []byte {
 	out := make([]byte, PoolCells*nf)
+	DecodeFeaturesInto(out, result, nf)
+	return out
+}
+
+// DecodeFeaturesInto is DecodeFeatures writing into a caller-provided
+// buffer of at least PoolCells*nf bytes, so batch-inference loops can
+// reuse one feature vector across images.
+func DecodeFeaturesInto(out, result []byte, nf int) {
 	for cell := 0; cell < PoolCells; cell++ {
 		b := result[cell]
 		for f := 0; f < nf; f++ {
 			out[cell*nf+f] = (b >> uint(f)) & 1
 		}
 	}
-	return out
 }

@@ -1,0 +1,77 @@
+package gemm
+
+import (
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+)
+
+// The GEMM kernels used to allocate a fresh B chunk per k-iteration per
+// tile (plus per-launch A/APART/ctmp/out slices), which put the Go
+// garbage collector in the simulator's inner loop. With the pooled
+// per-tasklet scratch, a steady-state Multiply allocates only the result
+// slice and the per-launch stats the host API returns — a small constant
+// independent of K, N, and the tile count. The generous bound below
+// fails loudly if per-iteration allocation ever returns (the pre-rework
+// kernel allocated hundreds per call on this problem size).
+func TestMultiplySteadyStateAllocBound(t *testing.T) {
+	sys, err := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	const m, n, k = 2, 96, 64
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 4, TileCols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]int16, m*k)
+	b := make([]int16, k*n)
+	for i := range a {
+		a[i] = int16(i%7 - 3)
+	}
+	for i := range b {
+		b[i] = int16(i%5 - 2)
+	}
+	// 6 tiles x 64 k-iterations: any per-inner-iteration allocation
+	// shows up as hundreds of allocs per run.
+	avg := testing.AllocsPerRun(50, func() {
+		if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 48 {
+		t.Errorf("Multiply steady state allocates %.1f per call, want <= 48 (launch bookkeeping + result only)", avg)
+	}
+}
+
+// The naive (thesis-faithful) kernel shares the same scratch pool.
+func TestMultiplyNaiveSteadyStateAllocBound(t *testing.T) {
+	sys, err := host.NewSystem(2, host.DefaultConfig(dpu.O0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	const m, n, k = 2, 96, 64
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 4, Naive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]int16, m*k)
+	b := make([]int16, k*n)
+	for i := range a {
+		a[i] = int16(i%7 - 3)
+	}
+	for i := range b {
+		b[i] = int16(i%5 - 2)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 48 {
+		t.Errorf("naive Multiply steady state allocates %.1f per call, want <= 48", avg)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"pimdnn/internal/dpu"
 	"pimdnn/internal/fixed"
+	"pimdnn/internal/host"
 )
 
 // Image-per-DPU mapping — the thesis's future-work alternative (§6.1):
@@ -55,6 +56,18 @@ func (r *Runner) EnableBatch(maxM int) error {
 	r.aFullOff = look(symAFull)
 	r.cFullOff = look(symCFull)
 	r.aCacheOff = look("gemm_a_cache")
+	for _, ref := range []struct {
+		name string
+		dst  *host.SymbolRef
+	}{
+		{symAFull, &r.refAFull}, {symCFull, &r.refCFull},
+	} {
+		res, err := r.sys.Resolve(ref.name)
+		if err != nil {
+			return fmt.Errorf("gemm: %w", err)
+		}
+		*ref.dst = res
+	}
 	return nil
 }
 
@@ -74,6 +87,9 @@ func (r *Runner) kernelBatch() dpu.KernelFunc {
 		}
 		d := t.DPU()
 
+		sc := r.getScratch()
+		defer r.scratch.Put(sc)
+
 		stride := pad4(n)
 		tiles := (n + tileCols - 1) / tileCols
 		units := m * tiles
@@ -82,8 +98,8 @@ func (r *Runner) kernelBatch() dpu.KernelFunc {
 		aBytes := (k*2 + 7) &^ 7
 
 		cachedRow := -1
-		apart := make([]int32, k)
-		ctmp := make([]int32, tileCols)
+		apart := sc.apart[:k]
+		ctmp := sc.ctmp[:tileCols]
 
 		for u := t.ID(); u < units; u += t.Count() {
 			row := u / tiles
@@ -100,8 +116,8 @@ func (r *Runner) kernelBatch() dpu.KernelFunc {
 					}
 					t.MRAMToWRAM(aSlot+int64(off), r.aFullOff+int64(row)*int64(aBytes)+int64(off), chunk)
 				}
-				aRow, err := d.CopyFromWRAM(aSlot, k*2)
-				if err != nil {
+				aRow := sc.aRow[:k*2]
+				if err := d.CopyFromWRAMInto(aSlot, aRow); err != nil {
 					return err
 				}
 				t.ChargeBulk(dpu.OpLoad, uint64(k))
@@ -126,8 +142,8 @@ func (r *Runner) kernelBatch() dpu.KernelFunc {
 
 			for kk := 0; kk < k; kk++ {
 				t.MRAMToWRAM(tileBase, r.bOff+int64(kk*stride+j0)*2, chunkBytes)
-				bChunk, err := d.CopyFromWRAM(tileBase, cols*2)
-				if err != nil {
+				bChunk := sc.chunk[:cols*2]
+				if err := d.CopyFromWRAMInto(tileBase, bChunk); err != nil {
 					return err
 				}
 				ap := apart[kk]
@@ -140,9 +156,12 @@ func (r *Runner) kernelBatch() dpu.KernelFunc {
 				t.ChargeBulk(dpu.OpStore, uint64(cols))
 			}
 
-			out := make([]byte, chunkBytes)
+			out := sc.out[:chunkBytes]
 			for j := 0; j < cols; j++ {
 				binary.LittleEndian.PutUint16(out[j*2:], uint16(fixed.GEMMOutputClamp(ctmp[j])))
+			}
+			for b := cols * 2; b < chunkBytes; b++ {
+				out[b] = 0
 			}
 			t.ChargeBulk(dpu.OpShift, uint64(cols))
 			t.ChargeBulk(dpu.OpBranch, uint64(cols))
@@ -154,6 +173,15 @@ func (r *Runner) kernelBatch() dpu.KernelFunc {
 		}
 		return nil
 	}
+}
+
+// growBytes returns buf resliced to n bytes, reallocating only when the
+// capacity is insufficient. Contents are unspecified; callers overwrite.
+func growBytes(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
 }
 
 // MultiplyBatch computes C_i = clamp((alpha·A·B_i)/32) for a batch of B
@@ -187,47 +215,63 @@ func (r *Runner) MultiplyBatch(m, n, k int, alpha int16, a []int16, bs [][]int16
 	// Broadcast the weight matrix A to every DPU at the padded row
 	// stride the kernel stages from.
 	aRowBytes := (k*2 + 7) &^ 7
-	aBytes := make([]byte, m*aRowBytes)
+	r.aFullStage = growBytes(r.aFullStage, m*aRowBytes)
+	aBytes := r.aFullStage
 	for row := 0; row < m; row++ {
 		for kk := 0; kk < k; kk++ {
 			binary.LittleEndian.PutUint16(aBytes[row*aRowBytes+kk*2:], uint16(a[row*k+kk]))
 		}
+		for bb := row*aRowBytes + k*2; bb < (row+1)*aRowBytes; bb++ {
+			aBytes[bb] = 0
+		}
 	}
-	if err := r.sys.CopyToSymbol(symAFull, 0, aBytes); err != nil {
+	if err := r.sys.CopyToSymbolRef(r.refAFull, 0, aBytes); err != nil {
 		return nil, st, err
 	}
 
-	// Scatter each image's B matrix, row-stride padded.
+	// Scatter each image's B matrix, row-stride padded. The staging
+	// buffers persist on the runner across calls.
 	stride := pad4(n)
-	bufs := make([][]byte, r.sys.NumDPUs())
-	empty := make([]byte, k*stride*2)
+	imgBytes := k * stride * 2
+	nd := r.sys.NumDPUs()
+	if len(r.batchBufs) != nd {
+		r.batchBufs = make([][]byte, nd)
+	}
+	r.batchStage = growBytes(r.batchStage, len(bs)*imgBytes)
+	r.emptyB = growBytes(r.emptyB, imgBytes)
+	for bb := range r.emptyB {
+		r.emptyB[bb] = 0
+	}
+	bufs := r.batchBufs
 	for i := range bufs {
 		if i < len(bs) {
-			buf := make([]byte, k*stride*2)
+			buf := r.batchStage[i*imgBytes : (i+1)*imgBytes]
 			for kk := 0; kk < k; kk++ {
+				row := buf[kk*stride*2 : (kk*stride+stride)*2]
 				for j := 0; j < n; j++ {
-					binary.LittleEndian.PutUint16(buf[(kk*stride+j)*2:], uint16(bs[i][kk*n+j]))
+					binary.LittleEndian.PutUint16(row[j*2:], uint16(bs[i][kk*n+j]))
+				}
+				for j := n; j < stride; j++ {
+					binary.LittleEndian.PutUint16(row[j*2:], 0)
 				}
 			}
 			bufs[i] = buf
 		} else {
-			bufs[i] = empty
+			bufs[i] = r.emptyB
 		}
 	}
-	if err := r.sys.PushXfer(symB, 0, bufs); err != nil {
+	if err := r.sys.PushXferRef(r.refB, 0, bufs); err != nil {
 		return nil, st, err
 	}
 
-	params := make([]byte, 16)
-	binary.LittleEndian.PutUint32(params[0:], uint32(n))
-	binary.LittleEndian.PutUint32(params[4:], uint32(k))
-	binary.LittleEndian.PutUint32(params[8:], uint32(uint16(alpha)))
-	binary.LittleEndian.PutUint32(params[12:], uint32(m))
-	if err := r.sys.CopyToSymbol(symParams, 0, params); err != nil {
+	if err := r.pushParams(n, k, m, alpha); err != nil {
 		return nil, st, err
 	}
 
-	ls, err := r.sys.LaunchOn(len(bs), r.cfg.Tasklets, r.kernelBatch())
+	if r.batchKernel == nil {
+		r.batchKernel = r.kernelBatch()
+	}
+	ls, err := r.sys.LaunchOn(len(bs), r.cfg.Tasklets, r.batchKernel)
 	if err != nil {
 		return nil, st, err
 	}
@@ -236,11 +280,13 @@ func (r *Runner) MultiplyBatch(m, n, k int, alpha int16, a []int16, bs [][]int16
 	st.Cycles = ls.Cycles
 	st.Seconds = ls.Seconds
 
-	// Gather every DPU's full C.
+	// Gather every DPU's full C into the reused staging buffer; the
+	// decoded per-image results are fresh slices owned by the caller.
 	out := make([][]int16, len(bs))
+	r.gatherBuf = growBytes(r.gatherBuf, m*stride*2)
+	raw := r.gatherBuf[:m*stride*2]
 	for i := range bs {
-		raw, err := r.sys.CopyFromDPU(i, symCFull, 0, m*stride*2)
-		if err != nil {
+		if err := r.sys.CopyFromDPURefInto(i, r.refCFull, 0, raw); err != nil {
 			return nil, st, err
 		}
 		c := make([]int16, m*n)

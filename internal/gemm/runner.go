@@ -3,6 +3,7 @@ package gemm
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"pimdnn/internal/dpu"
 	"pimdnn/internal/fixed"
@@ -46,6 +47,22 @@ type RunnerConfig struct {
 	Naive bool
 }
 
+// kernelScratch is the per-tasklet working set of the GEMM kernels. The
+// kernels pull one from the runner's pool per tasklet invocation instead
+// of allocating fresh slices per launch (and, before this existed, per
+// k-iteration for the B chunk), which kept the Go garbage collector in
+// the simulator's hot path. Scratch is host-side memory only; all
+// simulated data movement still goes through the WRAM/MRAM helpers.
+type kernelScratch struct {
+	aRow   []byte  // staged A row ((MaxK*2+7)&^7 bytes)
+	apart  []int32 // alpha*A[k] (MaxK)
+	ctmp   []int32 // tile accumulator (tileCols)
+	chunk  []byte  // B chunk / C output staging (tileCols*2)
+	out    []byte  // clamped C output chunk (tileCols*2)
+	acc    []int32 // naive kernel accumulator (MaxN)
+	rowBuf []byte  // naive kernel MRAM row staging (pad4(MaxN)*2)
+}
+
 // Runner distributes Algorithm 2 GEMMs across a DPU system with the
 // Fig 4.6 row-per-DPU mapping.
 type Runner struct {
@@ -56,9 +73,38 @@ type Runner struct {
 	aOff, bOff, cOff, ctmpOff int64 // MRAM
 	paramsOff, aWRAM, tileOff int64 // WRAM
 
+	// Resolved symbol handles: transfers in the per-layer loops skip the
+	// per-call name lookup.
+	refA, refB, refC, refParams host.SymbolRef
+
+	// Cached kernel closures (built once; kernels are stateless between
+	// launches apart from the pooled scratch).
+	tiledKernel dpu.KernelFunc
+	naiveKernel dpu.KernelFunc
+	batchKernel dpu.KernelFunc
+
+	// scratch pools per-tasklet kernel buffers. A sync.Pool (rather than
+	// an array indexed by tasklet ID) because the same tasklet ID runs
+	// concurrently on different DPUs during a parallel launch.
+	scratch sync.Pool
+
+	// Host-side transfer staging reused across calls. Multiply is not
+	// safe for concurrent use on one Runner (the DPU symbols are shared
+	// state), so plain fields suffice.
+	bStage    []byte   // padded B matrix broadcast buffer
+	aStage    []byte   // flat backing for aBufs
+	aBufs     [][]byte // per-DPU A-row scatter views into aStage
+	gatherBuf []byte   // per-row C gather buffer
+	paramsBuf [16]byte
+
 	// Batch (image-per-DPU) mode, set up by EnableBatch.
 	maxM                          int
 	aFullOff, cFullOff, aCacheOff int64
+	refAFull, refCFull            host.SymbolRef
+	aFullStage                    []byte
+	batchStage                    []byte   // flat backing for batchBufs
+	batchBufs                     [][]byte // per-DPU B scatter views
+	emptyB                        []byte
 }
 
 // NewRunner allocates the GEMM symbols on every DPU of the system.
@@ -118,6 +164,35 @@ func NewRunner(sys *host.System, cfg RunnerConfig) (*Runner, error) {
 	}
 	r.aOff, r.bOff, r.cOff, r.ctmpOff = look(symA), look(symB), look(symC), look(symCtmp)
 	r.paramsOff, r.aWRAM, r.tileOff = look(symParams), look(symAWRAM), look(symTiles)
+	for _, ref := range []struct {
+		name string
+		dst  *host.SymbolRef
+	}{
+		{symA, &r.refA}, {symB, &r.refB}, {symC, &r.refC}, {symParams, &r.refParams},
+	} {
+		res, err := sys.Resolve(ref.name)
+		if err != nil {
+			return nil, fmt.Errorf("gemm: %w", err)
+		}
+		*ref.dst = res
+	}
+
+	aRowBytes := (cfg.MaxK*2 + 7) &^ 7
+	r.scratch.New = func() interface{} {
+		return &kernelScratch{
+			aRow:   make([]byte, aRowBytes),
+			apart:  make([]int32, cfg.MaxK),
+			ctmp:   make([]int32, tileCols),
+			chunk:  make([]byte, tileCols*2),
+			out:    make([]byte, tileCols*2),
+			acc:    make([]int32, cfg.MaxN),
+			rowBuf: make([]byte, int(maxStride)*2),
+		}
+	}
+	r.gatherBuf = make([]byte, maxStride*2)
+	nd := sys.NumDPUs()
+	r.aStage = make([]byte, nd*aRowBytes)
+	r.aBufs = make([][]byte, nd)
 	return r, nil
 }
 
@@ -129,6 +204,10 @@ func (r *Runner) Tasklets() int { return r.cfg.Tasklets }
 
 // System returns the underlying DPU system.
 func (r *Runner) System() *host.System { return r.sys }
+
+func (r *Runner) getScratch() *kernelScratch {
+	return r.scratch.Get().(*kernelScratch)
+}
 
 // kernel computes one row of C for the row of A resident in this DPU's
 // MRAM. Tasklets claim column tiles round-robin; per tile the kernel
@@ -149,6 +228,9 @@ func (r *Runner) kernel() dpu.KernelFunc {
 			return fmt.Errorf("gemm kernel: bad params N=%d K=%d", n, k)
 		}
 
+		sc := r.getScratch()
+		defer r.scratch.Put(sc)
+
 		d := t.DPU()
 		// Tasklet 0 stages the A row into WRAM in DMA-sized chunks;
 		// later tasklets (run in ID order) read it shared.
@@ -162,26 +244,22 @@ func (r *Runner) kernel() dpu.KernelFunc {
 				t.MRAMToWRAM(r.aWRAM+int64(off), r.aOff+int64(off), chunk)
 			}
 		}
-		aRow, err := d.CopyFromWRAM(r.aWRAM, k*2)
-		if err != nil {
+		aRow := sc.aRow[:k*2]
+		if err := d.CopyFromWRAMInto(r.aWRAM, aRow); err != nil {
 			return err
-		}
-		a := make([]int16, k)
-		for i := range a {
-			a[i] = int16(binary.LittleEndian.Uint16(aRow[i*2:]))
 		}
 		// Loading A[kk] each outer iteration: one WRAM load per k, plus
 		// the APART multiply (Algorithm 2 line 5).
 		t.ChargeBulk(dpu.OpLoad, uint64(k))
 		t.ChargeBulk(dpu.OpMul16, uint64(k))
-		apart := make([]int32, k)
-		for i := range a {
-			apart[i] = int32(alpha) * int32(a[i])
+		apart := sc.apart[:k]
+		for i := range apart {
+			apart[i] = int32(alpha) * int32(int16(binary.LittleEndian.Uint16(aRow[i*2:])))
 		}
 
 		tiles := (n + tileCols - 1) / tileCols
 		tileBase := r.tileOff + int64(t.ID())*int64(tileCols)*8
-		ctmp := make([]int32, tileCols)
+		ctmp := sc.ctmp[:tileCols]
 
 		for tile := t.ID(); tile < tiles; tile += t.Count() {
 			j0 := tile * tileCols
@@ -200,8 +278,8 @@ func (r *Runner) kernel() dpu.KernelFunc {
 			for kk := 0; kk < k; kk++ {
 				// Stream B[kk, j0:j0+cols] from MRAM.
 				t.MRAMToWRAM(tileBase, r.bOff+int64(kk*stride+j0)*2, chunkBytes)
-				bChunk, err := d.CopyFromWRAM(tileBase, cols*2)
-				if err != nil {
+				bChunk := sc.chunk[:cols*2]
+				if err := d.CopyFromWRAMInto(tileBase, bChunk); err != nil {
 					return err
 				}
 				ap := apart[kk]
@@ -219,9 +297,12 @@ func (r *Runner) kernel() dpu.KernelFunc {
 
 			// Output rescale and clamp (Algorithm 2 lines 8-10), then
 			// write the C chunk back to MRAM.
-			out := make([]byte, chunkBytes)
+			out := sc.out[:chunkBytes]
 			for j := 0; j < cols; j++ {
 				binary.LittleEndian.PutUint16(out[j*2:], uint16(fixed.GEMMOutputClamp(ctmp[j])))
+			}
+			for b := cols * 2; b < chunkBytes; b++ {
+				out[b] = 0 // keep the padding tail deterministic
 			}
 			t.ChargeBulk(dpu.OpShift, uint64(cols))  // /32
 			t.ChargeBulk(dpu.OpBranch, uint64(cols)) // clamp compare
@@ -255,6 +336,9 @@ func (r *Runner) kernelNaive() dpu.KernelFunc {
 		if n < 1 || k < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK {
 			return fmt.Errorf("gemm kernel: bad params N=%d K=%d", n, k)
 		}
+		sc := r.getScratch()
+		defer r.scratch.Put(sc)
+
 		d := t.DPU()
 		if t.ID() == 0 {
 			bytes := (k*2 + 7) &^ 7
@@ -266,8 +350,8 @@ func (r *Runner) kernelNaive() dpu.KernelFunc {
 				t.MRAMToWRAM(r.aWRAM+int64(off), r.aOff+int64(off), chunk)
 			}
 		}
-		aRow, err := d.CopyFromWRAM(r.aWRAM, k*2)
-		if err != nil {
+		aRow := sc.aRow[:k*2]
+		if err := d.CopyFromWRAMInto(r.aWRAM, aRow); err != nil {
 			return err
 		}
 
@@ -276,7 +360,10 @@ func (r *Runner) kernelNaive() dpu.KernelFunc {
 		if nCols <= 0 {
 			return nil
 		}
-		acc := make([]int32, nCols)
+		acc := sc.acc[:nCols]
+		for i := range acc {
+			acc[i] = 0
+		}
 		stride := pad4(n)
 
 		for kk := 0; kk < k; kk++ {
@@ -287,8 +374,8 @@ func (r *Runner) kernelNaive() dpu.KernelFunc {
 			t.Charge(dpu.OpLoad, 1)
 			t.Charge(dpu.OpMul16, 1)
 
-			bRow, err := d.CopyFromMRAM(r.bOff+int64(kk*stride)*2, stride*2)
-			if err != nil {
+			bRow := sc.rowBuf[:stride*2]
+			if err := d.CopyFromMRAMInto(r.bOff+int64(kk*stride)*2, bRow); err != nil {
 				return err
 			}
 			ci := 0
@@ -307,8 +394,8 @@ func (r *Runner) kernelNaive() dpu.KernelFunc {
 
 		// Output pass (Algorithm 2 lines 8-10): read ctmp, rescale,
 		// clamp, write C — one more element-wise MRAM round trip.
-		cRow, err := d.CopyFromMRAM(r.cOff, stride*2)
-		if err != nil {
+		cRow := sc.rowBuf[:stride*2]
+		if err := d.CopyFromMRAMInto(r.cOff, cRow); err != nil {
 			return err
 		}
 		ci := 0
@@ -327,12 +414,19 @@ func (r *Runner) kernelNaive() dpu.KernelFunc {
 }
 
 // Kernel returns the configured kernel variant, exposed so callers can
-// launch it directly on a bare DPU for profiling.
+// launch it directly on a bare DPU for profiling. The closure is built
+// once and reused across launches.
 func (r *Runner) Kernel() dpu.KernelFunc {
 	if r.cfg.Naive {
-		return r.kernelNaive()
+		if r.naiveKernel == nil {
+			r.naiveKernel = r.kernelNaive()
+		}
+		return r.naiveKernel
 	}
-	return r.kernel()
+	if r.tiledKernel == nil {
+		r.tiledKernel = r.kernel()
+	}
+	return r.tiledKernel
 }
 
 // Stats describes one distributed GEMM.
@@ -349,6 +443,36 @@ type Stats struct {
 	Seconds float64
 }
 
+// stageB packs B into the runner's broadcast buffer at the padded
+// 4-column row stride the kernels expect, zeroing the padding columns.
+func (r *Runner) stageB(n, k int, b []int16) []byte {
+	stride := pad4(n)
+	need := k * stride * 2
+	if cap(r.bStage) < need {
+		r.bStage = make([]byte, need)
+	}
+	buf := r.bStage[:need]
+	for kk := 0; kk < k; kk++ {
+		row := buf[kk*stride*2 : (kk*stride+stride)*2]
+		for j := 0; j < n; j++ {
+			binary.LittleEndian.PutUint16(row[j*2:], uint16(b[kk*n+j]))
+		}
+		for j := n; j < stride; j++ {
+			binary.LittleEndian.PutUint16(row[j*2:], 0)
+		}
+	}
+	return buf
+}
+
+// pushParams broadcasts the kernel parameter block.
+func (r *Runner) pushParams(n, k, m int, alpha int16) error {
+	binary.LittleEndian.PutUint32(r.paramsBuf[0:], uint32(n))
+	binary.LittleEndian.PutUint32(r.paramsBuf[4:], uint32(k))
+	binary.LittleEndian.PutUint32(r.paramsBuf[8:], uint32(uint16(alpha)))
+	binary.LittleEndian.PutUint32(r.paramsBuf[12:], uint32(m))
+	return r.sys.CopyToSymbolRef(r.refParams, 0, r.paramsBuf[:])
+}
+
 // Multiply runs C = clamp((alpha·A·B)/32) with A of M×K, B of K×N,
 // distributing one row of A (and one row of C) per DPU as in Fig 4.6.
 func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stats, error) {
@@ -363,29 +487,24 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 
 	// Broadcast B (the whole input matrix goes to every DPU, Fig 4.6),
 	// stored at the 4-column-padded row stride the kernel expects.
-	stride := pad4(n)
-	bBytes := make([]byte, k*stride*2)
-	for kk := 0; kk < k; kk++ {
-		for j := 0; j < n; j++ {
-			binary.LittleEndian.PutUint16(bBytes[(kk*stride+j)*2:], uint16(b[kk*n+j]))
-		}
-	}
-	if err := r.sys.CopyToSymbol(symB, 0, bBytes); err != nil {
+	if err := r.sys.CopyToSymbolRef(r.refB, 0, r.stageB(n, k, b)); err != nil {
 		return nil, st, err
 	}
-
-	params := make([]byte, 16)
-	binary.LittleEndian.PutUint32(params[0:], uint32(n))
-	binary.LittleEndian.PutUint32(params[4:], uint32(k))
-	binary.LittleEndian.PutUint32(params[8:], uint32(uint16(alpha)))
-	if err := r.sys.CopyToSymbol(symParams, 0, params); err != nil {
+	if err := r.pushParams(n, k, 0, alpha); err != nil {
 		return nil, st, err
 	}
 
 	c := make([]int16, m*n)
 	rowBytes := (k*2 + 7) &^ 7
+	stride := pad4(n)
 	cBytes := stride * 2
 	nd := r.sys.NumDPUs()
+	kernel := r.Kernel()
+
+	// Reslice the persistent scatter staging to this problem's row size.
+	for i := range r.aBufs {
+		r.aBufs[i] = r.aStage[i*rowBytes : (i+1)*rowBytes]
+	}
 
 	for start := 0; start < m; start += nd {
 		rows := m - start
@@ -393,20 +512,20 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 			rows = nd
 		}
 		// Scatter one A row per DPU.
-		aBufs := make([][]byte, nd)
-		for i := range aBufs {
-			aBufs[i] = make([]byte, rowBytes)
-			if i < rows {
-				for kk := 0; kk < k; kk++ {
-					binary.LittleEndian.PutUint16(aBufs[i][kk*2:], uint16(a[(start+i)*k+kk]))
-				}
+		for i := 0; i < rows; i++ {
+			buf := r.aBufs[i]
+			for kk := 0; kk < k; kk++ {
+				binary.LittleEndian.PutUint16(buf[kk*2:], uint16(a[(start+i)*k+kk]))
+			}
+			for bb := k * 2; bb < rowBytes; bb++ {
+				buf[bb] = 0
 			}
 		}
-		if err := r.sys.PushXfer(symA, 0, aBufs); err != nil {
+		if err := r.sys.PushXferRef(r.refA, 0, r.aBufs); err != nil {
 			return nil, st, err
 		}
 
-		ls, err := r.sys.LaunchOn(rows, r.cfg.Tasklets, r.Kernel())
+		ls, err := r.sys.LaunchOn(rows, r.cfg.Tasklets, kernel)
 		if err != nil {
 			return nil, st, err
 		}
@@ -417,10 +536,10 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 			st.DPUsUsed = rows
 		}
 
-		// Gather the C rows.
+		// Gather the C rows into the reused buffer and decode.
+		raw := r.gatherBuf[:cBytes]
 		for i := 0; i < rows; i++ {
-			raw, err := r.sys.CopyFromDPU(i, symC, 0, cBytes)
-			if err != nil {
+			if err := r.sys.CopyFromDPURefInto(i, r.refC, 0, raw); err != nil {
 				return nil, st, err
 			}
 			for j := 0; j < n; j++ {

@@ -1,0 +1,124 @@
+package host
+
+import (
+	"testing"
+
+	"pimdnn/internal/dpu"
+)
+
+// The transfer hot paths must not allocate per call below the sharding
+// threshold: the per-layer scatter/gather loops run thousands of times
+// per simulated forward pass, and Go-level garbage was the simulator's
+// wall-clock bottleneck (the simulated cycle accounting is unaffected
+// either way). These tests pin that property.
+
+func allocSystem(t *testing.T, n int) *System {
+	t.Helper()
+	s, err := NewSystem(n, DefaultConfig(dpu.O0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if err := s.AllocMRAM("buf", 256); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPushXferAllocFree(t *testing.T) {
+	s := allocSystem(t, 4)
+	ref, err := s.Resolve("buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffers := make([][]byte, 4)
+	for i := range buffers {
+		buffers[i] = make([]byte, 64)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := s.PushXferRef(ref, 0, buffers); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("PushXferRef allocates %.1f per call, want 0", avg)
+	}
+	// The string-keyed entry point adds only the symbol-cache lookup.
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := s.PushXfer("buf", 0, buffers); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("PushXfer allocates %.1f per call, want 0", avg)
+	}
+}
+
+func TestGatherXferIntoAllocFree(t *testing.T) {
+	s := allocSystem(t, 4)
+	ref, err := s.Resolve("buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([][]byte, 4)
+	for i := range dst {
+		dst[i] = make([]byte, 64)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := s.GatherXferRefInto(ref, 0, 64, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("GatherXferRefInto allocates %.1f per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := s.GatherXferInto("buf", 0, 64, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("GatherXferInto allocates %.1f per call, want 0", avg)
+	}
+}
+
+func TestBroadcastAndPerDPUCopyAllocFree(t *testing.T) {
+	s := allocSystem(t, 4)
+	ref, err := s.Resolve("buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64)
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := s.CopyToSymbolRef(ref, 0, data); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("CopyToSymbolRef allocates %.1f per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := s.CopyFromDPURefInto(2, ref, 0, data); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("CopyFromDPURefInto allocates %.1f per call, want 0", avg)
+	}
+}
+
+// Above the sharding threshold the transfer loops fan out across the
+// worker pool; a handful of scheduling allocations per call is the price
+// of the parallelism, but it must stay O(workers), not O(DPUs).
+func TestShardedPushXferAllocBound(t *testing.T) {
+	s := allocSystem(t, parallelThreshold)
+	ref, err := s.Resolve("buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffers := make([][]byte, parallelThreshold)
+	for i := range buffers {
+		buffers[i] = make([]byte, 64)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := s.PushXferRef(ref, 0, buffers); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 16 {
+		t.Errorf("sharded PushXferRef allocates %.1f per call, want <= 16", avg)
+	}
+}

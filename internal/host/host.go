@@ -10,10 +10,17 @@
 // DPUs, which is how the thesis computes multi-DPU completion time
 // (§4.1.3: "run in parallel to finish their batch of images at the max
 // time for one DPU").
+//
+// Simulated time (DPU cycles, host transfer time) is charged per API
+// call and is independent of how the simulator schedules the work on
+// the real machine: launches and large transfers are executed by a
+// persistent worker pool sized to GOMAXPROCS, and the cycle/transfer
+// accounting is bit-identical to the serial loops it replaced.
 package host
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -47,12 +54,24 @@ type System struct {
 	cfg  Config
 	dpus []*dpu.DPU
 	prof *trace.Profile
+	pool *workerPool
+
+	// symbols caches the uniform symbol table built by AllocMRAM /
+	// AllocWRAM so transfers resolve names with one map lookup per call
+	// instead of one per DPU.
+	symMu   sync.RWMutex
+	symbols map[string]dpu.Symbol
 
 	mu           sync.Mutex
 	hostXferTime time.Duration
 	dpuTime      time.Duration
 	xferCount    uint64
 	xferBytes    uint64
+
+	// launchErrs is the reusable per-launch error slice. LaunchOn is not
+	// safe for concurrent use on one System (the DPUs' memory is shared
+	// state between launches anyway), so a plain field suffices.
+	launchErrs []error
 }
 
 // XferStats summarizes host<->PIM traffic since the last reset.
@@ -85,7 +104,26 @@ func NewSystem(n int, cfg Config) (*System, error) {
 		d.SetProfile(prof)
 		dpus[i] = d
 	}
-	return &System{cfg: cfg, dpus: dpus, prof: prof}, nil
+	s := &System{
+		cfg:     cfg,
+		dpus:    dpus,
+		prof:    prof,
+		pool:    newWorkerPool(),
+		symbols: make(map[string]dpu.Symbol),
+	}
+	// Dropped systems release their worker goroutines at GC time; Close
+	// makes the release deterministic.
+	runtime.SetFinalizer(s, (*System).Close)
+	return s, nil
+}
+
+// Close stops the system's worker pool. The System must not be used for
+// launches or transfers afterwards. Closing is optional — garbage
+// collection of an unreachable System has the same effect — and
+// idempotent.
+func (s *System) Close() {
+	runtime.SetFinalizer(s, nil)
+	s.pool.close()
 }
 
 // NumDPUs returns the number of allocated DPUs.
@@ -102,73 +140,195 @@ func (s *System) Config() Config { return s.cfg }
 
 // AllocMRAM defines an MRAM symbol of the given size on every DPU.
 func (s *System) AllocMRAM(name string, size int64) error {
+	var sym dpu.Symbol
 	for i, d := range s.dpus {
-		if _, err := d.AllocMRAM(name, size); err != nil {
+		sm, err := d.AllocMRAM(name, size)
+		if err != nil {
 			return fmt.Errorf("host: DPU %d: %w", i, err)
 		}
+		if i == 0 {
+			sym = sm
+		}
 	}
+	s.symMu.Lock()
+	s.symbols[name] = sym
+	s.symMu.Unlock()
 	return nil
 }
 
 // AllocWRAM defines a host-visible WRAM symbol on every DPU.
 func (s *System) AllocWRAM(name string, size int64) error {
+	var sym dpu.Symbol
 	for i, d := range s.dpus {
-		if _, err := d.AllocWRAM(name, size); err != nil {
+		sm, err := d.AllocWRAM(name, size)
+		if err != nil {
 			return fmt.Errorf("host: DPU %d: %w", i, err)
 		}
+		if i == 0 {
+			sym = sm
+		}
+	}
+	s.symMu.Lock()
+	s.symbols[name] = sym
+	s.symMu.Unlock()
+	return nil
+}
+
+// SymbolRef is a resolved symbol handle valid on every DPU of the
+// System. Resolving once and passing the ref to the *Ref transfer
+// variants skips the per-call symbol lookup on repeated transfers (the
+// per-layer scatter/gather loops of the DNN runners).
+type SymbolRef struct {
+	name string
+	kind dpu.SymbolKind
+	off  int64
+	size int64
+}
+
+// Name returns the symbol name the ref was resolved from.
+func (r SymbolRef) Name() string { return r.name }
+
+// Size returns the symbol's (padded) size in bytes.
+func (r SymbolRef) Size() int64 { return r.size }
+
+func (r SymbolRef) valid() bool { return r.kind != 0 }
+
+// Resolve looks up a symbol defined on every DPU and returns a reusable
+// handle. Symbols created through System.AllocMRAM/AllocWRAM are uniform
+// by construction; symbols allocated directly on individual DPUs are
+// honored only when every DPU agrees on their location.
+func (s *System) Resolve(symbol string) (SymbolRef, error) {
+	s.symMu.RLock()
+	sym, ok := s.symbols[symbol]
+	s.symMu.RUnlock()
+	if !ok {
+		sym0, found := s.dpus[0].Symbol(symbol)
+		if !found {
+			return SymbolRef{}, fmt.Errorf("host: unknown symbol %q", symbol)
+		}
+		for i, d := range s.dpus[1:] {
+			if si, ok := d.Symbol(symbol); !ok || si != sym0 {
+				return SymbolRef{}, fmt.Errorf("host: symbol %q not uniform across DPUs (differs on DPU %d)", symbol, i+1)
+			}
+		}
+		sym = sym0
+	}
+	return SymbolRef{name: sym.Name, kind: sym.Kind, off: sym.Offset, size: sym.Size}, nil
+}
+
+// checkRef bounds-checks an access of n bytes at offset within the
+// referenced symbol. The check runs once per transfer call; symbols are
+// uniform across DPUs, so a per-DPU re-check would be redundant.
+func checkRef(ref SymbolRef, offset int64, n int) error {
+	if !ref.valid() {
+		return fmt.Errorf("host: zero SymbolRef (use System.Resolve)")
+	}
+	if offset < 0 || offset+int64(n) > ref.size {
+		return fmt.Errorf("host: access [%d, %d) outside symbol %q of size %d",
+			offset, offset+int64(n), ref.name, ref.size)
 	}
 	return nil
 }
 
-// symbolTarget resolves a symbol and bounds-checks an access of n bytes
-// at offset within it.
-func (s *System) symbolTarget(dpuIdx int, symbol string, offset int64, n int) (dpu.Symbol, error) {
-	sym, ok := s.dpus[dpuIdx].Symbol(symbol)
-	if !ok {
-		return dpu.Symbol{}, fmt.Errorf("host: DPU %d: unknown symbol %q", dpuIdx, symbol)
+func (s *System) copyToOne(i int, ref SymbolRef, offset int64, data []byte) error {
+	d := s.dpus[i]
+	if ref.kind == dpu.SymbolWRAM {
+		return d.CopyToWRAM(ref.off+offset, data)
 	}
-	if offset < 0 || offset+int64(n) > sym.Size {
-		return dpu.Symbol{}, fmt.Errorf("host: DPU %d: access [%d, %d) outside symbol %q of size %d",
-			dpuIdx, offset, offset+int64(n), symbol, sym.Size)
+	return d.CopyToMRAM(ref.off+offset, data)
+}
+
+func (s *System) copyFromOneInto(i int, ref SymbolRef, offset int64, dst []byte) error {
+	d := s.dpus[i]
+	if ref.kind == dpu.SymbolWRAM {
+		return d.CopyFromWRAMInto(ref.off+offset, dst)
 	}
-	return sym, nil
+	return d.CopyFromMRAMInto(ref.off+offset, dst)
+}
+
+// sharded reports whether a loop over n DPUs should run on the worker
+// pool. Small systems stay serial: the sharding dispatch costs a couple
+// of allocations per call, which only amortizes across many DPUs (and
+// the serial paths stay allocation-free for the regression tests).
+func (s *System) sharded(n int) bool { return n >= parallelThreshold }
+
+// shardErr runs fn over [0, n) on the worker pool and returns the
+// lowest-index error, matching what the serial loop would have returned.
+func (s *System) shardErr(n int, fn func(i int) error) error {
+	var mu sync.Mutex
+	firstIdx := -1
+	var firstErr error
+	s.pool.run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstIdx == -1 || i < firstIdx {
+					firstIdx, firstErr = i, err
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	})
+	return firstErr
 }
 
 // CopyToSymbol broadcasts the same data to the named symbol on every DPU
 // (dpu_copy_to, Eq 3.1). Data destined for MRAM must be 8-byte padded;
 // use Pad8 for arbitrary payloads.
 func (s *System) CopyToSymbol(symbol string, offset int64, data []byte) error {
-	for i := range s.dpus {
-		if err := s.copyToOne(i, symbol, offset, data); err != nil {
+	ref, err := s.Resolve(symbol)
+	if err != nil {
+		return err
+	}
+	return s.CopyToSymbolRef(ref, offset, data)
+}
+
+// CopyToSymbolRef is CopyToSymbol for a pre-resolved symbol.
+func (s *System) CopyToSymbolRef(ref SymbolRef, offset int64, data []byte) error {
+	if err := checkRef(ref, offset, len(data)); err != nil {
+		return err
+	}
+	n := len(s.dpus)
+	if s.sharded(n) {
+		if err := s.shardErr(n, func(i int) error {
+			return s.copyToOne(i, ref, offset, data)
+		}); err != nil {
 			return err
 		}
+	} else {
+		for i := 0; i < n; i++ {
+			if err := s.copyToOne(i, ref, offset, data); err != nil {
+				return err
+			}
+		}
 	}
-	s.chargeTransfer(len(data) * len(s.dpus))
+	s.chargeTransfer(len(data) * n)
 	return nil
 }
 
 // CopyToDPU writes data to the named symbol on a single DPU.
 func (s *System) CopyToDPU(dpuIdx int, symbol string, offset int64, data []byte) error {
+	ref, err := s.Resolve(symbol)
+	if err != nil {
+		return err
+	}
+	return s.CopyToDPURef(dpuIdx, ref, offset, data)
+}
+
+// CopyToDPURef is CopyToDPU for a pre-resolved symbol.
+func (s *System) CopyToDPURef(dpuIdx int, ref SymbolRef, offset int64, data []byte) error {
 	if err := s.checkIdx(dpuIdx); err != nil {
 		return err
 	}
-	if err := s.copyToOne(dpuIdx, symbol, offset, data); err != nil {
+	if err := checkRef(ref, offset, len(data)); err != nil {
+		return err
+	}
+	if err := s.copyToOne(dpuIdx, ref, offset, data); err != nil {
 		return err
 	}
 	s.chargeTransfer(len(data))
 	return nil
-}
-
-func (s *System) copyToOne(dpuIdx int, symbol string, offset int64, data []byte) error {
-	sym, err := s.symbolTarget(dpuIdx, symbol, offset, len(data))
-	if err != nil {
-		return err
-	}
-	d := s.dpus[dpuIdx]
-	if sym.Kind == dpu.SymbolWRAM {
-		return d.CopyToWRAM(sym.Offset+offset, data)
-	}
-	return d.CopyToMRAM(sym.Offset+offset, data)
 }
 
 // PushXfer scatters per-DPU buffers to the named symbol: buffers[i] goes
@@ -177,6 +337,15 @@ func (s *System) copyToOne(dpuIdx int, symbol string, offset int64, data []byte)
 // payloads with Pad8 and communicate true sizes separately, as §3.2
 // prescribes.
 func (s *System) PushXfer(symbol string, offset int64, buffers [][]byte) error {
+	ref, err := s.Resolve(symbol)
+	if err != nil {
+		return err
+	}
+	return s.PushXferRef(ref, offset, buffers)
+}
+
+// PushXferRef is PushXfer for a pre-resolved symbol.
+func (s *System) PushXferRef(ref SymbolRef, offset int64, buffers [][]byte) error {
 	if len(buffers) != len(s.dpus) {
 		return fmt.Errorf("host: PushXfer got %d buffers for %d DPUs", len(buffers), len(s.dpus))
 	}
@@ -189,9 +358,20 @@ func (s *System) PushXfer(symbol string, offset int64, buffers [][]byte) error {
 			return fmt.Errorf("host: PushXfer buffer %d has length %d, want %d (single transfer length)", i, len(b), n)
 		}
 	}
-	for i, b := range buffers {
-		if err := s.copyToOne(i, symbol, offset, b); err != nil {
+	if err := checkRef(ref, offset, n); err != nil {
+		return err
+	}
+	if s.sharded(len(buffers)) {
+		if err := s.shardErr(len(buffers), func(i int) error {
+			return s.copyToOne(i, ref, offset, buffers[i])
+		}); err != nil {
 			return err
+		}
+	} else {
+		for i, b := range buffers {
+			if err := s.copyToOne(i, ref, offset, b); err != nil {
+				return err
+			}
 		}
 	}
 	s.chargeTransfer(n * len(buffers))
@@ -199,43 +379,93 @@ func (s *System) PushXfer(symbol string, offset int64, buffers [][]byte) error {
 }
 
 // GatherXfer reads n bytes from the named symbol on every DPU and returns
-// one buffer per DPU.
+// one freshly-allocated buffer per DPU. Hot paths should use
+// GatherXferInto (or GatherXferRefInto) with reused buffers instead.
 func (s *System) GatherXfer(symbol string, offset int64, n int) ([][]byte, error) {
 	out := make([][]byte, len(s.dpus))
-	for i := range s.dpus {
-		b, err := s.copyFromOne(i, symbol, offset, n)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = b
+	flat := make([]byte, n*len(s.dpus))
+	for i := range out {
+		out[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
-	s.chargeTransfer(n * len(s.dpus))
+	if err := s.GatherXferInto(symbol, offset, n, out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// GatherXferInto reads n bytes from the named symbol on every DPU into
+// the caller's buffers: dst must hold one length-n buffer per DPU. The
+// simulated transfer accounting is identical to GatherXfer.
+func (s *System) GatherXferInto(symbol string, offset int64, n int, dst [][]byte) error {
+	ref, err := s.Resolve(symbol)
+	if err != nil {
+		return err
+	}
+	return s.GatherXferRefInto(ref, offset, n, dst)
+}
+
+// GatherXferRefInto is GatherXferInto for a pre-resolved symbol.
+func (s *System) GatherXferRefInto(ref SymbolRef, offset int64, n int, dst [][]byte) error {
+	if len(dst) != len(s.dpus) {
+		return fmt.Errorf("host: GatherXferInto got %d buffers for %d DPUs", len(dst), len(s.dpus))
+	}
+	for i, b := range dst {
+		if len(b) != n {
+			return fmt.Errorf("host: GatherXferInto buffer %d has length %d, want %d", i, len(b), n)
+		}
+	}
+	if err := checkRef(ref, offset, n); err != nil {
+		return err
+	}
+	if s.sharded(len(dst)) {
+		if err := s.shardErr(len(dst), func(i int) error {
+			return s.copyFromOneInto(i, ref, offset, dst[i])
+		}); err != nil {
+			return err
+		}
+	} else {
+		for i, b := range dst {
+			if err := s.copyFromOneInto(i, ref, offset, b); err != nil {
+				return err
+			}
+		}
+	}
+	s.chargeTransfer(n * len(dst))
+	return nil
 }
 
 // CopyFromDPU reads n bytes from the named symbol on one DPU.
 func (s *System) CopyFromDPU(dpuIdx int, symbol string, offset int64, n int) ([]byte, error) {
-	if err := s.checkIdx(dpuIdx); err != nil {
+	out := make([]byte, n)
+	if err := s.CopyFromDPUInto(dpuIdx, symbol, offset, out); err != nil {
 		return nil, err
 	}
-	b, err := s.copyFromOne(dpuIdx, symbol, offset, n)
-	if err != nil {
-		return nil, err
-	}
-	s.chargeTransfer(n)
-	return b, nil
+	return out, nil
 }
 
-func (s *System) copyFromOne(dpuIdx int, symbol string, offset int64, n int) ([]byte, error) {
-	sym, err := s.symbolTarget(dpuIdx, symbol, offset, n)
+// CopyFromDPUInto reads len(dst) bytes from the named symbol on one DPU
+// into dst, without allocating.
+func (s *System) CopyFromDPUInto(dpuIdx int, symbol string, offset int64, dst []byte) error {
+	ref, err := s.Resolve(symbol)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	d := s.dpus[dpuIdx]
-	if sym.Kind == dpu.SymbolWRAM {
-		return d.CopyFromWRAM(sym.Offset+offset, n)
+	return s.CopyFromDPURefInto(dpuIdx, ref, offset, dst)
+}
+
+// CopyFromDPURefInto is CopyFromDPUInto for a pre-resolved symbol.
+func (s *System) CopyFromDPURefInto(dpuIdx int, ref SymbolRef, offset int64, dst []byte) error {
+	if err := s.checkIdx(dpuIdx); err != nil {
+		return err
 	}
-	return d.CopyFromMRAM(sym.Offset+offset, n)
+	if err := checkRef(ref, offset, len(dst)); err != nil {
+		return err
+	}
+	if err := s.copyFromOneInto(dpuIdx, ref, offset, dst); err != nil {
+		return err
+	}
+	s.chargeTransfer(len(dst))
+	return nil
 }
 
 func (s *System) checkIdx(i int) error {
@@ -269,21 +499,33 @@ func (s *System) Launch(tasklets int, kernel dpu.KernelFunc) (LaunchStats, error
 // LaunchOn runs the kernel on the first n DPUs only, which is how the
 // thesis's dynamic DPU assignment uses "an optimum number of DPUs for
 // processing each layer" (§4.2, Fig 4.6: one DPU per output row).
+//
+// The n simulated DPUs are executed by the persistent worker pool (one
+// shard per CPU) rather than one goroutine per DPU; the modeled launch
+// statistics do not depend on the scheduling.
 func (s *System) LaunchOn(n, tasklets int, kernel dpu.KernelFunc) (LaunchStats, error) {
 	if n < 1 || n > len(s.dpus) {
 		return LaunchStats{}, fmt.Errorf("host: launch on %d DPUs, system has %d", n, len(s.dpus))
 	}
+	// stats escapes to the caller through LaunchStats.PerDPU, so it must
+	// be fresh; the error slice never escapes and is reused.
 	stats := make([]dpu.Stats, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			stats[i], errs[i] = s.dpus[i].Launch(tasklets, kernel)
-		}(i)
+	if cap(s.launchErrs) < n {
+		s.launchErrs = make([]error, n)
 	}
-	wg.Wait()
+	errs := s.launchErrs[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	if n == 1 {
+		stats[0], errs[0] = s.dpus[0].Launch(tasklets, kernel)
+	} else {
+		s.pool.run(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				stats[i], errs[i] = s.dpus[i].Launch(tasklets, kernel)
+			}
+		})
+	}
 	for i, err := range errs {
 		if err != nil {
 			return LaunchStats{}, fmt.Errorf("host: DPU %d: %w", i, err)

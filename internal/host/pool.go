@@ -1,0 +1,92 @@
+package host
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the DPU count below which the sharded transfer and
+// launch loops stay serial: sharding work across workers costs a few
+// closure allocations and channel sends per call, which only pays off
+// once the per-call work spans enough DPUs. Below the threshold the hot
+// paths are allocation-free (see the AllocsPerRun regression tests).
+const parallelThreshold = 32
+
+// workerPool is a persistent set of worker goroutines sized to
+// GOMAXPROCS. It replaces the previous goroutine-per-DPU launch spawn
+// (up to 2,560 goroutines re-created per conv layer) with long-lived
+// workers that pull sharded index ranges off a channel.
+type workerPool struct {
+	workers int
+	jobs    chan poolJob
+
+	closeOnce sync.Once
+}
+
+type poolJob struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+func newWorkerPool() *workerPool {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	p := &workerPool{workers: w, jobs: make(chan poolJob, w)}
+	for i := 0; i < w; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for j := range p.jobs {
+		j.fn(j.lo, j.hi)
+		j.wg.Done()
+	}
+}
+
+// close shuts the workers down. Safe to call more than once; the System
+// finalizer uses it so pools of garbage-collected systems do not leak
+// goroutines.
+func (p *workerPool) close() {
+	p.closeOnce.Do(func() { close(p.jobs) })
+}
+
+// run partitions [0, n) into contiguous shards and executes fn over them
+// on the workers, blocking until all shards finish. The caller executes
+// the first shard inline so a fully-busy pool cannot stall progress. fn
+// must be safe for concurrent invocation on disjoint ranges.
+func (p *workerPool) run(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	shards := p.workers
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	// Ceil division keeps shard sizes within one element of each other.
+	per := (n + shards - 1) / shards
+	for s := 1; s < shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo >= n {
+			wg.Done()
+			continue
+		}
+		p.jobs <- poolJob{fn: fn, lo: lo, hi: hi, wg: &wg}
+	}
+	fn(0, per)
+	wg.Wait()
+}

@@ -88,11 +88,22 @@ func QuantizeTensor(c, h, w int, data []float64) (*Tensor, error) {
 // explicit padding and stride: rows are the K = C·size² kernel taps,
 // columns the N = outH·outW output pixels.
 func Im2Col(in *Tensor, size, stride, pad int) (b []int16, k, n int) {
+	return Im2ColInto(nil, in, size, stride, pad)
+}
+
+// Im2ColInto is Im2Col reusing buf's backing array when it is large
+// enough, so per-layer loops avoid reallocating the (often large) patch
+// matrix. Every element of the returned slice is overwritten.
+func Im2ColInto(buf []int16, in *Tensor, size, stride, pad int) (b []int16, k, n int) {
 	outH := ConvOut(in.H, size, stride, pad)
 	outW := ConvOut(in.W, size, stride, pad)
 	k = in.C * size * size
 	n = outH * outW
-	b = make([]int16, k*n)
+	if cap(buf) < k*n {
+		b = make([]int16, k*n)
+	} else {
+		b = buf[:k*n]
+	}
 	row := 0
 	for c := 0; c < in.C; c++ {
 		for dy := 0; dy < size; dy++ {

@@ -39,15 +39,19 @@ func (n *Network) ForwardBatch(inputs []*Tensor, r *gemm.Runner) ([]*Result, *Fo
 		results[i] = &Result{}
 	}
 	stats := &ForwardStats{}
+	// Per-image im2col matrices reused across conv layers; MultiplyBatch
+	// stages them into DPU MRAM before returning, so the next layer may
+	// overwrite them.
+	im2colBufs := make([][]int16, nImg)
+	bs := make([][]int16, nImg)
 
 	for li, def := range n.Defs {
 		switch def.Kind {
 		case Conv:
-			bs := make([][]int16, nImg)
 			var k, cols int
 			for i := range curs {
-				b, kk, cc := Im2Col(curs[i], def.Size, def.Stride)
-				bs[i], k, cols = b, kk, cc
+				b, kk, cc := Im2ColInto(im2colBufs[i], curs[i], def.Size, def.Stride)
+				bs[i], im2colBufs[i], k, cols = b, b, kk, cc
 			}
 			cs, st, err := r.MultiplyBatch(def.Filters, cols, k, 1, n.Weights[li].W, bs)
 			if err != nil {

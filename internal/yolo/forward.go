@@ -57,11 +57,16 @@ func (n *Network) Forward(input *Tensor, runner *gemm.Runner) (*Result, *Forward
 	stats := &ForwardStats{}
 	res := &Result{}
 	cur := input
+	// One im2col patch matrix reused across conv layers; Multiply and
+	// Reference both consume it before returning, so the next layer may
+	// overwrite it.
+	var im2colBuf []int16
 
 	for i, def := range n.Defs {
 		switch def.Kind {
 		case Conv:
-			b, k, cols := Im2Col(cur, def.Size, def.Stride)
+			b, k, cols := Im2ColInto(im2colBuf, cur, def.Size, def.Stride)
+			im2colBuf = b
 			var (
 				c   []int16
 				err error

@@ -44,3 +44,9 @@ func QuantizeTensor(c, h, w int, data []float64) (*Tensor, error) {
 func Im2Col(in *Tensor, size, stride int) (b []int16, k, n int) {
 	return tensor.Im2Col(in, size, stride, size/2)
 }
+
+// Im2ColInto is Im2Col reusing buf's backing array when large enough, so
+// the per-layer forward loop keeps one patch matrix across conv layers.
+func Im2ColInto(buf []int16, in *Tensor, size, stride int) (b []int16, k, n int) {
+	return tensor.Im2ColInto(buf, in, size, stride, size/2)
+}

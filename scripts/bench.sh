@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run the key simulator benchmarks with -benchmem and emit
+# BENCH_baseline.json (name, ns/op, allocs/op, B/op) at the repo root.
+#
+# Usage:  scripts/bench.sh [benchtime]
+#   benchtime  go test -benchtime value (default 10x)
+#
+# The JSON is the perf trajectory record: wall-clock and allocation
+# numbers for the hot paths, to be compared across PRs. Simulated-cycle
+# metrics are intentionally not recorded here — they are asserted
+# bit-identical by the test suite, not tracked as a trajectory (see
+# DESIGN.md, "Simulator performance").
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-10x}"
+OUT="BENCH_baseline.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+run() { # run <package> <bench regexp>
+	echo ">> go test $1 -bench $2 (-benchtime $BENCHTIME)" >&2
+	go test "$1" -run 'xxx' -bench "$2" -benchtime "$BENCHTIME" -benchmem 2>/dev/null \
+		| grep -E '^Benchmark' >>"$TMP" || true
+}
+
+run .               'BenchmarkSimulatorWallClock|BenchmarkFig47aTaskletSpeedup|BenchmarkFig47bOptimization|BenchmarkHeadlineLatency'
+run ./internal/gemm 'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatchKernel'
+run ./internal/host 'BenchmarkBroadcast|BenchmarkPushXfer|BenchmarkParallelLaunch'
+
+# Benchmark lines look like:
+#   BenchmarkName-8  20  123456 ns/op  [custom metrics...]  4096 B/op  12 allocs/op
+awk '
+BEGIN { print "[" ; first = 1 }
+{
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op")     ns = $(i - 1)
+		if ($i == "B/op")      bytes = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	if (!first) printf(",\n")
+	first = 0
+	printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s}", \
+	       name, ns, (allocs == "" ? "null" : allocs), (bytes == "" ? "null" : bytes))
+}
+END { print "\n]" }
+' "$TMP" >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
