@@ -1,7 +1,8 @@
 # Build/test entry points. `make ci` is the full gate: vet, build, tests,
 # and a race pass over the packages with cross-goroutine state (the host
-# runtime's worker pool + sharded transfers, the trace profile, and the
-# gemm runner that drives parallel launches).
+# runtime's worker pool, sharded transfers, and async command queue, the
+# trace profile, and the gemm/ebnn/yolo runners that drive parallel and
+# pipelined launches).
 
 GO ?= go
 
@@ -19,9 +20,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/host ./internal/trace ./internal/gemm
+	$(GO) test -race ./internal/host ./internal/trace ./internal/gemm ./internal/ebnn ./internal/yolo
 
-# Regenerate BENCH_baseline.json (see DESIGN.md, "Simulator performance").
+# Regenerate BENCH_pr2.json and diff it against BENCH_baseline.json
+# (see DESIGN.md, "Simulator performance").
 bench:
 	scripts/bench.sh
 

@@ -108,3 +108,37 @@ func BenchmarkConvPool(b *testing.B) {
 	}
 	_ = sink
 }
+
+// BenchmarkInferWaveSync / BenchmarkInferWavePipelined compare the
+// synchronous wave loop against the double-buffered asynchronous path on
+// 16 waves of images across 4 DPUs — enough in-flight waves for the
+// queue to overlap host-side packing and decoding with simulated device
+// time. Simulated dpu-cycles are identical by construction.
+func benchInferWave(b *testing.B, mode host.PipelineMode) {
+	m, imgs := benchModel(b)
+	// 4 DPUs x 16 images/DPU = 64 images per wave; 1024 images = 16 waves.
+	many := make([]mnist.Image, 0, 1024)
+	for len(many) < cap(many) {
+		many = append(many, imgs[:min(len(imgs), cap(many)-len(many))]...)
+	}
+	sys, _ := host.NewSystem(4, host.DefaultConfig(dpu.O0))
+	r, err := NewRunner(sys, m, true, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.SetPipeline(mode)
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := r.Infer(many)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "dpu-cycles")
+	b.ReportMetric(float64(len(many)), "images")
+}
+
+func BenchmarkInferWaveSync(b *testing.B)      { benchInferWave(b, host.PipelineOff) }
+func BenchmarkInferWavePipelined(b *testing.B) { benchInferWave(b, host.PipelineOn) }

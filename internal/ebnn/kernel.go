@@ -77,6 +77,29 @@ type Runner struct {
 	counts   []int
 	resBuf   []byte // per-DPU result gather buffer
 	featBuf  []byte // decoded feature vector for one image
+
+	// pipe selects the double-buffered wave pipeline; slots are its two
+	// ping-pong staging sets (allocated on first pipelined Infer).
+	pipe  bool
+	slots [2]inferSlot
+}
+
+// inferSlot is one of the two ping-pong staging sets of the pipelined
+// Infer: a wave's image/count scatter buffers and result gather buffers
+// stay queue-owned until the wave's Pending resolves, so the host packs
+// the next wave (and classifies the previous one) in the other slot.
+type inferSlot struct {
+	imgStage []byte
+	cntStage []byte
+	resStage []byte
+	imgBufs  [][]byte
+	cntBufs  [][]byte
+	resBufs  [][]byte
+	counts   []int
+	stats    host.LaunchStats
+	pend     host.Pending
+	nDPU     int
+	busy     bool
 }
 
 // NewRunner deploys the model onto every DPU of the system: it allocates
@@ -182,7 +205,16 @@ func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, 
 	r.resBuf = make([]byte, BatchSize*ResultSize)
 	r.featBuf = make([]byte, PoolCells*m.F)
 	r.kernelFn = r.kernel()
+	r.pipe = host.PipelineAuto.Enabled()
 	return r, nil
+}
+
+// SetPipeline overrides the runner's pipelining mode (PipelineAuto is
+// resolved at NewRunner). Call it between Infer calls only. Results and
+// simulated-time accounting are identical in both modes; pipelining
+// overlaps host pack/classify wall-clock time with queued device work.
+func (r *Runner) SetPipeline(m host.PipelineMode) {
+	r.pipe = m.Enabled()
 }
 
 // Model returns the deployed model.
@@ -349,10 +381,16 @@ func waveEnd(a, b int) int {
 
 // Infer classifies the images: the host scatters 16-image batches across
 // the DPUs, launches the kernel, gathers the activation buffers, and runs
-// the softmax layer serially per image (§4.1.3).
+// the softmax layer serially per image (§4.1.3). In pipelined mode the
+// waves flow through the host's asynchronous command queue so the
+// pack/classify host work overlaps the simulated launches; predictions,
+// cycle counts, and wave statistics are identical either way.
 func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 	if len(images) == 0 {
 		return nil, BatchStats{}, fmt.Errorf("ebnn: no images")
+	}
+	if r.pipe {
+		return r.inferPipelined(images)
 	}
 	preds := make([]int, 0, len(images))
 	stats := BatchStats{Images: len(images)}
@@ -412,6 +450,123 @@ func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 				preds = append(preds, r.model.PredictFeatures(r.featBuf))
 			}
 		}
+	}
+	return preds, stats, nil
+}
+
+// ensureSlots sizes the two ping-pong staging sets for waves of up to nd
+// DPUs.
+func (r *Runner) ensureSlots(nd int) {
+	if len(r.slots[0].imgBufs) == nd {
+		return
+	}
+	for s := range r.slots {
+		sl := &r.slots[s]
+		sl.imgStage = make([]byte, nd*BatchSize*mnist.PackedSize)
+		sl.cntStage = make([]byte, nd*4)
+		sl.resStage = make([]byte, nd*BatchSize*ResultSize)
+		sl.imgBufs = make([][]byte, nd)
+		sl.cntBufs = make([][]byte, nd)
+		sl.resBufs = make([][]byte, nd)
+		sl.counts = make([]int, nd)
+		for i := 0; i < nd; i++ {
+			sl.imgBufs[i] = sl.imgStage[i*BatchSize*mnist.PackedSize : (i+1)*BatchSize*mnist.PackedSize]
+			sl.cntBufs[i] = sl.cntStage[i*4 : (i+1)*4]
+		}
+	}
+}
+
+// inferPipelined is the double-buffered wave loop: the image scatter,
+// launch, and result gather of wave w are enqueued as one fused command
+// and wave w-1's results are classified (softmax on the host) while it
+// runs. Waves are flushed strictly in order, so predictions keep the
+// input order.
+func (r *Runner) inferPipelined(images []mnist.Image) ([]int, BatchStats, error) {
+	preds := make([]int, 0, len(images))
+	stats := BatchStats{Images: len(images)}
+	nd := r.sys.NumDPUs()
+	perWave := BatchSize * nd
+	r.ensureSlots(nd)
+
+	flush := func(sl *inferSlot) error {
+		if !sl.busy {
+			return nil
+		}
+		sl.busy = false
+		if err := sl.pend.Wait(); err != nil {
+			r.sys.Sync() // drain the poisoned queue before reporting
+			return err
+		}
+		stats.Waves++
+		stats.DPUSeconds += sl.stats.Seconds
+		stats.Cycles += sl.stats.Cycles
+		if sl.nDPU > stats.DPUsUsed {
+			stats.DPUsUsed = sl.nDPU
+		}
+		for d := 0; d < sl.nDPU; d++ {
+			raw := sl.resBufs[d]
+			for slot := 0; slot < sl.counts[d]; slot++ {
+				DecodeFeaturesInto(r.featBuf, raw[slot*ResultSize:(slot+1)*ResultSize], r.model.F)
+				preds = append(preds, r.model.PredictFeatures(r.featBuf))
+			}
+		}
+		return nil
+	}
+
+	w := 0
+	for start := 0; start < len(images); start += perWave {
+		wave := images[start:waveEnd(start+perWave, len(images))]
+		nDPU := (len(wave) + BatchSize - 1) / BatchSize
+		sl := &r.slots[w&1]
+		// The slot's buffers are queue-owned until its wave completes;
+		// classify it before re-packing into them.
+		if err := flush(sl); err != nil {
+			return nil, stats, err
+		}
+		counts := sl.counts[:nd]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range sl.cntStage {
+			sl.cntStage[i] = 0
+		}
+		for i, img := range wave {
+			d := i / BatchSize
+			slot := i % BatchSize
+			packed := img.Pack()
+			copy(sl.imgBufs[d][slot*mnist.PackedSize:], packed[:])
+			counts[d]++
+		}
+		for d, c := range counts {
+			binary.LittleEndian.PutUint32(sl.cntBufs[d], uint32(c))
+		}
+		// The gather length is uniform across the wave's DPUs: images
+		// fill DPUs in order, so DPU 0 always holds the largest count.
+		resLen := counts[0] * ResultSize
+		for d := 0; d < nDPU; d++ {
+			sl.resBufs[d] = sl.resStage[d*BatchSize*ResultSize : d*BatchSize*ResultSize+resLen]
+		}
+		r.sys.EnqueuePushXfer(r.refNImages, 0, sl.cntBufs)
+		sl.pend = r.sys.EnqueueWave(host.Wave{
+			DPUs:     nDPU,
+			Tasklets: r.tasklets,
+			Kernel:   r.kernelFn,
+			Stats:    &sl.stats,
+			Scatter:  r.refImages,
+			In:       sl.imgBufs[:nDPU],
+			Gather:   r.refResults,
+			Out:      sl.resBufs[:nDPU],
+		})
+		sl.nDPU = nDPU
+		sl.busy = true
+		w++
+	}
+	// Drain the in-flight waves, older slot first (prediction order).
+	if err := flush(&r.slots[w&1]); err != nil {
+		return nil, stats, err
+	}
+	if err := flush(&r.slots[(w+1)&1]); err != nil {
+		return nil, stats, err
 	}
 	return preds, stats, nil
 }

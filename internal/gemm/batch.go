@@ -189,31 +189,49 @@ func growBytes(buf []byte, n int) []byte {
 // computes the entire product. The batch size must not exceed the system
 // size; EnableBatch must have been called with maxM >= m.
 func (r *Runner) MultiplyBatch(m, n, k int, alpha int16, a []int16, bs [][]int16) ([][]int16, Stats, error) {
-	var st Stats
-	if r.maxM == 0 {
-		return nil, st, fmt.Errorf("gemm: batch mode not enabled (call EnableBatch)")
-	}
-	if m > r.maxM {
-		return nil, st, fmt.Errorf("gemm: M=%d exceeds batch bound %d", m, r.maxM)
-	}
-	if len(bs) < 1 || len(bs) > r.sys.NumDPUs() {
-		return nil, st, fmt.Errorf("gemm: batch of %d images for %d DPUs", len(bs), r.sys.NumDPUs())
-	}
-	if err := checkDims(m, n, k, a, bs[0]); err != nil {
+	out := make([][]int16, len(bs))
+	st, err := r.MultiplyBatchEach(m, n, k, alpha, a, bs, func(i int, c []int16) {
+		out[i] = c
+	})
+	if err != nil {
 		return nil, st, err
 	}
+	return out, st, nil
+}
+
+// MultiplyBatchEach is MultiplyBatch delivering each image's freshly
+// allocated product through each(i, c) as soon as it is decoded. In
+// pipelined mode each(i) runs while image i+1's gather is still in
+// flight, so per-image post-processing (bias/activation in the YOLO
+// batch path) overlaps the remaining transfers. Images are delivered in
+// order.
+func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]int16, each func(i int, c []int16)) (Stats, error) {
+	var st Stats
+	if r.maxM == 0 {
+		return st, fmt.Errorf("gemm: batch mode not enabled (call EnableBatch)")
+	}
+	if m > r.maxM {
+		return st, fmt.Errorf("gemm: M=%d exceeds batch bound %d", m, r.maxM)
+	}
+	if len(bs) < 1 || len(bs) > r.sys.NumDPUs() {
+		return st, fmt.Errorf("gemm: batch of %d images for %d DPUs", len(bs), r.sys.NumDPUs())
+	}
+	if err := checkDims(m, n, k, a, bs[0]); err != nil {
+		return st, err
+	}
 	if k > r.cfg.MaxK || n > r.cfg.MaxN {
-		return nil, st, fmt.Errorf("gemm: problem K=%d N=%d exceeds runner bounds K<=%d N<=%d",
+		return st, fmt.Errorf("gemm: problem K=%d N=%d exceeds runner bounds K<=%d N<=%d",
 			k, n, r.cfg.MaxK, r.cfg.MaxN)
 	}
 	for i, b := range bs {
 		if len(b) != k*n {
-			return nil, st, fmt.Errorf("gemm: B[%d] has %d elements, want %d", i, len(b), k*n)
+			return st, fmt.Errorf("gemm: B[%d] has %d elements, want %d", i, len(b), k*n)
 		}
 	}
 
-	// Broadcast the weight matrix A to every DPU at the padded row
-	// stride the kernel stages from.
+	// Encode the weight matrix A at the padded row stride the kernel
+	// stages from. In pipelined mode the broadcast is queued so the B
+	// encode below overlaps it.
 	aRowBytes := (k*2 + 7) &^ 7
 	r.aFullStage = growBytes(r.aFullStage, m*aRowBytes)
 	aBytes := r.aFullStage
@@ -225,8 +243,10 @@ func (r *Runner) MultiplyBatch(m, n, k int, alpha int16, a []int16, bs [][]int16
 			aBytes[bb] = 0
 		}
 	}
-	if err := r.sys.CopyToSymbolRef(r.refAFull, 0, aBytes); err != nil {
-		return nil, st, err
+	if r.pipe {
+		r.sys.EnqueueCopyTo(r.refAFull, 0, aBytes)
+	} else if err := r.sys.CopyToSymbolRef(r.refAFull, 0, aBytes); err != nil {
+		return st, err
 	}
 
 	// Scatter each image's B matrix, row-stride padded. The staging
@@ -260,20 +280,24 @@ func (r *Runner) MultiplyBatch(m, n, k int, alpha int16, a []int16, bs [][]int16
 			bufs[i] = r.emptyB
 		}
 	}
-	if err := r.sys.PushXferRef(r.refB, 0, bufs); err != nil {
-		return nil, st, err
-	}
-
-	if err := r.pushParams(n, k, m, alpha); err != nil {
-		return nil, st, err
-	}
-
+	r.encodeParams(n, k, m, alpha)
 	if r.batchKernel == nil {
 		r.batchKernel = r.kernelBatch()
 	}
+
+	if r.pipe {
+		return r.batchPipelined(m, n, k, len(bs), stride, bufs, each)
+	}
+
+	if err := r.sys.PushXferRef(r.refB, 0, bufs); err != nil {
+		return st, err
+	}
+	if err := r.sys.CopyToSymbolRef(r.refParams, 0, r.paramsBuf[:]); err != nil {
+		return st, err
+	}
 	ls, err := r.sys.LaunchOn(len(bs), r.cfg.Tasklets, r.batchKernel)
 	if err != nil {
-		return nil, st, err
+		return st, err
 	}
 	st.Waves = 1
 	st.DPUsUsed = len(bs)
@@ -282,20 +306,64 @@ func (r *Runner) MultiplyBatch(m, n, k int, alpha int16, a []int16, bs [][]int16
 
 	// Gather every DPU's full C into the reused staging buffer; the
 	// decoded per-image results are fresh slices owned by the caller.
-	out := make([][]int16, len(bs))
 	r.gatherBuf = growBytes(r.gatherBuf, m*stride*2)
 	raw := r.gatherBuf[:m*stride*2]
 	for i := range bs {
 		if err := r.sys.CopyFromDPURefInto(i, r.refCFull, 0, raw); err != nil {
-			return nil, st, err
+			return st, err
 		}
-		c := make([]int16, m*n)
-		for row := 0; row < m; row++ {
-			for j := 0; j < n; j++ {
-				c[row*n+j] = int16(binary.LittleEndian.Uint16(raw[(row*stride+j)*2:]))
-			}
-		}
-		out[i] = c
+		each(i, decodeBatchC(raw, m, n, stride))
 	}
-	return out, st, nil
+	return st, nil
+}
+
+// decodeBatchC unpacks one DPU's full stride-padded C matrix into a
+// fresh caller-owned slice.
+func decodeBatchC(raw []byte, m, n, stride int) []int16 {
+	c := make([]int16, m*n)
+	for row := 0; row < m; row++ {
+		for j := 0; j < n; j++ {
+			c[row*n+j] = int16(binary.LittleEndian.Uint16(raw[(row*stride+j)*2:]))
+		}
+	}
+	return c
+}
+
+// batchPipelined queues scatter→params→launch, then ping-pongs two raw
+// gather buffers so image i's decode (and the caller's each callback)
+// overlaps image i+1's queued gather. The A broadcast was already
+// enqueued by the caller.
+func (r *Runner) batchPipelined(m, n, k, nImg, stride int, bufs [][]byte, each func(i int, c []int16)) (Stats, error) {
+	var st Stats
+	sys := r.sys
+	sys.EnqueuePushXfer(r.refB, 0, bufs)
+	sys.EnqueueCopyTo(r.refParams, 0, r.paramsBuf[:])
+	sys.EnqueueLaunch(nImg, r.cfg.Tasklets, r.batchKernel, &r.batchStats)
+
+	rawBytes := m * stride * 2
+	r.batchRaw[0] = growBytes(r.batchRaw[0], rawBytes)
+	r.batchRaw[1] = growBytes(r.batchRaw[1], rawBytes)
+	var pend [2]host.Pending
+	for i := 0; i < nImg; i++ {
+		pend[i&1] = sys.EnqueueCopyFrom(i, r.refCFull, 0, r.batchRaw[i&1][:rawBytes])
+		if i > 0 {
+			if err := pend[(i-1)&1].Wait(); err != nil {
+				sys.Sync()
+				return st, err
+			}
+			each(i-1, decodeBatchC(r.batchRaw[(i-1)&1][:rawBytes], m, n, stride))
+		}
+	}
+	if err := pend[(nImg-1)&1].Wait(); err != nil {
+		sys.Sync()
+		return st, err
+	}
+	// The launch completed before the first gather resolved, so its
+	// statistics are stable to read now.
+	st.Waves = 1
+	st.DPUsUsed = nImg
+	st.Cycles = r.batchStats.Cycles
+	st.Seconds = r.batchStats.Seconds
+	each(nImg-1, decodeBatchC(r.batchRaw[(nImg-1)&1][:rawBytes], m, n, stride))
+	return st, nil
 }

@@ -93,3 +93,34 @@ func BenchmarkBatchKernel(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles), "dpu-cycles")
 }
+
+// BenchmarkMultiWaveSync / BenchmarkMultiWavePipelined compare the
+// synchronous wave loop against the double-buffered asynchronous path on
+// a row count several times the DPU count (8 waves on 4 DPUs), the
+// regime where pipelining can overlap host staging with device
+// execution. Simulated dpu-cycles are identical by construction; only
+// ns/op (wall-clock) differs.
+func benchMultiWave(b *testing.B, mode host.PipelineMode) {
+	const m, n, k = 32, 512, 64
+	am, bm := benchProblem(m, n, k)
+	sys, _ := host.NewSystem(4, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{
+		MaxK: k, MaxN: n, Tasklets: 11, TileCols: 256, Pipeline: mode,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := r.Multiply(m, n, k, 1, am, bm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "dpu-cycles")
+}
+
+func BenchmarkMultiWaveSync(b *testing.B)      { benchMultiWave(b, host.PipelineOff) }
+func BenchmarkMultiWavePipelined(b *testing.B) { benchMultiWave(b, host.PipelineOn) }

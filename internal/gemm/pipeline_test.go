@@ -1,0 +1,142 @@
+package gemm
+
+import (
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+)
+
+// The pipelined (double-buffered, queue-fused) Multiply must be
+// indistinguishable from the synchronous loop in everything but
+// wall-clock: identical results and identical simulated-time statistics,
+// including on partial final waves and on the naive kernel.
+
+func pipelineProblem(m, n, k int) (a, b []int16) {
+	a = make([]int16, m*k)
+	b = make([]int16, k*n)
+	for i := range a {
+		a[i] = int16(i%13 - 6)
+	}
+	for i := range b {
+		b[i] = int16(i%9 - 4)
+	}
+	return a, b
+}
+
+func runModes(t *testing.T, naive bool, opt dpu.OptLevel, m, n, k int) {
+	t.Helper()
+	a, b := pipelineProblem(m, n, k)
+	run := func(mode host.PipelineMode) ([]int16, Stats) {
+		sys, err := host.NewSystem(4, host.DefaultConfig(opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		r, err := NewRunner(sys, RunnerConfig{
+			MaxK: k, MaxN: n, Tasklets: 4, TileCols: 16, Naive: naive, Pipeline: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, st, err := r.Multiply(m, n, k, 3, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, st
+	}
+	cSync, stSync := run(host.PipelineOff)
+	cPipe, stPipe := run(host.PipelineOn)
+	for i := range cSync {
+		if cSync[i] != cPipe[i] {
+			t.Fatalf("element %d: sync %d, pipelined %d", i, cSync[i], cPipe[i])
+		}
+	}
+	if stSync != stPipe {
+		t.Errorf("stats diverge: sync %+v, pipelined %+v", stSync, stPipe)
+	}
+}
+
+func TestMultiplyPipelinedMatchesSync(t *testing.T) {
+	// 11 rows on 4 DPUs: two full waves plus a 3-row partial wave.
+	runModes(t, false, dpu.O3, 11, 40, 24)
+}
+
+func TestMultiplyNaivePipelinedMatchesSync(t *testing.T) {
+	runModes(t, true, dpu.O0, 9, 24, 16)
+}
+
+func TestMultiplyBatchPipelinedMatchesSync(t *testing.T) {
+	const m, n, k = 6, 20, 12
+	a, _ := pipelineProblem(m, 1, k)
+	bs := make([][]int16, 3)
+	for i := range bs {
+		bs[i] = make([]int16, k*n)
+		for j := range bs[i] {
+			bs[i][j] = int16((i*31 + j) % 11 - 5)
+		}
+	}
+	run := func(mode host.PipelineMode) ([][]int16, Stats) {
+		sys, err := host.NewSystem(4, host.DefaultConfig(dpu.O3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 4, TileCols: 16, Pipeline: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.EnableBatch(m); err != nil {
+			t.Fatal(err)
+		}
+		cs, st, err := r.MultiplyBatch(m, n, k, 2, a, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs, st
+	}
+	csSync, stSync := run(host.PipelineOff)
+	csPipe, stPipe := run(host.PipelineOn)
+	for i := range csSync {
+		for j := range csSync[i] {
+			if csSync[i][j] != csPipe[i][j] {
+				t.Fatalf("image %d element %d: sync %d, pipelined %d", i, j, csSync[i][j], csPipe[i][j])
+			}
+		}
+	}
+	if stSync != stPipe {
+		t.Errorf("stats diverge: sync %+v, pipelined %+v", stSync, stPipe)
+	}
+}
+
+// A multi-call sequence on one pipelined runner: later calls must not
+// observe stale queue state from earlier ones.
+func TestMultiplyPipelinedRepeatedCalls(t *testing.T) {
+	sys, err := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	const n, k = 16, 8
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 2, TileCols: 8, Pipeline: host.PipelineOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for call := 0; call < 3; call++ {
+		m := 3 + call*2
+		a, b := pipelineProblem(m, n, k)
+		got, _, err := r.Multiply(m, n, k, 1, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Reference(m, n, k, 1, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("call %d element %d: got %d want %d", call, i, got[i], want[i])
+			}
+		}
+	}
+}

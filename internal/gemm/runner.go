@@ -45,6 +45,11 @@ type RunnerConfig struct {
 	// default (tiled) kernel is the §4.3.4-style improvement that
 	// maximizes WRAM accesses.
 	Naive bool
+	// Pipeline selects double-buffered wave pipelining through the host's
+	// asynchronous command queue. Results and simulated-time accounting
+	// are identical in both modes; pipelining only overlaps host
+	// encode/decode wall-clock time with queued device work.
+	Pipeline host.PipelineMode
 }
 
 // kernelScratch is the per-tasklet working set of the GEMM kernels. The
@@ -94,8 +99,15 @@ type Runner struct {
 	bStage    []byte   // padded B matrix broadcast buffer
 	aStage    []byte   // flat backing for aBufs
 	aBufs     [][]byte // per-DPU A-row scatter views into aStage
-	gatherBuf []byte   // per-row C gather buffer
+	cStage    []byte   // flat backing for cBufs
+	cBufs     [][]byte // per-DPU C-row gather views into cStage
+	gatherBuf []byte   // batch-mode full-C gather buffer
 	paramsBuf [16]byte
+
+	// pipe selects the double-buffered path; slots are its two ping-pong
+	// staging sets (allocated on first pipelined Multiply).
+	pipe  bool
+	slots [2]mulSlot
 
 	// Batch (image-per-DPU) mode, set up by EnableBatch.
 	maxM                          int
@@ -105,6 +117,8 @@ type Runner struct {
 	batchStage                    []byte   // flat backing for batchBufs
 	batchBufs                     [][]byte // per-DPU B scatter views
 	emptyB                        []byte
+	batchRaw                      [2][]byte // ping-pong per-image C gather buffers
+	batchStats                    host.LaunchStats
 }
 
 // NewRunner allocates the GEMM symbols on every DPU of the system.
@@ -193,7 +207,25 @@ func NewRunner(sys *host.System, cfg RunnerConfig) (*Runner, error) {
 	nd := sys.NumDPUs()
 	r.aStage = make([]byte, nd*aRowBytes)
 	r.aBufs = make([][]byte, nd)
+	r.cBufs = make([][]byte, nd)
+	r.pipe = cfg.Pipeline.Enabled()
 	return r, nil
+}
+
+// mulSlot is one of the two ping-pong staging sets of the pipelined
+// Multiply: a wave's A-row scatter buffers and C-row gather buffers stay
+// owned by the queue from enqueue until pend resolves, so the host needs
+// a second set to encode the next wave into meanwhile.
+type mulSlot struct {
+	aStage []byte
+	aBufs  [][]byte
+	cStage []byte
+	cBufs  [][]byte
+	stats  host.LaunchStats
+	pend   host.Pending
+	start  int
+	rows   int
+	busy   bool
 }
 
 // Naive reports whether the runner uses the thesis-faithful kernel.
@@ -464,13 +496,39 @@ func (r *Runner) stageB(n, k int, b []int16) []byte {
 	return buf
 }
 
-// pushParams broadcasts the kernel parameter block.
-func (r *Runner) pushParams(n, k, m int, alpha int16) error {
+// encodeParams fills the kernel parameter block staging buffer.
+func (r *Runner) encodeParams(n, k, m int, alpha int16) {
 	binary.LittleEndian.PutUint32(r.paramsBuf[0:], uint32(n))
 	binary.LittleEndian.PutUint32(r.paramsBuf[4:], uint32(k))
 	binary.LittleEndian.PutUint32(r.paramsBuf[8:], uint32(uint16(alpha)))
 	binary.LittleEndian.PutUint32(r.paramsBuf[12:], uint32(m))
+}
+
+// pushParams broadcasts the kernel parameter block.
+func (r *Runner) pushParams(n, k, m int, alpha int16) error {
+	r.encodeParams(n, k, m, alpha)
 	return r.sys.CopyToSymbolRef(r.refParams, 0, r.paramsBuf[:])
+}
+
+// encodeARows packs rows A[start..start+rows) into the per-DPU scatter
+// buffers, zeroing each buffer's alignment tail.
+func encodeARows(bufs [][]byte, a []int16, start, rows, k, rowBytes int) {
+	for i := 0; i < rows; i++ {
+		buf := bufs[i]
+		for kk := 0; kk < k; kk++ {
+			binary.LittleEndian.PutUint16(buf[kk*2:], uint16(a[(start+i)*k+kk]))
+		}
+		for bb := k * 2; bb < rowBytes; bb++ {
+			buf[bb] = 0
+		}
+	}
+}
+
+// decodeCRow unpacks one gathered C row into c[base:base+n].
+func decodeCRow(c []int16, base int, raw []byte, n int) {
+	for j := 0; j < n; j++ {
+		c[base+j] = int16(binary.LittleEndian.Uint16(raw[j*2:]))
+	}
 }
 
 // Multiply runs C = clamp((alpha·A·B)/32) with A of M×K, B of K×N,
@@ -485,25 +543,38 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 			k, n, r.cfg.MaxK, r.cfg.MaxN)
 	}
 
+	c := make([]int16, m*n)
+	rowBytes := (k*2 + 7) &^ 7
+	cBytes := pad4(n) * 2
+	bbuf := r.stageB(n, k, b)
+	r.encodeParams(n, k, 0, alpha)
+	if r.pipe {
+		if err := r.multiplyPipelined(c, m, n, k, a, bbuf, rowBytes, cBytes, &st); err != nil {
+			return nil, st, err
+		}
+		return c, st, nil
+	}
+
 	// Broadcast B (the whole input matrix goes to every DPU, Fig 4.6),
 	// stored at the 4-column-padded row stride the kernel expects.
-	if err := r.sys.CopyToSymbolRef(r.refB, 0, r.stageB(n, k, b)); err != nil {
+	if err := r.sys.CopyToSymbolRef(r.refB, 0, bbuf); err != nil {
 		return nil, st, err
 	}
-	if err := r.pushParams(n, k, 0, alpha); err != nil {
+	if err := r.sys.CopyToSymbolRef(r.refParams, 0, r.paramsBuf[:]); err != nil {
 		return nil, st, err
 	}
 
-	c := make([]int16, m*n)
-	rowBytes := (k*2 + 7) &^ 7
-	stride := pad4(n)
-	cBytes := stride * 2
 	nd := r.sys.NumDPUs()
 	kernel := r.Kernel()
 
-	// Reslice the persistent scatter staging to this problem's row size.
+	// Reslice the persistent scatter/gather staging to this problem's
+	// row sizes.
 	for i := range r.aBufs {
 		r.aBufs[i] = r.aStage[i*rowBytes : (i+1)*rowBytes]
+	}
+	r.cStage = growBytes(r.cStage, nd*cBytes)
+	for i := range r.cBufs {
+		r.cBufs[i] = r.cStage[i*cBytes : (i+1)*cBytes]
 	}
 
 	for start := 0; start < m; start += nd {
@@ -511,16 +582,7 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 		if rows > nd {
 			rows = nd
 		}
-		// Scatter one A row per DPU.
-		for i := 0; i < rows; i++ {
-			buf := r.aBufs[i]
-			for kk := 0; kk < k; kk++ {
-				binary.LittleEndian.PutUint16(buf[kk*2:], uint16(a[(start+i)*k+kk]))
-			}
-			for bb := k * 2; bb < rowBytes; bb++ {
-				buf[bb] = 0
-			}
-		}
+		encodeARows(r.aBufs, a, start, rows, k, rowBytes)
 		if err := r.sys.PushXferRef(r.refA, 0, r.aBufs); err != nil {
 			return nil, st, err
 		}
@@ -536,18 +598,106 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 			st.DPUsUsed = rows
 		}
 
-		// Gather the C rows into the reused buffer and decode.
-		raw := r.gatherBuf[:cBytes]
+		// Gather the wave's C rows — sharded across the worker pool like
+		// the scatter — and decode.
+		if err := r.sys.GatherXferRefInto(r.refC, 0, cBytes, r.cBufs[:rows]); err != nil {
+			return nil, st, err
+		}
 		for i := 0; i < rows; i++ {
-			if err := r.sys.CopyFromDPURefInto(i, r.refC, 0, raw); err != nil {
-				return nil, st, err
-			}
-			for j := 0; j < n; j++ {
-				c[(start+i)*n+j] = int16(binary.LittleEndian.Uint16(raw[j*2:]))
-			}
+			decodeCRow(c, (start+i)*n, r.cBufs[i], n)
 		}
 	}
 	return c, st, nil
+}
+
+// ensureSlots sizes the two ping-pong staging sets for waves of up to
+// maxRows DPUs at the given row sizes.
+func (r *Runner) ensureSlots(maxRows, rowBytes, cBytes int) {
+	for s := range r.slots {
+		sl := &r.slots[s]
+		sl.aStage = growBytes(sl.aStage, maxRows*rowBytes)
+		sl.cStage = growBytes(sl.cStage, maxRows*cBytes)
+		if len(sl.aBufs) != maxRows {
+			sl.aBufs = make([][]byte, maxRows)
+			sl.cBufs = make([][]byte, maxRows)
+		}
+		for i := 0; i < maxRows; i++ {
+			sl.aBufs[i] = sl.aStage[i*rowBytes : (i+1)*rowBytes]
+			sl.cBufs[i] = sl.cStage[i*cBytes : (i+1)*cBytes]
+		}
+	}
+}
+
+// multiplyPipelined is the double-buffered wave loop: wave w is enqueued
+// as one fused scatter→launch→gather command and wave w-1's results are
+// decoded while it runs. The per-wave launch statistics are identical to
+// the synchronous loop's, so Stats (and all simulated clocks) match the
+// synchronous path bit for bit.
+func (r *Runner) multiplyPipelined(c []int16, m, n, k int, a []int16, bbuf []byte, rowBytes, cBytes int, st *Stats) error {
+	sys := r.sys
+	nd := sys.NumDPUs()
+	maxRows := m
+	if maxRows > nd {
+		maxRows = nd
+	}
+	r.ensureSlots(maxRows, rowBytes, cBytes)
+	sys.EnqueueCopyTo(r.refB, 0, bbuf)
+	sys.EnqueueCopyTo(r.refParams, 0, r.paramsBuf[:])
+	kernel := r.Kernel()
+
+	flush := func(sl *mulSlot) error {
+		if !sl.busy {
+			return nil
+		}
+		sl.busy = false
+		if err := sl.pend.Wait(); err != nil {
+			sys.Sync() // drain the poisoned queue before reporting
+			return err
+		}
+		for i := 0; i < sl.rows; i++ {
+			decodeCRow(c, (sl.start+i)*n, sl.cBufs[i], n)
+		}
+		st.Waves++
+		st.Cycles += sl.stats.Cycles
+		st.Seconds += sl.stats.Seconds
+		if sl.rows > st.DPUsUsed {
+			st.DPUsUsed = sl.rows
+		}
+		return nil
+	}
+
+	w := 0
+	for start := 0; start < m; start += nd {
+		rows := m - start
+		if rows > nd {
+			rows = nd
+		}
+		sl := &r.slots[w&1]
+		// The slot's buffers are queue-owned until its wave completes;
+		// wait (and decode) before re-encoding into them.
+		if err := flush(sl); err != nil {
+			return err
+		}
+		encodeARows(sl.aBufs, a, start, rows, k, rowBytes)
+		sl.start, sl.rows = start, rows
+		sl.pend = sys.EnqueueWave(host.Wave{
+			DPUs:     rows,
+			Tasklets: r.cfg.Tasklets,
+			Kernel:   kernel,
+			Stats:    &sl.stats,
+			Scatter:  r.refA,
+			In:       sl.aBufs[:rows],
+			Gather:   r.refC,
+			Out:      sl.cBufs[:rows],
+		})
+		sl.busy = true
+		w++
+	}
+	// Drain the in-flight waves, older slot first.
+	if err := flush(&r.slots[w&1]); err != nil {
+		return err
+	}
+	return flush(&r.slots[(w+1)&1])
 }
 
 // pad4 rounds n up to a multiple of 4 (columns), keeping 2-byte element

@@ -101,6 +101,70 @@ func TestBroadcastAndPerDPUCopyAllocFree(t *testing.T) {
 	}
 }
 
+// The steady-state asynchronous path must not allocate per wave after
+// warm-up: the command ring, ticket counters, and Pending handles are
+// all reused or value types, so a transfer-only enqueue+sync cycle is
+// allocation-free exactly like its synchronous counterparts. (The first
+// cycle grows the ring and warms the executor; AllocsPerRun's warm-up
+// run absorbs it.)
+func TestAsyncEnqueueSyncAllocFree(t *testing.T) {
+	s := allocSystem(t, 4)
+	ref, err := s.Resolve("buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffers := make([][]byte, 4)
+	dst := make([][]byte, 4)
+	for i := range buffers {
+		buffers[i] = make([]byte, 64)
+		dst[i] = make([]byte, 64)
+	}
+	data := make([]byte, 64)
+	if avg := testing.AllocsPerRun(100, func() {
+		s.EnqueueCopyTo(ref, 0, data)
+		s.EnqueuePushXfer(ref, 0, buffers)
+		s.EnqueueGather(ref, 0, 64, dst)
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("async enqueue+sync allocates %.1f per cycle, want 0", avg)
+	}
+}
+
+// A steady-state fused wave allocates only what the underlying per-DPU
+// launches themselves allocate (the same op-mix bookkeeping a
+// synchronous LaunchOn pays); the wave's stats reuse the caller's PerDPU
+// backing and the queue machinery adds nothing.
+func TestWaveSteadyStateAllocBound(t *testing.T) {
+	s := allocSystem(t, 2)
+	ref, err := s.Resolve("buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := [][]byte{make([]byte, 64), make([]byte, 64)}
+	out := [][]byte{make([]byte, 64), make([]byte, 64)}
+	kernel := func(tk *dpu.Tasklet) error {
+		tk.Charge(dpu.OpAddInt, 1)
+		return nil
+	}
+	var ws LaunchStats
+	avg := testing.AllocsPerRun(100, func() {
+		p := s.EnqueueWave(Wave{
+			DPUs: 2, Tasklets: 1, Kernel: kernel, Stats: &ws,
+			Scatter: ref, In: in, Gather: ref, Out: out,
+		})
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per DPU launch: op-mix map + breakdown slice (+ map bucket churn).
+	// Anything beyond ~8 per DPU means the queue started allocating.
+	if avg > 16 {
+		t.Errorf("steady-state wave allocates %.1f per call, want <= 16", avg)
+	}
+}
+
 // Above the sharding threshold the transfer loops fan out across the
 // worker pool; a handful of scheduling allocations per call is the price
 // of the parallelism, but it must stay O(workers), not O(DPUs).

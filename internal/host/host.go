@@ -72,6 +72,32 @@ type System struct {
 	// safe for concurrent use on one System (the DPUs' memory is shared
 	// state between launches anyway), so a plain field suffices.
 	launchErrs []error
+
+	// Asynchronous command queue state (queue.go). The ring holds
+	// enqueued commands in FIFO order; qNext/qDone are the enqueue and
+	// completion tickets; qErr/qErrTicket capture the first failure until
+	// Sync clears it. waveErrs is the executor's per-DPU error slice,
+	// kept separate from launchErrs so a synchronous launch on another
+	// goroutine cannot collide with a queued wave.
+	qmu        sync.Mutex
+	qcond      *sync.Cond
+	qring      []asyncOp
+	qhead      int
+	qcount     int
+	qNext      uint64
+	qDone      uint64
+	qErr       error
+	qErrTicket uint64
+	qRunning   bool
+	qClosed    bool
+	waveErrs   []error
+	// qcur is the executor's in-flight command. Popping into a System
+	// field (rather than a local whose address flows into the worker
+	// shards) keeps command execution allocation-free.
+	qcur asyncOp
+	// qrunFn is the executor entry point, allocated once so restarting
+	// the executor after an idle period doesn't allocate a closure.
+	qrunFn func()
 }
 
 // XferStats summarizes host<->PIM traffic since the last reset.
@@ -111,18 +137,28 @@ func NewSystem(n int, cfg Config) (*System, error) {
 		pool:    newWorkerPool(),
 		symbols: make(map[string]dpu.Symbol),
 	}
+	s.qcond = sync.NewCond(&s.qmu)
+	s.qrunFn = s.qrun
 	// Dropped systems release their worker goroutines at GC time; Close
 	// makes the release deterministic.
 	runtime.SetFinalizer(s, (*System).Close)
 	return s, nil
 }
 
-// Close stops the system's worker pool. The System must not be used for
-// launches or transfers afterwards. Closing is optional — garbage
-// collection of an unreachable System has the same effect — and
-// idempotent.
+// Close drains the asynchronous command queue and stops the system's
+// worker pool. Commands still queued (or enqueued afterwards) resolve
+// with ErrClosed. The System must not be used for launches or transfers
+// afterwards. Closing is optional — garbage collection of an unreachable
+// System has the same effect — and idempotent.
 func (s *System) Close() {
 	runtime.SetFinalizer(s, nil)
+	s.qmu.Lock()
+	s.qClosed = true
+	s.qcond.Broadcast()
+	for s.qRunning {
+		s.qcond.Wait()
+	}
+	s.qmu.Unlock()
 	s.pool.close()
 }
 
@@ -393,9 +429,11 @@ func (s *System) GatherXfer(symbol string, offset int64, n int) ([][]byte, error
 	return out, nil
 }
 
-// GatherXferInto reads n bytes from the named symbol on every DPU into
-// the caller's buffers: dst must hold one length-n buffer per DPU. The
-// simulated transfer accounting is identical to GatherXfer.
+// GatherXferInto reads n bytes from the named symbol on the first
+// len(dst) DPUs into the caller's buffers, each of length n. Passing
+// fewer buffers than DPUs gathers a partial wave — the counterpart of
+// LaunchOn's first-n launch. The simulated transfer accounting is
+// identical to GatherXfer over the same DPU count.
 func (s *System) GatherXferInto(symbol string, offset int64, n int, dst [][]byte) error {
 	ref, err := s.Resolve(symbol)
 	if err != nil {
@@ -406,7 +444,7 @@ func (s *System) GatherXferInto(symbol string, offset int64, n int, dst [][]byte
 
 // GatherXferRefInto is GatherXferInto for a pre-resolved symbol.
 func (s *System) GatherXferRefInto(ref SymbolRef, offset int64, n int, dst [][]byte) error {
-	if len(dst) != len(s.dpus) {
+	if len(dst) < 1 || len(dst) > len(s.dpus) {
 		return fmt.Errorf("host: GatherXferInto got %d buffers for %d DPUs", len(dst), len(s.dpus))
 	}
 	for i, b := range dst {

@@ -1,0 +1,478 @@
+// Asynchronous command engine for a System.
+//
+// The UPMEM SDK drives multi-rank workloads through per-rank command
+// queues: dpu_launch(DPU_ASYNCHRONOUS) and the async transfer variants
+// enqueue work and return immediately, errors are captured when the host
+// calls dpu_sync. This file mirrors that shape for the simulated System:
+// Enqueue{CopyTo,PushXfer,Launch,Gather,CopyFrom,Wave} append a command
+// to a FIFO queue drained by a dedicated executor goroutine, each returns
+// a Pending handle, and Sync waits for the queue to drain and reports the
+// first failure.
+//
+// Two clocks, one invariant: every queued command is executed by the
+// same synchronous System method a direct call would use, so the
+// simulated accounting (DPU cycles, launch stats, trace profile) is
+// bit-identical whether a workload runs synchronously or queued — the
+// queue only changes which real-time instant the work happens at, which
+// is exactly the wall-clock overlap the async API exists to buy.
+//
+// Ordering guarantees: commands on one System execute strictly in
+// enqueue order, one at a time. That serialization is what makes it safe
+// for several runners (e.g. a GEMM and an eBNN runner sharing a System)
+// to enqueue concurrently: their launches never overlap on the DPUs.
+// After a command fails, later queued commands are skipped (their
+// Pending handles report the same error) until Sync observes and clears
+// the failure, matching the SDK's sticky async error model.
+package host
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"pimdnn/internal/dpu"
+)
+
+// ErrClosed is reported by Pending handles and Sync for commands that
+// were still queued (or enqueued) when the System was closed.
+var ErrClosed = errors.New("host: system closed")
+
+type opKind uint8
+
+const (
+	opCopyTo opKind = iota + 1
+	opPushXfer
+	opLaunch
+	opGather
+	opCopyFrom
+	opWave
+)
+
+// asyncOp is one queued command. A single fat struct keeps the ring
+// buffer allocation-free: enqueueing reuses ring slots instead of boxing
+// per-kind payloads.
+type asyncOp struct {
+	kind   opKind
+	ticket uint64
+
+	// Scatter-side arguments (opCopyTo data, opPushXfer/opGather bufs,
+	// opCopyFrom dst via data, opWave scatter).
+	ref  SymbolRef
+	off  int64
+	data []byte
+	bufs [][]byte
+
+	// n is the per-DPU byte count for opGather, the DPU index for
+	// opCopyFrom, and the DPU count for opLaunch/opWave.
+	n        int
+	tasklets int
+	kernel   dpu.KernelFunc
+	stats    *LaunchStats
+
+	// Gather-side arguments for opWave.
+	gref  SymbolRef
+	goff  int64
+	gbufs [][]byte
+}
+
+// Pending is a future-style handle for one enqueued command. The zero
+// value is a resolved no-op.
+type Pending struct {
+	s      *System
+	ticket uint64
+}
+
+// Wait blocks until the command has executed or been skipped. It returns
+// nil for commands that completed before any failure, and the sticky
+// queue error for the failing command and every command after it. Unlike
+// Sync, Wait does not clear the error.
+func (p Pending) Wait() error {
+	s := p.s
+	if s == nil {
+		return nil
+	}
+	s.qmu.Lock()
+	for s.qDone < p.ticket {
+		s.qcond.Wait()
+	}
+	var err error
+	if s.qErr != nil && s.qErrTicket <= p.ticket {
+		err = s.qErr
+	}
+	s.qmu.Unlock()
+	return err
+}
+
+// Done reports whether the command has executed (or been skipped)
+// without blocking.
+func (p Pending) Done() bool {
+	s := p.s
+	if s == nil {
+		return true
+	}
+	s.qmu.Lock()
+	done := s.qDone >= p.ticket
+	s.qmu.Unlock()
+	return done
+}
+
+// Sync waits until every enqueued command has executed (dpu_sync),
+// returns the first error captured since the previous Sync, and clears
+// it so the queue accepts new work.
+func (s *System) Sync() error {
+	s.qmu.Lock()
+	target := s.qNext
+	for s.qDone < target {
+		s.qcond.Wait()
+	}
+	err := s.qErr
+	s.qErr = nil
+	s.qErrTicket = 0
+	s.qmu.Unlock()
+	return err
+}
+
+// EnqueueCopyTo queues a broadcast of data to the referenced symbol on
+// every DPU (async dpu_copy_to). The caller must not modify data until
+// the command has executed.
+func (s *System) EnqueueCopyTo(ref SymbolRef, offset int64, data []byte) Pending {
+	return s.enqueue(asyncOp{kind: opCopyTo, ref: ref, off: offset, data: data})
+}
+
+// EnqueuePushXfer queues a scatter of buffers[i] to DPU i (async
+// dpu_push_xfer). Like PushXferRef it requires one equal-length buffer
+// per DPU; the buffers must stay untouched until the command executes.
+func (s *System) EnqueuePushXfer(ref SymbolRef, offset int64, buffers [][]byte) Pending {
+	return s.enqueue(asyncOp{kind: opPushXfer, ref: ref, off: offset, bufs: buffers})
+}
+
+// EnqueueGather queues a gather of n bytes per DPU into dst, which names
+// one buffer for each of the first len(dst) DPUs. The buffers are only
+// valid to read after Wait/Sync.
+func (s *System) EnqueueGather(ref SymbolRef, offset int64, n int, dst [][]byte) Pending {
+	return s.enqueue(asyncOp{kind: opGather, ref: ref, off: offset, n: n, bufs: dst})
+}
+
+// EnqueueCopyFrom queues a read of len(dst) bytes from one DPU's symbol
+// into dst, valid after Wait/Sync.
+func (s *System) EnqueueCopyFrom(dpuIdx int, ref SymbolRef, offset int64, dst []byte) Pending {
+	return s.enqueue(asyncOp{kind: opCopyFrom, ref: ref, off: offset, n: dpuIdx, data: dst})
+}
+
+// EnqueueLaunch queues a kernel launch on the first n DPUs. If stats is
+// non-nil, the launch statistics are stored through it before the
+// command's Pending resolves.
+func (s *System) EnqueueLaunch(n, tasklets int, kernel dpu.KernelFunc, stats *LaunchStats) Pending {
+	return s.enqueue(asyncOp{kind: opLaunch, n: n, tasklets: tasklets, kernel: kernel, stats: stats})
+}
+
+// LaunchAsync queues a kernel launch on every DPU — dpu_launch with
+// DPU_ASYNCHRONOUS. Errors surface at Wait or Sync.
+func (s *System) LaunchAsync(tasklets int, kernel dpu.KernelFunc, stats *LaunchStats) Pending {
+	return s.EnqueueLaunch(len(s.dpus), tasklets, kernel, stats)
+}
+
+// PushXferAsync is the string-keyed EnqueuePushXfer; the symbol resolves
+// eagerly so an unknown name fails at enqueue time rather than at Sync.
+func (s *System) PushXferAsync(symbol string, offset int64, buffers [][]byte) (Pending, error) {
+	ref, err := s.Resolve(symbol)
+	if err != nil {
+		return Pending{}, err
+	}
+	return s.EnqueuePushXfer(ref, offset, buffers), nil
+}
+
+// Wave is one fused scatter→launch→gather command for EnqueueWave: the
+// per-wave unit of the double-buffered runners. The executor interleaves
+// the three phases per DPU (scatter DPU i, launch DPU i, gather DPU i)
+// instead of sweeping all DPUs per phase — each DPU's staging buffers
+// and memory stay cache-hot across its three touches, and on the worker
+// pool no barrier separates the phases. The simulated accounting is
+// phase-granular exactly like the discrete commands: one transfer charge
+// for the scatter, one launch (max-over-DPUs cycles into Stats), one
+// transfer charge for the gather.
+type Wave struct {
+	// DPUs is the launch width: the wave runs on the first DPUs DPUs.
+	DPUs     int
+	Tasklets int
+	Kernel   dpu.KernelFunc
+	// Stats, if non-nil, receives the launch statistics. Its PerDPU
+	// backing array is reused across waves when capacity allows.
+	Stats *LaunchStats
+
+	// Scatter names the input symbol; In holds one equal-length buffer
+	// per participating DPU. A zero Scatter ref skips the phase.
+	Scatter    SymbolRef
+	ScatterOff int64
+	In         [][]byte
+
+	// Gather names the output symbol; Out holds one equal-length buffer
+	// per participating DPU. A zero Gather ref skips the phase.
+	Gather    SymbolRef
+	GatherOff int64
+	Out       [][]byte
+}
+
+// EnqueueWave queues a fused scatter→launch→gather wave. All referenced
+// buffers belong to the queue until the command executes; on error,
+// DPU memory state for DPUs at or after the faulting one is unspecified
+// (earlier DPUs may have completed their full scatter→launch→gather).
+func (s *System) EnqueueWave(w Wave) Pending {
+	return s.enqueue(asyncOp{
+		kind: opWave, n: w.DPUs, tasklets: w.Tasklets, kernel: w.Kernel, stats: w.Stats,
+		ref: w.Scatter, off: w.ScatterOff, bufs: w.In,
+		gref: w.Gather, goff: w.GatherOff, gbufs: w.Out,
+	})
+}
+
+// enqueue appends op to the ring and wakes (or starts) the executor.
+func (s *System) enqueue(op asyncOp) Pending {
+	s.qmu.Lock()
+	s.qNext++
+	op.ticket = s.qNext
+	if s.qClosed {
+		// The queue is gone; resolve immediately with the sticky error.
+		s.qDone = op.ticket
+		if s.qErr == nil {
+			s.qErr = ErrClosed
+			s.qErrTicket = op.ticket
+		}
+		s.qmu.Unlock()
+		s.qcond.Broadcast()
+		return Pending{s: s, ticket: op.ticket}
+	}
+	s.qpush(op)
+	if !s.qRunning {
+		s.qRunning = true
+		go s.qrunFn()
+	}
+	t := op.ticket
+	s.qmu.Unlock()
+	s.qcond.Broadcast()
+	return Pending{s: s, ticket: t}
+}
+
+func (s *System) qpush(op asyncOp) {
+	if s.qcount == len(s.qring) {
+		grown := make([]asyncOp, max(8, 2*len(s.qring)))
+		for i := 0; i < s.qcount; i++ {
+			grown[i] = s.qring[(s.qhead+i)%len(s.qring)]
+		}
+		s.qring = grown
+		s.qhead = 0
+	}
+	s.qring[(s.qhead+s.qcount)%len(s.qring)] = op
+	s.qcount++
+}
+
+func (s *System) qpop() asyncOp {
+	op := s.qring[s.qhead]
+	// Zero the slot so the ring doesn't pin kernel closures and staging
+	// buffers past their command.
+	s.qring[s.qhead] = asyncOp{}
+	s.qhead = (s.qhead + 1) % len(s.qring)
+	s.qcount--
+	return op
+}
+
+// qrun is the executor: it drains the ring in FIFO order and exits when
+// the ring empties. Exiting (rather than parking) keeps an idle System
+// free of goroutines that reference it, so the Close finalizer of a
+// dropped System can still fire; enqueue restarts the executor on the
+// next burst.
+func (s *System) qrun() {
+	s.qmu.Lock()
+	for {
+		if s.qcount == 0 {
+			s.qRunning = false
+			s.qmu.Unlock()
+			s.qcond.Broadcast()
+			return
+		}
+		s.qcur = s.qpop()
+		ticket := s.qcur.ticket
+		skip := s.qErr != nil || s.qClosed
+		s.qmu.Unlock()
+		var err error
+		if !skip {
+			err = s.execOp(&s.qcur)
+		}
+		s.qcur = asyncOp{} // release buffer/kernel references
+		s.qmu.Lock()
+		if s.qErr == nil {
+			switch {
+			case err != nil:
+				s.qErr, s.qErrTicket = err, ticket
+			case skip:
+				// Only reachable when Close raced in with commands still
+				// queued: fail them rather than touching closed workers.
+				s.qErr, s.qErrTicket = ErrClosed, ticket
+			}
+		}
+		s.qDone = ticket
+		s.qcond.Broadcast()
+	}
+}
+
+func (s *System) execOp(op *asyncOp) error {
+	switch op.kind {
+	case opCopyTo:
+		return s.CopyToSymbolRef(op.ref, op.off, op.data)
+	case opPushXfer:
+		return s.PushXferRef(op.ref, op.off, op.bufs)
+	case opGather:
+		return s.GatherXferRefInto(op.ref, op.off, op.n, op.bufs)
+	case opCopyFrom:
+		return s.CopyFromDPURefInto(op.n, op.ref, op.off, op.data)
+	case opLaunch:
+		ls, err := s.LaunchOn(op.n, op.tasklets, op.kernel)
+		if err != nil {
+			return err
+		}
+		if op.stats != nil {
+			*op.stats = ls
+		}
+		return nil
+	case opWave:
+		return s.execWave(op)
+	}
+	return fmt.Errorf("host: unknown async command kind %d", op.kind)
+}
+
+// execWave runs one fused wave. Validation happens up front for every
+// DPU so per-DPU failures can only come from the simulated kernel
+// itself, matching where the discrete command sequence would fail.
+func (s *System) execWave(op *asyncOp) error {
+	n := op.n
+	if n < 1 || n > len(s.dpus) {
+		return fmt.Errorf("host: wave on %d DPUs, system has %d", n, len(s.dpus))
+	}
+	scatter := op.ref.valid()
+	var inLen int
+	if scatter {
+		if len(op.bufs) != n {
+			return fmt.Errorf("host: wave scatter got %d buffers for %d DPUs", len(op.bufs), n)
+		}
+		inLen = len(op.bufs[0])
+		for i, b := range op.bufs {
+			if len(b) != inLen {
+				return fmt.Errorf("host: wave scatter buffer %d has length %d, want %d", i, len(b), inLen)
+			}
+		}
+		if err := checkRef(op.ref, op.off, inLen); err != nil {
+			return err
+		}
+	}
+	gather := op.gref.valid()
+	var outLen int
+	if gather {
+		if len(op.gbufs) != n {
+			return fmt.Errorf("host: wave gather got %d buffers for %d DPUs", len(op.gbufs), n)
+		}
+		outLen = len(op.gbufs[0])
+		for i, b := range op.gbufs {
+			if len(b) != outLen {
+				return fmt.Errorf("host: wave gather buffer %d has length %d, want %d", i, len(b), outLen)
+			}
+		}
+		if err := checkRef(op.gref, op.goff, outLen); err != nil {
+			return err
+		}
+	}
+	// Per-DPU stats land in the caller's PerDPU backing array when it is
+	// large enough, so steady-state waves don't allocate it per call.
+	var per []dpu.Stats
+	if op.stats != nil && cap(op.stats.PerDPU) >= n {
+		per = op.stats.PerDPU[:n]
+	} else {
+		per = make([]dpu.Stats, n)
+	}
+	if cap(s.waveErrs) < n {
+		s.waveErrs = make([]error, n)
+	}
+	errs := s.waveErrs[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if scatter {
+				if err := s.copyToOne(i, op.ref, op.off, op.bufs[i]); err != nil {
+					errs[i] = err
+					continue
+				}
+			}
+			st, err := s.dpus[i].Launch(op.tasklets, op.kernel)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			per[i] = st
+			if gather {
+				if err := s.copyFromOneInto(i, op.gref, op.goff, op.gbufs[i]); err != nil {
+					errs[i] = err
+				}
+			}
+		}
+	}
+	if n == 1 {
+		run(0, 1)
+	} else {
+		s.pool.run(n, run)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("host: DPU %d: %w", i, err)
+		}
+	}
+	if scatter {
+		s.chargeTransfer(inLen * n)
+	}
+	var maxCycles uint64
+	var energy float64
+	for i := range per {
+		if per[i].Cycles > maxCycles {
+			maxCycles = per[i].Cycles
+		}
+		energy += per[i].EnergyJ
+	}
+	sec := float64(maxCycles) / s.cfg.DPU.FrequencyHz
+	lt := time.Duration(sec * float64(time.Second))
+	if op.stats != nil {
+		*op.stats = LaunchStats{PerDPU: per, Cycles: maxCycles, Seconds: sec, Time: lt, EnergyJ: energy}
+	}
+	s.mu.Lock()
+	s.dpuTime += lt
+	s.mu.Unlock()
+	if gather {
+		s.chargeTransfer(outLen * n)
+	}
+	return nil
+}
+
+// PipelineMode selects whether a runner double-buffers waves through the
+// async queue or runs each wave to completion synchronously. Both modes
+// produce identical results and identical simulated-time accounting.
+type PipelineMode int
+
+const (
+	// PipelineAuto pipelines when more than one CPU is available to
+	// overlap host staging with queued device work; on a single CPU the
+	// overlap cannot pay for the handoff, so runners stay synchronous.
+	PipelineAuto PipelineMode = iota
+	PipelineOn
+	PipelineOff
+)
+
+// Enabled resolves the mode against the running machine.
+func (m PipelineMode) Enabled() bool {
+	switch m {
+	case PipelineOn:
+		return true
+	case PipelineOff:
+		return false
+	default:
+		return runtime.GOMAXPROCS(0) > 1
+	}
+}

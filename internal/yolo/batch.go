@@ -53,7 +53,15 @@ func (n *Network) ForwardBatch(inputs []*Tensor, r *gemm.Runner) ([]*Result, *Fo
 				b, kk, cc := Im2ColInto(im2colBufs[i], curs[i], def.Size, def.Stride)
 				bs[i], im2colBufs[i], k, cols = b, b, kk, cc
 			}
-			cs, st, err := r.MultiplyBatch(def.Filters, cols, k, 1, n.Weights[li].W, bs)
+			// MultiplyBatchEach delivers image i's product while later
+			// images' gathers are still queued, so the bias/activation
+			// pass overlaps the remaining transfers in pipelined mode.
+			s := n.shapes[li]
+			st, err := r.MultiplyBatchEach(def.Filters, cols, k, 1, n.Weights[li].W, bs,
+				func(i int, c []int16) {
+					applyBiasAct(c, def.Filters, cols, n.Weights[li].Bias, def.Activation)
+					curs[i] = &Tensor{C: s.c, H: s.h, W: s.w, Data: c}
+				})
 			if err != nil {
 				return nil, nil, fmt.Errorf("yolo: layer %d: %w", li, err)
 			}
@@ -63,11 +71,6 @@ func (n *Network) ForwardBatch(inputs []*Tensor, r *gemm.Runner) ([]*Result, *Fo
 			})
 			stats.Cycles += st.Cycles
 			stats.Seconds += st.Seconds
-			s := n.shapes[li]
-			for i := range curs {
-				applyBiasAct(cs[i], def.Filters, cols, n.Weights[li].Bias, def.Activation)
-				curs[i] = &Tensor{C: s.c, H: s.h, W: s.w, Data: cs[i]}
-			}
 		case Shortcut:
 			for i := range curs {
 				out := curs[i].Clone()

@@ -8,7 +8,7 @@ import (
 	"pimdnn/internal/host"
 )
 
-func newBatchRunner(t *testing.T, n *Network, nDPU, tasklets int) *gemm.Runner {
+func newBatchRunner(t *testing.T, n *Network, nDPU, tasklets int, mode host.PipelineMode) *gemm.Runner {
 	t.Helper()
 	sys, err := host.NewSystem(nDPU, host.DefaultConfig(dpu.O3))
 	if err != nil {
@@ -16,7 +16,7 @@ func newBatchRunner(t *testing.T, n *Network, nDPU, tasklets int) *gemm.Runner {
 	}
 	maxK, maxN := n.GEMMBounds()
 	r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
-		MaxK: maxK, MaxN: maxN, Tasklets: tasklets, TileCols: 64,
+		MaxK: maxK, MaxN: maxN, Tasklets: tasklets, TileCols: 64, Pipeline: mode,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -30,6 +30,17 @@ func newBatchRunner(t *testing.T, n *Network, nDPU, tasklets int) *gemm.Runner {
 // TestForwardBatchMatchesForward: the image-per-DPU batch path must be
 // bit-exact against the per-image row-per-DPU path for every image.
 func TestForwardBatchMatchesForward(t *testing.T) {
+	testForwardBatchMatchesForward(t, host.PipelineOff)
+}
+
+// TestForwardBatchPipelinedMatchesForward: routing the batch GEMMs
+// through the asynchronous queue (overlapped result drain) must not
+// change a single output element or the simulated layer times.
+func TestForwardBatchPipelinedMatchesForward(t *testing.T) {
+	testForwardBatchMatchesForward(t, host.PipelineOn)
+}
+
+func testForwardBatchMatchesForward(t *testing.T, mode host.PipelineMode) {
 	n, err := New(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -39,7 +50,7 @@ func TestForwardBatchMatchesForward(t *testing.T) {
 		SyntheticScene(32, 2),
 		SyntheticScene(32, 3),
 	}
-	r := newBatchRunner(t, n, 4, 8)
+	r := newBatchRunner(t, n, 4, 8, mode)
 	batchRes, stats, err := n.ForwardBatch(inputs, r)
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +83,7 @@ func TestForwardBatchMatchesForward(t *testing.T) {
 
 func TestForwardBatchValidation(t *testing.T) {
 	n, _ := New(tinyConfig())
-	r := newBatchRunner(t, n, 2, 4)
+	r := newBatchRunner(t, n, 2, 4, host.PipelineOff)
 	if _, _, err := n.ForwardBatch(nil, r); err == nil {
 		t.Error("empty batch accepted")
 	}
@@ -117,7 +128,7 @@ func TestMappingComparison(t *testing.T) {
 	}
 
 	// Image-per-DPU, whole batch at once.
-	batchRunner := newBatchRunner(t, n, nDPU, 8)
+	batchRunner := newBatchRunner(t, n, nDPU, 8, host.PipelineOff)
 	_, stBatch, err := n.ForwardBatch(inputs, batchRunner)
 	if err != nil {
 		t.Fatal(err)

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Run the key simulator benchmarks with -benchmem and emit
-# BENCH_baseline.json (name, ns/op, allocs/op, B/op) at the repo root.
+# Run the key simulator benchmarks with -benchmem and emit a JSON record
+# (name, ns/op, allocs/op, B/op) at the repo root, then compare it
+# against BENCH_baseline.json: print a per-benchmark wall-clock delta
+# and FAIL if any baseline benchmark disappeared from the new run.
 #
-# Usage:  scripts/bench.sh [benchtime]
+# Usage:  scripts/bench.sh [benchtime] [out.json]
 #   benchtime  go test -benchtime value (default 10x)
+#   out.json   output file (default BENCH_pr2.json)
 #
 # The JSON is the perf trajectory record: wall-clock and allocation
 # numbers for the hot paths, to be compared across PRs. Simulated-cycle
@@ -14,7 +17,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
-OUT="BENCH_baseline.json"
+OUT="${2:-BENCH_pr2.json}"
+BASELINE="BENCH_baseline.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
@@ -25,7 +29,8 @@ run() { # run <package> <bench regexp>
 }
 
 run .               'BenchmarkSimulatorWallClock|BenchmarkFig47aTaskletSpeedup|BenchmarkFig47bOptimization|BenchmarkHeadlineLatency'
-run ./internal/gemm 'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatchKernel'
+run ./internal/gemm 'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatchKernel|BenchmarkMultiWaveSync|BenchmarkMultiWavePipelined'
+run ./internal/ebnn 'BenchmarkInferWaveSync|BenchmarkInferWavePipelined'
 run ./internal/host 'BenchmarkBroadcast|BenchmarkPushXfer|BenchmarkParallelLaunch'
 
 # Benchmark lines look like:
@@ -51,3 +56,44 @@ END { print "\n]" }
 ' "$TMP" >"$OUT"
 
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
+
+# Delta report: every baseline benchmark must still exist; new-only
+# benchmarks are listed as such. Exits 1 on a vanished benchmark so CI
+# catches silently dropped coverage.
+if [[ -f "$BASELINE" && "$OUT" != "$BASELINE" ]]; then
+	awk -v baseline="$BASELINE" -v current="$OUT" '
+	function parse(file, tab,    line, name, ns) {
+		while ((getline line < file) > 0) {
+			if (match(line, /"name": "[^"]*"/)) {
+				name = substr(line, RSTART + 9, RLENGTH - 10)
+				ns = ""
+				if (match(line, /"ns_per_op": [0-9.]+/))
+					ns = substr(line, RSTART + 13, RLENGTH - 13)
+				tab[name] = ns
+			}
+		}
+		close(file)
+	}
+	BEGIN {
+		parse(baseline, base)
+		parse(current, cur)
+		printf("%-55s %14s %14s %9s\n", "benchmark", "baseline ns", "current ns", "delta")
+		missing = 0
+		for (name in base) {
+			if (!(name in cur)) {
+				printf("%-55s %14s %14s %9s\n", name, base[name], "MISSING", "-")
+				missing++
+				continue
+			}
+			printf("%-55s %14s %14s %8.1f%%\n", name, base[name], cur[name],
+			       100 * (cur[name] - base[name]) / base[name])
+		}
+		for (name in cur)
+			if (!(name in base))
+				printf("%-55s %14s %14s %9s\n", name, "(new)", cur[name], "-")
+		if (missing) {
+			printf("FAIL: %d baseline benchmark(s) missing from %s\n", missing, current) > "/dev/stderr"
+			exit 1
+		}
+	}'
+fi
