@@ -2,7 +2,7 @@
 # and a race pass over the packages with cross-goroutine state (the host
 # runtime's worker pool, sharded transfers, and async command queue, the
 # trace profile, and the gemm/ebnn/yolo runners that drive parallel and
-# pipelined launches).
+# pipelined launches, including the fault-injection recovery paths).
 
 GO ?= go
 
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/host ./internal/trace ./internal/gemm ./internal/ebnn ./internal/yolo
+	$(GO) test -race ./internal/dpu ./internal/host ./internal/trace ./internal/gemm ./internal/ebnn ./internal/yolo
 
 # Regenerate BENCH_pr2.json and diff it against BENCH_baseline.json
 # (see DESIGN.md, "Simulator performance").

@@ -139,6 +139,11 @@ type DPU struct {
 
 	prof *trace.Profile
 
+	// inj, when non-nil, injects deterministic faults into host-side
+	// transfers and launches (see fault.go). Guarded by mu like the
+	// counters below.
+	inj *FaultInjector
+
 	totalCycles uint64
 	launches    int
 	log         []byte
@@ -193,6 +198,35 @@ func (d *DPU) Profile() *trace.Profile { return d.prof }
 // SetProfile replaces the DPU's profile, letting several DPUs share one
 // aggregate profile.
 func (d *DPU) SetProfile(p *trace.Profile) { d.prof = p }
+
+// InjectFaults arms (or, with nil, disarms) the DPU's fault injector.
+// Arming replaces any previous injector and its accumulated state.
+func (d *DPU) InjectFaults(in *FaultInjector) {
+	d.mu.Lock()
+	d.inj = in
+	d.mu.Unlock()
+}
+
+// TransferFault consults the fault injector about one host<->DPU
+// transfer. The host runtime calls it once per per-DPU transfer, before
+// touching memory; a non-nil return means the transfer must be dropped.
+// Kernel-internal MRAM/WRAM traffic is not gated — only host DMA is.
+func (d *DPU) TransferFault() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.inj == nil {
+		return nil
+	}
+	return d.inj.transfer()
+}
+
+// Dead reports whether an injected fault has permanently killed the
+// DPU. A DPU without an armed injector is never dead.
+func (d *DPU) Dead() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inj != nil && d.inj.Dead()
+}
 
 // TotalCycles returns the cycles accumulated over every launch since
 // creation (a multi-launch application's total DPU busy time).
@@ -307,6 +341,16 @@ func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
 		return Stats{}, fmt.Errorf("dpu: %d tasklets leave %d bytes of stack each (< %d): WRAM data segment too large",
 			n, stack, MinStackBytes)
 	}
+	// Injected launch faults abort before any tasklet retires and charge
+	// no cycles, matching how genuine memory traps are accounted.
+	d.mu.Lock()
+	if d.inj != nil {
+		if err := d.inj.launch(); err != nil {
+			d.mu.Unlock()
+			return Stats{}, err
+		}
+	}
+	d.mu.Unlock()
 
 	tasklets := d.scratch.ptrs[:n]
 	for i, t := range tasklets {

@@ -1,0 +1,146 @@
+// Fault injection for the simulated DPUs.
+//
+// Real UPMEM deployments see per-DPU failure modes — DMA transfers that
+// error out, kernels that trap mid-launch, and DPUs that drop off the
+// rank for the rest of the run (the PrIM benchmarking study reports all
+// three on real hardware). The simulator's error paths are only
+// trustworthy if they can be exercised deterministically, so a
+// FaultPlan is a seeded schedule of such failures: every DPU derives an
+// independent FaultInjector whose decisions depend only on (seed, DPU
+// index, per-DPU operation count), never on host scheduling, so a run
+// with a given plan is exactly reproducible regardless of how the
+// worker pool interleaves DPUs.
+package dpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFaultInjected is wrapped by every error a FaultInjector produces,
+// so callers can separate injected faults from genuine simulator errors
+// with errors.Is.
+var ErrFaultInjected = errors.New("injected fault")
+
+// ErrDPUDead is wrapped by errors from a DPU that the plan has killed
+// for the rest of the run. Unlike transfer and trap faults, which are
+// transient (a retry may succeed), a dead DPU fails every subsequent
+// transfer and launch; recovery requires re-dispatching its work onto a
+// surviving DPU.
+var ErrDPUDead = errors.New("DPU dead")
+
+// FaultKind enumerates the injectable failure classes.
+type FaultKind uint8
+
+const (
+	// FaultTransfer fails one host<->DPU DMA transfer. The destination
+	// memory is left untouched, as a failed DMA would.
+	FaultTransfer FaultKind = iota + 1
+	// FaultTrap aborts one kernel launch before any tasklet retires, the
+	// way a hardware fault aborts the DPU program. No cycles are charged
+	// to the DPU clock (matching the simulator's handling of genuine
+	// memory traps).
+	FaultTrap
+	// FaultDead removes the DPU for the rest of the run: every later
+	// transfer and launch fails with ErrDPUDead.
+	FaultDead
+)
+
+// FaultPlan is a seeded, deterministic fault schedule for a DPU system.
+// The zero plan injects nothing and leaves every simulated quantity
+// bit-identical to an unarmed run.
+type FaultPlan struct {
+	// Seed drives every probabilistic decision. Two runs with the same
+	// plan make identical decisions.
+	Seed int64
+	// TransferProb is the probability that one host<->DPU transfer
+	// fails (rolled once per transfer per DPU).
+	TransferProb float64
+	// TrapProb is the probability that one kernel launch traps (rolled
+	// once per launch per DPU).
+	TrapProb float64
+	// DeadFrac is the fraction of DPUs doomed to die mid-run (decided
+	// once per DPU at injector creation).
+	DeadFrac float64
+	// DeadAfterLaunches is how many launches a doomed DPU completes
+	// before dying, so death lands mid-run rather than at setup.
+	DeadAfterLaunches int
+}
+
+// Zero reports whether the plan injects nothing.
+func (p FaultPlan) Zero() bool {
+	return p.TransferProb == 0 && p.TrapProb == 0 && p.DeadFrac == 0
+}
+
+// NewInjector derives the deterministic per-DPU injector for the DPU
+// with the given index.
+func (p FaultPlan) NewInjector(dpuID int) *FaultInjector {
+	in := &FaultInjector{plan: p, dpuID: dpuID}
+	// Mix the seed and DPU index so neighbouring DPUs see unrelated
+	// streams even for small seeds.
+	in.state = uint64(p.Seed)*0x9e3779b97f4a7c15 + uint64(dpuID)*0xbf58476d1ce4e5b9 + 1
+	in.doomed = p.DeadFrac > 0 && in.roll() < p.DeadFrac
+	return in
+}
+
+// FaultInjector is one DPU's private fault state. Its decisions consume
+// a per-DPU pseudorandom stream, so they do not depend on how operations
+// on *other* DPUs interleave.
+type FaultInjector struct {
+	plan     FaultPlan
+	dpuID    int
+	state    uint64
+	doomed   bool
+	dead     bool
+	launches int
+}
+
+// splitmix64 is the injector's PRNG step: tiny, allocation-free, and
+// well distributed for the single-stream use here.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll returns the next uniform sample in [0, 1).
+func (in *FaultInjector) roll() float64 {
+	in.state++
+	return float64(splitmix64(in.state)>>11) / (1 << 53)
+}
+
+// Dead reports whether the DPU has died.
+func (in *FaultInjector) Dead() bool { return in.dead }
+
+func (in *FaultInjector) deadErr() error {
+	return fmt.Errorf("dpu %d: %w (%w)", in.dpuID, ErrDPUDead, ErrFaultInjected)
+}
+
+// transfer decides the fate of one host<->DPU transfer.
+func (in *FaultInjector) transfer() error {
+	if in.dead {
+		return in.deadErr()
+	}
+	if in.plan.TransferProb > 0 && in.roll() < in.plan.TransferProb {
+		return fmt.Errorf("dpu %d: transfer %w", in.dpuID, ErrFaultInjected)
+	}
+	return nil
+}
+
+// launch decides the fate of one kernel launch. A doomed DPU dies once
+// it has completed DeadAfterLaunches launches.
+func (in *FaultInjector) launch() error {
+	if !in.dead && in.doomed && in.launches >= in.plan.DeadAfterLaunches {
+		in.dead = true
+	}
+	if in.dead {
+		return in.deadErr()
+	}
+	in.launches++
+	if in.plan.TrapProb > 0 && in.roll() < in.plan.TrapProb {
+		return fmt.Errorf("dpu %d: kernel trap %w", in.dpuID, ErrFaultInjected)
+	}
+	return nil
+}

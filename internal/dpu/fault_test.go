@@ -1,0 +1,148 @@
+package dpu
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultPlanDeterminism: two injectors derived from the same plan and
+// DPU index make identical decisions, operation by operation, while a
+// different DPU index yields an unrelated stream.
+func TestFaultPlanDeterminism(t *testing.T) {
+	plan := FaultPlan{Seed: 42, TransferProb: 0.3, TrapProb: 0.2, DeadFrac: 0.5, DeadAfterLaunches: 3}
+	a := plan.NewInjector(7)
+	b := plan.NewInjector(7)
+	if a.doomed != b.doomed {
+		t.Fatal("doomed decision not deterministic")
+	}
+	for i := 0; i < 200; i++ {
+		ae, be := a.transfer(), b.transfer()
+		if (ae == nil) != (be == nil) {
+			t.Fatalf("transfer %d diverged: %v vs %v", i, ae, be)
+		}
+		ae, be = a.launch(), b.launch()
+		if (ae == nil) != (be == nil) {
+			t.Fatalf("launch %d diverged: %v vs %v", i, ae, be)
+		}
+		if a.Dead() != b.Dead() {
+			t.Fatalf("death %d diverged", i)
+		}
+	}
+
+	// Different DPUs must not share a stream: over 64 DPUs the transfer
+	// decisions cannot all be identical to DPU 0's.
+	ref := plan.NewInjector(0)
+	var refBits [64]bool
+	for i := range refBits {
+		refBits[i] = ref.transfer() != nil
+	}
+	allSame := true
+	for id := 1; id < 64 && allSame; id++ {
+		in := plan.NewInjector(id)
+		for i := range refBits {
+			if (in.transfer() != nil) != refBits[i] {
+				allSame = false
+				break
+			}
+		}
+	}
+	if allSame {
+		t.Error("all DPU streams identical to DPU 0's")
+	}
+}
+
+// TestFaultKinds: each probability knob produces its own error class,
+// wrapped in ErrFaultInjected.
+func TestFaultKinds(t *testing.T) {
+	tr := FaultPlan{Seed: 1, TransferProb: 1}.NewInjector(0)
+	if err := tr.transfer(); err == nil || !errors.Is(err, ErrFaultInjected) {
+		t.Errorf("transfer fault: %v", err)
+	}
+	if err := tr.launch(); err != nil {
+		t.Errorf("TransferProb must not affect launches: %v", err)
+	}
+
+	tp := FaultPlan{Seed: 1, TrapProb: 1}.NewInjector(0)
+	if err := tp.launch(); err == nil || !errors.Is(err, ErrFaultInjected) || errors.Is(err, ErrDPUDead) {
+		t.Errorf("trap fault: %v", err)
+	}
+	if err := tp.transfer(); err != nil {
+		t.Errorf("TrapProb must not affect transfers: %v", err)
+	}
+}
+
+// TestFaultDeadAfterLaunches: a doomed DPU completes exactly
+// DeadAfterLaunches launches, then fails every launch and transfer with
+// ErrDPUDead for the rest of the run.
+func TestFaultDeadAfterLaunches(t *testing.T) {
+	const after = 3
+	in := FaultPlan{Seed: 9, DeadFrac: 1, DeadAfterLaunches: after}.NewInjector(5)
+	for i := 0; i < after; i++ {
+		if err := in.launch(); err != nil {
+			t.Fatalf("launch %d before death: %v", i, err)
+		}
+		if err := in.transfer(); err != nil {
+			t.Fatalf("transfer %d before death: %v", i, err)
+		}
+	}
+	if in.Dead() {
+		t.Fatal("died before DeadAfterLaunches launches completed")
+	}
+	err := in.launch()
+	if err == nil || !errors.Is(err, ErrDPUDead) || !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("death launch: %v", err)
+	}
+	if !in.Dead() {
+		t.Fatal("Dead() false after death")
+	}
+	for i := 0; i < 5; i++ {
+		if err := in.launch(); !errors.Is(err, ErrDPUDead) {
+			t.Fatalf("post-death launch %d: %v", i, err)
+		}
+		if err := in.transfer(); !errors.Is(err, ErrDPUDead) {
+			t.Fatalf("post-death transfer %d: %v", i, err)
+		}
+	}
+}
+
+// TestFaultZeroPlan: the zero plan is inert — no faults, ever — so
+// arming it must be indistinguishable from not arming at all.
+func TestFaultZeroPlan(t *testing.T) {
+	var plan FaultPlan
+	if !plan.Zero() {
+		t.Fatal("zero FaultPlan not Zero()")
+	}
+	in := plan.NewInjector(3)
+	for i := 0; i < 1000; i++ {
+		if err := in.transfer(); err != nil {
+			t.Fatalf("zero-plan transfer fault: %v", err)
+		}
+		if err := in.launch(); err != nil {
+			t.Fatalf("zero-plan launch fault: %v", err)
+		}
+	}
+	if in.Dead() {
+		t.Fatal("zero-plan DPU died")
+	}
+}
+
+// TestFaultDeadFrac: over many DPUs, DeadFrac dooms roughly that
+// fraction — and the doomed set is a pure function of the seed.
+func TestFaultDeadFrac(t *testing.T) {
+	plan := FaultPlan{Seed: 7, DeadFrac: 0.25}
+	doomed := 0
+	const n = 2000
+	for id := 0; id < n; id++ {
+		if plan.NewInjector(id).doomed {
+			doomed++
+		}
+	}
+	if doomed < n/8 || doomed > n/2 {
+		t.Errorf("DeadFrac 0.25 doomed %d/%d DPUs", doomed, n)
+	}
+	for id := 0; id < 32; id++ {
+		if plan.NewInjector(id).doomed != plan.NewInjector(id).doomed {
+			t.Fatal("doomed decision not reproducible")
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package ebnn
+
+import (
+	"errors"
+	"fmt"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+)
+
+// Retry-and-remap for the multiple-images-per-DPU mapping, mirroring the
+// policy in internal/gemm: per-DPU faults reported by the host's
+// best-effort operations mark the affected 16-image batch failed, and
+// each failed batch is re-dispatched onto a surviving DPU (push its
+// images and count, single-DPU launch, gather its results). The kernel
+// is a deterministic function of its inputs, so the predictions are
+// bit-identical to a fault-free run. DPUs that die or persistently miss
+// a model broadcast (filters, LUT, BN parameters) are marked down: they
+// are excluded from re-dispatch and their batches are always re-run,
+// since a DPU with a stale model would otherwise "succeed" silently.
+
+// maxRedispatch bounds how many targets one batch (or one broadcast
+// redelivery) tries before the fault is reported as fatal.
+const maxRedispatch = 8
+
+// ensureFaultState sizes the runner's fault-tracking slices.
+func (r *Runner) ensureFaultState() {
+	if r.down == nil {
+		r.down = make([]bool, r.sys.NumDPUs())
+		r.failSet = make([]bool, r.sys.NumDPUs())
+	}
+}
+
+// markDown removes DPU i from the re-dispatch target pool for the rest
+// of the runner's life.
+func (r *Runner) markDown(i int) {
+	if !r.down[i] {
+		r.down[i] = true
+		r.nDown++
+	}
+}
+
+// nextTarget picks the next usable re-dispatch target, round-robin so
+// retried batches spread across the survivors. Returns -1 when no DPU
+// survives.
+func (r *Runner) nextTarget() int {
+	nd := r.sys.NumDPUs()
+	if r.nDown >= nd {
+		return -1
+	}
+	for t := 0; t < nd; t++ {
+		i := (r.retryCur + t) % nd
+		if !r.down[i] {
+			r.retryCur = (i + 1) % nd
+			return i
+		}
+	}
+	return -1
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// mergeFailed folds a best-effort operation's *FaultReport into the
+// wave's failed-batch set (indices beyond the wave width are ignored: a
+// scatter fault on a DPU holding no images this wave is harmless). DPUs
+// that died leave the re-dispatch pool. A non-report error is fatal.
+func (r *Runner) mergeFailed(failed []bool, err error) error {
+	if err == nil {
+		return nil
+	}
+	rep, ok := host.AsFaultReport(err)
+	if !ok {
+		return err
+	}
+	for _, f := range rep.Faults {
+		if errors.Is(f.Err, dpu.ErrDPUDead) {
+			r.markDown(f.DPU)
+		}
+		if f.DPU < len(failed) {
+			failed[f.DPU] = true
+		}
+	}
+	return nil
+}
+
+// redeliver retries a broadcast payload on one DPU that missed it. In
+// pipelined mode the redelivery goes through the command queue, keeping
+// it serialized against other runners sharing the System.
+func (r *Runner) redeliver(i int, ref host.SymbolRef, data []byte) bool {
+	for a := 0; a < maxRedispatch; a++ {
+		var err error
+		if r.pipe {
+			err = r.sys.EnqueueCopyToDPU(i, ref, 0, data).Wait()
+		} else {
+			err = r.sys.CopyToDPURef(i, ref, 0, data)
+		}
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, dpu.ErrDPUDead) {
+			return false
+		}
+		if _, ok := host.AsFaultReport(err); !ok {
+			return false
+		}
+	}
+	return false
+}
+
+// handleBroadcast completes a best-effort model broadcast: DPUs named in
+// the report get the payload redelivered; those that cannot be reached
+// are marked down, so their stale model never contributes predictions.
+// A non-report error is fatal.
+func (r *Runner) handleBroadcast(err error, ref host.SymbolRef, data []byte) error {
+	if err == nil {
+		return nil
+	}
+	rep, ok := host.AsFaultReport(err)
+	if !ok {
+		return err
+	}
+	for _, f := range rep.Faults {
+		if r.down[f.DPU] {
+			continue
+		}
+		if !r.redeliver(f.DPU, ref, data) {
+			r.markDown(f.DPU)
+		}
+	}
+	return nil
+}
+
+// redispatchBatch re-runs one failed 16-image batch on a surviving DPU:
+// push the batch's packed images and image count, launch the kernel on
+// that DPU alone, and gather its result buffer into out. The retry's
+// cycles are added to st, so the stats reflect the degraded run's real
+// cost. In pipelined mode the four steps are queued commands, serialized
+// with any waves already enqueued.
+func (r *Runner) redispatchBatch(imgBuf, cntBuf, out []byte, st *BatchStats) error {
+	for a := 0; a < maxRedispatch; a++ {
+		t := r.nextTarget()
+		if t < 0 {
+			return fmt.Errorf("ebnn: no surviving DPU to re-dispatch onto")
+		}
+		var ls host.LaunchStats
+		var err error
+		if r.pipe {
+			p1 := r.sys.EnqueueCopyToDPU(t, r.refImages, 0, imgBuf)
+			p2 := r.sys.EnqueueCopyToDPU(t, r.refNImages, 0, cntBuf)
+			p3 := r.sys.EnqueueLaunchDPU(t, r.tasklets, r.kernelFn, &ls)
+			p4 := r.sys.EnqueueCopyFrom(t, r.refResults, 0, out)
+			err = firstErr(p1.Wait(), p2.Wait(), p3.Wait(), p4.Wait())
+		} else {
+			err = r.sys.CopyToDPURef(t, r.refImages, 0, imgBuf)
+			if err == nil {
+				err = r.sys.CopyToDPURef(t, r.refNImages, 0, cntBuf)
+			}
+			if err == nil {
+				ls, err = r.sys.LaunchDPU(t, r.tasklets, r.kernelFn)
+			}
+			if err == nil {
+				err = r.sys.CopyFromDPURefInto(t, r.refResults, 0, out)
+			}
+		}
+		if err == nil {
+			st.Retries++
+			st.Cycles += ls.Cycles
+			st.DPUSeconds += ls.Seconds
+			return nil
+		}
+		if errors.Is(err, dpu.ErrDPUDead) {
+			r.markDown(t)
+			continue
+		}
+		if _, ok := host.AsFaultReport(err); !ok {
+			return err
+		}
+		// Transient fault: try again, possibly on another target.
+	}
+	return fmt.Errorf("ebnn: batch re-dispatch failed %d times", maxRedispatch)
+}

@@ -2,6 +2,7 @@ package ebnn
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -75,13 +76,21 @@ type Runner struct {
 	imgBufs  [][]byte // per-DPU image batch views
 	cntBufs  [][]byte // per-DPU image count views
 	counts   []int
-	resBuf   []byte // per-DPU result gather buffer
+	resStage []byte // wave-wide result gather buffer (sync path)
 	featBuf  []byte // decoded feature vector for one image
 
 	// pipe selects the double-buffered wave pipeline; slots are its two
 	// ping-pong staging sets (allocated on first pipelined Infer).
 	pipe  bool
 	slots [2]inferSlot
+
+	// Fault-recovery state (fault.go): DPUs excluded from dispatch, the
+	// round-robin re-dispatch cursor, and the reusable per-wave
+	// failed-batch set.
+	down     []bool
+	nDown    int
+	retryCur int
+	failSet  []bool
 }
 
 // inferSlot is one of the two ping-pong staging sets of the pipelined
@@ -98,6 +107,7 @@ type inferSlot struct {
 	counts   []int
 	stats    host.LaunchStats
 	pend     host.Pending
+	cntPend  host.Pending // the wave's image-count push
 	nDPU     int
 	busy     bool
 }
@@ -154,17 +164,27 @@ func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, 
 		scratch: look(symScratch),
 	}
 
-	// Broadcast the model parameters.
+	// Broadcast the model parameters. A DPU that misses a broadcast gets
+	// it redelivered; one that cannot be reached is marked down so its
+	// stale model never contributes predictions (fault.go).
+	r.ensureFaultState()
+	broadcast := func(sym string, data []byte) error {
+		ref, err := sys.Resolve(sym)
+		if err != nil {
+			return err
+		}
+		return r.handleBroadcast(sys.CopyToSymbolRef(ref, 0, data), ref, data)
+	}
 	filt := make([]byte, 16)
 	for i, f := range m.Filters {
 		binary.LittleEndian.PutUint16(filt[i*2:], f)
 	}
-	if err := sys.CopyToSymbol(symFilters, 0, filt); err != nil {
+	if err := broadcast(symFilters, filt); err != nil {
 		return nil, err
 	}
 	if useLUT {
 		lut, _ := host.Pad8(m.BuildLUT())
-		if err := sys.CopyToSymbol(symLUT, 0, lut); err != nil {
+		if err := broadcast(symLUT, lut); err != nil {
 			return nil, err
 		}
 	} else {
@@ -174,7 +194,7 @@ func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, 
 				binary.LittleEndian.PutUint32(bn[(i*5+j)*4:], math.Float32bits(w))
 			}
 		}
-		if err := sys.CopyToSymbol(symBN, 0, bn); err != nil {
+		if err := broadcast(symBN, bn); err != nil {
 			return nil, err
 		}
 	}
@@ -202,7 +222,7 @@ func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, 
 		r.cntBufs[i] = r.cntStage[i*4 : (i+1)*4]
 	}
 	r.counts = make([]int, nd)
-	r.resBuf = make([]byte, BatchSize*ResultSize)
+	r.resStage = make([]byte, nd*BatchSize*ResultSize)
 	r.featBuf = make([]byte, PoolCells*m.F)
 	r.kernelFn = r.kernel()
 	r.pipe = host.PipelineAuto.Enabled()
@@ -361,6 +381,9 @@ type BatchStats struct {
 	DPUsUsed int
 	// Cycles is the summed per-wave maximum DPU cycles.
 	Cycles uint64
+	// Retries is the number of 16-image batches re-dispatched onto a
+	// surviving DPU after a fault. Zero in a fault-free run.
+	Retries int
 }
 
 // Throughput returns images per second of DPU time.
@@ -389,6 +412,7 @@ func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 	if len(images) == 0 {
 		return nil, BatchStats{}, fmt.Errorf("ebnn: no images")
 	}
+	r.ensureFaultState()
 	if r.pipe {
 		return r.inferPipelined(images)
 	}
@@ -419,15 +443,21 @@ func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 		for d, c := range counts {
 			binary.LittleEndian.PutUint32(r.cntBufs[d], uint32(c))
 		}
-		if err := r.sys.PushXferRef(r.refImages, 0, r.imgBufs); err != nil {
+		// Down DPUs hold a stale model: their batches are re-dispatched
+		// even when no operation reports an error for them.
+		failed := r.failSet[:nDPU]
+		for d := range failed {
+			failed[d] = r.down[d]
+		}
+		if err := r.mergeFailed(failed, r.sys.PushXferRef(r.refImages, 0, r.imgBufs)); err != nil {
 			return nil, stats, err
 		}
-		if err := r.sys.PushXferRef(r.refNImages, 0, r.cntBufs); err != nil {
+		if err := r.mergeFailed(failed, r.sys.PushXferRef(r.refNImages, 0, r.cntBufs)); err != nil {
 			return nil, stats, err
 		}
 
-		ls, err := r.sys.LaunchOn(nDPU, r.tasklets, r.kernelFn)
-		if err != nil {
+		ls, lerr := r.sys.LaunchOn(nDPU, r.tasklets, r.kernelFn)
+		if err := r.mergeFailed(failed, lerr); err != nil {
 			return nil, stats, err
 		}
 		stats.Waves++
@@ -437,14 +467,38 @@ func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 			stats.DPUsUsed = nDPU
 		}
 
-		// Gather and classify serially, DPU by DPU (§4.1.3: "After all
-		// temporary results for all images in a single DPU are
-		// inferred, the next DPU's result is read").
+		// Gather serially, DPU by DPU (§4.1.3: "After all temporary
+		// results for all images in a single DPU are inferred, the next
+		// DPU's result is read"). Intact batches are gathered before any
+		// re-dispatch runs, so a retry launch can safely reuse a DPU
+		// whose own results were not yet read; classification follows in
+		// input order once every batch's results are in.
+		rawFor := func(d int) []byte {
+			return r.resStage[d*BatchSize*ResultSize : d*BatchSize*ResultSize+counts[d]*ResultSize]
+		}
 		for d := 0; d < nDPU; d++ {
-			raw := r.resBuf[:counts[d]*ResultSize]
-			if err := r.sys.CopyFromDPURefInto(d, r.refResults, 0, raw); err != nil {
-				return nil, stats, err
+			if failed[d] {
+				continue
 			}
+			if err := r.sys.CopyFromDPURefInto(d, r.refResults, 0, rawFor(d)); err != nil {
+				if _, ok := host.AsFaultReport(err); !ok {
+					return nil, stats, err
+				}
+				if errors.Is(err, dpu.ErrDPUDead) {
+					r.markDown(d)
+				}
+				failed[d] = true
+			}
+		}
+		for d := 0; d < nDPU; d++ {
+			if failed[d] {
+				if err := r.redispatchBatch(r.imgBufs[d], r.cntBufs[d], rawFor(d), &stats); err != nil {
+					return nil, stats, err
+				}
+			}
+		}
+		for d := 0; d < nDPU; d++ {
+			raw := rawFor(d)
 			for slot := 0; slot < counts[d]; slot++ {
 				DecodeFeaturesInto(r.featBuf, raw[slot*ResultSize:(slot+1)*ResultSize], r.model.F)
 				preds = append(preds, r.model.PredictFeatures(r.featBuf))
@@ -493,8 +547,18 @@ func (r *Runner) inferPipelined(images []mnist.Image) ([]int, BatchStats, error)
 			return nil
 		}
 		sl.busy = false
-		if err := sl.pend.Wait(); err != nil {
-			r.sys.Sync() // drain the poisoned queue before reporting
+		cntErr := sl.cntPend.Wait()
+		waveErr := sl.pend.Wait()
+		failed := r.failSet[:sl.nDPU]
+		for d := range failed {
+			failed[d] = r.down[d]
+		}
+		if err := r.mergeFailed(failed, cntErr); err != nil {
+			r.sys.Sync() // drain the queue before reporting a fatal error
+			return err
+		}
+		if err := r.mergeFailed(failed, waveErr); err != nil {
+			r.sys.Sync()
 			return err
 		}
 		stats.Waves++
@@ -502,6 +566,18 @@ func (r *Runner) inferPipelined(images []mnist.Image) ([]int, BatchStats, error)
 		stats.Cycles += sl.stats.Cycles
 		if sl.nDPU > stats.DPUsUsed {
 			stats.DPUsUsed = sl.nDPU
+		}
+		// Re-dispatch failed batches through the queue (serialized behind
+		// the already-enqueued next wave, whose fused gather runs before
+		// the retry overwrites any of its DPUs' symbols), then classify
+		// the whole wave in input order.
+		for d := 0; d < sl.nDPU; d++ {
+			if failed[d] {
+				if err := r.redispatchBatch(sl.imgBufs[d], sl.cntBufs[d], sl.resBufs[d], &stats); err != nil {
+					r.sys.Sync()
+					return err
+				}
+			}
 		}
 		for d := 0; d < sl.nDPU; d++ {
 			raw := sl.resBufs[d]
@@ -546,7 +622,7 @@ func (r *Runner) inferPipelined(images []mnist.Image) ([]int, BatchStats, error)
 		for d := 0; d < nDPU; d++ {
 			sl.resBufs[d] = sl.resStage[d*BatchSize*ResultSize : d*BatchSize*ResultSize+resLen]
 		}
-		r.sys.EnqueuePushXfer(r.refNImages, 0, sl.cntBufs)
+		sl.cntPend = r.sys.EnqueuePushXfer(r.refNImages, 0, sl.cntBufs)
 		sl.pend = r.sys.EnqueueWave(host.Wave{
 			DPUs:     nDPU,
 			Tasklets: r.tasklets,

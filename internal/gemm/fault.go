@@ -1,0 +1,194 @@
+package gemm
+
+import (
+	"errors"
+	"fmt"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+)
+
+// Retry-and-remap: the runner-level recovery policy over the host's
+// best-effort partial-failure contract. Per-DPU faults reported by a
+// transfer, launch, or wave mark the affected rows/images failed; each
+// failed shard is then re-dispatched onto a surviving DPU (scatter its
+// input, single-DPU launch, gather its output), producing results
+// bit-identical to a fault-free run — the kernels are deterministic
+// functions of their input data. DPUs that die (dpu.ErrDPUDead) or
+// persistently miss a broadcast are marked down and excluded from
+// re-dispatch targets; their wave slots are always re-dispatched, since
+// a DPU holding a stale B matrix would otherwise "succeed" silently.
+//
+// Accounting stays honest rather than fault-free-identical: retried
+// work charges the cycles and transfer bytes it actually consumes, so
+// Stats and the system clocks reflect the real (degraded) run. With no
+// faults injected, none of these paths allocate or charge anything and
+// every simulated quantity is bit-identical to the pre-fault-injection
+// runtime.
+
+// maxRedispatch bounds how many targets one shard (or one broadcast
+// redelivery) tries before the fault is reported as fatal.
+const maxRedispatch = 8
+
+// ensureFaultState sizes the runner's fault-tracking slices.
+func (r *Runner) ensureFaultState() {
+	if r.down == nil {
+		r.down = make([]bool, r.sys.NumDPUs())
+		r.failSet = make([]bool, r.sys.NumDPUs())
+	}
+}
+
+// markDown removes DPU i from the re-dispatch target pool for the rest
+// of the runner's life.
+func (r *Runner) markDown(i int) {
+	if !r.down[i] {
+		r.down[i] = true
+		r.nDown++
+	}
+}
+
+// nextTarget picks the next usable re-dispatch target, round-robin so
+// retried shards spread across the survivors. Returns -1 when no DPU
+// survives.
+func (r *Runner) nextTarget() int {
+	nd := r.sys.NumDPUs()
+	if r.nDown >= nd {
+		return -1
+	}
+	for t := 0; t < nd; t++ {
+		i := (r.retryCur + t) % nd
+		if !r.down[i] {
+			r.retryCur = (i + 1) % nd
+			return i
+		}
+	}
+	return -1
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// mergeFailed folds a best-effort operation's *FaultReport into the
+// wave's failed-shard set (indices beyond the wave width are ignored:
+// a scatter fault on a DPU that is not launched this wave is harmless).
+// DPUs that died are excluded from future re-dispatch. A non-report
+// error is returned as fatal.
+func (r *Runner) mergeFailed(failed []bool, err error) error {
+	if err == nil {
+		return nil
+	}
+	rep, ok := host.AsFaultReport(err)
+	if !ok {
+		return err
+	}
+	for _, f := range rep.Faults {
+		if errors.Is(f.Err, dpu.ErrDPUDead) {
+			r.markDown(f.DPU)
+		}
+		if f.DPU < len(failed) {
+			failed[f.DPU] = true
+		}
+	}
+	return nil
+}
+
+// redeliver retries a broadcast payload on one DPU that missed it. In
+// pipelined mode the redelivery goes through the command queue, keeping
+// it serialized against other runners sharing the System.
+func (r *Runner) redeliver(i int, ref host.SymbolRef, data []byte) bool {
+	for a := 0; a < maxRedispatch; a++ {
+		var err error
+		if r.pipe {
+			err = r.sys.EnqueueCopyToDPU(i, ref, 0, data).Wait()
+		} else {
+			err = r.sys.CopyToDPURef(i, ref, 0, data)
+		}
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, dpu.ErrDPUDead) {
+			return false
+		}
+		if _, ok := host.AsFaultReport(err); !ok {
+			return false
+		}
+	}
+	return false
+}
+
+// handleBroadcast completes a best-effort broadcast: DPUs named in the
+// report get the payload redelivered; those that cannot be reached are
+// marked down, so their stale copy never contributes results. A
+// non-report error is fatal.
+func (r *Runner) handleBroadcast(err error, ref host.SymbolRef, data []byte) error {
+	if err == nil {
+		return nil
+	}
+	rep, ok := host.AsFaultReport(err)
+	if !ok {
+		return err
+	}
+	for _, f := range rep.Faults {
+		if r.down[f.DPU] {
+			continue
+		}
+		if !r.redeliver(f.DPU, ref, data) {
+			r.markDown(f.DPU)
+		}
+	}
+	return nil
+}
+
+// redispatch re-runs one failed shard on a surviving DPU: push its
+// input, launch the kernel on that DPU alone, and gather its output.
+// Used for both mappings — a row shard (in = A row, out = C row) and an
+// image shard (in = B matrix, out = full C). The retry's cycles are
+// added to st, so the stats reflect the degraded run's real cost. In
+// pipelined mode the three steps are queued commands, serialized with
+// any waves other runners (or this one) already enqueued.
+func (r *Runner) redispatch(inRef host.SymbolRef, in []byte, outRef host.SymbolRef, out []byte, kernel dpu.KernelFunc, st *Stats) error {
+	for a := 0; a < maxRedispatch; a++ {
+		t := r.nextTarget()
+		if t < 0 {
+			return fmt.Errorf("gemm: no surviving DPU to re-dispatch onto")
+		}
+		var ls host.LaunchStats
+		var err error
+		if r.pipe {
+			p1 := r.sys.EnqueueCopyToDPU(t, inRef, 0, in)
+			p2 := r.sys.EnqueueLaunchDPU(t, r.cfg.Tasklets, kernel, &ls)
+			p3 := r.sys.EnqueueCopyFrom(t, outRef, 0, out)
+			err = firstErr(p1.Wait(), p2.Wait(), p3.Wait())
+		} else {
+			err = r.sys.CopyToDPURef(t, inRef, 0, in)
+			if err == nil {
+				ls, err = r.sys.LaunchDPU(t, r.cfg.Tasklets, kernel)
+			}
+			if err == nil {
+				err = r.sys.CopyFromDPURefInto(t, outRef, 0, out)
+			}
+		}
+		if err == nil {
+			st.Retries++
+			st.Cycles += ls.Cycles
+			st.Seconds += ls.Seconds
+			return nil
+		}
+		if errors.Is(err, dpu.ErrDPUDead) {
+			r.markDown(t)
+			continue
+		}
+		if _, ok := host.AsFaultReport(err); !ok {
+			return err
+		}
+		// Transient fault: try again, possibly on another target.
+	}
+	return fmt.Errorf("gemm: shard re-dispatch failed %d times", maxRedispatch)
+}

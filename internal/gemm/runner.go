@@ -119,6 +119,15 @@ type Runner struct {
 	emptyB                        []byte
 	batchRaw                      [2][]byte // ping-pong per-image C gather buffers
 	batchStats                    host.LaunchStats
+	batchPendA                    host.Pending // pipelined A-broadcast handle
+
+	// Fault-recovery state (fault.go): DPUs excluded from dispatch, the
+	// round-robin re-dispatch cursor, and the reusable per-wave
+	// failed-shard set.
+	down     []bool
+	nDown    int
+	retryCur int
+	failSet  []bool
 }
 
 // NewRunner allocates the GEMM symbols on every DPU of the system.
@@ -473,6 +482,9 @@ type Stats struct {
 	Cycles uint64
 	// Seconds is Cycles through the DPU clock.
 	Seconds float64
+	// Retries is the number of shards (rows or images) re-dispatched onto
+	// a surviving DPU after a fault. Zero in a fault-free run.
+	Retries int
 }
 
 // stageB packs B into the runner's broadcast buffer at the padded
@@ -548,6 +560,7 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 	cBytes := pad4(n) * 2
 	bbuf := r.stageB(n, k, b)
 	r.encodeParams(n, k, 0, alpha)
+	r.ensureFaultState()
 	if r.pipe {
 		if err := r.multiplyPipelined(c, m, n, k, a, bbuf, rowBytes, cBytes, &st); err != nil {
 			return nil, st, err
@@ -556,11 +569,12 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 	}
 
 	// Broadcast B (the whole input matrix goes to every DPU, Fig 4.6),
-	// stored at the 4-column-padded row stride the kernel expects.
-	if err := r.sys.CopyToSymbolRef(r.refB, 0, bbuf); err != nil {
+	// stored at the 4-column-padded row stride the kernel expects. DPUs
+	// that miss the broadcast get it redelivered or are marked down.
+	if err := r.handleBroadcast(r.sys.CopyToSymbolRef(r.refB, 0, bbuf), r.refB, bbuf); err != nil {
 		return nil, st, err
 	}
-	if err := r.sys.CopyToSymbolRef(r.refParams, 0, r.paramsBuf[:]); err != nil {
+	if err := r.handleBroadcast(r.sys.CopyToSymbolRef(r.refParams, 0, r.paramsBuf[:]), r.refParams, r.paramsBuf[:]); err != nil {
 		return nil, st, err
 	}
 
@@ -583,12 +597,18 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 			rows = nd
 		}
 		encodeARows(r.aBufs, a, start, rows, k, rowBytes)
-		if err := r.sys.PushXferRef(r.refA, 0, r.aBufs); err != nil {
+		// Down DPUs hold a stale B matrix: their rows are re-dispatched
+		// even when the wave's operations report no error for them.
+		failed := r.failSet[:rows]
+		for i := range failed {
+			failed[i] = r.down[i]
+		}
+		if err := r.mergeFailed(failed, r.sys.PushXferRef(r.refA, 0, r.aBufs)); err != nil {
 			return nil, st, err
 		}
 
-		ls, err := r.sys.LaunchOn(rows, r.cfg.Tasklets, kernel)
-		if err != nil {
+		ls, lerr := r.sys.LaunchOn(rows, r.cfg.Tasklets, kernel)
+		if err := r.mergeFailed(failed, lerr); err != nil {
 			return nil, st, err
 		}
 		st.Waves++
@@ -599,11 +619,16 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 		}
 
 		// Gather the wave's C rows — sharded across the worker pool like
-		// the scatter — and decode.
-		if err := r.sys.GatherXferRefInto(r.refC, 0, cBytes, r.cBufs[:rows]); err != nil {
+		// the scatter — then re-dispatch the failed rows and decode.
+		if err := r.mergeFailed(failed, r.sys.GatherXferRefInto(r.refC, 0, cBytes, r.cBufs[:rows])); err != nil {
 			return nil, st, err
 		}
 		for i := 0; i < rows; i++ {
+			if failed[i] {
+				if err := r.redispatch(r.refA, r.aBufs[i], r.refC, r.cBufs[i], kernel, &st); err != nil {
+					return nil, st, err
+				}
+			}
 			decodeCRow(c, (start+i)*n, r.cBufs[i], n)
 		}
 	}
@@ -641,8 +666,19 @@ func (r *Runner) multiplyPipelined(c []int16, m, n, k int, a []int16, bbuf []byt
 		maxRows = nd
 	}
 	r.ensureSlots(maxRows, rowBytes, cBytes)
-	sys.EnqueueCopyTo(r.refB, 0, bbuf)
-	sys.EnqueueCopyTo(r.refParams, 0, r.paramsBuf[:])
+	pB := sys.EnqueueCopyTo(r.refB, 0, bbuf)
+	pP := sys.EnqueueCopyTo(r.refParams, 0, r.paramsBuf[:])
+	// Claim the broadcast handles before any wave is enqueued: a DPU the
+	// redelivery cannot reach must be marked down — and its rows forced
+	// onto survivors — before it computes on a stale matrix.
+	if err := r.handleBroadcast(pB.Wait(), r.refB, bbuf); err != nil {
+		sys.Sync()
+		return err
+	}
+	if err := r.handleBroadcast(pP.Wait(), r.refParams, r.paramsBuf[:]); err != nil {
+		sys.Sync()
+		return err
+	}
 	kernel := r.Kernel()
 
 	flush := func(sl *mulSlot) error {
@@ -650,18 +686,33 @@ func (r *Runner) multiplyPipelined(c []int16, m, n, k int, a []int16, bbuf []byt
 			return nil
 		}
 		sl.busy = false
-		if err := sl.pend.Wait(); err != nil {
-			sys.Sync() // drain the poisoned queue before reporting
-			return err
+		err := sl.pend.Wait()
+		failed := r.failSet[:sl.rows]
+		for i := range failed {
+			failed[i] = r.down[i]
 		}
-		for i := 0; i < sl.rows; i++ {
-			decodeCRow(c, (sl.start+i)*n, sl.cBufs[i], n)
+		if ferr := r.mergeFailed(failed, err); ferr != nil {
+			sys.Sync() // drain the queue before reporting a fatal error
+			return ferr
 		}
 		st.Waves++
 		st.Cycles += sl.stats.Cycles
 		st.Seconds += sl.stats.Seconds
 		if sl.rows > st.DPUsUsed {
 			st.DPUsUsed = sl.rows
+		}
+		// Re-dispatch failed rows through the queue (serialized behind
+		// the already-enqueued next wave: that wave's fused gather runs
+		// before the retry overwrites any of its DPUs' symbols, and the
+		// wave after it re-scatters everything the retry clobbered).
+		for i := 0; i < sl.rows; i++ {
+			if failed[i] {
+				if rerr := r.redispatch(r.refA, sl.aBufs[i], r.refC, sl.cBufs[i], kernel, st); rerr != nil {
+					sys.Sync()
+					return rerr
+				}
+			}
+			decodeCRow(c, (sl.start+i)*n, sl.cBufs[i], n)
 		}
 		return nil
 	}

@@ -1,0 +1,558 @@
+package host
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pimdnn/internal/dpu"
+)
+
+// armOne arms a single DPU with the given fault plan, leaving the rest
+// of the system fault-free.
+func armOne(s *System, idx int, plan dpu.FaultPlan) {
+	s.DPU(idx).InjectFaults(plan.NewInjector(idx))
+}
+
+// killDPU arms idx with an immediate-death plan and burns one launch so
+// the DPU is already dead when the test's operation runs.
+func killDPU(t *testing.T, s *System, idx int) {
+	t.Helper()
+	armOne(s, idx, dpu.FaultPlan{Seed: 1, DeadFrac: 1, DeadAfterLaunches: 0})
+	_, err := s.LaunchDPU(idx, 1, func(tk *dpu.Tasklet) error { return nil })
+	if !errors.Is(err, dpu.ErrDPUDead) {
+		t.Fatalf("killDPU: launch on doomed DPU: %v", err)
+	}
+}
+
+// matrixModes covers the serial transfer path (below parallelThreshold)
+// and the sharded worker-pool path (above it).
+var matrixModes = []struct {
+	name string
+	n    int
+}{
+	{"serial", 4},
+	{"sharded", 40},
+}
+
+// TestTransferFaultMatrix: each transfer op (copy_to broadcast,
+// push_xfer scatter, gather, single-DPU copy) under an injected transfer
+// fault and under a dead DPU, in both serial and sharded modes. Every
+// surviving DPU completes, the FaultReport names exactly the armed DPU,
+// and the transfer clock is charged for exactly the DPUs that moved
+// bytes.
+func TestTransferFaultMatrix(t *testing.T) {
+	kinds := []struct {
+		name string
+		arm  func(t *testing.T, s *System, idx int)
+		dead bool
+	}{
+		{"transfer", func(t *testing.T, s *System, idx int) {
+			armOne(s, idx, dpu.FaultPlan{Seed: 1, TransferProb: 1})
+		}, false},
+		{"dead", killDPU, true},
+	}
+	const bad = 1
+	const perDPU = 64
+	for _, mode := range matrixModes {
+		for _, kind := range kinds {
+			t.Run(mode.name+"/"+kind.name, func(t *testing.T) {
+				s, ref := queueSystem(t, mode.n)
+				kind.arm(t, s, bad)
+				data := bytes.Repeat([]byte{0xAB}, perDPU)
+
+				checkReport := func(err error, op string) *FaultReport {
+					t.Helper()
+					rep, ok := AsFaultReport(err)
+					if !ok {
+						t.Fatalf("%s: error %v is not a *FaultReport", op, err)
+					}
+					if rep.Op != op || rep.Attempted != mode.n {
+						t.Fatalf("%s: report op=%q attempted=%d, want op=%q attempted=%d",
+							op, rep.Op, rep.Attempted, op, mode.n)
+					}
+					if got := rep.FailedDPUs(); len(got) != 1 || got[0] != bad {
+						t.Fatalf("%s: failed DPUs %v, want [%d]", op, got, bad)
+					}
+					if !errors.Is(err, dpu.ErrFaultInjected) {
+						t.Errorf("%s: report does not wrap ErrFaultInjected: %v", op, err)
+					}
+					if errors.Is(err, dpu.ErrDPUDead) != kind.dead {
+						t.Errorf("%s: ErrDPUDead=%v, want %v", op, !kind.dead, kind.dead)
+					}
+					if rep.ErrFor(bad) == nil || rep.ErrFor(0) != nil {
+						t.Errorf("%s: ErrFor(bad)=%v ErrFor(0)=%v", op, rep.ErrFor(bad), rep.ErrFor(0))
+					}
+					return rep
+				}
+				checkCharge := func(op string, before XferStats, nOK int) {
+					t.Helper()
+					after := s.TransferStats()
+					if after.Transfers != before.Transfers+1 {
+						t.Errorf("%s: transfers %d -> %d, want one charge", op, before.Transfers, after.Transfers)
+					}
+					if want := before.Bytes + uint64(perDPU*nOK); after.Bytes != want {
+						t.Errorf("%s: bytes %d, want %d (%d bytes x %d surviving DPUs)",
+							op, after.Bytes, want, perDPU, nOK)
+					}
+				}
+
+				before := s.TransferStats()
+				checkReport(s.CopyToSymbolRef(ref, 0, data), "copy_to")
+				checkCharge("copy_to", before, mode.n-1)
+
+				bufs := make([][]byte, mode.n)
+				for i := range bufs {
+					bufs[i] = bytes.Repeat([]byte{byte(i + 1)}, perDPU)
+				}
+				before = s.TransferStats()
+				checkReport(s.PushXferRef(ref, 0, bufs), "push_xfer")
+				checkCharge("push_xfer", before, mode.n-1)
+
+				dst := make([][]byte, mode.n)
+				for i := range dst {
+					dst[i] = bytes.Repeat([]byte{0xEE}, perDPU)
+				}
+				before = s.TransferStats()
+				checkReport(s.GatherXferRefInto(ref, 0, perDPU, dst), "gather")
+				checkCharge("gather", before, mode.n-1)
+				// Surviving DPUs round-tripped their scatter payload; the
+				// armed DPU's destination buffer is untouched.
+				for i := range dst {
+					want := bufs[i]
+					if i == bad {
+						want = bytes.Repeat([]byte{0xEE}, perDPU)
+					}
+					if !bytes.Equal(dst[i], want) {
+						t.Errorf("gather DPU %d: got % x..., want % x...", i, dst[i][:4], want[:4])
+					}
+				}
+
+				// Single-DPU copy: charged only on success.
+				before = s.TransferStats()
+				err := s.CopyToDPURef(bad, ref, 0, data)
+				rep, ok := AsFaultReport(err)
+				if !ok || rep.Op != "copy_to_dpu" || rep.Attempted != 1 {
+					t.Fatalf("copy_to_dpu: %v", err)
+				}
+				if after := s.TransferStats(); after != before {
+					t.Errorf("copy_to_dpu on faulted DPU changed stats: %+v -> %+v", before, after)
+				}
+				if err := s.CopyToDPURef(0, ref, 0, data); err != nil {
+					t.Fatalf("copy_to_dpu on healthy DPU: %v", err)
+				}
+				if after := s.TransferStats(); after.Transfers != before.Transfers+1 ||
+					after.Bytes != before.Bytes+perDPU {
+					t.Errorf("copy_to_dpu success charge: %+v -> %+v", before, s.TransferStats())
+				}
+			})
+		}
+	}
+}
+
+// TestTransferAllFailedNoCharge: when every DPU faults, nothing moved,
+// so the transfer clock must not advance at all.
+func TestTransferAllFailedNoCharge(t *testing.T) {
+	s, ref := queueSystem(t, 2)
+	s.InjectFaults(dpu.FaultPlan{Seed: 3, TransferProb: 1})
+	before := s.TransferStats()
+	err := s.CopyToSymbolRef(ref, 0, make([]byte, 64))
+	rep, ok := AsFaultReport(err)
+	if !ok || len(rep.Faults) != 2 {
+		t.Fatalf("want a 2-fault report, got %v", err)
+	}
+	if after := s.TransferStats(); after != before {
+		t.Errorf("all-failed transfer charged the clock: %+v -> %+v", before, after)
+	}
+}
+
+// TestLaunchFaultMatrix: a trapped and a dying DPU under LaunchOn, in
+// serial and sharded modes. The failed DPU's cycle counter must not
+// move, the survivors are charged normally, and the system DPU clock
+// advances by exactly the surviving maximum.
+func TestLaunchFaultMatrix(t *testing.T) {
+	kinds := []struct {
+		name string
+		plan dpu.FaultPlan
+		dead bool
+	}{
+		{"trap", dpu.FaultPlan{Seed: 1, TrapProb: 1}, false},
+		{"dead", dpu.FaultPlan{Seed: 1, DeadFrac: 1, DeadAfterLaunches: 0}, true},
+	}
+	const bad = 1
+	kernel := func(tk *dpu.Tasklet) error {
+		tk.ChargeBulk(dpu.OpAddInt, 64)
+		return nil
+	}
+	for _, mode := range matrixModes {
+		for _, kind := range kinds {
+			t.Run(mode.name+"/"+kind.name, func(t *testing.T) {
+				s, _ := queueSystem(t, mode.n)
+				armOne(s, bad, kind.plan)
+
+				cyclesBefore := make([]uint64, mode.n)
+				for i := range cyclesBefore {
+					cyclesBefore[i] = s.DPU(i).TotalCycles()
+				}
+				xferBefore := s.TransferStats()
+				timeBefore := s.DPUTime()
+
+				ls, err := s.LaunchOn(mode.n, 2, kernel)
+				rep, ok := AsFaultReport(err)
+				if !ok || rep.Op != "launch" || rep.Attempted != mode.n {
+					t.Fatalf("launch report: %v", err)
+				}
+				if got := rep.FailedDPUs(); len(got) != 1 || got[0] != bad {
+					t.Fatalf("failed DPUs %v, want [%d]", got, bad)
+				}
+				if errors.Is(err, dpu.ErrDPUDead) != kind.dead {
+					t.Errorf("ErrDPUDead=%v, want %v", !kind.dead, kind.dead)
+				}
+
+				// Per-DPU clocks: the armed DPU never ran, everyone else did.
+				var maxDelta uint64
+				for i := 0; i < mode.n; i++ {
+					delta := s.DPU(i).TotalCycles() - cyclesBefore[i]
+					if i == bad {
+						if delta != 0 {
+							t.Errorf("faulted DPU advanced %d cycles", delta)
+						}
+						continue
+					}
+					if delta == 0 {
+						t.Errorf("surviving DPU %d did not advance", i)
+					}
+					if delta > maxDelta {
+						maxDelta = delta
+					}
+				}
+				if ls.Cycles != maxDelta {
+					t.Errorf("LaunchStats.Cycles %d, want surviving max %d", ls.Cycles, maxDelta)
+				}
+				if len(ls.PerDPU) != mode.n || ls.PerDPU[bad].Cycles != 0 {
+					t.Errorf("PerDPU[bad] = %+v, want zero Stats", ls.PerDPU[bad])
+				}
+				// System clock: advanced by the surviving maximum, not by a
+				// hypothetical full-width launch; transfer clock untouched.
+				if got := s.DPUTime() - timeBefore; got != ls.Time {
+					t.Errorf("DPUTime advanced %v, launch charged %v", got, ls.Time)
+				}
+				if s.TransferStats() != xferBefore {
+					t.Errorf("launch fault changed transfer stats")
+				}
+
+				// Single-DPU launch against the armed DPU reports, charges
+				// nothing.
+				if _, err := s.LaunchDPU(bad, 1, kernel); err == nil {
+					t.Error("LaunchDPU on armed DPU succeeded")
+				} else if rep, ok := AsFaultReport(err); !ok || rep.Op != "launch_dpu" {
+					t.Errorf("LaunchDPU report: %v", err)
+				}
+
+				if kind.dead {
+					// Death is permanent: transfers now fail too.
+					if err := s.CopyToDPURef(bad, mustRef(t, s, "qbuf"), 0, make([]byte, 8)); !errors.Is(err, dpu.ErrDPUDead) {
+						t.Errorf("transfer to dead DPU: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func mustRef(t *testing.T, s *System, sym string) SymbolRef {
+	t.Helper()
+	ref, err := s.Resolve(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// TestWaveFaultMatrix: each fault kind inside a fused pipelined wave.
+// The wave is best-effort per DPU and phase-granular: a DPU that fails
+// its scatter is neither launched nor gathered, a DPU that traps still
+// had its scatter charged, and the wave's transfer/launch charges cover
+// exactly the DPUs that reached each phase.
+func TestWaveFaultMatrix(t *testing.T) {
+	const n = 4
+	const bad = 2
+	const perDPU = 32
+	kinds := []struct {
+		name string
+		arm  func(t *testing.T, s *System, idx int)
+		dead bool
+		// scattered is how many DPUs complete the scatter phase.
+		scattered int
+	}{
+		{"transfer", func(t *testing.T, s *System, idx int) {
+			armOne(s, idx, dpu.FaultPlan{Seed: 1, TransferProb: 1})
+		}, false, n - 1},
+		{"trap", func(t *testing.T, s *System, idx int) {
+			armOne(s, idx, dpu.FaultPlan{Seed: 1, TrapProb: 1})
+		}, false, n},
+		{"dead", killDPU, true, n - 1},
+	}
+	kernel := func(tk *dpu.Tasklet) error {
+		tk.ChargeBulk(dpu.OpAddInt, 16)
+		return nil
+	}
+	for _, kind := range kinds {
+		t.Run(kind.name, func(t *testing.T) {
+			s, ref := queueSystem(t, n)
+			kind.arm(t, s, bad)
+
+			in := make([][]byte, n)
+			out := make([][]byte, n)
+			for i := range in {
+				in[i] = bytes.Repeat([]byte{byte(0x30 + i)}, perDPU)
+				out[i] = bytes.Repeat([]byte{0xEE}, perDPU)
+			}
+			cyclesBefore := make([]uint64, n)
+			for i := range cyclesBefore {
+				cyclesBefore[i] = s.DPU(i).TotalCycles()
+			}
+			xferBefore := s.TransferStats()
+			timeBefore := s.DPUTime()
+
+			var ws LaunchStats
+			err := s.EnqueueWave(Wave{
+				DPUs: n, Tasklets: 1, Kernel: kernel, Stats: &ws,
+				Scatter: ref, In: in,
+				Gather: ref, Out: out,
+			}).Wait()
+			rep, ok := AsFaultReport(err)
+			if !ok || rep.Op != "wave" || rep.Attempted != n {
+				t.Fatalf("wave report: %v", err)
+			}
+			if got := rep.FailedDPUs(); len(got) != 1 || got[0] != bad {
+				t.Fatalf("failed DPUs %v, want [%d]", got, bad)
+			}
+			if !errors.Is(err, dpu.ErrFaultInjected) || errors.Is(err, dpu.ErrDPUDead) != kind.dead {
+				t.Errorf("wave error classes wrong: %v", err)
+			}
+
+			// Surviving DPUs completed the round trip; the armed DPU's
+			// output buffer is untouched.
+			for i := range out {
+				want := in[i]
+				if i == bad {
+					want = bytes.Repeat([]byte{0xEE}, perDPU)
+				}
+				if !bytes.Equal(out[i], want) {
+					t.Errorf("wave DPU %d output wrong", i)
+				}
+			}
+
+			// Phase-granular charging: one scatter charge covering the DPUs
+			// that scattered, one gather charge covering the survivors.
+			xferAfter := s.TransferStats()
+			if xferAfter.Transfers != xferBefore.Transfers+2 {
+				t.Errorf("wave made %d transfer charges, want 2", xferAfter.Transfers-xferBefore.Transfers)
+			}
+			wantBytes := uint64(perDPU*kind.scattered + perDPU*(n-1))
+			if got := xferAfter.Bytes - xferBefore.Bytes; got != wantBytes {
+				t.Errorf("wave moved %d bytes, want %d", got, wantBytes)
+			}
+
+			// Launch charging: surviving max only; the armed DPU's clock
+			// must not move even when its scatter succeeded (trap kind).
+			var maxDelta uint64
+			for i := 0; i < n; i++ {
+				delta := s.DPU(i).TotalCycles() - cyclesBefore[i]
+				if i == bad && delta != 0 {
+					t.Errorf("faulted DPU advanced %d cycles", delta)
+				}
+				if delta > maxDelta {
+					maxDelta = delta
+				}
+			}
+			if ws.Cycles != maxDelta || ws.PerDPU[bad].Cycles != 0 {
+				t.Errorf("wave stats cycles=%d PerDPU[bad]=%+v, want cycles=%d, zero",
+					ws.Cycles, ws.PerDPU[bad], maxDelta)
+			}
+			if got := s.DPUTime() - timeBefore; got != ws.Time {
+				t.Errorf("DPUTime advanced %v, wave charged %v", got, ws.Time)
+			}
+			// A partial wave never poisons the queue.
+			if err := s.Sync(); err != nil {
+				t.Errorf("Sync after claimed wave report: %v", err)
+			}
+		})
+	}
+}
+
+// TestZeroFaultPlanBitIdentity: arming the zero FaultPlan consumes no
+// randomness and injects nothing, so an armed system's results, cycle
+// counts, and transfer accounting are bit-identical to an unarmed one.
+func TestZeroFaultPlanBitIdentity(t *testing.T) {
+	const n = 8
+	const perDPU = 64
+	kernel := func(tk *dpu.Tasklet) error {
+		d := tk.DPU()
+		buf := make([]byte, perDPU)
+		if err := d.CopyFromMRAMInto(0, buf); err != nil {
+			return err
+		}
+		for i := range buf {
+			buf[i] ^= 0x5A
+		}
+		tk.ChargeBulk(dpu.OpAddInt, perDPU)
+		return d.CopyToMRAM(0, buf)
+	}
+	run := func(arm bool) ([][]byte, []uint64, time.Duration, XferStats) {
+		s, ref := queueSystem(t, n)
+		if arm {
+			s.InjectFaults(dpu.FaultPlan{})
+		}
+		in := make([][]byte, n)
+		out := make([][]byte, n)
+		for i := range in {
+			in[i] = bytes.Repeat([]byte{byte(i * 17)}, perDPU)
+			out[i] = make([]byte, perDPU)
+		}
+		if err := s.PushXferRef(ref, 0, in); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LaunchOn(n, 2, kernel); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.GatherXferRefInto(ref, 0, perDPU, out); err != nil {
+			t.Fatal(err)
+		}
+		// A queued wave too, so the async path is covered.
+		if err := s.EnqueueWave(Wave{
+			DPUs: n, Tasklets: 2, Kernel: kernel,
+			Scatter: ref, In: in, Gather: ref, Out: out,
+		}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		cycles := make([]uint64, n)
+		for i := range cycles {
+			cycles[i] = s.DPU(i).TotalCycles()
+		}
+		return out, cycles, s.DPUTime(), s.TransferStats()
+	}
+	outA, cycA, timeA, xferA := run(false)
+	outB, cycB, timeB, xferB := run(true)
+	for i := range outA {
+		if !bytes.Equal(outA[i], outB[i]) {
+			t.Errorf("DPU %d results diverge under zero plan", i)
+		}
+		if cycA[i] != cycB[i] {
+			t.Errorf("DPU %d cycles %d (unarmed) vs %d (zero plan)", i, cycA[i], cycB[i])
+		}
+	}
+	if timeA != timeB {
+		t.Errorf("DPUTime %v vs %v", timeA, timeB)
+	}
+	if xferA != xferB {
+		t.Errorf("TransferStats %+v vs %+v", xferA, xferB)
+	}
+}
+
+// TestSyncScopedToProducer is the regression test for the two-producer
+// Sync bug: a Sync whose target precedes another producer's failing
+// command must neither return nor clear that command's error. Run with
+// -race; the two producers genuinely overlap.
+func TestSyncScopedToProducer(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		s, ref := queueSystem(t, 1)
+		gate := make(chan struct{})
+		blocker := func(tk *dpu.Tasklet) error {
+			<-gate
+			return nil
+		}
+		// Ticket 1: a launch that parks the executor until released.
+		p1 := s.EnqueueLaunch(1, 1, blocker, nil)
+		syncErr := make(chan error, 1)
+		var entered atomic.Bool
+		go func() {
+			entered.Store(true)
+			// Target is ticket 1 only: nothing else is enqueued yet, and
+			// the executor is parked inside ticket 1's kernel.
+			syncErr <- s.Sync()
+		}()
+		// Second producer enqueues a malformed wave (total failure,
+		// sticky) behind the blocked launch, then the launch is released
+		// so ticket 2's failure races with the first producer's Sync.
+		for !entered.Load() {
+			runtime.Gosched()
+		}
+		time.Sleep(2 * time.Millisecond)
+		p2 := s.EnqueueWave(Wave{DPUs: 0, Tasklets: 1, Kernel: blocker, Scatter: ref})
+		close(gate)
+
+		if err := <-syncErr; err != nil {
+			t.Fatalf("iter %d: Sync scoped to ticket 1 returned ticket 2's error: %v", iter, err)
+		}
+		if err := p1.Wait(); err != nil {
+			t.Fatalf("iter %d: blocked launch failed: %v", iter, err)
+		}
+		if err := p2.Wait(); err == nil {
+			t.Fatalf("iter %d: malformed wave reported no error", iter)
+		}
+		// The sticky error survived the early Sync and is cleared by a
+		// covering one, exactly once.
+		if err := s.Sync(); err == nil {
+			t.Fatalf("iter %d: covering Sync did not surface the sticky error", iter)
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatalf("iter %d: sticky error not cleared: %v", iter, err)
+		}
+		s.Close()
+	}
+}
+
+// TestCheckRefOverflow: a huge offset must be rejected, not wrap
+// int64 arithmetic into an accepted range.
+func TestCheckRefOverflow(t *testing.T) {
+	s, ref := queueSystem(t, 2)
+	data := make([]byte, 8)
+	for _, off := range []int64{math.MaxInt64, math.MaxInt64 - 4, -1, ref.size + 1} {
+		if err := s.CopyToSymbolRef(ref, off, data); err == nil {
+			t.Errorf("offset %d accepted", off)
+		}
+		if err := s.GatherXferRefInto(ref, off, 8, [][]byte{data, data}); err == nil {
+			t.Errorf("gather offset %d accepted", off)
+		}
+	}
+	// The boundary itself is fine: a zero-length tail write at size.
+	if err := s.CopyToSymbolRef(ref, ref.size-8, data); err != nil {
+		t.Errorf("in-range tail write rejected: %v", err)
+	}
+}
+
+// TestPad8Aliasing pins the documented contract for both branches:
+// aligned input is returned as-is (aliasing the caller's slice),
+// unaligned input is copied into a fresh zero-padded buffer.
+func TestPad8Aliasing(t *testing.T) {
+	aligned := bytes.Repeat([]byte{7}, 16)
+	p, orig := Pad8(aligned)
+	if orig != 16 || len(p) != 16 {
+		t.Fatalf("aligned Pad8: len=%d orig=%d", len(p), orig)
+	}
+	if &p[0] != &aligned[0] {
+		t.Error("aligned Pad8 must alias its input")
+	}
+
+	unaligned := bytes.Repeat([]byte{9}, 13)
+	p, orig = Pad8(unaligned)
+	if orig != 13 || len(p) != 16 {
+		t.Fatalf("unaligned Pad8: len=%d orig=%d", len(p), orig)
+	}
+	if &p[0] == &unaligned[0] {
+		t.Error("unaligned Pad8 must copy, not alias")
+	}
+	if !bytes.Equal(p[:13], unaligned) || !bytes.Equal(p[13:], []byte{0, 0, 0}) {
+		t.Errorf("unaligned Pad8 contents wrong: % x", p)
+	}
+	p[0] = 0xFF
+	if unaligned[0] != 9 {
+		t.Error("mutating the padded copy reached the original")
+	}
+}

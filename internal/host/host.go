@@ -68,17 +68,21 @@ type System struct {
 	xferCount    uint64
 	xferBytes    uint64
 
-	// launchErrs is the reusable per-launch error slice. LaunchOn is not
+	// launchErrs and xferErrs are the reusable per-DPU error slices of
+	// the synchronous launch and transfer paths. Those paths are not
 	// safe for concurrent use on one System (the DPUs' memory is shared
-	// state between launches anyway), so a plain field suffices.
+	// state between calls anyway), so plain fields suffice.
 	launchErrs []error
+	xferErrs   []error
 
 	// Asynchronous command queue state (queue.go). The ring holds
 	// enqueued commands in FIFO order; qNext/qDone are the enqueue and
-	// completion tickets; qErr/qErrTicket capture the first failure until
-	// Sync clears it. waveErrs is the executor's per-DPU error slice,
-	// kept separate from launchErrs so a synchronous launch on another
-	// goroutine cannot collide with a queued wave.
+	// completion tickets; qErr/qErrTicket capture the first total
+	// failure until Sync clears it, while qFaults holds per-command
+	// partial-failure reports awaiting their Wait or Sync. waveErrs and
+	// wavePhase are the executor's per-DPU scratch, kept separate from
+	// launchErrs so a synchronous launch on another goroutine cannot
+	// collide with a queued wave.
 	qmu        sync.Mutex
 	qcond      *sync.Cond
 	qring      []asyncOp
@@ -90,7 +94,9 @@ type System struct {
 	qErrTicket uint64
 	qRunning   bool
 	qClosed    bool
+	qFaults    []queuedFault
 	waveErrs   []error
+	wavePhase  []uint8
 	// qcur is the executor's in-flight command. Popping into a System
 	// field (rather than a local whose address flows into the worker
 	// shards) keeps command execution allocation-free.
@@ -259,7 +265,10 @@ func checkRef(ref SymbolRef, offset int64, n int) error {
 	if !ref.valid() {
 		return fmt.Errorf("host: zero SymbolRef (use System.Resolve)")
 	}
-	if offset < 0 || offset+int64(n) > ref.size {
+	// n is a buffer length and thus non-negative; checking offset against
+	// the size first keeps a huge offset from wrapping offset+n negative
+	// and slipping past the bound.
+	if offset < 0 || offset > ref.size || int64(n) > ref.size-offset {
 		return fmt.Errorf("host: access [%d, %d) outside symbol %q of size %d",
 			offset, offset+int64(n), ref.name, ref.size)
 	}
@@ -268,6 +277,9 @@ func checkRef(ref SymbolRef, offset int64, n int) error {
 
 func (s *System) copyToOne(i int, ref SymbolRef, offset int64, data []byte) error {
 	d := s.dpus[i]
+	if err := d.TransferFault(); err != nil {
+		return err
+	}
 	if ref.kind == dpu.SymbolWRAM {
 		return d.CopyToWRAM(ref.off+offset, data)
 	}
@@ -276,6 +288,9 @@ func (s *System) copyToOne(i int, ref SymbolRef, offset int64, data []byte) erro
 
 func (s *System) copyFromOneInto(i int, ref SymbolRef, offset int64, dst []byte) error {
 	d := s.dpus[i]
+	if err := d.TransferFault(); err != nil {
+		return err
+	}
 	if ref.kind == dpu.SymbolWRAM {
 		return d.CopyFromWRAMInto(ref.off+offset, dst)
 	}
@@ -288,25 +303,47 @@ func (s *System) copyFromOneInto(i int, ref SymbolRef, offset int64, dst []byte)
 // the serial paths stay allocation-free for the regression tests).
 func (s *System) sharded(n int) bool { return n >= parallelThreshold }
 
-// shardErr runs fn over [0, n) on the worker pool and returns the
-// lowest-index error, matching what the serial loop would have returned.
-func (s *System) shardErr(n int, fn func(i int) error) error {
-	var mu sync.Mutex
-	firstIdx := -1
-	var firstErr error
+// shardErrs runs fn over [0, n) on the worker pool, recording each
+// DPU's error in errs. Best-effort: one DPU's failure never prevents
+// another from being attempted (the serial loops below keep the same
+// contract inline, so post-error device state does not depend on
+// whether the system crossed the sharding threshold).
+func (s *System) shardErrs(n int, errs []error, fn func(i int) error) {
 	s.pool.run(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			if err := fn(i); err != nil {
-				mu.Lock()
-				if firstIdx == -1 || i < firstIdx {
-					firstIdx, firstErr = i, err
-				}
-				mu.Unlock()
-				return
-			}
+			errs[i] = fn(i)
 		}
 	})
-	return firstErr
+}
+
+// xferErrSlice returns the reusable transfer error slice, cleared, with
+// room for n entries.
+func (s *System) xferErrSlice(n int) []error {
+	if cap(s.xferErrs) < n {
+		s.xferErrs = make([]error, n)
+	}
+	errs := s.xferErrs[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	return errs
+}
+
+// finishXfer completes a best-effort multi-DPU transfer: it charges one
+// API-call transfer (latency counted once) covering perDPU bytes for
+// each DPU that actually moved data, and converts the per-DPU errors
+// into a *FaultReport. An all-failed transfer charges nothing.
+func (s *System) finishXfer(op string, perDPU int, errs []error) error {
+	nOK := 0
+	for _, e := range errs {
+		if e == nil {
+			nOK++
+		}
+	}
+	if nOK > 0 {
+		s.chargeTransfer(perDPU * nOK)
+	}
+	return faultsFrom(op, errs)
 }
 
 // CopyToSymbol broadcasts the same data to the named symbol on every DPU
@@ -320,27 +357,25 @@ func (s *System) CopyToSymbol(symbol string, offset int64, data []byte) error {
 	return s.CopyToSymbolRef(ref, offset, data)
 }
 
-// CopyToSymbolRef is CopyToSymbol for a pre-resolved symbol.
+// CopyToSymbolRef is CopyToSymbol for a pre-resolved symbol. It is
+// best-effort: every DPU is attempted, and per-DPU failures come back
+// as a *FaultReport.
 func (s *System) CopyToSymbolRef(ref SymbolRef, offset int64, data []byte) error {
 	if err := checkRef(ref, offset, len(data)); err != nil {
 		return err
 	}
 	n := len(s.dpus)
+	errs := s.xferErrSlice(n)
 	if s.sharded(n) {
-		if err := s.shardErr(n, func(i int) error {
+		s.shardErrs(n, errs, func(i int) error {
 			return s.copyToOne(i, ref, offset, data)
-		}); err != nil {
-			return err
-		}
+		})
 	} else {
 		for i := 0; i < n; i++ {
-			if err := s.copyToOne(i, ref, offset, data); err != nil {
-				return err
-			}
+			errs[i] = s.copyToOne(i, ref, offset, data)
 		}
 	}
-	s.chargeTransfer(len(data) * n)
-	return nil
+	return s.finishXfer("copy_to", len(data), errs)
 }
 
 // CopyToDPU writes data to the named symbol on a single DPU.
@@ -352,7 +387,9 @@ func (s *System) CopyToDPU(dpuIdx int, symbol string, offset int64, data []byte)
 	return s.CopyToDPURef(dpuIdx, ref, offset, data)
 }
 
-// CopyToDPURef is CopyToDPU for a pre-resolved symbol.
+// CopyToDPURef is CopyToDPU for a pre-resolved symbol. Device-level
+// failures come back as a one-entry *FaultReport; nothing is charged
+// for a failed transfer.
 func (s *System) CopyToDPURef(dpuIdx int, ref SymbolRef, offset int64, data []byte) error {
 	if err := s.checkIdx(dpuIdx); err != nil {
 		return err
@@ -361,7 +398,7 @@ func (s *System) CopyToDPURef(dpuIdx int, ref SymbolRef, offset int64, data []by
 		return err
 	}
 	if err := s.copyToOne(dpuIdx, ref, offset, data); err != nil {
-		return err
+		return singleFault("copy_to_dpu", dpuIdx, err)
 	}
 	s.chargeTransfer(len(data))
 	return nil
@@ -397,21 +434,17 @@ func (s *System) PushXferRef(ref SymbolRef, offset int64, buffers [][]byte) erro
 	if err := checkRef(ref, offset, n); err != nil {
 		return err
 	}
+	errs := s.xferErrSlice(len(buffers))
 	if s.sharded(len(buffers)) {
-		if err := s.shardErr(len(buffers), func(i int) error {
+		s.shardErrs(len(buffers), errs, func(i int) error {
 			return s.copyToOne(i, ref, offset, buffers[i])
-		}); err != nil {
-			return err
-		}
+		})
 	} else {
 		for i, b := range buffers {
-			if err := s.copyToOne(i, ref, offset, b); err != nil {
-				return err
-			}
+			errs[i] = s.copyToOne(i, ref, offset, b)
 		}
 	}
-	s.chargeTransfer(n * len(buffers))
-	return nil
+	return s.finishXfer("push_xfer", n, errs)
 }
 
 // GatherXfer reads n bytes from the named symbol on every DPU and returns
@@ -455,21 +488,17 @@ func (s *System) GatherXferRefInto(ref SymbolRef, offset int64, n int, dst [][]b
 	if err := checkRef(ref, offset, n); err != nil {
 		return err
 	}
+	errs := s.xferErrSlice(len(dst))
 	if s.sharded(len(dst)) {
-		if err := s.shardErr(len(dst), func(i int) error {
+		s.shardErrs(len(dst), errs, func(i int) error {
 			return s.copyFromOneInto(i, ref, offset, dst[i])
-		}); err != nil {
-			return err
-		}
+		})
 	} else {
 		for i, b := range dst {
-			if err := s.copyFromOneInto(i, ref, offset, b); err != nil {
-				return err
-			}
+			errs[i] = s.copyFromOneInto(i, ref, offset, b)
 		}
 	}
-	s.chargeTransfer(n * len(dst))
-	return nil
+	return s.finishXfer("gather", n, errs)
 }
 
 // CopyFromDPU reads n bytes from the named symbol on one DPU.
@@ -492,6 +521,8 @@ func (s *System) CopyFromDPUInto(dpuIdx int, symbol string, offset int64, dst []
 }
 
 // CopyFromDPURefInto is CopyFromDPUInto for a pre-resolved symbol.
+// Device-level failures come back as a one-entry *FaultReport; nothing
+// is charged for a failed transfer.
 func (s *System) CopyFromDPURefInto(dpuIdx int, ref SymbolRef, offset int64, dst []byte) error {
 	if err := s.checkIdx(dpuIdx); err != nil {
 		return err
@@ -500,7 +531,7 @@ func (s *System) CopyFromDPURefInto(dpuIdx int, ref SymbolRef, offset int64, dst
 		return err
 	}
 	if err := s.copyFromOneInto(dpuIdx, ref, offset, dst); err != nil {
-		return err
+		return singleFault("copy_from_dpu", dpuIdx, err)
 	}
 	s.chargeTransfer(len(dst))
 	return nil
@@ -541,6 +572,13 @@ func (s *System) Launch(tasklets int, kernel dpu.KernelFunc) (LaunchStats, error
 // The n simulated DPUs are executed by the persistent worker pool (one
 // shard per CPU) rather than one goroutine per DPU; the modeled launch
 // statistics do not depend on the scheduling.
+//
+// LaunchOn is best-effort: every DPU is attempted, and per-DPU failures
+// come back as a *FaultReport alongside the stats of what ran. A failed
+// DPU contributes a zero Stats entry to PerDPU; Cycles is the maximum
+// over the DPUs that completed, and exactly that time is added to the
+// system DPU clock (an all-failed launch charges nothing, matching the
+// per-DPU clocks, which only advance on success).
 func (s *System) LaunchOn(n, tasklets int, kernel dpu.KernelFunc) (LaunchStats, error) {
 	if n < 1 || n > len(s.dpus) {
 		return LaunchStats{}, fmt.Errorf("host: launch on %d DPUs, system has %d", n, len(s.dpus))
@@ -564,18 +602,16 @@ func (s *System) LaunchOn(n, tasklets int, kernel dpu.KernelFunc) (LaunchStats, 
 			}
 		})
 	}
-	for i, err := range errs {
-		if err != nil {
-			return LaunchStats{}, fmt.Errorf("host: DPU %d: %w", i, err)
-		}
-	}
 	var maxCycles uint64
 	var energy float64
-	for _, st := range stats {
-		if st.Cycles > maxCycles {
-			maxCycles = st.Cycles
+	for i := range stats {
+		if errs[i] != nil {
+			continue
 		}
-		energy += st.EnergyJ
+		if stats[i].Cycles > maxCycles {
+			maxCycles = stats[i].Cycles
+		}
+		energy += stats[i].EnergyJ
 	}
 	sec := float64(maxCycles) / s.cfg.DPU.FrequencyHz
 	ls := LaunchStats{
@@ -584,6 +620,31 @@ func (s *System) LaunchOn(n, tasklets int, kernel dpu.KernelFunc) (LaunchStats, 
 		Seconds: sec,
 		Time:    time.Duration(sec * float64(time.Second)),
 		EnergyJ: energy,
+	}
+	s.mu.Lock()
+	s.dpuTime += ls.Time
+	s.mu.Unlock()
+	return ls, faultsFrom("launch", errs)
+}
+
+// LaunchDPU runs the kernel on the single DPU at dpuIdx, charging its
+// completion time to the system DPU clock. Runners use it to
+// re-dispatch a failed DPU's shard onto a surviving DPU; device-level
+// failures come back as a one-entry *FaultReport and charge nothing.
+func (s *System) LaunchDPU(dpuIdx, tasklets int, kernel dpu.KernelFunc) (LaunchStats, error) {
+	if err := s.checkIdx(dpuIdx); err != nil {
+		return LaunchStats{}, err
+	}
+	st, err := s.dpus[dpuIdx].Launch(tasklets, kernel)
+	if err != nil {
+		return LaunchStats{}, singleFault("launch_dpu", dpuIdx, err)
+	}
+	ls := LaunchStats{
+		PerDPU:  []dpu.Stats{st},
+		Cycles:  st.Cycles,
+		Seconds: st.Seconds,
+		Time:    st.Time,
+		EnergyJ: st.EnergyJ,
 	}
 	s.mu.Lock()
 	s.dpuTime += ls.Time
@@ -645,6 +706,11 @@ func (s *System) ResetClocks() {
 // "padding to the sent/received memory buffers from the DPUs needs to be
 // added [and] the size of the non-padded buffer must be sent from the
 // host to the DPU."
+//
+// When len(data) is already a multiple of 8, Pad8 returns data itself —
+// the padded slice ALIASES the input, unlike the unaligned case, which
+// copies. Callers that mutate the padded buffer (or hand it to an async
+// command while still writing the original) must copy first.
 func Pad8(data []byte) (padded []byte, origLen int) {
 	origLen = len(data)
 	rem := origLen % dpu.DMAAlignment

@@ -20,9 +20,19 @@
 // enqueue order, one at a time. That serialization is what makes it safe
 // for several runners (e.g. a GEMM and an eBNN runner sharing a System)
 // to enqueue concurrently: their launches never overlap on the DPUs.
-// After a command fails, later queued commands are skipped (their
-// Pending handles report the same error) until Sync observes and clears
-// the failure, matching the SDK's sticky async error model.
+//
+// Failures come in two tiers, mirroring the synchronous best-effort
+// contract (fault.go). A partial failure (*FaultReport: some DPUs
+// failed, the rest completed and were charged) does NOT poison the
+// queue — later commands still execute, and the report is delivered to
+// the first Wait on its command, or to the next Sync whose target
+// covers it, whichever comes first. A total failure (validation error:
+// nothing ran) is sticky: later queued commands are skipped (their
+// Pending handles report the same error) until a Sync whose target
+// covers the failing ticket observes and clears it, matching the SDK's
+// sticky async error model. Scoping both tiers to the sync target keeps
+// a concurrent producer's Sync from consuming an error that belongs to
+// a command enqueued after its sync point.
 package host
 
 import (
@@ -47,7 +57,16 @@ const (
 	opGather
 	opCopyFrom
 	opWave
+	opCopyToDPU
+	opLaunchDPU
 )
+
+// queuedFault records one command's partial-failure report until its
+// Wait or a covering Sync claims it.
+type queuedFault struct {
+	ticket uint64
+	err    error
+}
 
 // asyncOp is one queued command. A single fat struct keeps the ring
 // buffer allocation-free: enqueueing reuses ring slots instead of boxing
@@ -64,7 +83,8 @@ type asyncOp struct {
 	bufs [][]byte
 
 	// n is the per-DPU byte count for opGather, the DPU index for
-	// opCopyFrom, and the DPU count for opLaunch/opWave.
+	// opCopyFrom/opCopyToDPU/opLaunchDPU, and the DPU count for
+	// opLaunch/opWave.
 	n        int
 	tasklets int
 	kernel   dpu.KernelFunc
@@ -83,10 +103,12 @@ type Pending struct {
 	ticket uint64
 }
 
-// Wait blocks until the command has executed or been skipped. It returns
-// nil for commands that completed before any failure, and the sticky
-// queue error for the failing command and every command after it. Unlike
-// Sync, Wait does not clear the error.
+// Wait blocks until the command has executed or been skipped. It
+// returns nil for commands that completed, the command's own
+// *FaultReport if it failed partially (delivered to the first Wait,
+// then cleared — a later Sync sees nil), and the sticky queue error for
+// a totally-failed command and every command skipped after it. Unlike
+// Sync, Wait never clears the sticky error.
 func (p Pending) Wait() error {
 	s := p.s
 	if s == nil {
@@ -99,6 +121,14 @@ func (p Pending) Wait() error {
 	var err error
 	if s.qErr != nil && s.qErrTicket <= p.ticket {
 		err = s.qErr
+	} else {
+		for i, f := range s.qFaults {
+			if f.ticket == p.ticket {
+				err = f.err
+				s.qFaults = append(s.qFaults[:i], s.qFaults[i+1:]...)
+				break
+			}
+		}
 	}
 	s.qmu.Unlock()
 	return err
@@ -117,18 +147,37 @@ func (p Pending) Done() bool {
 	return done
 }
 
-// Sync waits until every enqueued command has executed (dpu_sync),
-// returns the first error captured since the previous Sync, and clears
-// it so the queue accepts new work.
+// Sync waits until every command enqueued before the call has executed
+// (dpu_sync), returns the earliest unclaimed error among them, and
+// clears every error in that range so the queue accepts new work.
+// Errors of commands enqueued after the Sync snapshot — a concurrent
+// producer's — are left for that producer's own Wait or Sync.
 func (s *System) Sync() error {
 	s.qmu.Lock()
 	target := s.qNext
 	for s.qDone < target {
 		s.qcond.Wait()
 	}
-	err := s.qErr
-	s.qErr = nil
-	s.qErrTicket = 0
+	var err error
+	var errTicket uint64
+	if s.qErr != nil && s.qErrTicket <= target {
+		err, errTicket = s.qErr, s.qErrTicket
+		s.qErr, s.qErrTicket = nil, 0
+	}
+	// Claim the partial-failure reports in range; the earliest one wins
+	// if it precedes the sticky error (the rest are dropped, matching
+	// the first-error contract).
+	kept := s.qFaults[:0]
+	for _, f := range s.qFaults {
+		if f.ticket > target {
+			kept = append(kept, f)
+			continue
+		}
+		if err == nil || f.ticket < errTicket {
+			err, errTicket = f.err, f.ticket
+		}
+	}
+	s.qFaults = kept
 	s.qmu.Unlock()
 	return err
 }
@@ -158,6 +207,19 @@ func (s *System) EnqueueGather(ref SymbolRef, offset int64, n int, dst [][]byte)
 // into dst, valid after Wait/Sync.
 func (s *System) EnqueueCopyFrom(dpuIdx int, ref SymbolRef, offset int64, dst []byte) Pending {
 	return s.enqueue(asyncOp{kind: opCopyFrom, ref: ref, off: offset, n: dpuIdx, data: dst})
+}
+
+// EnqueueCopyToDPU queues a write of data to one DPU's symbol (the
+// async CopyToDPURef). Pipelined runners use it to re-dispatch a failed
+// DPU's inputs onto a surviving DPU without breaking queue ordering.
+func (s *System) EnqueueCopyToDPU(dpuIdx int, ref SymbolRef, offset int64, data []byte) Pending {
+	return s.enqueue(asyncOp{kind: opCopyToDPU, ref: ref, off: offset, n: dpuIdx, data: data})
+}
+
+// EnqueueLaunchDPU queues a kernel launch on the single DPU at dpuIdx
+// (the async LaunchDPU), the launch half of a queued re-dispatch.
+func (s *System) EnqueueLaunchDPU(dpuIdx, tasklets int, kernel dpu.KernelFunc, stats *LaunchStats) Pending {
+	return s.enqueue(asyncOp{kind: opLaunchDPU, n: dpuIdx, tasklets: tasklets, kernel: kernel, stats: stats})
 }
 
 // EnqueueLaunch queues a kernel launch on the first n DPUs. If stats is
@@ -215,9 +277,11 @@ type Wave struct {
 }
 
 // EnqueueWave queues a fused scatter→launch→gather wave. All referenced
-// buffers belong to the queue until the command executes; on error,
-// DPU memory state for DPUs at or after the faulting one is unspecified
-// (earlier DPUs may have completed their full scatter→launch→gather).
+// buffers belong to the queue until the command executes. The wave is
+// best-effort per DPU: a DPU that fails in any phase is reported in the
+// command's *FaultReport (its Out buffer is not written), while every
+// other DPU completes its full scatter→launch→gather and is charged
+// normally.
 func (s *System) EnqueueWave(w Wave) Pending {
 	return s.enqueue(asyncOp{
 		kind: opWave, n: w.DPUs, tasklets: w.Tasklets, kernel: w.Kernel, stats: w.Stats,
@@ -300,14 +364,22 @@ func (s *System) qrun() {
 		}
 		s.qcur = asyncOp{} // release buffer/kernel references
 		s.qmu.Lock()
-		if s.qErr == nil {
-			switch {
-			case err != nil:
-				s.qErr, s.qErrTicket = err, ticket
-			case skip:
+		switch {
+		case err == nil:
+			if skip && s.qErr == nil {
 				// Only reachable when Close raced in with commands still
 				// queued: fail them rather than touching closed workers.
 				s.qErr, s.qErrTicket = ErrClosed, ticket
+			}
+		case isFaultReport(err):
+			// Partial failure: the command ran best-effort and was
+			// charged for what completed. Record the report for its
+			// Wait/Sync without poisoning the queue, so retry commands
+			// the producer enqueues afterwards still execute.
+			s.qFaults = append(s.qFaults, queuedFault{ticket: ticket, err: err})
+		default:
+			if s.qErr == nil {
+				s.qErr, s.qErrTicket = err, ticket
 			}
 		}
 		s.qDone = ticket
@@ -327,6 +399,14 @@ func (s *System) execOp(op *asyncOp) error {
 		return s.CopyFromDPURefInto(op.n, op.ref, op.off, op.data)
 	case opLaunch:
 		ls, err := s.LaunchOn(op.n, op.tasklets, op.kernel)
+		if op.stats != nil && !isTotalError(err) {
+			*op.stats = ls
+		}
+		return err
+	case opCopyToDPU:
+		return s.CopyToDPURef(op.n, op.ref, op.off, op.data)
+	case opLaunchDPU:
+		ls, err := s.LaunchDPU(op.n, op.tasklets, op.kernel)
 		if err != nil {
 			return err
 		}
@@ -341,8 +421,9 @@ func (s *System) execOp(op *asyncOp) error {
 }
 
 // execWave runs one fused wave. Validation happens up front for every
-// DPU so per-DPU failures can only come from the simulated kernel
-// itself, matching where the discrete command sequence would fail.
+// DPU (a total failure: nothing runs, nothing is charged) so per-DPU
+// failures can only come from the device itself, matching where the
+// discrete command sequence would fail.
 func (s *System) execWave(op *asyncOp) error {
 	n := op.n
 	if n < 1 || n > len(s.dpus) {
@@ -382,9 +463,14 @@ func (s *System) execWave(op *asyncOp) error {
 	}
 	// Per-DPU stats land in the caller's PerDPU backing array when it is
 	// large enough, so steady-state waves don't allocate it per call.
+	// The backing array is reused across waves and now survives partial
+	// failures, so stale entries must be cleared before the run.
 	var per []dpu.Stats
 	if op.stats != nil && cap(op.stats.PerDPU) >= n {
 		per = op.stats.PerDPU[:n]
+		for i := range per {
+			per[i] = dpu.Stats{}
+		}
 	} else {
 		per = make([]dpu.Stats, n)
 	}
@@ -395,6 +481,21 @@ func (s *System) execWave(op *asyncOp) error {
 	for i := range errs {
 		errs[i] = nil
 	}
+	// phase records how far each DPU got, so the wave charges exactly
+	// what ran: scatter bytes for the DPUs that scattered, max cycles
+	// over the DPUs that launched, gather bytes for those that gathered.
+	const (
+		waveScattered = 1 << iota
+		waveLaunched
+		waveGathered
+	)
+	if cap(s.wavePhase) < n {
+		s.wavePhase = make([]uint8, n)
+	}
+	phase := s.wavePhase[:n]
+	for i := range phase {
+		phase[i] = 0
+	}
 	run := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if scatter {
@@ -402,6 +503,7 @@ func (s *System) execWave(op *asyncOp) error {
 					errs[i] = err
 					continue
 				}
+				phase[i] |= waveScattered
 			}
 			st, err := s.dpus[i].Launch(op.tasklets, op.kernel)
 			if err != nil {
@@ -409,10 +511,13 @@ func (s *System) execWave(op *asyncOp) error {
 				continue
 			}
 			per[i] = st
+			phase[i] |= waveLaunched
 			if gather {
 				if err := s.copyFromOneInto(i, op.gref, op.goff, op.gbufs[i]); err != nil {
 					errs[i] = err
+					continue
 				}
+				phase[i] |= waveGathered
 			}
 		}
 	}
@@ -421,17 +526,25 @@ func (s *System) execWave(op *asyncOp) error {
 	} else {
 		s.pool.run(n, run)
 	}
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("host: DPU %d: %w", i, err)
-		}
-	}
+	// Charge in the same order as the discrete command sequence the wave
+	// fuses: scatter transfer, launch time, gather transfer.
 	if scatter {
-		s.chargeTransfer(inLen * n)
+		nS := 0
+		for _, p := range phase {
+			if p&waveScattered != 0 {
+				nS++
+			}
+		}
+		if nS > 0 {
+			s.chargeTransfer(inLen * nS)
+		}
 	}
 	var maxCycles uint64
 	var energy float64
 	for i := range per {
+		if phase[i]&waveLaunched == 0 {
+			continue
+		}
 		if per[i].Cycles > maxCycles {
 			maxCycles = per[i].Cycles
 		}
@@ -446,9 +559,17 @@ func (s *System) execWave(op *asyncOp) error {
 	s.dpuTime += lt
 	s.mu.Unlock()
 	if gather {
-		s.chargeTransfer(outLen * n)
+		nG := 0
+		for _, p := range phase {
+			if p&waveGathered != 0 {
+				nG++
+			}
+		}
+		if nG > 0 {
+			s.chargeTransfer(outLen * nG)
+		}
 	}
-	return nil
+	return faultsFrom("wave", errs)
 }
 
 // PipelineMode selects whether a runner double-buffers waves through the

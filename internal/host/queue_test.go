@@ -130,10 +130,11 @@ func TestWaveMatchesDiscreteCommands(t *testing.T) {
 	}
 }
 
-// TestAsyncErrorPropagation: a kernel fault mid-queue surfaces at Sync,
-// commands behind the failure are skipped (their handles report the
-// error), the queue is drained, and the system accepts synchronous and
-// asynchronous work afterwards.
+// TestAsyncErrorPropagation: a per-DPU kernel fault mid-queue is a
+// partial failure — it surfaces as a *FaultReport at the command's own
+// Wait (consumed there, so a later Sync is clean), and commands behind
+// it still execute best-effort. Left unclaimed, the same report
+// surfaces at Sync instead, exactly once.
 func TestAsyncErrorPropagation(t *testing.T) {
 	s, ref := queueSystem(t, 4)
 	bad := s.DPU(1)
@@ -152,39 +153,53 @@ func TestAsyncErrorPropagation(t *testing.T) {
 	if err := pre.Wait(); err != nil {
 		t.Errorf("command before the fault failed: %v", err)
 	}
-	if err := launch.Wait(); err == nil || !strings.Contains(err.Error(), "DPU 1") {
+	err := launch.Wait()
+	if err == nil || !strings.Contains(err.Error(), "DPU 1") || !strings.Contains(err.Error(), "injected failure") {
 		t.Errorf("faulting launch did not surface its error at Wait: %v", err)
 	}
-	if err := post.Wait(); err == nil {
-		t.Error("command behind the fault executed instead of being skipped")
+	if rep, ok := AsFaultReport(err); !ok {
+		t.Errorf("launch error is not a FaultReport: %v", err)
+	} else if len(rep.Faults) != 1 || rep.Faults[0].DPU != 1 || rep.Attempted != 4 {
+		t.Errorf("unexpected report contents: %+v", rep)
 	}
-	// Sync reports the sticky error once and clears it; the queue is
-	// fully drained.
+	// Partial failures don't poison the queue: the command behind the
+	// fault executed normally.
+	if err := post.Wait(); err != nil {
+		t.Errorf("command behind the partial fault was skipped: %v", err)
+	}
+	// Wait consumed the report, so Sync is clean.
+	if err := s.Sync(); err != nil {
+		t.Errorf("Sync reports an already-claimed fault: %v", err)
+	}
+	// An unclaimed report surfaces at Sync exactly once.
+	s.EnqueueLaunch(4, 1, faulty, nil)
 	if err := s.Sync(); err == nil || !strings.Contains(err.Error(), "injected failure") {
-		t.Fatalf("Sync did not report the queue error: %v", err)
+		t.Fatalf("Sync did not report the unclaimed fault: %v", err)
 	}
 	if err := s.Sync(); err != nil {
 		t.Errorf("second Sync still reports an error: %v", err)
 	}
-	// Synchronous launch after the drained failure.
+	// Synchronous launch after the fault.
 	if _, err := s.LaunchOn(4, 1, okKernel); err != nil {
 		t.Errorf("synchronous launch after async fault: %v", err)
 	}
 	// And the queue accepts fresh work.
 	if err := s.EnqueueLaunch(4, 1, okKernel, nil).Wait(); err != nil {
-		t.Errorf("async launch after drained fault: %v", err)
+		t.Errorf("async launch after fault: %v", err)
 	}
 }
 
-// TestWaveFaultSurfacesDPU: a wave whose kernel faults reports the
-// faulting DPU and poisons the queue exactly like a discrete launch.
+// TestWaveFaultSurfacesDPU: a wave whose kernel traps on one DPU
+// reports that DPU in a *FaultReport at Wait, while the other DPUs
+// complete their full scatter→launch→gather; the claimed report does
+// not linger into Sync.
 func TestWaveFaultSurfacesDPU(t *testing.T) {
 	s, ref := queueSystem(t, 3)
 	bad := s.DPU(2)
 	in := make([][]byte, 3)
 	out := make([][]byte, 3)
 	for i := range in {
-		in[i] = make([]byte, 8)
+		in[i] = bytes.Repeat([]byte{byte(i + 1)}, 8)
 		out[i] = make([]byte, 8)
 	}
 	p := s.EnqueueWave(Wave{
@@ -201,8 +216,19 @@ func TestWaveFaultSurfacesDPU(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "DPU 2") || !strings.Contains(err.Error(), "memory fault") {
 		t.Errorf("wave trap not attributed: %v", err)
 	}
-	if err := s.Sync(); err == nil {
-		t.Error("Sync did not report the wave fault")
+	rep, ok := AsFaultReport(err)
+	if !ok || len(rep.Faults) != 1 || rep.Faults[0].DPU != 2 {
+		t.Errorf("wave fault report: %v", err)
+	}
+	// The surviving DPUs finished their round trip.
+	for i := 0; i < 2; i++ {
+		if !bytes.Equal(out[i], in[i]) {
+			t.Errorf("surviving DPU %d did not complete its wave", i)
+		}
+	}
+	// Wait claimed the report; the queue is clean and still working.
+	if err := s.Sync(); err != nil {
+		t.Errorf("Sync reports an already-claimed wave fault: %v", err)
 	}
 }
 

@@ -13,6 +13,8 @@ type LayerStat struct {
 	DPUsUsed int
 	Cycles   uint64
 	Seconds  float64
+	// Retries counts row shards re-dispatched after injected faults.
+	Retries int
 }
 
 // ForwardStats aggregates a DPU forward pass.
@@ -22,6 +24,9 @@ type ForwardStats struct {
 	// layers are not part of the delegated workload, §4.2.3).
 	Cycles  uint64
 	Seconds float64
+	// Retries sums the conv layers' fault re-dispatches; nonzero only
+	// when fault injection is armed on the underlying system.
+	Retries int
 }
 
 // MaxLayerSeconds returns the slowest single layer (the thesis reports a
@@ -84,10 +89,11 @@ func (n *Network) Forward(input *Tensor, runner *gemm.Runner) (*Result, *Forward
 				}
 				stats.Layers = append(stats.Layers, LayerStat{
 					Layer: i, Kind: Conv, DPUsUsed: st.DPUsUsed,
-					Cycles: st.Cycles, Seconds: st.Seconds,
+					Cycles: st.Cycles, Seconds: st.Seconds, Retries: st.Retries,
 				})
 				stats.Cycles += st.Cycles
 				stats.Seconds += st.Seconds
+				stats.Retries += st.Retries
 			}
 			applyBiasAct(c, def.Filters, cols, n.Weights[i].Bias, def.Activation)
 			s := n.shapes[i]
