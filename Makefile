@@ -1,12 +1,18 @@
 # Build/test entry points. `make ci` is the full gate: vet, build, tests,
-# and a race pass over the packages with cross-goroutine state (the host
+# a race pass over the packages with cross-goroutine state (the host
 # runtime's worker pool, sharded transfers, and async command queue, the
-# trace profile, and the gemm/ebnn/yolo runners that drive parallel and
-# pipelined launches, including the fault-injection recovery paths).
+# trace profile, the execution engine, and the gemm/ebnn/yolo and
+# alexnet/resnet runners that drive parallel and pipelined launches,
+# including the fault-injection recovery paths), and a check that this
+# PR's benchmark trajectory record exists (see DESIGN.md, "Simulator
+# performance").
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+# The perf trajectory record this PR must ship (regenerate: make bench).
+BENCH_RECORD ?= BENCH_pr4.json
+
+.PHONY: all build vet test race bench bench-record ci
 
 all: ci
 
@@ -20,11 +26,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dpu ./internal/host ./internal/trace ./internal/gemm ./internal/ebnn ./internal/yolo
+	$(GO) test -race ./internal/dpu ./internal/host ./internal/trace ./internal/exec ./internal/gemm ./internal/ebnn ./internal/yolo ./internal/alexnet ./internal/resnet
 
-# Regenerate BENCH_pr2.json and diff it against BENCH_baseline.json
-# (see DESIGN.md, "Simulator performance").
+# Regenerate $(BENCH_RECORD) and diff it against the previous PR's
+# record (see DESIGN.md, "Simulator performance").
 bench:
 	scripts/bench.sh
 
-ci: vet build test race
+bench-record:
+	@test -f $(BENCH_RECORD) || { echo "FAIL: $(BENCH_RECORD) missing — run 'make bench' and commit it"; exit 1; }
+
+ci: vet build test race bench-record

@@ -274,7 +274,7 @@ func BenchmarkFig47cMultiDPU(b *testing.B) {
 	var perImage float64
 	for i := 0; i < b.N; i++ {
 		st, _ := runEBNN(b, m, imgs, true, 1, 16)
-		perImage = st.DPUSeconds / float64(st.Images)
+		perImage = st.Seconds / float64(st.Images)
 	}
 	cpu := model.Xeon()
 	series := cpu.SpeedupSeries(perImage, 1e5, []int{1, 256, 2560})
@@ -292,7 +292,7 @@ func BenchmarkHeadlineLatency(b *testing.B) {
 		var perImage float64
 		for i := 0; i < b.N; i++ {
 			st, _ := runEBNN(b, m, imgs, true, 1, 16)
-			perImage = st.DPUSeconds / float64(st.Images)
+			perImage = st.Seconds / float64(st.Images)
 		}
 		b.ReportMetric(perImage, "s/image")
 		b.ReportMetric(1.48e-3, "paper-s/image")

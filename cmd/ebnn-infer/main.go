@@ -72,7 +72,7 @@ func run() error {
 			return outcome{}, err
 		}
 		var o outcome
-		o.cycles, o.seconds = st.Cycles, st.DPUSeconds
+		o.cycles, o.seconds = st.Cycles, st.Seconds
 		for i := range imgs {
 			if preds[i] == imgs[i].Label {
 				o.correct++

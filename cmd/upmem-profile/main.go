@@ -9,10 +9,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"pimdnn/internal/dpu"
+	"pimdnn/internal/exec"
+	"pimdnn/internal/gemm"
+	"pimdnn/internal/host"
 	"pimdnn/internal/isa"
+	"pimdnn/internal/trace"
 )
 
 func main() {
@@ -24,6 +29,8 @@ func main() {
 
 func run() error {
 	optFlag := flag.Int("O", 0, "optimization level 0-3 (dpu-clang -O flag)")
+	timelineFlag := flag.Bool("timeline", false,
+		"render the execution engine's wall-clock wave timeline for a pipelined GEMM")
 	flag.Parse()
 	opt := dpu.OptLevel(*optFlag)
 
@@ -78,6 +85,50 @@ func run() error {
 		return err
 	}
 	fmt.Print(d.Profile().Report())
+
+	if *timelineFlag {
+		fmt.Printf("\n== Execution engine: pipelined wave timeline (wall clock) ==\n")
+		if err := waveTimeline(opt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waveTimeline dispatches a multi-wave GEMM through the execution engine
+// with span recording armed and renders the wall-clock Gantt chart:
+// pipelined waves overlap (wave w+1 is enqueued while wave w drains),
+// which is visible as interleaved bars. Simulated DPU time is identical
+// to a synchronous run; only this host-side wall-clock axis changes.
+func waveTimeline(opt dpu.OptLevel) error {
+	const m, n, k, dpus = 24, 32, 16, 8 // 3 waves of 8 row-shards
+	sys, err := host.NewSystem(dpus, host.DefaultConfig(opt))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	tl := trace.NewTimeline()
+	r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+		MaxK: k, MaxN: n, Tasklets: 8, TileCols: 16,
+		Exec: exec.Config{Pipeline: host.PipelineOn, Timeline: tl},
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := make([]int16, m*k)
+	b := make([]int16, k*n)
+	for i := range a {
+		a[i] = int16(rng.Intn(64) - 32)
+	}
+	for i := range b {
+		b[i] = int16(rng.Intn(64) - 32)
+	}
+	if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+		return err
+	}
+	fmt.Printf("%d x %d x %d GEMM, %d DPUs, pipeline on\n", m, n, k, dpus)
+	fmt.Print(tl.Render(64))
 	return nil
 }
 

@@ -51,7 +51,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("%-16s %6d   %11s   %8.3gs   16 images, 1 DPU\n",
-		"eBNN", 28, "~4.9e5", ebnnStats.DPUSeconds)
+		"eBNN", 28, "~4.9e5", ebnnStats.Seconds)
 
 	// AlexNet lite.
 	acc2, err := pimdnn.NewAccelerator(pimdnn.Options{DPUs: 8, Opt: pimdnn.O3})

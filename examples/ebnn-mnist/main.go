@@ -57,7 +57,7 @@ func run() error {
 		}
 		fmt.Printf("== %s ==\n", name)
 		fmt.Printf("accuracy %.1f%%, DPU time %.4g s, %.0f images/s\n",
-			100*float64(correct)/float64(len(preds)), stats.DPUSeconds, stats.Throughput())
+			100*float64(correct)/float64(len(preds)), stats.Seconds, stats.Throughput())
 
 		// Ask the advisor what the run profile implies.
 		recs := pimdnn.NewAdvisor().Analyze(pimdnn.RunInfo{

@@ -49,7 +49,7 @@ func run() error {
 		}
 	}
 	fmt.Printf("classified %d digits on %d DPUs in %.4g s of DPU time\n",
-		stats.Images, stats.DPUsUsed, stats.DPUSeconds)
+		stats.Images, stats.DPUsUsed, stats.Seconds)
 	fmt.Printf("accuracy: %d/%d (%.1f%%)\n",
 		correct, len(ds.Test), 100*float64(correct)/float64(len(ds.Test)))
 	fmt.Printf("throughput: %.0f images/s\n", stats.Throughput())

@@ -65,7 +65,7 @@ func TestAcceleratorEBNNEndToEnd(t *testing.T) {
 	if len(preds) != len(ds.Test) {
 		t.Fatalf("predictions = %d", len(preds))
 	}
-	if stats.DPUSeconds <= 0 || stats.Throughput() <= 0 {
+	if stats.Seconds <= 0 || stats.Throughput() <= 0 {
 		t.Errorf("stats = %+v", stats)
 	}
 	if app.Model() != m {

@@ -2,11 +2,11 @@ package ebnn
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 
 	"pimdnn/internal/dpu"
+	"pimdnn/internal/exec"
 	"pimdnn/internal/host"
 	"pimdnn/internal/mnist"
 )
@@ -68,36 +68,26 @@ type Runner struct {
 	// Resolved symbol handles for the per-wave transfer loops.
 	refImages, refNImages, refResults host.SymbolRef
 
-	// Host-side staging reused across waves and Infer calls; Infer is
-	// not safe for concurrent use on one Runner (the DPU symbols are
-	// shared state), so plain fields suffice.
-	imgStage []byte   // flat backing for imgBufs
-	cntStage []byte   // flat backing for cntBufs
-	imgBufs  [][]byte // per-DPU image batch views
-	cntBufs  [][]byte // per-DPU image count views
-	counts   []int
-	resStage []byte // wave-wide result gather buffer (sync path)
-	featBuf  []byte // decoded feature vector for one image
+	// featBuf is the decoded feature vector for one image, reused across
+	// the per-image softmax loop; Infer is not safe for concurrent use
+	// on one Runner (the DPU symbols are shared state).
+	featBuf []byte
 
-	// pipe selects the double-buffered wave pipeline; slots are its two
-	// ping-pong staging sets (allocated on first pipelined Infer).
-	pipe  bool
-	slots [2]inferSlot
-
-	// Fault-recovery state (fault.go): DPUs excluded from dispatch, the
-	// round-robin re-dispatch cursor, and the reusable per-wave
-	// failed-batch set.
-	down     []bool
-	nDown    int
-	retryCur int
-	failSet  []bool
+	// eng is the shared execution engine: it owns wave construction,
+	// double-buffered pipelining, and retry-and-remap (internal/exec).
+	// iws and stages are the WorkSet adapter and its staging sets
+	// (stage 0 for synchronous dispatch, both when pipelined).
+	eng    *exec.Engine
+	iws    inferWorkSet
+	stages [2]inferStage
 }
 
-// inferSlot is one of the two ping-pong staging sets of the pipelined
-// Infer: a wave's image/count scatter buffers and result gather buffers
-// stay queue-owned until the wave's Pending resolves, so the host packs
-// the next wave (and classifies the previous one) in the other slot.
-type inferSlot struct {
+// inferStage is one staging set of the multiple-images-per-DPU mapping:
+// per-DPU packed-image and image-count scatter buffers plus result
+// gather views. A pipelined wave's buffers stay queue-owned until the
+// engine flushes it, so the host packs the next wave into the other
+// stage meanwhile.
+type inferStage struct {
 	imgStage []byte
 	cntStage []byte
 	resStage []byte
@@ -105,11 +95,6 @@ type inferSlot struct {
 	cntBufs  [][]byte
 	resBufs  [][]byte
 	counts   []int
-	stats    host.LaunchStats
-	pend     host.Pending
-	cntPend  host.Pending // the wave's image-count push
-	nDPU     int
-	busy     bool
 }
 
 // NewRunner deploys the model onto every DPU of the system: it allocates
@@ -164,16 +149,19 @@ func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, 
 		scratch: look(symScratch),
 	}
 
-	// Broadcast the model parameters. A DPU that misses a broadcast gets
-	// it redelivered; one that cannot be reached is marked down so its
-	// stale model never contributes predictions (fault.go).
-	r.ensureFaultState()
+	// Broadcast the model parameters through the execution engine: a DPU
+	// that misses a broadcast gets it redelivered; one that cannot be
+	// reached is marked down so its stale model never contributes
+	// predictions (internal/exec). The engine starts unpipelined so the
+	// deploy-time redeliveries stay synchronous.
+	r.eng = exec.New(sys, exec.Config{Pipeline: host.PipelineOff})
+	r.iws.r = r
 	broadcast := func(sym string, data []byte) error {
 		ref, err := sys.Resolve(sym)
 		if err != nil {
 			return err
 		}
-		return r.handleBroadcast(sys.CopyToSymbolRef(ref, 0, data), ref, data)
+		return r.eng.Broadcast(exec.Broadcast{Ref: ref, Data: data})
 	}
 	filt := make([]byte, 16)
 	for i, f := range m.Filters {
@@ -212,29 +200,30 @@ func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, 
 		*ref.dst = res
 	}
 
-	nd := sys.NumDPUs()
-	r.imgStage = make([]byte, nd*BatchSize*mnist.PackedSize)
-	r.cntStage = make([]byte, nd*4)
-	r.imgBufs = make([][]byte, nd)
-	r.cntBufs = make([][]byte, nd)
-	for i := 0; i < nd; i++ {
-		r.imgBufs[i] = r.imgStage[i*BatchSize*mnist.PackedSize : (i+1)*BatchSize*mnist.PackedSize]
-		r.cntBufs[i] = r.cntStage[i*4 : (i+1)*4]
-	}
-	r.counts = make([]int, nd)
-	r.resStage = make([]byte, nd*BatchSize*ResultSize)
+	r.stages[0].ensure(sys.NumDPUs())
 	r.featBuf = make([]byte, PoolCells*m.F)
 	r.kernelFn = r.kernel()
-	r.pipe = host.PipelineAuto.Enabled()
+	r.eng.Configure(exec.Config{Pipeline: host.PipelineAuto})
 	return r, nil
 }
 
+// Configure re-applies the unified execution-engine configuration
+// (pipelining, trace timeline; see internal/exec and DESIGN.md,
+// "Execution engine"). Call it between Infer calls only. Results and
+// simulated-time accounting are identical in both pipeline modes;
+// pipelining overlaps host pack/classify wall-clock time with queued
+// device work.
+func (r *Runner) Configure(ec exec.Config) {
+	r.eng.Configure(ec)
+}
+
 // SetPipeline overrides the runner's pipelining mode (PipelineAuto is
-// resolved at NewRunner). Call it between Infer calls only. Results and
-// simulated-time accounting are identical in both modes; pipelining
-// overlaps host pack/classify wall-clock time with queued device work.
+// resolved at NewRunner). Call it between Infer calls only.
+//
+// Deprecated: use Configure with an exec.Config — the unified dispatch
+// configuration shared by every runner. This shim forwards to it.
 func (r *Runner) SetPipeline(m host.PipelineMode) {
-	r.pipe = m.Enabled()
+	r.Configure(exec.Config{Pipeline: m})
 }
 
 // Model returns the deployed model.
@@ -368,30 +357,22 @@ func (r *Runner) kernel() dpu.KernelFunc {
 	}
 }
 
-// BatchStats reports one inference run.
+// BatchStats reports one inference run: the execution engine's unified
+// dispatch accounting (waves, largest DPU count, cycles, Seconds of
+// summed parallel DPU time, re-dispatched batches; see internal/exec)
+// plus the number of images inferred.
 type BatchStats struct {
 	// Images is the number of images inferred.
 	Images int
-	// Waves is the number of sequential launches needed (images beyond
-	// 16×NumDPUs queue into later waves).
-	Waves int
-	// DPUSeconds is the summed parallel DPU time over all waves.
-	DPUSeconds float64
-	// DPUsUsed is the largest number of DPUs active in any wave.
-	DPUsUsed int
-	// Cycles is the summed per-wave maximum DPU cycles.
-	Cycles uint64
-	// Retries is the number of 16-image batches re-dispatched onto a
-	// surviving DPU after a fault. Zero in a fault-free run.
-	Retries int
+	exec.Stats
 }
 
 // Throughput returns images per second of DPU time.
 func (s BatchStats) Throughput() float64 {
-	if s.DPUSeconds == 0 {
+	if s.Seconds == 0 {
 		return 0
 	}
-	return float64(s.Images) / s.DPUSeconds
+	return float64(s.Images) / s.Seconds
 }
 
 // waveEnd returns the smaller of a and b (the end of the current wave).
@@ -402,246 +383,135 @@ func waveEnd(a, b int) int {
 	return b
 }
 
+// ensure sizes one staging set for a system of nd DPUs.
+func (st *inferStage) ensure(nd int) {
+	if len(st.imgBufs) == nd {
+		return
+	}
+	st.imgStage = make([]byte, nd*BatchSize*mnist.PackedSize)
+	st.cntStage = make([]byte, nd*4)
+	st.resStage = make([]byte, nd*BatchSize*ResultSize)
+	st.imgBufs = make([][]byte, nd)
+	st.cntBufs = make([][]byte, nd)
+	st.resBufs = make([][]byte, nd)
+	st.counts = make([]int, nd)
+	for i := 0; i < nd; i++ {
+		st.imgBufs[i] = st.imgStage[i*BatchSize*mnist.PackedSize : (i+1)*BatchSize*mnist.PackedSize]
+		st.cntBufs[i] = st.cntStage[i*4 : (i+1)*4]
+	}
+}
+
+// inferWorkSet adapts the §4.1.3 multiple-images-per-DPU mapping to the
+// execution engine: one shard per 16-image batch, the packed images and
+// the per-DPU image counts as scatter streams, the activation buffers
+// as the gather stream (read serially DPU by DPU on the synchronous
+// path, per the thesis), and the softmax layer run on the host as each
+// shard is decoded.
+type inferWorkSet struct {
+	r      *Runner
+	images []mnist.Image
+	preds  []int
+	stream []exec.Stream
+}
+
+func (w *inferWorkSet) Shards() int {
+	return (len(w.images) + BatchSize - 1) / BatchSize
+}
+func (w *inferWorkSet) Tasklets() int                { return w.r.tasklets }
+func (w *inferWorkSet) Kernel() dpu.KernelFunc       { return w.r.kernelFn }
+func (w *inferWorkSet) Broadcasts() []exec.Broadcast { return nil }
+
+// SerialGather selects the §4.1.3 synchronous gather order: "After all
+// temporary results for all images in a single DPU are inferred, the
+// next DPU's result is read."
+func (w *inferWorkSet) SerialGather() bool { return true }
+
+func (w *inferWorkSet) Encode(slot, start, n int) {
+	st := &w.r.stages[slot]
+	wave := w.images[start*BatchSize : waveEnd((start+n)*BatchSize, len(w.images))]
+	// The staging buffers are reused across waves; only the counts need
+	// resetting (stale image bytes in unused slots are never read by
+	// the kernel).
+	counts := st.counts[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range st.cntStage {
+		st.cntStage[i] = 0
+	}
+	for i, img := range wave {
+		d := i / BatchSize
+		slot := i % BatchSize
+		packed := img.Pack()
+		copy(st.imgBufs[d][slot*mnist.PackedSize:], packed[:])
+		counts[d]++
+	}
+	for d, c := range counts {
+		binary.LittleEndian.PutUint32(st.cntBufs[d], uint32(c))
+	}
+}
+
+func (w *inferWorkSet) Scatter(slot, n int) []exec.Stream {
+	st := &w.r.stages[slot]
+	w.stream = append(w.stream[:0],
+		exec.Stream{Ref: w.r.refImages, Bufs: st.imgBufs},
+		exec.Stream{Ref: w.r.refNImages, Bufs: st.cntBufs})
+	return w.stream
+}
+
+func (w *inferWorkSet) Gather(slot, n int) exec.Stream {
+	st := &w.r.stages[slot]
+	if w.r.eng.Pipelined() {
+		// The fused wave gather reads a uniform length from every DPU:
+		// images fill DPUs in order, so DPU 0 always holds the largest
+		// count.
+		resLen := st.counts[0] * ResultSize
+		for d := 0; d < n; d++ {
+			st.resBufs[d] = st.resStage[d*BatchSize*ResultSize : d*BatchSize*ResultSize+resLen]
+		}
+	} else {
+		// The serial gather reads exactly each DPU's result bytes.
+		for d := 0; d < n; d++ {
+			st.resBufs[d] = st.resStage[d*BatchSize*ResultSize : d*BatchSize*ResultSize+st.counts[d]*ResultSize]
+		}
+	}
+	return exec.Stream{Ref: w.r.refResults, Bufs: st.resBufs}
+}
+
+func (w *inferWorkSet) Decode(slot, shard, i int) {
+	st := &w.r.stages[slot]
+	raw := st.resBufs[i]
+	for s := 0; s < st.counts[i]; s++ {
+		DecodeFeaturesInto(w.r.featBuf, raw[s*ResultSize:(s+1)*ResultSize], w.r.model.F)
+		w.preds = append(w.preds, w.r.model.PredictFeatures(w.r.featBuf))
+	}
+}
+
 // Infer classifies the images: the host scatters 16-image batches across
 // the DPUs, launches the kernel, gathers the activation buffers, and runs
-// the softmax layer serially per image (§4.1.3). In pipelined mode the
-// waves flow through the host's asynchronous command queue so the
-// pack/classify host work overlaps the simulated launches; predictions,
-// cycle counts, and wave statistics are identical either way.
+// the softmax layer serially per image (§4.1.3). Wave construction,
+// pipelining, and fault recovery are the execution engine's
+// (internal/exec); in pipelined mode the waves flow through the host's
+// asynchronous command queue so the pack/classify host work overlaps the
+// simulated launches. Predictions, cycle counts, and wave statistics are
+// identical either way.
 func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 	if len(images) == 0 {
 		return nil, BatchStats{}, fmt.Errorf("ebnn: no images")
 	}
-	r.ensureFaultState()
-	if r.pipe {
-		return r.inferPipelined(images)
-	}
-	preds := make([]int, 0, len(images))
-	stats := BatchStats{Images: len(images)}
-	perWave := BatchSize * r.sys.NumDPUs()
-
-	for start := 0; start < len(images); start += perWave {
-		wave := images[start:waveEnd(start+perWave, len(images))]
-		nDPU := (len(wave) + BatchSize - 1) / BatchSize
-		// The staging buffers live on the runner and are reused across
-		// waves; only the counts need resetting (stale image bytes in
-		// unused slots are never read by the kernel).
-		counts := r.counts[:nDPU]
-		for i := range counts {
-			counts[i] = 0
-		}
-		for i := range r.cntStage {
-			r.cntStage[i] = 0
-		}
-		for i, img := range wave {
-			d := i / BatchSize
-			slot := i % BatchSize
-			packed := img.Pack()
-			copy(r.imgBufs[d][slot*mnist.PackedSize:], packed[:])
-			counts[d]++
-		}
-		for d, c := range counts {
-			binary.LittleEndian.PutUint32(r.cntBufs[d], uint32(c))
-		}
-		// Down DPUs hold a stale model: their batches are re-dispatched
-		// even when no operation reports an error for them.
-		failed := r.failSet[:nDPU]
-		for d := range failed {
-			failed[d] = r.down[d]
-		}
-		if err := r.mergeFailed(failed, r.sys.PushXferRef(r.refImages, 0, r.imgBufs)); err != nil {
-			return nil, stats, err
-		}
-		if err := r.mergeFailed(failed, r.sys.PushXferRef(r.refNImages, 0, r.cntBufs)); err != nil {
-			return nil, stats, err
-		}
-
-		ls, lerr := r.sys.LaunchOn(nDPU, r.tasklets, r.kernelFn)
-		if err := r.mergeFailed(failed, lerr); err != nil {
-			return nil, stats, err
-		}
-		stats.Waves++
-		stats.DPUSeconds += ls.Seconds
-		stats.Cycles += ls.Cycles
-		if nDPU > stats.DPUsUsed {
-			stats.DPUsUsed = nDPU
-		}
-
-		// Gather serially, DPU by DPU (§4.1.3: "After all temporary
-		// results for all images in a single DPU are inferred, the next
-		// DPU's result is read"). Intact batches are gathered before any
-		// re-dispatch runs, so a retry launch can safely reuse a DPU
-		// whose own results were not yet read; classification follows in
-		// input order once every batch's results are in.
-		rawFor := func(d int) []byte {
-			return r.resStage[d*BatchSize*ResultSize : d*BatchSize*ResultSize+counts[d]*ResultSize]
-		}
-		for d := 0; d < nDPU; d++ {
-			if failed[d] {
-				continue
-			}
-			if err := r.sys.CopyFromDPURefInto(d, r.refResults, 0, rawFor(d)); err != nil {
-				if _, ok := host.AsFaultReport(err); !ok {
-					return nil, stats, err
-				}
-				if errors.Is(err, dpu.ErrDPUDead) {
-					r.markDown(d)
-				}
-				failed[d] = true
-			}
-		}
-		for d := 0; d < nDPU; d++ {
-			if failed[d] {
-				if err := r.redispatchBatch(r.imgBufs[d], r.cntBufs[d], rawFor(d), &stats); err != nil {
-					return nil, stats, err
-				}
-			}
-		}
-		for d := 0; d < nDPU; d++ {
-			raw := rawFor(d)
-			for slot := 0; slot < counts[d]; slot++ {
-				DecodeFeaturesInto(r.featBuf, raw[slot*ResultSize:(slot+1)*ResultSize], r.model.F)
-				preds = append(preds, r.model.PredictFeatures(r.featBuf))
-			}
-		}
-	}
-	return preds, stats, nil
-}
-
-// ensureSlots sizes the two ping-pong staging sets for waves of up to nd
-// DPUs.
-func (r *Runner) ensureSlots(nd int) {
-	if len(r.slots[0].imgBufs) == nd {
-		return
-	}
-	for s := range r.slots {
-		sl := &r.slots[s]
-		sl.imgStage = make([]byte, nd*BatchSize*mnist.PackedSize)
-		sl.cntStage = make([]byte, nd*4)
-		sl.resStage = make([]byte, nd*BatchSize*ResultSize)
-		sl.imgBufs = make([][]byte, nd)
-		sl.cntBufs = make([][]byte, nd)
-		sl.resBufs = make([][]byte, nd)
-		sl.counts = make([]int, nd)
-		for i := 0; i < nd; i++ {
-			sl.imgBufs[i] = sl.imgStage[i*BatchSize*mnist.PackedSize : (i+1)*BatchSize*mnist.PackedSize]
-			sl.cntBufs[i] = sl.cntStage[i*4 : (i+1)*4]
-		}
-	}
-}
-
-// inferPipelined is the double-buffered wave loop: the image scatter,
-// launch, and result gather of wave w are enqueued as one fused command
-// and wave w-1's results are classified (softmax on the host) while it
-// runs. Waves are flushed strictly in order, so predictions keep the
-// input order.
-func (r *Runner) inferPipelined(images []mnist.Image) ([]int, BatchStats, error) {
-	preds := make([]int, 0, len(images))
-	stats := BatchStats{Images: len(images)}
 	nd := r.sys.NumDPUs()
-	perWave := BatchSize * nd
-	r.ensureSlots(nd)
-
-	flush := func(sl *inferSlot) error {
-		if !sl.busy {
-			return nil
-		}
-		sl.busy = false
-		cntErr := sl.cntPend.Wait()
-		waveErr := sl.pend.Wait()
-		failed := r.failSet[:sl.nDPU]
-		for d := range failed {
-			failed[d] = r.down[d]
-		}
-		if err := r.mergeFailed(failed, cntErr); err != nil {
-			r.sys.Sync() // drain the queue before reporting a fatal error
-			return err
-		}
-		if err := r.mergeFailed(failed, waveErr); err != nil {
-			r.sys.Sync()
-			return err
-		}
-		stats.Waves++
-		stats.DPUSeconds += sl.stats.Seconds
-		stats.Cycles += sl.stats.Cycles
-		if sl.nDPU > stats.DPUsUsed {
-			stats.DPUsUsed = sl.nDPU
-		}
-		// Re-dispatch failed batches through the queue (serialized behind
-		// the already-enqueued next wave, whose fused gather runs before
-		// the retry overwrites any of its DPUs' symbols), then classify
-		// the whole wave in input order.
-		for d := 0; d < sl.nDPU; d++ {
-			if failed[d] {
-				if err := r.redispatchBatch(sl.imgBufs[d], sl.cntBufs[d], sl.resBufs[d], &stats); err != nil {
-					r.sys.Sync()
-					return err
-				}
-			}
-		}
-		for d := 0; d < sl.nDPU; d++ {
-			raw := sl.resBufs[d]
-			for slot := 0; slot < sl.counts[d]; slot++ {
-				DecodeFeaturesInto(r.featBuf, raw[slot*ResultSize:(slot+1)*ResultSize], r.model.F)
-				preds = append(preds, r.model.PredictFeatures(r.featBuf))
-			}
-		}
-		return nil
+	r.stages[0].ensure(nd)
+	if r.eng.Pipelined() {
+		r.stages[1].ensure(nd)
 	}
-
-	w := 0
-	for start := 0; start < len(images); start += perWave {
-		wave := images[start:waveEnd(start+perWave, len(images))]
-		nDPU := (len(wave) + BatchSize - 1) / BatchSize
-		sl := &r.slots[w&1]
-		// The slot's buffers are queue-owned until its wave completes;
-		// classify it before re-packing into them.
-		if err := flush(sl); err != nil {
-			return nil, stats, err
-		}
-		counts := sl.counts[:nd]
-		for i := range counts {
-			counts[i] = 0
-		}
-		for i := range sl.cntStage {
-			sl.cntStage[i] = 0
-		}
-		for i, img := range wave {
-			d := i / BatchSize
-			slot := i % BatchSize
-			packed := img.Pack()
-			copy(sl.imgBufs[d][slot*mnist.PackedSize:], packed[:])
-			counts[d]++
-		}
-		for d, c := range counts {
-			binary.LittleEndian.PutUint32(sl.cntBufs[d], uint32(c))
-		}
-		// The gather length is uniform across the wave's DPUs: images
-		// fill DPUs in order, so DPU 0 always holds the largest count.
-		resLen := counts[0] * ResultSize
-		for d := 0; d < nDPU; d++ {
-			sl.resBufs[d] = sl.resStage[d*BatchSize*ResultSize : d*BatchSize*ResultSize+resLen]
-		}
-		sl.cntPend = r.sys.EnqueuePushXfer(r.refNImages, 0, sl.cntBufs)
-		sl.pend = r.sys.EnqueueWave(host.Wave{
-			DPUs:     nDPU,
-			Tasklets: r.tasklets,
-			Kernel:   r.kernelFn,
-			Stats:    &sl.stats,
-			Scatter:  r.refImages,
-			In:       sl.imgBufs[:nDPU],
-			Gather:   r.refResults,
-			Out:      sl.resBufs[:nDPU],
-		})
-		sl.nDPU = nDPU
-		sl.busy = true
-		w++
-	}
-	// Drain the in-flight waves, older slot first (prediction order).
-	if err := flush(&r.slots[w&1]); err != nil {
-		return nil, stats, err
-	}
-	if err := flush(&r.slots[(w+1)&1]); err != nil {
+	stats := BatchStats{Images: len(images)}
+	w := &r.iws
+	w.images = images
+	w.preds = make([]int, 0, len(images))
+	err := r.eng.Run(w, &stats.Stats)
+	preds := w.preds
+	w.images, w.preds = nil, nil
+	if err != nil {
 		return nil, stats, err
 	}
 	return preds, stats, nil

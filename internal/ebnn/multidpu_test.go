@@ -41,7 +41,7 @@ func TestMultiDPUParallelism(t *testing.T) {
 	four := run(4, 64) // 4 DPUs, 4 batches in parallel
 	// 4x the images in (approximately) the same wall time: per-DPU
 	// image counts are equal, so the parallel max matches one batch.
-	ratio := four.DPUSeconds / one.DPUSeconds
+	ratio := four.Seconds / one.Seconds
 	if ratio > 1.05 {
 		t.Errorf("4 DPUs on 4x images took %.2fx one batch, want ~1x (parallel)", ratio)
 	}

@@ -1,0 +1,674 @@
+// Package exec is the workload-agnostic execution engine for the DPU
+// system: one scheduler owning the thesis's host/DPU dispatch pattern
+// (§3.2, Fig 4.6) — shard work across DPUs, scatter inputs, launch the
+// kernel, gather results — plus the two layers PRs 2–3 added on top of
+// it: double-buffered wave pipelining through the host's asynchronous
+// command queue, and retry-and-remap of failed shards onto surviving
+// DPUs under fault injection.
+//
+// Workloads adapt to the engine through the WorkSet interface (wave
+// dispatch: gemm row-per-DPU, ebnn images-per-DPU) or a StreamSet value
+// (single-wave streaming dispatch: gemm image-per-DPU batch). The
+// engine produces one unified Stats struct for all of them, and its
+// accounting invariant is inherited from the host queue: simulated
+// cycles, seconds, and per-wave statistics are bit-identical whether a
+// workload runs synchronously or pipelined — pipelining only overlaps
+// host encode/decode wall-clock time with queued device work.
+//
+// See DESIGN.md, "Execution engine", for the interface contract,
+// accounting invariants, and retry semantics.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+	"pimdnn/internal/trace"
+)
+
+// Config is the unified dispatch configuration shared by every runner.
+type Config struct {
+	// Pipeline selects double-buffered dispatch through the host's
+	// asynchronous command queue. Results and simulated-time accounting
+	// are identical in both modes.
+	Pipeline host.PipelineMode
+	// Timeline, when non-nil, receives wall-clock span events for each
+	// wave phase (scatter/launch/gather/retry synchronously, the fused
+	// wave command when pipelined), so tools can render a dispatch
+	// timeline. Nil disables span recording entirely.
+	Timeline *trace.Timeline
+}
+
+// Stats describes one dispatched work set — the single accounting
+// struct produced by the engine for every workload.
+type Stats struct {
+	// Waves is the number of sequential launches (shards beyond the DPU
+	// count queue into later waves).
+	Waves int
+	// DPUsUsed is the largest number of DPUs active in a wave — the
+	// thesis's dynamic DPU count.
+	DPUsUsed int
+	// Cycles is the summed per-wave maximum DPU cycles, plus the real
+	// cycles of any re-dispatched shards.
+	Cycles uint64
+	// Seconds is Cycles through the DPU clock.
+	Seconds float64
+	// Retries is the number of shards (rows, images, or batches)
+	// re-dispatched onto a surviving DPU after a fault. Zero in a
+	// fault-free run.
+	Retries int
+}
+
+// Stream names one per-shard transfer stream: Bufs[i] is DPU i's buffer
+// in the current staging slot. Scatter streams cover every DPU of the
+// system (full-system push, matching dpu_push_xfer); the engine
+// launches and gathers only the wave's first n shards.
+type Stream struct {
+	Ref  host.SymbolRef
+	Off  int64
+	Bufs [][]byte
+}
+
+// Xfer names one single-DPU transfer (a shard's input or output buffer)
+// used when re-dispatching that shard onto another DPU.
+type Xfer struct {
+	Ref  host.SymbolRef
+	Off  int64
+	Data []byte
+}
+
+// Broadcast is a wave-invariant payload delivered to every DPU before
+// dispatch (a weight matrix, a parameter block, a model). DPUs that
+// miss a broadcast get it redelivered; unreachable DPUs are marked down
+// so a stale copy never contributes results.
+type Broadcast struct {
+	Ref  host.SymbolRef
+	Off  int64
+	Data []byte
+}
+
+// WorkSet adapts one workload's shard mapping to the engine's wave
+// dispatch. A workset is Shards() shards, at most one per DPU per wave;
+// the engine plans waves of consecutive shards, has the workset encode
+// each wave into per-DPU staging buffers, runs scatter → launch →
+// gather (synchronously, or double-buffered through the async queue),
+// re-dispatches failed shards onto survivors, and hands every shard
+// back through Decode in input order.
+//
+// slot is the staging-slot index: always 0 on the synchronous path,
+// alternating 0/1 when pipelined — a workset that supports pipelining
+// must keep the two slots' buffers disjoint, because slot buffers are
+// queue-owned from enqueue until the engine flushes the wave.
+type WorkSet interface {
+	// Shards is the total number of shards to dispatch.
+	Shards() int
+	// Tasklets is the per-DPU tasklet count for launches.
+	Tasklets() int
+	// Kernel is the DPU program run on every shard.
+	Kernel() dpu.KernelFunc
+	// Broadcasts returns the payloads delivered to every DPU before the
+	// first wave (nil when the workload broadcast at setup time).
+	Broadcasts() []Broadcast
+	// Encode stages shards [start, start+n) into the slot's buffers.
+	Encode(slot, start, n int)
+	// Scatter returns the slot's input streams for an n-shard wave.
+	// Stream 0 is the primary stream (fused into the pipelined wave
+	// command); later streams are pushed separately. Returned slices
+	// are read immediately and may be reused by the next call.
+	Scatter(slot, n int) []Stream
+	// Gather returns the slot's output stream for an n-shard wave.
+	Gather(slot, n int) Stream
+	// Decode consumes shard start+i (wave position i) from the slot's
+	// gather buffer. Called for every shard of a wave in input order,
+	// after the wave and any re-dispatches completed.
+	Decode(slot, shard, i int)
+}
+
+// SerialGatherer is implemented by worksets whose synchronous gather
+// reads result buffers one DPU at a time (the eBNN §4.1.3 contract:
+// "After all temporary results for all images in a single DPU are
+// inferred, the next DPU's result is read") instead of as one sharded
+// gather; per-DPU gather buffer lengths may then differ.
+type SerialGatherer interface {
+	SerialGather() bool
+}
+
+// maxRedispatch bounds how many targets one shard (or one broadcast
+// redelivery) tries before the fault is reported as fatal.
+const maxRedispatch = 8
+
+// Engine owns shard dispatch for one runner. It is not safe for
+// concurrent use: the DPU symbols it scatters into are shared state.
+type Engine struct {
+	sys  *host.System
+	pipe bool
+	tl   *trace.Timeline
+
+	// Fault-recovery state: DPUs excluded from dispatch for the
+	// engine's life, the round-robin re-dispatch cursor, and the
+	// reusable per-wave failed-shard set.
+	down     []bool
+	nDown    int
+	retryCur int
+	failSet  []bool
+
+	// Ping-pong wave slots for the pipelined path.
+	slots   [2]waveSlot
+	waveSeq int
+
+	// Reused scratch: re-dispatch input descriptors, streaming-gather
+	// buffers and queued-launch stats (RunStream).
+	insBuf []Xfer
+	raw    [2][]byte
+	lstats host.LaunchStats
+}
+
+// waveSlot is one of the two in-flight wave records of the pipelined
+// path: the queue owns the slot's staging buffers from enqueue until
+// the engine flushes the wave.
+type waveSlot struct {
+	idx      int // staging-slot index handed to the workset
+	seq      int // engine-global wave number (timeline spans)
+	start, n int
+	stats    host.LaunchStats
+	pend     host.Pending
+	extras   []host.Pending
+	errs     []error
+	t0       time.Time
+	busy     bool
+}
+
+// New builds an engine over sys. One engine per runner: down-DPU state
+// is scoped to the broadcasts that runner has delivered.
+func New(sys *host.System, cfg Config) *Engine {
+	e := &Engine{sys: sys}
+	e.down = make([]bool, sys.NumDPUs())
+	e.failSet = make([]bool, sys.NumDPUs())
+	e.slots[1].idx = 1
+	e.Configure(cfg)
+	return e
+}
+
+// Configure re-applies the dispatch configuration. Call it between
+// dispatches only, never while a run is in flight.
+func (e *Engine) Configure(cfg Config) {
+	e.pipe = cfg.Pipeline.Enabled()
+	e.tl = cfg.Timeline
+}
+
+// Pipelined reports whether dispatch goes through the async queue.
+func (e *Engine) Pipelined() bool { return e.pipe }
+
+// System returns the underlying DPU system.
+func (e *Engine) System() *host.System { return e.sys }
+
+// Down reports whether DPU i has been excluded from dispatch.
+func (e *Engine) Down(i int) bool { return e.down[i] }
+
+// NumDown returns the number of excluded DPUs.
+func (e *Engine) NumDown() int { return e.nDown }
+
+// markDown removes DPU i from the re-dispatch target pool for the rest
+// of the engine's life.
+func (e *Engine) markDown(i int) {
+	if !e.down[i] {
+		e.down[i] = true
+		e.nDown++
+	}
+}
+
+// nextTarget picks the next usable re-dispatch target, round-robin so
+// retried shards spread across the survivors. Returns -1 when no DPU
+// survives.
+func (e *Engine) nextTarget() int {
+	nd := e.sys.NumDPUs()
+	if e.nDown >= nd {
+		return -1
+	}
+	for t := 0; t < nd; t++ {
+		i := (e.retryCur + t) % nd
+		if !e.down[i] {
+			e.retryCur = (i + 1) % nd
+			return i
+		}
+	}
+	return -1
+}
+
+// seedFailed returns the reusable failed-shard set for an n-shard wave,
+// pre-marking shards whose DPU is down: a down DPU holds stale
+// broadcast data, so its shard is re-dispatched even when the wave's
+// operations report no error for it.
+func (e *Engine) seedFailed(n int) []bool {
+	failed := e.failSet[:n]
+	for i := range failed {
+		failed[i] = e.down[i]
+	}
+	return failed
+}
+
+// reseedDown re-marks shards whose DPU went down since seedFailed —
+// used when a broadcast lands between the scatter and the launch.
+func (e *Engine) reseedDown(failed []bool) {
+	for i := range failed {
+		if e.down[i] {
+			failed[i] = true
+		}
+	}
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeFailed folds a best-effort operation's *FaultReport into the
+// wave's failed-shard set (indices beyond the wave width are ignored: a
+// scatter fault on a DPU not launched this wave is harmless). DPUs that
+// died leave the re-dispatch pool. A non-report error is returned as
+// fatal.
+func (e *Engine) mergeFailed(failed []bool, err error) error {
+	if err == nil {
+		return nil
+	}
+	rep, ok := host.AsFaultReport(err)
+	if !ok {
+		return err
+	}
+	for _, f := range rep.Faults {
+		if errors.Is(f.Err, dpu.ErrDPUDead) {
+			e.markDown(f.DPU)
+		}
+		if f.DPU < len(failed) {
+			failed[f.DPU] = true
+		}
+	}
+	return nil
+}
+
+// redeliver retries a broadcast payload on one DPU that missed it. In
+// pipelined mode the redelivery goes through the command queue, keeping
+// it serialized against other runners sharing the System.
+func (e *Engine) redeliver(i int, b Broadcast) bool {
+	for a := 0; a < maxRedispatch; a++ {
+		var err error
+		if e.pipe {
+			err = e.sys.EnqueueCopyToDPU(i, b.Ref, b.Off, b.Data).Wait()
+		} else {
+			err = e.sys.CopyToDPURef(i, b.Ref, b.Off, b.Data)
+		}
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, dpu.ErrDPUDead) {
+			return false
+		}
+		if _, ok := host.AsFaultReport(err); !ok {
+			return false
+		}
+	}
+	return false
+}
+
+// finishBroadcast completes a best-effort broadcast: DPUs named in the
+// report get the payload redelivered; those that cannot be reached are
+// marked down, so their stale copy never contributes results. A
+// non-report error is fatal.
+func (e *Engine) finishBroadcast(err error, b Broadcast) error {
+	if err == nil {
+		return nil
+	}
+	rep, ok := host.AsFaultReport(err)
+	if !ok {
+		return err
+	}
+	for _, f := range rep.Faults {
+		if e.down[f.DPU] {
+			continue
+		}
+		if !e.redeliver(f.DPU, b) {
+			e.markDown(f.DPU)
+		}
+	}
+	return nil
+}
+
+// Broadcast delivers b to every DPU immediately, with redelivery and
+// down-marking on partial failure. Used for setup-time payloads (the
+// eBNN model deploy); dispatch-time broadcasts belong to the WorkSet
+// or StreamSet instead.
+func (e *Engine) Broadcast(b Broadcast) error {
+	return e.finishBroadcast(e.sys.CopyToSymbolRef(b.Ref, b.Off, b.Data), b)
+}
+
+// redispatch re-runs one failed shard on a surviving DPU: push its
+// input buffers, launch the kernel on that DPU alone, and gather its
+// output. The retry's cycles are added to st, so the stats reflect the
+// degraded run's real cost. In pipelined mode the steps are queued
+// commands, serialized with any waves already enqueued.
+func (e *Engine) redispatch(ins []Xfer, out Xfer, tasklets int, kernel dpu.KernelFunc, st *Stats) error {
+	for a := 0; a < maxRedispatch; a++ {
+		t := e.nextTarget()
+		if t < 0 {
+			return fmt.Errorf("exec: no surviving DPU to re-dispatch onto")
+		}
+		var ls host.LaunchStats
+		var err error
+		if e.pipe {
+			pends := make([]host.Pending, 0, len(ins)+2)
+			for _, in := range ins {
+				pends = append(pends, e.sys.EnqueueCopyToDPU(t, in.Ref, in.Off, in.Data))
+			}
+			pends = append(pends, e.sys.EnqueueLaunchDPU(t, tasklets, kernel, &ls))
+			pends = append(pends, e.sys.EnqueueCopyFrom(t, out.Ref, out.Off, out.Data))
+			for _, p := range pends {
+				err = firstErr(err, p.Wait())
+			}
+		} else {
+			for _, in := range ins {
+				if err = e.sys.CopyToDPURef(t, in.Ref, in.Off, in.Data); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				ls, err = e.sys.LaunchDPU(t, tasklets, kernel)
+			}
+			if err == nil {
+				err = e.sys.CopyFromDPURefInto(t, out.Ref, out.Off, out.Data)
+			}
+		}
+		if err == nil {
+			st.Retries++
+			st.Cycles += ls.Cycles
+			st.Seconds += ls.Seconds
+			return nil
+		}
+		if errors.Is(err, dpu.ErrDPUDead) {
+			e.markDown(t)
+			continue
+		}
+		if _, ok := host.AsFaultReport(err); !ok {
+			return err
+		}
+		// Transient fault: try again, possibly on another target.
+	}
+	return fmt.Errorf("exec: shard re-dispatch failed %d times", maxRedispatch)
+}
+
+// shardIns builds the re-dispatch input list for wave position i from
+// the workset's scatter streams, reusing the engine's scratch slice.
+func (e *Engine) shardIns(streams []Stream, i int) []Xfer {
+	ins := e.insBuf[:0]
+	for _, s := range streams {
+		ins = append(ins, Xfer{Ref: s.Ref, Off: s.Off, Data: s.Bufs[i]})
+	}
+	e.insBuf = ins
+	return ins
+}
+
+// Run dispatches every shard of ws, synchronously or pipelined per the
+// engine's configuration. st accumulates: callers zero it (or carry it
+// across layers) themselves.
+func (e *Engine) Run(ws WorkSet, st *Stats) error {
+	if e.pipe {
+		return e.runPipelined(ws, st)
+	}
+	return e.runSync(ws, st)
+}
+
+// serialGather reports whether ws gathers one DPU at a time.
+func serialGather(ws WorkSet) bool {
+	if sg, ok := ws.(SerialGatherer); ok {
+		return sg.SerialGather()
+	}
+	return false
+}
+
+// runSync is the synchronous wave loop: per wave of up to NumDPUs
+// shards — encode, full-system scatter of every stream, launch on the
+// wave's shards, gather (sharded, or serial per-DPU for SerialGatherer
+// worksets), re-dispatch failed shards onto survivors, decode in input
+// order.
+func (e *Engine) runSync(ws WorkSet, st *Stats) error {
+	for _, b := range ws.Broadcasts() {
+		if err := e.Broadcast(b); err != nil {
+			return err
+		}
+	}
+	nd := e.sys.NumDPUs()
+	total := ws.Shards()
+	tasklets := ws.Tasklets()
+	kernel := ws.Kernel()
+	serial := serialGather(ws)
+
+	for start := 0; start < total; start += nd {
+		n := total - start
+		if n > nd {
+			n = nd
+		}
+		e.waveSeq++
+		seq := e.waveSeq
+		ws.Encode(0, start, n)
+		failed := e.seedFailed(n)
+
+		t0 := e.now()
+		streams := ws.Scatter(0, n)
+		for _, s := range streams {
+			if err := e.mergeFailed(failed, e.sys.PushXferRef(s.Ref, s.Off, s.Bufs)); err != nil {
+				return err
+			}
+		}
+		t1 := e.span("scatter", seq, n, t0)
+
+		ls, lerr := e.sys.LaunchOn(n, tasklets, kernel)
+		if err := e.mergeFailed(failed, lerr); err != nil {
+			return err
+		}
+		st.Waves++
+		st.Cycles += ls.Cycles
+		st.Seconds += ls.Seconds
+		if n > st.DPUsUsed {
+			st.DPUsUsed = n
+		}
+		t2 := e.span("launch", seq, n, t1)
+
+		g := ws.Gather(0, n)
+		if serial {
+			// Intact shards are gathered before any re-dispatch runs, so
+			// a retry launch can safely reuse a DPU whose own results
+			// were not yet read.
+			for i := 0; i < n; i++ {
+				if failed[i] {
+					continue
+				}
+				if err := e.sys.CopyFromDPURefInto(i, g.Ref, g.Off, g.Bufs[i]); err != nil {
+					if _, ok := host.AsFaultReport(err); !ok {
+						return err
+					}
+					if errors.Is(err, dpu.ErrDPUDead) {
+						e.markDown(i)
+					}
+					failed[i] = true
+				}
+			}
+		} else {
+			if err := e.mergeFailed(failed, e.sys.GatherXferRefInto(g.Ref, g.Off, len(g.Bufs[0]), g.Bufs[:n])); err != nil {
+				return err
+			}
+		}
+		t3 := e.span("gather", seq, n, t2)
+
+		retried := false
+		for i := 0; i < n; i++ {
+			if failed[i] {
+				retried = true
+				if err := e.redispatch(e.shardIns(streams, i), Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, tasklets, kernel, st); err != nil {
+					return err
+				}
+			}
+		}
+		if retried {
+			e.span("retry", seq, n, t3)
+		}
+		for i := 0; i < n; i++ {
+			ws.Decode(0, start+i, i)
+		}
+	}
+	return nil
+}
+
+// runPipelined is the double-buffered wave loop: wave w is enqueued as
+// one fused scatter→launch→gather command (extra scatter streams as
+// separate queued pushes ahead of it) and wave w-1 is flushed — waited,
+// retried, decoded — while it runs. The per-wave launch statistics are
+// identical to the synchronous loop's, so Stats and all simulated
+// clocks match the synchronous path bit for bit.
+func (e *Engine) runPipelined(ws WorkSet, st *Stats) error {
+	sys := e.sys
+	bcasts := ws.Broadcasts()
+	// Claim every broadcast handle before the first wave is enqueued: a
+	// DPU the redelivery cannot reach must be marked down — its shards
+	// forced onto survivors — before it computes on stale data.
+	if len(bcasts) > 0 {
+		pends := make([]host.Pending, len(bcasts))
+		for i, b := range bcasts {
+			pends[i] = sys.EnqueueCopyTo(b.Ref, b.Off, b.Data)
+		}
+		for i, b := range bcasts {
+			if err := e.finishBroadcast(pends[i].Wait(), b); err != nil {
+				sys.Sync()
+				return err
+			}
+		}
+	}
+	nd := sys.NumDPUs()
+	total := ws.Shards()
+	tasklets := ws.Tasklets()
+	kernel := ws.Kernel()
+
+	w := 0
+	for start := 0; start < total; start += nd {
+		n := total - start
+		if n > nd {
+			n = nd
+		}
+		sl := &e.slots[w&1]
+		// The slot's buffers are queue-owned until its wave completes;
+		// flush (wait, retry, decode) before re-encoding into them.
+		if err := e.flush(ws, sl, st); err != nil {
+			return err
+		}
+		e.waveSeq++
+		ws.Encode(sl.idx, start, n)
+		streams := ws.Scatter(sl.idx, n)
+		sl.extras = sl.extras[:0]
+		for _, s := range streams[1:] {
+			sl.extras = append(sl.extras, sys.EnqueuePushXfer(s.Ref, s.Off, s.Bufs))
+		}
+		g := ws.Gather(sl.idx, n)
+		sl.t0 = e.now()
+		sl.pend = sys.EnqueueWave(host.Wave{
+			DPUs:       n,
+			Tasklets:   tasklets,
+			Kernel:     kernel,
+			Stats:      &sl.stats,
+			Scatter:    streams[0].Ref,
+			ScatterOff: streams[0].Off,
+			In:         streams[0].Bufs[:n],
+			Gather:     g.Ref,
+			GatherOff:  g.Off,
+			Out:        g.Bufs[:n],
+		})
+		sl.seq = e.waveSeq
+		sl.start, sl.n = start, n
+		sl.busy = true
+		w++
+	}
+	// Drain the in-flight waves, older slot first (decode order).
+	if err := e.flush(ws, &e.slots[w&1], st); err != nil {
+		return err
+	}
+	return e.flush(ws, &e.slots[(w+1)&1], st)
+}
+
+// flush completes one in-flight wave: claim its queue handles, fold
+// partial failures into the failed-shard set, account the launch,
+// re-dispatch failed shards through the queue (serialized behind the
+// already-enqueued next wave: that wave's fused gather runs before the
+// retry overwrites any of its DPUs' symbols, and the wave after it
+// re-scatters everything the retry clobbered), then decode the wave in
+// input order.
+func (e *Engine) flush(ws WorkSet, sl *waveSlot, st *Stats) error {
+	if !sl.busy {
+		return nil
+	}
+	sl.busy = false
+	sl.errs = sl.errs[:0]
+	for _, p := range sl.extras {
+		sl.errs = append(sl.errs, p.Wait())
+	}
+	waveErr := sl.pend.Wait()
+	failed := e.seedFailed(sl.n)
+	for _, err := range sl.errs {
+		if ferr := e.mergeFailed(failed, err); ferr != nil {
+			e.sys.Sync() // drain the queue before reporting a fatal error
+			return ferr
+		}
+	}
+	if ferr := e.mergeFailed(failed, waveErr); ferr != nil {
+		e.sys.Sync()
+		return ferr
+	}
+	st.Waves++
+	st.Cycles += sl.stats.Cycles
+	st.Seconds += sl.stats.Seconds
+	if sl.n > st.DPUsUsed {
+		st.DPUsUsed = sl.n
+	}
+	t1 := e.span("wave", sl.seq, sl.n, sl.t0)
+	streams := ws.Scatter(sl.idx, sl.n)
+	g := ws.Gather(sl.idx, sl.n)
+	retried := false
+	for i := 0; i < sl.n; i++ {
+		if failed[i] {
+			retried = true
+			if err := e.redispatch(e.shardIns(streams, i), Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, ws.Tasklets(), ws.Kernel(), st); err != nil {
+				e.sys.Sync()
+				return err
+			}
+		}
+	}
+	if retried {
+		e.span("retry", sl.seq, sl.n, t1)
+	}
+	for i := 0; i < sl.n; i++ {
+		ws.Decode(sl.idx, sl.start+i, i)
+	}
+	return nil
+}
+
+// now returns the wall clock only when span recording is armed.
+func (e *Engine) now() time.Time {
+	if e.tl == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// span records [t0, now] under name and returns its end instant.
+func (e *Engine) span(name string, wave, shards int, t0 time.Time) time.Time {
+	if e.tl == nil {
+		return time.Time{}
+	}
+	t1 := time.Now()
+	e.tl.Record(name, wave, shards, t0, t1)
+	return t1
+}

@@ -1,0 +1,310 @@
+package exec_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/exec"
+	"pimdnn/internal/host"
+	"pimdnn/internal/trace"
+)
+
+// toySet is a minimal WorkSet: shard i carries one uint32, the kernel
+// computes v*3+7, and Decode collects the transformed values. Buffers
+// are 8 bytes per DPU (the MRAM DMA granularity).
+type toySet struct {
+	sys    *host.System
+	refIn  host.SymbolRef
+	refOut host.SymbolRef
+	kern   dpu.KernelFunc
+
+	vals []uint32
+	got  []uint32
+
+	inBufs  [2][][]byte
+	outBufs [2][][]byte
+	streams []exec.Stream
+}
+
+func newToySet(t *testing.T, nd int, vals []uint32) *toySet {
+	t.Helper()
+	sys, err := host.NewSystem(nd, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	for _, sym := range []struct {
+		name string
+		wram bool
+	}{{"toy_in", false}, {"toy_out", false}, {"toy_wram", true}} {
+		if sym.wram {
+			err = sys.AllocWRAM(sym.name, 8)
+		} else {
+			err = sys.AllocMRAM(sym.name, 8)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := &toySet{sys: sys, vals: vals, got: make([]uint32, len(vals))}
+	if w.refIn, err = sys.Resolve("toy_in"); err != nil {
+		t.Fatal(err)
+	}
+	if w.refOut, err = sys.Resolve("toy_out"); err != nil {
+		t.Fatal(err)
+	}
+	look := func(name string) int64 {
+		s, _ := sys.DPU(0).Symbol(name)
+		return s.Offset
+	}
+	inOff, outOff, wramOff := look("toy_in"), look("toy_out"), look("toy_wram")
+	w.kern = func(tk *dpu.Tasklet) error {
+		if tk.ID() != 0 {
+			return nil
+		}
+		tk.MRAMToWRAM(wramOff, inOff, 8)
+		v := tk.Load32(wramOff)
+		tk.Store32(wramOff, v*3+7)
+		tk.WRAMToMRAM(outOff, wramOff, 8)
+		return nil
+	}
+	for slot := 0; slot < 2; slot++ {
+		w.inBufs[slot] = make([][]byte, nd)
+		w.outBufs[slot] = make([][]byte, nd)
+		for d := 0; d < nd; d++ {
+			w.inBufs[slot][d] = make([]byte, 8)
+			w.outBufs[slot][d] = make([]byte, 8)
+		}
+	}
+	return w
+}
+
+func toyWant(vals []uint32) []uint32 {
+	want := make([]uint32, len(vals))
+	for i, v := range vals {
+		want[i] = v*3 + 7
+	}
+	return want
+}
+
+func (w *toySet) Shards() int                  { return len(w.vals) }
+func (w *toySet) Tasklets() int                { return 2 }
+func (w *toySet) Kernel() dpu.KernelFunc       { return w.kern }
+func (w *toySet) Broadcasts() []exec.Broadcast { return nil }
+
+func (w *toySet) Encode(slot, start, n int) {
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(w.inBufs[slot][i], w.vals[start+i])
+	}
+}
+
+func (w *toySet) Scatter(slot, n int) []exec.Stream {
+	w.streams = append(w.streams[:0], exec.Stream{Ref: w.refIn, Bufs: w.inBufs[slot]})
+	return w.streams
+}
+
+func (w *toySet) Gather(slot, n int) exec.Stream {
+	return exec.Stream{Ref: w.refOut, Bufs: w.outBufs[slot]}
+}
+
+func (w *toySet) Decode(slot, shard, i int) {
+	w.got[shard] = binary.LittleEndian.Uint32(w.outBufs[slot][i])
+}
+
+// TestEngineModes runs the same toy WorkSet through every dispatch path
+// — serial transfers (below the host pool's parallel threshold), sharded
+// transfers (a DPU count above it), pipelined dispatch, and both paths
+// under a dead-DPU fault plan — and requires identical outputs
+// everywhere plus identical simulated accounting between the synchronous
+// and pipelined fault-free runs.
+func TestEngineModes(t *testing.T) {
+	const shards = 24 // 3 full waves on 8 DPUs, 1 partial wave on 40
+	vals := make([]uint32, shards)
+	for i := range vals {
+		vals[i] = uint32(1000 + 17*i)
+	}
+	want := toyWant(vals)
+	deadPlan := &dpu.FaultPlan{Seed: 1, DeadFrac: 0.3, DeadAfterLaunches: 1}
+
+	cases := []struct {
+		name string
+		dpus int
+		mode host.PipelineMode
+		plan *dpu.FaultPlan
+	}{
+		{"serial", 8, host.PipelineOff, nil},
+		{"sharded", 40, host.PipelineOff, nil}, // above the transfer pool's parallel threshold
+		{"pipelined", 8, host.PipelineOn, nil},
+		{"faulted", 8, host.PipelineOff, deadPlan},
+		{"faulted-pipelined", 8, host.PipelineOn, deadPlan},
+	}
+	stats := make(map[string]exec.Stats)
+	dpuTime := make(map[string]float64)
+	xfers := make(map[string]host.XferStats)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := newToySet(t, tc.dpus, vals)
+			eng := exec.New(w.sys, exec.Config{Pipeline: tc.mode})
+			if tc.plan != nil {
+				w.sys.InjectFaults(*tc.plan)
+			}
+			var st exec.Stats
+			if err := eng.Run(w, &st); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for i := range want {
+				if w.got[i] != want[i] {
+					t.Fatalf("shard %d: got %d, want %d", i, w.got[i], want[i])
+				}
+			}
+			if tc.plan != nil && st.Retries == 0 {
+				t.Error("fault plan injected but no re-dispatches recorded")
+			}
+			if tc.plan == nil && st.Retries != 0 {
+				t.Errorf("fault-free run recorded %d retries", st.Retries)
+			}
+			if st.Cycles == 0 || st.Seconds <= 0 {
+				t.Errorf("empty accounting: %+v", st)
+			}
+			if w.sys.DPUTime() <= 0 {
+				t.Error("DPU clock did not advance")
+			}
+			stats[tc.name] = st
+			dpuTime[tc.name] = w.sys.DPUTime().Seconds()
+			xfers[tc.name] = w.sys.TransferStats()
+		})
+	}
+
+	// The pipelined path must account exactly like the synchronous one:
+	// same waves, same cycles, same transfer traffic, same DPU clock.
+	if stats["serial"] != stats["pipelined"] {
+		t.Errorf("sync stats %+v != pipelined stats %+v", stats["serial"], stats["pipelined"])
+	}
+	if dpuTime["serial"] != dpuTime["pipelined"] {
+		t.Errorf("sync DPUTime %g != pipelined %g", dpuTime["serial"], dpuTime["pipelined"])
+	}
+	if xfers["serial"] != xfers["pipelined"] {
+		t.Errorf("sync transfers %+v != pipelined %+v", xfers["serial"], xfers["pipelined"])
+	}
+	if got := stats["serial"]; got.Waves != 3 || got.DPUsUsed != 8 {
+		t.Errorf("8-DPU dispatch = %d waves on %d DPUs, want 3 on 8", got.Waves, got.DPUsUsed)
+	}
+	if got := stats["sharded"]; got.Waves != 1 || got.DPUsUsed != shards {
+		t.Errorf("40-DPU dispatch = %d waves on %d DPUs, want 1 on %d", got.Waves, got.DPUsUsed, shards)
+	}
+	// Degraded runs pay for their retries in simulated time.
+	for _, name := range []string{"faulted", "faulted-pipelined"} {
+		if stats[name].Cycles <= stats["serial"].Cycles {
+			t.Errorf("%s cycles %d not above fault-free %d", name, stats[name].Cycles, stats["serial"].Cycles)
+		}
+	}
+}
+
+// TestEngineDownDPUSticky: once a DPU dies, later dispatches on the same
+// engine must route around it without being told again.
+func TestEngineDownDPUSticky(t *testing.T) {
+	vals := make([]uint32, 16)
+	for i := range vals {
+		vals[i] = uint32(3 + i)
+	}
+	want := toyWant(vals)
+	w := newToySet(t, 8, vals)
+	eng := exec.New(w.sys, exec.Config{})
+	w.sys.InjectFaults(dpu.FaultPlan{Seed: 1, DeadFrac: 0.3, DeadAfterLaunches: 1})
+	var st exec.Stats
+	if err := eng.Run(w, &st); err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumDown() == 0 {
+		t.Fatal("no DPUs marked down by the fault plan")
+	}
+	down := eng.NumDown()
+	// Second dispatch: the down DPUs' shards are re-dispatched purely
+	// from the sticky down set (no new faults needed for those shards).
+	for i := range w.got {
+		w.got[i] = 0
+	}
+	if err := eng.Run(w, &st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if w.got[i] != want[i] {
+			t.Fatalf("second run shard %d: got %d, want %d", i, w.got[i], want[i])
+		}
+	}
+	if eng.NumDown() < down {
+		t.Errorf("down count shrank: %d -> %d", down, eng.NumDown())
+	}
+}
+
+// TestSyncSpansSequential: the synchronous path's scatter/launch/gather
+// spans never overlap.
+func TestSyncSpansSequential(t *testing.T) {
+	vals := make([]uint32, 24)
+	want := toyWant(vals)
+	w := newToySet(t, 8, vals)
+	tl := trace.NewTimeline()
+	eng := exec.New(w.sys, exec.Config{Pipeline: host.PipelineOff, Timeline: tl})
+	var st exec.Stats
+	if err := eng.Run(w, &st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if w.got[i] != want[i] {
+			t.Fatalf("shard %d: got %d, want %d", i, w.got[i], want[i])
+		}
+	}
+	spans := tl.Spans()
+	if len(spans) != 9 { // 3 waves x scatter/launch/gather
+		t.Fatalf("spans = %d, want 9: %+v", len(spans), spans)
+	}
+	order := []string{"scatter", "launch", "gather"}
+	for i, s := range spans {
+		if s.Name != order[i%3] {
+			t.Errorf("span %d = %q, want %q", i, s.Name, order[i%3])
+		}
+		if s.Shards != 8 {
+			t.Errorf("span %d shards = %d", i, s.Shards)
+		}
+	}
+	if mc := tl.MaxConcurrent(); mc != 1 {
+		t.Errorf("synchronous MaxConcurrent = %d, want 1", mc)
+	}
+}
+
+// TestPipelinedSpansOverlap: with at least two waves the pipelined path
+// keeps wave w+1 enqueued while wave w drains, so their timeline spans
+// must overlap. The overlap is deterministic — wave w+1's span opens at
+// enqueue time, strictly before wave w's flush closes wave w's span.
+func TestPipelinedSpansOverlap(t *testing.T) {
+	vals := make([]uint32, 24) // 3 waves on 8 DPUs
+	want := toyWant(vals)
+	w := newToySet(t, 8, vals)
+	tl := trace.NewTimeline()
+	eng := exec.New(w.sys, exec.Config{Pipeline: host.PipelineOn, Timeline: tl})
+	var st exec.Stats
+	if err := eng.Run(w, &st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if w.got[i] != want[i] {
+			t.Fatalf("shard %d: got %d, want %d", i, w.got[i], want[i])
+		}
+	}
+	spans := tl.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3: %+v", len(spans), spans)
+	}
+	for _, s := range spans {
+		if s.Name != "wave" {
+			t.Errorf("pipelined span %q, want \"wave\"", s.Name)
+		}
+	}
+	if mc := tl.MaxConcurrent(); mc < 2 {
+		t.Errorf("pipelined MaxConcurrent = %d, want >= 2 (waves must overlap)", mc)
+	}
+	if r := tl.Render(40); r == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,287 @@
+package exec
+
+import (
+	"errors"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+)
+
+// StreamSet describes a single-wave dispatch whose per-shard outputs
+// are too large to stage all at once and are instead streamed back one
+// DPU at a time (the gemm image-per-DPU batch: each DPU computes a full
+// M×N product). The engine broadcasts Pre payloads, scatters the
+// per-shard inputs, broadcasts Post payloads, launches one wave over
+// all shards, then gathers shard outputs serially — pipelined mode
+// ping-pongs two gather buffers through the command queue so shard i's
+// Deliver overlaps shard i+1's queued gather. On the first fault the
+// engine diverts to a buffered completion: intact shards are gathered
+// into a private buffer first (so re-dispatch launches can safely reuse
+// any surviving DPU), failed shards are re-run on survivors, and
+// everything is delivered in input order.
+type StreamSet struct {
+	// Shards is the wave width: one shard per DPU, Shards <= NumDPUs.
+	Shards int
+	// Tasklets and Kernel configure the launch.
+	Tasklets int
+	Kernel   dpu.KernelFunc
+	// Pre payloads are broadcast before the scatter (the weight
+	// matrix); Post payloads after it (the parameter block).
+	Pre, Post []Broadcast
+	// Scatter is the per-shard input streams, full-system width (DPUs
+	// beyond Shards receive padding, matching dpu_push_xfer).
+	Scatter []Stream
+	// OutRef/OutOff/OutBytes name each shard's output region.
+	OutRef   host.SymbolRef
+	OutOff   int64
+	OutBytes int
+	// Ins returns shard i's input transfers for a re-dispatch onto
+	// another DPU. The returned slice is read immediately.
+	Ins func(i int) []Xfer
+	// Deliver consumes shard i's raw output. The buffer is engine-owned
+	// and reused; Deliver must copy or decode before returning. Shards
+	// are always delivered in input order.
+	Deliver func(i int, raw []byte)
+}
+
+// growBytes returns buf resliced to n bytes, reallocating only when the
+// capacity is insufficient. Contents are unspecified; callers overwrite.
+func growBytes(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// gatherFault records one shard-gather failure: a dead DPU leaves the
+// re-dispatch target pool and the shard joins the failed set. A
+// non-report error is returned as fatal.
+func (e *Engine) gatherFault(i int, failed []bool, err error) error {
+	if _, ok := host.AsFaultReport(err); !ok {
+		return err
+	}
+	if errors.Is(err, dpu.ErrDPUDead) {
+		e.markDown(i)
+	}
+	failed[i] = true
+	return nil
+}
+
+// copyFromShard gathers shard i's full output, queued in pipelined mode
+// so the read stays serialized behind any in-flight commands.
+func (e *Engine) copyFromShard(ss *StreamSet, i int, dst []byte) error {
+	if e.pipe {
+		return e.sys.EnqueueCopyFrom(i, ss.OutRef, ss.OutOff, dst).Wait()
+	}
+	return e.sys.CopyFromDPURefInto(i, ss.OutRef, ss.OutOff, dst)
+}
+
+// RunStream dispatches ss as one wave with streamed gather. st
+// accumulates like Run's.
+func (e *Engine) RunStream(ss *StreamSet, st *Stats) error {
+	if e.pipe {
+		return e.runStreamPipelined(ss, st)
+	}
+	return e.runStreamSync(ss, st)
+}
+
+func (e *Engine) runStreamSync(ss *StreamSet, st *Stats) error {
+	e.waveSeq++
+	seq := e.waveSeq
+	t0 := e.now()
+	for _, b := range ss.Pre {
+		if err := e.Broadcast(b); err != nil {
+			return err
+		}
+	}
+	// Down DPUs hold stale Pre payloads: their shards are re-dispatched
+	// even when no operation reports an error for them.
+	failed := e.seedFailed(ss.Shards)
+	for _, s := range ss.Scatter {
+		if err := e.mergeFailed(failed, e.sys.PushXferRef(s.Ref, s.Off, s.Bufs)); err != nil {
+			return err
+		}
+	}
+	for _, b := range ss.Post {
+		if err := e.Broadcast(b); err != nil {
+			return err
+		}
+	}
+	e.reseedDown(failed)
+	t1 := e.span("scatter", seq, ss.Shards, t0)
+
+	ls, lerr := e.sys.LaunchOn(ss.Shards, ss.Tasklets, ss.Kernel)
+	if err := e.mergeFailed(failed, lerr); err != nil {
+		return err
+	}
+	st.Waves++
+	st.Cycles += ls.Cycles
+	st.Seconds += ls.Seconds
+	if ss.Shards > st.DPUsUsed {
+		st.DPUsUsed = ss.Shards
+	}
+	t2 := e.span("launch", seq, ss.Shards, t1)
+
+	// Stream each intact shard's output through one reused buffer; at
+	// the first failed shard, switch to the buffered completion path so
+	// re-dispatch launches cannot clobber a not-yet-gathered result.
+	e.raw[0] = growBytes(e.raw[0], ss.OutBytes)
+	raw := e.raw[0][:ss.OutBytes]
+	for i := 0; i < ss.Shards; i++ {
+		if !failed[i] {
+			err := e.sys.CopyFromDPURefInto(i, ss.OutRef, ss.OutOff, raw)
+			if err == nil {
+				ss.Deliver(i, raw)
+				continue
+			}
+			if ferr := e.gatherFault(i, failed, err); ferr != nil {
+				return ferr
+			}
+		}
+		err := e.finishStreamBuffered(ss, i, failed, st)
+		e.span("gather", seq, ss.Shards, t2)
+		return err
+	}
+	e.span("gather", seq, ss.Shards, t2)
+	return nil
+}
+
+// runStreamPipelined queues Pre → scatter → Post → launch, then
+// ping-pongs two raw gather buffers so shard i's Deliver overlaps shard
+// i+1's queued gather. Faults divert to the buffered completion path; a
+// fault-free run streams without ever blocking the queue.
+func (e *Engine) runStreamPipelined(ss *StreamSet, st *Stats) error {
+	sys := e.sys
+	e.waveSeq++
+	seq := e.waveSeq
+	t0 := e.now()
+	pPre := make([]host.Pending, len(ss.Pre))
+	for i, b := range ss.Pre {
+		pPre[i] = sys.EnqueueCopyTo(b.Ref, b.Off, b.Data)
+	}
+	pSc := make([]host.Pending, len(ss.Scatter))
+	for i, s := range ss.Scatter {
+		pSc[i] = sys.EnqueuePushXfer(s.Ref, s.Off, s.Bufs)
+	}
+	pPost := make([]host.Pending, len(ss.Post))
+	for i, b := range ss.Post {
+		pPost[i] = sys.EnqueueCopyTo(b.Ref, b.Off, b.Data)
+	}
+	// Claim the broadcast handles before the launch joins the queue: a
+	// DPU the redelivery cannot reach must be marked down — its shard
+	// re-dispatched — rather than compute on stale data.
+	for i, b := range ss.Pre {
+		if err := e.finishBroadcast(pPre[i].Wait(), b); err != nil {
+			sys.Sync()
+			return err
+		}
+	}
+	failed := e.seedFailed(ss.Shards)
+	for _, p := range pSc {
+		if err := e.mergeFailed(failed, p.Wait()); err != nil {
+			sys.Sync()
+			return err
+		}
+	}
+	for i, b := range ss.Post {
+		if err := e.finishBroadcast(pPost[i].Wait(), b); err != nil {
+			sys.Sync()
+			return err
+		}
+	}
+	e.reseedDown(failed)
+	t1 := e.span("scatter", seq, ss.Shards, t0)
+
+	pL := sys.EnqueueLaunch(ss.Shards, ss.Tasklets, ss.Kernel, &e.lstats)
+	if err := e.mergeFailed(failed, pL.Wait()); err != nil {
+		sys.Sync()
+		return err
+	}
+	st.Waves++
+	st.Cycles += e.lstats.Cycles
+	st.Seconds += e.lstats.Seconds
+	if ss.Shards > st.DPUsUsed {
+		st.DPUsUsed = ss.Shards
+	}
+	t2 := e.span("launch", seq, ss.Shards, t1)
+
+	for i := range failed {
+		if failed[i] {
+			err := e.finishStreamBuffered(ss, 0, failed, st)
+			e.span("gather", seq, ss.Shards, t2)
+			return err
+		}
+	}
+
+	e.raw[0] = growBytes(e.raw[0], ss.OutBytes)
+	e.raw[1] = growBytes(e.raw[1], ss.OutBytes)
+	var pend [2]host.Pending
+	for i := 0; i < ss.Shards; i++ {
+		pend[i&1] = sys.EnqueueCopyFrom(i, ss.OutRef, ss.OutOff, e.raw[i&1][:ss.OutBytes])
+		if i > 0 {
+			if err := pend[(i-1)&1].Wait(); err != nil {
+				if ferr := e.gatherFault(i-1, failed, err); ferr != nil {
+					sys.Sync()
+					return ferr
+				}
+				// Claim the in-flight gather for shard i as well, then
+				// finish shards [i-1, Shards) through the buffered path.
+				if gerr := pend[i&1].Wait(); gerr != nil {
+					if ferr := e.gatherFault(i, failed, gerr); ferr != nil {
+						sys.Sync()
+						return ferr
+					}
+				}
+				err := e.finishStreamBuffered(ss, i-1, failed, st)
+				e.span("gather", seq, ss.Shards, t2)
+				return err
+			}
+			ss.Deliver(i-1, e.raw[(i-1)&1][:ss.OutBytes])
+		}
+	}
+	last := ss.Shards - 1
+	if err := pend[last&1].Wait(); err != nil {
+		if ferr := e.gatherFault(last, failed, err); ferr != nil {
+			sys.Sync()
+			return ferr
+		}
+		err := e.finishStreamBuffered(ss, last, failed, st)
+		e.span("gather", seq, ss.Shards, t2)
+		return err
+	}
+	ss.Deliver(last, e.raw[last&1][:ss.OutBytes])
+	e.span("gather", seq, ss.Shards, t2)
+	return nil
+}
+
+// finishStreamBuffered completes shards [from, Shards) after a fault
+// broke the streaming gather. The intact shards are gathered into a
+// private buffer FIRST, so the re-dispatch launches that follow can
+// safely reuse any surviving DPU — including one whose own shard had
+// not been delivered yet — then the failed shards are re-run on
+// survivors, and finally everything is delivered in order.
+func (e *Engine) finishStreamBuffered(ss *StreamSet, from int, failed []bool, st *Stats) error {
+	rawFull := make([]byte, (ss.Shards-from)*ss.OutBytes)
+	slot := func(i int) []byte { return rawFull[(i-from)*ss.OutBytes : (i-from+1)*ss.OutBytes] }
+	for i := from; i < ss.Shards; i++ {
+		if failed[i] {
+			continue
+		}
+		if err := e.copyFromShard(ss, i, slot(i)); err != nil {
+			if ferr := e.gatherFault(i, failed, err); ferr != nil {
+				return ferr
+			}
+		}
+	}
+	for i := from; i < ss.Shards; i++ {
+		if failed[i] {
+			if err := e.redispatch(ss.Ins(i), Xfer{Ref: ss.OutRef, Off: ss.OutOff, Data: slot(i)}, ss.Tasklets, ss.Kernel, st); err != nil {
+				return err
+			}
+		}
+	}
+	for i := from; i < ss.Shards; i++ {
+		ss.Deliver(i, slot(i))
+	}
+	return nil
+}

@@ -2,10 +2,10 @@ package gemm
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 
 	"pimdnn/internal/dpu"
+	"pimdnn/internal/exec"
 	"pimdnn/internal/fixed"
 	"pimdnn/internal/host"
 )
@@ -231,8 +231,8 @@ func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]i
 	}
 
 	// Encode the weight matrix A at the padded row stride the kernel
-	// stages from. In pipelined mode the broadcast is queued so the B
-	// encode below overlaps it.
+	// stages from. The engine broadcasts it ahead of the image scatter
+	// (queued in pipelined mode, so the scatter overlaps it).
 	aRowBytes := (k*2 + 7) &^ 7
 	r.aFullStage = growBytes(r.aFullStage, m*aRowBytes)
 	aBytes := r.aFullStage
@@ -243,12 +243,6 @@ func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]i
 		for bb := row*aRowBytes + k*2; bb < (row+1)*aRowBytes; bb++ {
 			aBytes[bb] = 0
 		}
-	}
-	r.ensureFaultState()
-	if r.pipe {
-		r.batchPendA = r.sys.EnqueueCopyTo(r.refAFull, 0, aBytes)
-	} else if err := r.handleBroadcast(r.sys.CopyToSymbolRef(r.refAFull, 0, aBytes), r.refAFull, aBytes); err != nil {
-		return st, err
 	}
 
 	// Scatter each image's B matrix, row-stride padded. The staging
@@ -287,112 +281,30 @@ func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]i
 		r.batchKernel = r.kernelBatch()
 	}
 
-	if r.pipe {
-		return r.batchPipelined(m, n, k, len(bs), stride, aBytes, bufs, each)
+	// Dispatch through the execution engine's streamed single-wave path:
+	// A broadcast → image scatter → params broadcast → launch → per-DPU
+	// streaming gather, with pipelining and retry-and-remap owned by the
+	// engine (internal/exec).
+	ss := exec.StreamSet{
+		Shards:   len(bs),
+		Tasklets: r.cfg.Tasklets,
+		Kernel:   r.batchKernel,
+		Pre:      []exec.Broadcast{{Ref: r.refAFull, Data: aBytes}},
+		Scatter:  []exec.Stream{{Ref: r.refB, Bufs: bufs}},
+		Post:     []exec.Broadcast{{Ref: r.refParams, Data: r.paramsBuf[:]}},
+		OutRef:   r.refCFull,
+		OutBytes: m * stride * 2,
+		Ins: func(i int) []exec.Xfer {
+			return []exec.Xfer{{Ref: r.refB, Data: bufs[i]}}
+		},
+		Deliver: func(i int, raw []byte) {
+			each(i, decodeBatchC(raw, m, n, stride))
+		},
 	}
-
-	// Down DPUs hold a stale A matrix: their images are re-dispatched
-	// even when no operation reports an error for them.
-	failed := r.failSet[:len(bs)]
-	for i := range failed {
-		failed[i] = r.down[i]
-	}
-	if err := r.mergeFailed(failed, r.sys.PushXferRef(r.refB, 0, bufs)); err != nil {
+	if err := r.eng.RunStream(&ss, &st); err != nil {
 		return st, err
-	}
-	if err := r.handleBroadcast(r.sys.CopyToSymbolRef(r.refParams, 0, r.paramsBuf[:]), r.refParams, r.paramsBuf[:]); err != nil {
-		return st, err
-	}
-	for i := range failed {
-		if r.down[i] {
-			failed[i] = true
-		}
-	}
-	ls, lerr := r.sys.LaunchOn(len(bs), r.cfg.Tasklets, r.batchKernel)
-	if err := r.mergeFailed(failed, lerr); err != nil {
-		return st, err
-	}
-	st.Waves = 1
-	st.DPUsUsed = len(bs)
-	st.Cycles = ls.Cycles
-	st.Seconds = ls.Seconds
-
-	// Gather every DPU's full C into the reused staging buffer; the
-	// decoded per-image results are fresh slices owned by the caller. At
-	// the first failed image, switch to the buffered completion path so
-	// re-dispatch launches cannot clobber a not-yet-gathered result.
-	r.gatherBuf = growBytes(r.gatherBuf, m*stride*2)
-	raw := r.gatherBuf[:m*stride*2]
-	for i := range bs {
-		if !failed[i] {
-			err := r.sys.CopyFromDPURefInto(i, r.refCFull, 0, raw)
-			if err == nil {
-				each(i, decodeBatchC(raw, m, n, stride))
-				continue
-			}
-			if ferr := r.gatherFault(i, failed, err); ferr != nil {
-				return st, ferr
-			}
-		}
-		return st, r.finishBatchBuffered(i, len(bs), m, n, stride, bufs, failed, each, &st)
 	}
 	return st, nil
-}
-
-// gatherFault records one image-gather failure: a dead DPU leaves the
-// re-dispatch target pool and the image joins the failed set. A
-// non-report error is returned as fatal.
-func (r *Runner) gatherFault(i int, failed []bool, err error) error {
-	if _, ok := host.AsFaultReport(err); !ok {
-		return err
-	}
-	if errors.Is(err, dpu.ErrDPUDead) {
-		r.markDown(i)
-	}
-	failed[i] = true
-	return nil
-}
-
-// copyFromImage gathers DPU i's full C matrix, queued in pipelined mode
-// so the read stays serialized behind any in-flight commands.
-func (r *Runner) copyFromImage(i int, dst []byte) error {
-	if r.pipe {
-		return r.sys.EnqueueCopyFrom(i, r.refCFull, 0, dst).Wait()
-	}
-	return r.sys.CopyFromDPURefInto(i, r.refCFull, 0, dst)
-}
-
-// finishBatchBuffered completes images [from, nImg) after a fault broke
-// the streaming gather. The intact images are gathered into a private
-// buffer FIRST, so the re-dispatch launches that follow can safely reuse
-// any surviving DPU — including one whose own image had not been
-// delivered yet — then the failed images are re-run on survivors, and
-// finally everything is delivered in order.
-func (r *Runner) finishBatchBuffered(from, nImg, m, n, stride int, bufs [][]byte, failed []bool, each func(i int, c []int16), st *Stats) error {
-	rawBytes := m * stride * 2
-	rawFull := make([]byte, (nImg-from)*rawBytes)
-	slot := func(i int) []byte { return rawFull[(i-from)*rawBytes : (i-from+1)*rawBytes] }
-	for i := from; i < nImg; i++ {
-		if failed[i] {
-			continue
-		}
-		if err := r.copyFromImage(i, slot(i)); err != nil {
-			if ferr := r.gatherFault(i, failed, err); ferr != nil {
-				return ferr
-			}
-		}
-	}
-	for i := from; i < nImg; i++ {
-		if failed[i] {
-			if err := r.redispatch(r.refB, bufs[i], r.refCFull, slot(i), r.batchKernel, st); err != nil {
-				return err
-			}
-		}
-	}
-	for i := from; i < nImg; i++ {
-		each(i, decodeBatchC(slot(i), m, n, stride))
-	}
-	return nil
 }
 
 // decodeBatchC unpacks one DPU's full stride-padded C matrix into a
@@ -405,90 +317,4 @@ func decodeBatchC(raw []byte, m, n, stride int) []int16 {
 		}
 	}
 	return c
-}
-
-// batchPipelined queues scatter→params→launch, then ping-pongs two raw
-// gather buffers so image i's decode (and the caller's each callback)
-// overlaps image i+1's queued gather. The A broadcast was already
-// enqueued by the caller (handle in r.batchPendA). Faults divert to the
-// buffered completion path; a fault-free run streams exactly as before.
-func (r *Runner) batchPipelined(m, n, k, nImg, stride int, aBytes []byte, bufs [][]byte, each func(i int, c []int16)) (Stats, error) {
-	var st Stats
-	sys := r.sys
-	pB := sys.EnqueuePushXfer(r.refB, 0, bufs)
-	pP := sys.EnqueueCopyTo(r.refParams, 0, r.paramsBuf[:])
-	// Claim the broadcast handles before the launch joins the queue: a
-	// DPU the redelivery cannot reach must be marked down — its image
-	// re-dispatched — rather than compute on a stale A matrix.
-	if err := r.handleBroadcast(r.batchPendA.Wait(), r.refAFull, aBytes); err != nil {
-		sys.Sync()
-		return st, err
-	}
-	failed := r.failSet[:nImg]
-	for i := range failed {
-		failed[i] = r.down[i]
-	}
-	if err := r.mergeFailed(failed, pB.Wait()); err != nil {
-		sys.Sync()
-		return st, err
-	}
-	if err := r.handleBroadcast(pP.Wait(), r.refParams, r.paramsBuf[:]); err != nil {
-		sys.Sync()
-		return st, err
-	}
-	for i := range failed {
-		if r.down[i] {
-			failed[i] = true
-		}
-	}
-	pL := sys.EnqueueLaunch(nImg, r.cfg.Tasklets, r.batchKernel, &r.batchStats)
-	if err := r.mergeFailed(failed, pL.Wait()); err != nil {
-		sys.Sync()
-		return st, err
-	}
-	st.Waves = 1
-	st.DPUsUsed = nImg
-	st.Cycles = r.batchStats.Cycles
-	st.Seconds = r.batchStats.Seconds
-
-	for i := range failed {
-		if failed[i] {
-			return st, r.finishBatchBuffered(0, nImg, m, n, stride, bufs, failed, each, &st)
-		}
-	}
-
-	rawBytes := m * stride * 2
-	r.batchRaw[0] = growBytes(r.batchRaw[0], rawBytes)
-	r.batchRaw[1] = growBytes(r.batchRaw[1], rawBytes)
-	var pend [2]host.Pending
-	for i := 0; i < nImg; i++ {
-		pend[i&1] = sys.EnqueueCopyFrom(i, r.refCFull, 0, r.batchRaw[i&1][:rawBytes])
-		if i > 0 {
-			if err := pend[(i-1)&1].Wait(); err != nil {
-				if ferr := r.gatherFault(i-1, failed, err); ferr != nil {
-					sys.Sync()
-					return st, ferr
-				}
-				// Claim the in-flight gather for image i as well, then
-				// finish images [i-1, nImg) through the buffered path.
-				if gerr := pend[i&1].Wait(); gerr != nil {
-					if ferr := r.gatherFault(i, failed, gerr); ferr != nil {
-						sys.Sync()
-						return st, ferr
-					}
-				}
-				return st, r.finishBatchBuffered(i-1, nImg, m, n, stride, bufs, failed, each, &st)
-			}
-			each(i-1, decodeBatchC(r.batchRaw[(i-1)&1][:rawBytes], m, n, stride))
-		}
-	}
-	if err := pend[(nImg-1)&1].Wait(); err != nil {
-		if ferr := r.gatherFault(nImg-1, failed, err); ferr != nil {
-			sys.Sync()
-			return st, ferr
-		}
-		return st, r.finishBatchBuffered(nImg-1, nImg, m, n, stride, bufs, failed, each, &st)
-	}
-	each(nImg-1, decodeBatchC(r.batchRaw[(nImg-1)&1][:rawBytes], m, n, stride))
-	return st, nil
 }

@@ -73,7 +73,7 @@ func TestMultiplyBatchPipelinedMatchesSync(t *testing.T) {
 	for i := range bs {
 		bs[i] = make([]int16, k*n)
 		for j := range bs[i] {
-			bs[i][j] = int16((i*31 + j) % 11 - 5)
+			bs[i][j] = int16((i*31+j)%11 - 5)
 		}
 	}
 	run := func(mode host.PipelineMode) ([][]int16, Stats) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pimdnn/internal/dpu"
+	"pimdnn/internal/exec"
 	"pimdnn/internal/fixed"
 	"pimdnn/internal/host"
 )
@@ -49,7 +50,14 @@ type RunnerConfig struct {
 	// asynchronous command queue. Results and simulated-time accounting
 	// are identical in both modes; pipelining only overlaps host
 	// encode/decode wall-clock time with queued device work.
+	//
+	// Deprecated shorthand for Exec.Pipeline, kept so existing configs
+	// keep working; Exec.Pipeline wins when it is not PipelineAuto.
 	Pipeline host.PipelineMode
+	// Exec is the unified execution-engine configuration (pipelining,
+	// trace timeline) shared with every other runner; see internal/exec
+	// and DESIGN.md, "Execution engine".
+	Exec exec.Config
 }
 
 // kernelScratch is the per-tasklet working set of the GEMM kernels. The
@@ -96,18 +104,16 @@ type Runner struct {
 	// Host-side transfer staging reused across calls. Multiply is not
 	// safe for concurrent use on one Runner (the DPU symbols are shared
 	// state), so plain fields suffice.
-	bStage    []byte   // padded B matrix broadcast buffer
-	aStage    []byte   // flat backing for aBufs
-	aBufs     [][]byte // per-DPU A-row scatter views into aStage
-	cStage    []byte   // flat backing for cBufs
-	cBufs     [][]byte // per-DPU C-row gather views into cStage
-	gatherBuf []byte   // batch-mode full-C gather buffer
+	bStage    []byte // padded B matrix broadcast buffer
 	paramsBuf [16]byte
 
-	// pipe selects the double-buffered path; slots are its two ping-pong
-	// staging sets (allocated on first pipelined Multiply).
-	pipe  bool
-	slots [2]mulSlot
+	// eng is the shared execution engine: it owns wave construction,
+	// double-buffered pipelining, and retry-and-remap (internal/exec).
+	// mws and mulStages are the row-mode WorkSet adapter and its staging
+	// sets (stage 0 for synchronous dispatch, both when pipelined).
+	eng       *exec.Engine
+	mws       mulWorkSet
+	mulStages [2]mulStage
 
 	// Batch (image-per-DPU) mode, set up by EnableBatch.
 	maxM                          int
@@ -117,17 +123,6 @@ type Runner struct {
 	batchStage                    []byte   // flat backing for batchBufs
 	batchBufs                     [][]byte // per-DPU B scatter views
 	emptyB                        []byte
-	batchRaw                      [2][]byte // ping-pong per-image C gather buffers
-	batchStats                    host.LaunchStats
-	batchPendA                    host.Pending // pipelined A-broadcast handle
-
-	// Fault-recovery state (fault.go): DPUs excluded from dispatch, the
-	// round-robin re-dispatch cursor, and the reusable per-wave
-	// failed-shard set.
-	down     []bool
-	nDown    int
-	retryCur int
-	failSet  []bool
 }
 
 // NewRunner allocates the GEMM symbols on every DPU of the system.
@@ -212,29 +207,26 @@ func NewRunner(sys *host.System, cfg RunnerConfig) (*Runner, error) {
 			rowBuf: make([]byte, int(maxStride)*2),
 		}
 	}
-	r.gatherBuf = make([]byte, maxStride*2)
-	nd := sys.NumDPUs()
-	r.aStage = make([]byte, nd*aRowBytes)
-	r.aBufs = make([][]byte, nd)
-	r.cBufs = make([][]byte, nd)
-	r.pipe = cfg.Pipeline.Enabled()
+	r.eng = exec.New(sys, cfg.execConfig())
+	r.mws.r = r
 	return r, nil
 }
 
-// mulSlot is one of the two ping-pong staging sets of the pipelined
-// Multiply: a wave's A-row scatter buffers and C-row gather buffers stay
-// owned by the queue from enqueue until pend resolves, so the host needs
-// a second set to encode the next wave into meanwhile.
-type mulSlot struct {
-	aStage []byte
-	aBufs  [][]byte
-	cStage []byte
-	cBufs  [][]byte
-	stats  host.LaunchStats
-	pend   host.Pending
-	start  int
-	rows   int
-	busy   bool
+// execConfig resolves the effective engine configuration: Exec wins,
+// with the deprecated Pipeline field honored when Exec leaves the mode
+// at PipelineAuto.
+func (cfg RunnerConfig) execConfig() exec.Config {
+	ec := cfg.Exec
+	if ec.Pipeline == host.PipelineAuto {
+		ec.Pipeline = cfg.Pipeline
+	}
+	return ec
+}
+
+// Configure re-applies the unified execution-engine configuration
+// (pipelining, trace timeline). Call it between Multiply calls only.
+func (r *Runner) Configure(ec exec.Config) {
+	r.eng.Configure(ec)
 }
 
 // Naive reports whether the runner uses the thesis-faithful kernel.
@@ -470,22 +462,10 @@ func (r *Runner) Kernel() dpu.KernelFunc {
 	return r.tiledKernel
 }
 
-// Stats describes one distributed GEMM.
-type Stats struct {
-	// Waves is the number of sequential launches (rows beyond the DPU
-	// count queue into later waves).
-	Waves int
-	// DPUsUsed is the largest number of DPUs active in a wave — the
-	// thesis's dynamic DPU count, equal to min(M, system size).
-	DPUsUsed int
-	// Cycles is the summed per-wave maximum DPU cycles.
-	Cycles uint64
-	// Seconds is Cycles through the DPU clock.
-	Seconds float64
-	// Retries is the number of shards (rows or images) re-dispatched onto
-	// a surviving DPU after a fault. Zero in a fault-free run.
-	Retries int
-}
+// Stats describes one distributed GEMM. It is the execution engine's
+// unified per-dispatch accounting struct (see internal/exec): Waves,
+// DPUsUsed, Cycles, Seconds, and Retries, identical across all runners.
+type Stats = exec.Stats
 
 // stageB packs B into the runner's broadcast buffer at the padded
 // 4-column row stride the kernels expect, zeroing the padding columns.
@@ -543,8 +523,81 @@ func decodeCRow(c []int16, base int, raw []byte, n int) {
 	}
 }
 
+// mulStage is one staging set of the row-per-DPU mapping: per-DPU A-row
+// scatter buffers and C-row gather buffers. Synchronous dispatch uses
+// stage 0 at full system width; pipelined dispatch uses both stages as
+// the engine's ping-pong slots (a wave's buffers stay queue-owned until
+// the engine flushes it, so the host encodes the next wave into the
+// other stage meanwhile).
+type mulStage struct {
+	aStage []byte
+	aBufs  [][]byte
+	cStage []byte
+	cBufs  [][]byte
+}
+
+// ensureMulStages sizes the staging for waves of up to width DPUs at
+// the given row sizes (one stage synchronously, both when pipelined).
+func (r *Runner) ensureMulStages(width, rowBytes, cBytes int) {
+	nStages := 1
+	if r.eng.Pipelined() {
+		nStages = 2
+	}
+	for s := 0; s < nStages; s++ {
+		sl := &r.mulStages[s]
+		sl.aStage = growBytes(sl.aStage, width*rowBytes)
+		sl.cStage = growBytes(sl.cStage, width*cBytes)
+		if len(sl.aBufs) != width {
+			sl.aBufs = make([][]byte, width)
+			sl.cBufs = make([][]byte, width)
+		}
+		for i := 0; i < width; i++ {
+			sl.aBufs[i] = sl.aStage[i*rowBytes : (i+1)*rowBytes]
+			sl.cBufs[i] = sl.cStage[i*cBytes : (i+1)*cBytes]
+		}
+	}
+}
+
+// mulWorkSet adapts the Fig 4.6 row-per-DPU mapping to the execution
+// engine: one shard per row of A, the B matrix and parameter block as
+// wave-invariant broadcasts, A rows as the scatter stream, C rows as
+// the gather stream.
+type mulWorkSet struct {
+	r        *Runner
+	a, c     []int16
+	m, n, k  int
+	rowBytes int
+	bcasts   []exec.Broadcast
+	streams  []exec.Stream
+}
+
+func (w *mulWorkSet) Shards() int                  { return w.m }
+func (w *mulWorkSet) Tasklets() int                { return w.r.cfg.Tasklets }
+func (w *mulWorkSet) Kernel() dpu.KernelFunc       { return w.r.Kernel() }
+func (w *mulWorkSet) Broadcasts() []exec.Broadcast { return w.bcasts }
+
+func (w *mulWorkSet) Encode(slot, start, n int) {
+	encodeARows(w.r.mulStages[slot].aBufs, w.a, start, n, w.k, w.rowBytes)
+}
+
+func (w *mulWorkSet) Scatter(slot, n int) []exec.Stream {
+	w.streams = append(w.streams[:0], exec.Stream{Ref: w.r.refA, Bufs: w.r.mulStages[slot].aBufs})
+	return w.streams
+}
+
+func (w *mulWorkSet) Gather(slot, n int) exec.Stream {
+	return exec.Stream{Ref: w.r.refC, Bufs: w.r.mulStages[slot].cBufs}
+}
+
+func (w *mulWorkSet) Decode(slot, shard, i int) {
+	decodeCRow(w.c, shard*w.n, w.r.mulStages[slot].cBufs[i], w.n)
+}
+
 // Multiply runs C = clamp((alpha·A·B)/32) with A of M×K, B of K×N,
 // distributing one row of A (and one row of C) per DPU as in Fig 4.6.
+// Wave construction, pipelining, and fault recovery are the execution
+// engine's (internal/exec); this method only stages the matrices and
+// adapts them through mulWorkSet.
 func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stats, error) {
 	var st Stats
 	if err := checkDims(m, n, k, a, b); err != nil {
@@ -560,195 +613,26 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 	cBytes := pad4(n) * 2
 	bbuf := r.stageB(n, k, b)
 	r.encodeParams(n, k, 0, alpha)
-	r.ensureFaultState()
-	if r.pipe {
-		if err := r.multiplyPipelined(c, m, n, k, a, bbuf, rowBytes, cBytes, &st); err != nil {
-			return nil, st, err
-		}
-		return c, st, nil
+	// Synchronous scatter pushes the full system width (stale tails on
+	// partial waves, matching dpu_push_xfer); pipelined waves carry only
+	// the wave's rows.
+	width := r.sys.NumDPUs()
+	if r.eng.Pipelined() && m < width {
+		width = m
 	}
+	r.ensureMulStages(width, rowBytes, cBytes)
 
-	// Broadcast B (the whole input matrix goes to every DPU, Fig 4.6),
-	// stored at the 4-column-padded row stride the kernel expects. DPUs
-	// that miss the broadcast get it redelivered or are marked down.
-	if err := r.handleBroadcast(r.sys.CopyToSymbolRef(r.refB, 0, bbuf), r.refB, bbuf); err != nil {
+	w := &r.mws
+	w.a, w.c = a, c
+	w.m, w.n, w.k = m, n, k
+	w.rowBytes = rowBytes
+	w.bcasts = append(w.bcasts[:0],
+		exec.Broadcast{Ref: r.refB, Data: bbuf},
+		exec.Broadcast{Ref: r.refParams, Data: r.paramsBuf[:]})
+	if err := r.eng.Run(w, &st); err != nil {
 		return nil, st, err
-	}
-	if err := r.handleBroadcast(r.sys.CopyToSymbolRef(r.refParams, 0, r.paramsBuf[:]), r.refParams, r.paramsBuf[:]); err != nil {
-		return nil, st, err
-	}
-
-	nd := r.sys.NumDPUs()
-	kernel := r.Kernel()
-
-	// Reslice the persistent scatter/gather staging to this problem's
-	// row sizes.
-	for i := range r.aBufs {
-		r.aBufs[i] = r.aStage[i*rowBytes : (i+1)*rowBytes]
-	}
-	r.cStage = growBytes(r.cStage, nd*cBytes)
-	for i := range r.cBufs {
-		r.cBufs[i] = r.cStage[i*cBytes : (i+1)*cBytes]
-	}
-
-	for start := 0; start < m; start += nd {
-		rows := m - start
-		if rows > nd {
-			rows = nd
-		}
-		encodeARows(r.aBufs, a, start, rows, k, rowBytes)
-		// Down DPUs hold a stale B matrix: their rows are re-dispatched
-		// even when the wave's operations report no error for them.
-		failed := r.failSet[:rows]
-		for i := range failed {
-			failed[i] = r.down[i]
-		}
-		if err := r.mergeFailed(failed, r.sys.PushXferRef(r.refA, 0, r.aBufs)); err != nil {
-			return nil, st, err
-		}
-
-		ls, lerr := r.sys.LaunchOn(rows, r.cfg.Tasklets, kernel)
-		if err := r.mergeFailed(failed, lerr); err != nil {
-			return nil, st, err
-		}
-		st.Waves++
-		st.Cycles += ls.Cycles
-		st.Seconds += ls.Seconds
-		if rows > st.DPUsUsed {
-			st.DPUsUsed = rows
-		}
-
-		// Gather the wave's C rows — sharded across the worker pool like
-		// the scatter — then re-dispatch the failed rows and decode.
-		if err := r.mergeFailed(failed, r.sys.GatherXferRefInto(r.refC, 0, cBytes, r.cBufs[:rows])); err != nil {
-			return nil, st, err
-		}
-		for i := 0; i < rows; i++ {
-			if failed[i] {
-				if err := r.redispatch(r.refA, r.aBufs[i], r.refC, r.cBufs[i], kernel, &st); err != nil {
-					return nil, st, err
-				}
-			}
-			decodeCRow(c, (start+i)*n, r.cBufs[i], n)
-		}
 	}
 	return c, st, nil
-}
-
-// ensureSlots sizes the two ping-pong staging sets for waves of up to
-// maxRows DPUs at the given row sizes.
-func (r *Runner) ensureSlots(maxRows, rowBytes, cBytes int) {
-	for s := range r.slots {
-		sl := &r.slots[s]
-		sl.aStage = growBytes(sl.aStage, maxRows*rowBytes)
-		sl.cStage = growBytes(sl.cStage, maxRows*cBytes)
-		if len(sl.aBufs) != maxRows {
-			sl.aBufs = make([][]byte, maxRows)
-			sl.cBufs = make([][]byte, maxRows)
-		}
-		for i := 0; i < maxRows; i++ {
-			sl.aBufs[i] = sl.aStage[i*rowBytes : (i+1)*rowBytes]
-			sl.cBufs[i] = sl.cStage[i*cBytes : (i+1)*cBytes]
-		}
-	}
-}
-
-// multiplyPipelined is the double-buffered wave loop: wave w is enqueued
-// as one fused scatter→launch→gather command and wave w-1's results are
-// decoded while it runs. The per-wave launch statistics are identical to
-// the synchronous loop's, so Stats (and all simulated clocks) match the
-// synchronous path bit for bit.
-func (r *Runner) multiplyPipelined(c []int16, m, n, k int, a []int16, bbuf []byte, rowBytes, cBytes int, st *Stats) error {
-	sys := r.sys
-	nd := sys.NumDPUs()
-	maxRows := m
-	if maxRows > nd {
-		maxRows = nd
-	}
-	r.ensureSlots(maxRows, rowBytes, cBytes)
-	pB := sys.EnqueueCopyTo(r.refB, 0, bbuf)
-	pP := sys.EnqueueCopyTo(r.refParams, 0, r.paramsBuf[:])
-	// Claim the broadcast handles before any wave is enqueued: a DPU the
-	// redelivery cannot reach must be marked down — and its rows forced
-	// onto survivors — before it computes on a stale matrix.
-	if err := r.handleBroadcast(pB.Wait(), r.refB, bbuf); err != nil {
-		sys.Sync()
-		return err
-	}
-	if err := r.handleBroadcast(pP.Wait(), r.refParams, r.paramsBuf[:]); err != nil {
-		sys.Sync()
-		return err
-	}
-	kernel := r.Kernel()
-
-	flush := func(sl *mulSlot) error {
-		if !sl.busy {
-			return nil
-		}
-		sl.busy = false
-		err := sl.pend.Wait()
-		failed := r.failSet[:sl.rows]
-		for i := range failed {
-			failed[i] = r.down[i]
-		}
-		if ferr := r.mergeFailed(failed, err); ferr != nil {
-			sys.Sync() // drain the queue before reporting a fatal error
-			return ferr
-		}
-		st.Waves++
-		st.Cycles += sl.stats.Cycles
-		st.Seconds += sl.stats.Seconds
-		if sl.rows > st.DPUsUsed {
-			st.DPUsUsed = sl.rows
-		}
-		// Re-dispatch failed rows through the queue (serialized behind
-		// the already-enqueued next wave: that wave's fused gather runs
-		// before the retry overwrites any of its DPUs' symbols, and the
-		// wave after it re-scatters everything the retry clobbered).
-		for i := 0; i < sl.rows; i++ {
-			if failed[i] {
-				if rerr := r.redispatch(r.refA, sl.aBufs[i], r.refC, sl.cBufs[i], kernel, st); rerr != nil {
-					sys.Sync()
-					return rerr
-				}
-			}
-			decodeCRow(c, (sl.start+i)*n, sl.cBufs[i], n)
-		}
-		return nil
-	}
-
-	w := 0
-	for start := 0; start < m; start += nd {
-		rows := m - start
-		if rows > nd {
-			rows = nd
-		}
-		sl := &r.slots[w&1]
-		// The slot's buffers are queue-owned until its wave completes;
-		// wait (and decode) before re-encoding into them.
-		if err := flush(sl); err != nil {
-			return err
-		}
-		encodeARows(sl.aBufs, a, start, rows, k, rowBytes)
-		sl.start, sl.rows = start, rows
-		sl.pend = sys.EnqueueWave(host.Wave{
-			DPUs:     rows,
-			Tasklets: r.cfg.Tasklets,
-			Kernel:   kernel,
-			Stats:    &sl.stats,
-			Scatter:  r.refA,
-			In:       sl.aBufs[:rows],
-			Gather:   r.refC,
-			Out:      sl.cBufs[:rows],
-		})
-		sl.busy = true
-		w++
-	}
-	// Drain the in-flight waves, older slot first.
-	if err := flush(&r.slots[w&1]); err != nil {
-		return err
-	}
-	return flush(&r.slots[(w+1)&1])
 }
 
 // pad4 rounds n up to a multiple of 4 (columns), keeping 2-byte element

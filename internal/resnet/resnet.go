@@ -345,6 +345,8 @@ type LayerStat struct {
 	DPUsUsed int
 	Cycles   uint64
 	Seconds  float64
+	// Retries counts row shards re-dispatched after injected faults.
+	Retries int
 }
 
 // ForwardStats aggregates a DPU forward pass.
@@ -352,6 +354,9 @@ type ForwardStats struct {
 	Layers  []LayerStat
 	Cycles  uint64
 	Seconds float64
+	// Retries sums the layers' fault re-dispatches; nonzero only
+	// when the system runs under a fault plan.
+	Retries int
 }
 
 // Forward runs one image; runner nil = host reference, otherwise GEMMs
@@ -372,10 +377,11 @@ func (n *Network) Forward(input *tensor.Tensor, runner *gemm.Runner) ([]int16, *
 		}
 		stats.Layers = append(stats.Layers, LayerStat{
 			Layer: layer, Kind: n.Defs[layer].Kind, DPUsUsed: st.DPUsUsed,
-			Cycles: st.Cycles, Seconds: st.Seconds,
+			Cycles: st.Cycles, Seconds: st.Seconds, Retries: st.Retries,
 		})
 		stats.Cycles += st.Cycles
 		stats.Seconds += st.Seconds
+		stats.Retries += st.Retries
 		return c, nil
 	}
 

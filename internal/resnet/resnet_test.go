@@ -168,6 +168,62 @@ func TestForwardDPUMatchesHost(t *testing.T) {
 	}
 }
 
+// TestForwardFaultRecovery: a forward pass with a quarter of the DPUs
+// killed after their first launch must still produce bit-identical
+// logits — the execution engine re-dispatches every dead DPU's row
+// shard onto a survivor — and the recovery must be visible in the
+// ForwardStats retry counters.
+func TestForwardFaultRecovery(t *testing.T) {
+	n, err := New(LiteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randInput(64, 4)
+	want, _, err := n.Forward(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxK, maxN := n.GEMMBounds()
+	for _, mode := range []struct {
+		name string
+		mode host.PipelineMode
+	}{{"sync", host.PipelineOff}, {"pipelined", host.PipelineOn}} {
+		t.Run(mode.name, func(t *testing.T) {
+			sys, err := host.NewSystem(8, host.DefaultConfig(dpu.O3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+				MaxK: maxK, MaxN: maxN, Tasklets: 8, TileCols: 64, Pipeline: mode.mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.InjectFaults(dpu.FaultPlan{Seed: 1, DeadFrac: 0.25, DeadAfterLaunches: 1})
+			got, stats, err := n.Forward(in, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("logit %d: degraded %d, host %d (must be bit-identical)", i, got[i], want[i])
+				}
+			}
+			if stats.Retries == 0 {
+				t.Error("no re-dispatches recorded; the fault plan should have killed DPUs")
+			}
+			var layerRetries int
+			for _, ls := range stats.Layers {
+				layerRetries += ls.Retries
+			}
+			if layerRetries != stats.Retries {
+				t.Errorf("layer retries sum %d != total %d", layerRetries, stats.Retries)
+			}
+		})
+	}
+}
+
 // TestResidualMatters: zeroing the residual path must change the output
 // (the shortcuts are live, not dead code).
 func TestResidualMatters(t *testing.T) {

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Wave-timeline support for the execution engine (internal/exec). The
+// Profile in this package counts simulated occurrences and cycles; a
+// Timeline instead records *wall-clock* spans of the host-side dispatch
+// machinery — when each wave's scatter/launch/gather (and any retry)
+// occupied the host or its command queue. Simulated clocks are identical
+// between the synchronous and pipelined dispatch paths by construction,
+// so overlap is only ever visible on this wall-clock axis: a pipelined
+// run shows wave w+1's span starting before wave w's has ended, a
+// synchronous run shows strictly sequential spans.
+
+// Span is one timed phase of an execution-engine wave.
+type Span struct {
+	// Name is the phase: "scatter", "launch", "gather" and "retry" on
+	// the synchronous path, "wave" for a pipelined fused
+	// scatter→launch→gather command (one queue command, not separately
+	// timeable), "retry" for re-dispatches on either path.
+	Name string
+	// Wave is the engine-global wave sequence number the span belongs
+	// to (retry spans carry the wave they repair).
+	Wave int
+	// Shards is the number of DPUs participating in the wave.
+	Shards int
+	// Start and End are offsets from the Timeline epoch.
+	Start, End time.Duration
+}
+
+// Timeline accumulates spans from one or more engines. The zero value
+// is not usable; create one with NewTimeline. Record is safe for
+// concurrent use.
+type Timeline struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []Span
+}
+
+// NewTimeline starts an empty timeline whose epoch is now.
+func NewTimeline() *Timeline {
+	return &Timeline{epoch: time.Now()}
+}
+
+// Record appends one span. start and end are wall-clock instants.
+func (tl *Timeline) Record(name string, wave, shards int, start, end time.Time) {
+	tl.mu.Lock()
+	tl.spans = append(tl.spans, Span{
+		Name:   name,
+		Wave:   wave,
+		Shards: shards,
+		Start:  start.Sub(tl.epoch),
+		End:    end.Sub(tl.epoch),
+	})
+	tl.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (tl *Timeline) Spans() []Span {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]Span, len(tl.spans))
+	copy(out, tl.spans)
+	return out
+}
+
+// Reset drops all spans and restarts the epoch.
+func (tl *Timeline) Reset() {
+	tl.mu.Lock()
+	tl.spans = tl.spans[:0]
+	tl.epoch = time.Now()
+	tl.mu.Unlock()
+}
+
+// MaxConcurrent returns the largest number of spans in flight at one
+// instant — 1 for a fully serial timeline, >= 2 when dispatch phases
+// overlapped (the signature of a pipelined run).
+func (tl *Timeline) MaxConcurrent() int {
+	spans := tl.Spans()
+	type event struct {
+		at    time.Duration
+		delta int
+	}
+	evs := make([]event, 0, 2*len(spans))
+	for _, s := range spans {
+		evs = append(evs, event{s.Start, +1}, event{s.End, -1})
+	}
+	// Sort ends before starts at equal instants: touching spans do not
+	// count as concurrent.
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	cur, best := 0, 0
+	for _, ev := range evs {
+		cur += ev.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// Render draws the timeline as an ASCII Gantt chart, one row per span,
+// width columns wide. Rows keep recording order, so a pipelined run
+// shows bars whose horizontal extents interleave.
+func (tl *Timeline) Render(width int) string {
+	spans := tl.Spans()
+	if len(spans) == 0 {
+		return "(no spans recorded)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	var t0, t1 time.Duration
+	t0 = spans[0].Start
+	for _, s := range spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End > t1 {
+			t1 = s.End
+		}
+	}
+	total := t1 - t0
+	if total <= 0 {
+		total = 1
+	}
+	col := func(at time.Duration) int {
+		c := int(int64(at-t0) * int64(width) / int64(total))
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %s  duration\n", "wave/phase", strings.Repeat("-", width))
+	for _, s := range spans {
+		c0, c1 := col(s.Start), col(s.End)
+		if c1 <= c0 {
+			c1 = c0 + 1
+			if c1 > width {
+				c0, c1 = width-1, width
+			}
+		}
+		bar := strings.Repeat(" ", c0) + strings.Repeat("#", c1-c0) + strings.Repeat(" ", width-c1)
+		fmt.Fprintf(&b, "w%03d %-13s %s  %8.3gms\n", s.Wave, s.Name, bar,
+			float64(s.End-s.Start)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "max concurrent spans: %d\n", tl.MaxConcurrent())
+	return b.String()
+}

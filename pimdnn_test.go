@@ -30,7 +30,7 @@ func TestFacadeEBNNPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(preds) != 20 || stats.DPUSeconds <= 0 {
+	if len(preds) != 20 || stats.Seconds <= 0 {
 		t.Errorf("preds=%d stats=%+v", len(preds), stats)
 	}
 }

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Run the key simulator benchmarks with -benchmem and emit a JSON record
 # (name, ns/op, allocs/op, B/op) at the repo root, then compare it
-# against BENCH_baseline.json: print a per-benchmark wall-clock delta
-# and FAIL if any baseline benchmark disappeared from the new run.
+# against the previous PR's record: print a per-benchmark wall-clock
+# delta and FAIL if any baseline benchmark disappeared from the new run.
 #
-# Usage:  scripts/bench.sh [benchtime] [out.json]
-#   benchtime  go test -benchtime value (default 10x)
-#   out.json   output file (default BENCH_pr2.json)
+# Usage:  scripts/bench.sh [benchtime] [out.json] [baseline.json]
+#   benchtime      go test -benchtime value (default 10x)
+#   out.json       output file (default BENCH_pr4.json)
+#   baseline.json  delta baseline (default BENCH_pr2.json, the last
+#                  recorded trajectory point; BENCH_baseline.json if
+#                  that is absent)
 #
 # The JSON is the perf trajectory record: wall-clock and allocation
 # numbers for the hot paths, to be compared across PRs. Simulated-cycle
@@ -17,8 +20,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
-OUT="${2:-BENCH_pr2.json}"
-BASELINE="BENCH_baseline.json"
+OUT="${2:-BENCH_pr4.json}"
+BASELINE="${3:-BENCH_pr2.json}"
+[[ -f "$BASELINE" ]] || BASELINE="BENCH_baseline.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
