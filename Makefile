@@ -1,16 +1,18 @@
 # Build/test entry points. `make ci` is the full gate: vet, build, tests,
 # a race pass over the packages with cross-goroutine state (the host
 # runtime's worker pool, sharded transfers, and async command queue, the
-# trace profile, the execution engine, and the gemm/ebnn/yolo and
-# alexnet/resnet runners that drive parallel and pipelined launches,
-# including the fault-injection recovery paths), and a check that this
-# PR's benchmark trajectory record exists (see DESIGN.md, "Simulator
-# performance").
+# trace profile, the metrics registry, the execution engine, and the
+# gemm/ebnn/yolo and alexnet/resnet runners that drive parallel and
+# pipelined launches, including the fault-injection recovery paths), and
+# a check that this PR's benchmark trajectory record exists (see
+# DESIGN.md, "Simulator performance"). bench.sh additionally fails the
+# record step if any hot-path benchmark's allocs/op grew over the
+# baseline.
 
 GO ?= go
 
 # The perf trajectory record this PR must ship (regenerate: make bench).
-BENCH_RECORD ?= BENCH_pr4.json
+BENCH_RECORD ?= BENCH_pr5.json
 
 .PHONY: all build vet test race bench bench-record ci
 
@@ -26,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dpu ./internal/host ./internal/trace ./internal/exec ./internal/gemm ./internal/ebnn ./internal/yolo ./internal/alexnet ./internal/resnet
+	$(GO) test -race ./internal/dpu ./internal/host ./internal/trace ./internal/metrics ./internal/exec ./internal/gemm ./internal/ebnn ./internal/yolo ./internal/alexnet ./internal/resnet
 
 # Regenerate $(BENCH_RECORD) and diff it against the previous PR's
 # record (see DESIGN.md, "Simulator performance").

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"pimdnn/internal/gemm"
 	"pimdnn/internal/host"
 	"pimdnn/internal/isa"
+	"pimdnn/internal/metrics"
 	"pimdnn/internal/trace"
 )
 
@@ -31,31 +33,17 @@ func run() error {
 	optFlag := flag.Int("O", 0, "optimization level 0-3 (dpu-clang -O flag)")
 	timelineFlag := flag.Bool("timeline", false,
 		"render the execution engine's wall-clock wave timeline for a pipelined GEMM")
+	jsonFlag := flag.Bool("json", false,
+		"emit the characterization as one JSON document (metrics snapshot + timeline spans) instead of text")
 	flag.Parse()
 	opt := dpu.OptLevel(*optFlag)
+	if *jsonFlag {
+		return runJSON(opt, *timelineFlag)
+	}
 
 	fmt.Printf("== Table 3.1: cycles per operation (single DPU, 1 tasklet, %v) ==\n", opt)
 	fmt.Printf("%-24s %10s %12s\n", "operation", "cycles", "paper (O0)")
-	type bench struct {
-		name  string
-		body  func(t *dpu.Tasklet)
-		paper string
-	}
-	benches := []bench{
-		{"8-bit add", func(t *dpu.Tasklet) { t.Add32(3, 4) }, "272"},
-		{"16-bit add", func(t *dpu.Tasklet) { t.Add32(300, 400) }, "272"},
-		{"32-bit add", func(t *dpu.Tasklet) { t.Add32(3e6, 4e6) }, "272"},
-		{"8-bit multiply", func(t *dpu.Tasklet) { t.Mul8(3, 4) }, "272"},
-		{"16-bit multiply", func(t *dpu.Tasklet) { t.Mul16(300, 40) }, "608"},
-		{"32-bit multiply", func(t *dpu.Tasklet) { t.Mul32(3e6, 40) }, "800"},
-		{"8-bit subtract", func(t *dpu.Tasklet) { t.Sub32(3, 4) }, "272"},
-		{"fixed divide", func(t *dpu.Tasklet) { t.Div32(300, 4) }, "368"},
-		{"float add", func(t *dpu.Tasklet) { t.FAdd(0x40400000, 0x40800000) }, "896"},
-		{"float subtract", func(t *dpu.Tasklet) { t.FSub(0x40400000, 0x40800000) }, "928"},
-		{"float multiply", func(t *dpu.Tasklet) { t.FMul(0x40400000, 0x40800000) }, "2528"},
-		{"float divide", func(t *dpu.Tasklet) { t.FDiv(0x40400000, 0x40800000) }, "12064"},
-	}
-	for _, b := range benches {
+	for _, b := range profileBenches() {
 		cycles, err := profile(opt, b.body)
 		if err != nil {
 			return err
@@ -101,10 +89,22 @@ func run() error {
 // which is visible as interleaved bars. Simulated DPU time is identical
 // to a synchronous run; only this host-side wall-clock axis changes.
 func waveTimeline(opt dpu.OptLevel) error {
+	tl, desc, err := runWaveGEMM(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(desc)
+	fmt.Print(tl.Render(64))
+	return nil
+}
+
+// runWaveGEMM dispatches the timeline demo GEMM and returns the
+// recorded timeline plus a one-line description of the workload.
+func runWaveGEMM(opt dpu.OptLevel) (*trace.Timeline, string, error) {
 	const m, n, k, dpus = 24, 32, 16, 8 // 3 waves of 8 row-shards
 	sys, err := host.NewSystem(dpus, host.DefaultConfig(opt))
 	if err != nil {
-		return err
+		return nil, "", err
 	}
 	defer sys.Close()
 	tl := trace.NewTimeline()
@@ -113,7 +113,7 @@ func waveTimeline(opt dpu.OptLevel) error {
 		Exec: exec.Config{Pipeline: host.PipelineOn, Timeline: tl},
 	})
 	if err != nil {
-		return err
+		return nil, "", err
 	}
 	rng := rand.New(rand.NewSource(1))
 	a := make([]int16, m*k)
@@ -125,11 +125,92 @@ func waveTimeline(opt dpu.OptLevel) error {
 		b[i] = int16(rng.Intn(64) - 32)
 	}
 	if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+		return nil, "", err
+	}
+	desc := fmt.Sprintf("%d x %d x %d GEMM, %d DPUs, pipeline on", m, n, k, dpus)
+	return tl, desc, nil
+}
+
+// runJSON emits the same characterization as one JSON document on
+// stdout: every measured quantity lands in a metrics.Registry (labeled
+// counters) whose snapshot encoder — the same one behind -metrics-addr
+// and upmem-top — renders the "metrics" field, and -timeline adds the
+// wave spans under "timeline".
+func runJSON(opt dpu.OptLevel, timeline bool) error {
+	reg := metrics.NewRegistry()
+	for _, b := range profileBenches() {
+		cycles, err := profile(opt, b.body)
+		if err != nil {
+			return err
+		}
+		reg.LabeledCounter("upmem_profile_op_cycles", "op", b.name).Add(cycles)
+	}
+	for _, n := range []int{8, 64, 512, 1024, 2048} {
+		reg.LabeledCounter("upmem_profile_mram_access_cycles", "bytes",
+			fmt.Sprintf("%d", n)).Add(dpu.DMACost(n))
+	}
+	cycles, _, err := isaBench(opt)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("%d x %d x %d GEMM, %d DPUs, pipeline on\n", m, n, k, dpus)
-	fmt.Print(tl.Render(64))
-	return nil
+	reg.Counter("upmem_profile_isa_fmul_cycles").Add(cycles)
+
+	d, err := dpu.New(dpu.DefaultConfig(opt))
+	if err != nil {
+		return err
+	}
+	if _, err := d.Launch(4, floatHeavyKernel); err != nil {
+		return err
+	}
+	p := d.Profile()
+	for _, sub := range p.Subroutines() {
+		reg.LabeledCounter("upmem_profile_subroutine_occurrences_total", "sub", sub).Add(p.Occ(sub))
+		reg.LabeledCounter("upmem_profile_subroutine_cycles_total", "sub", sub).Add(p.Cycles(sub))
+	}
+
+	out := struct {
+		Opt      string           `json:"opt"`
+		Metrics  metrics.Snapshot `json:"metrics"`
+		Workload string           `json:"timeline_workload,omitempty"`
+		Timeline []trace.Span     `json:"timeline,omitempty"`
+	}{Opt: fmt.Sprint(opt), Metrics: reg.Snapshot()}
+	if timeline {
+		tl, desc, err := runWaveGEMM(opt)
+		if err != nil {
+			return err
+		}
+		out.Workload = desc
+		out.Timeline = tl.Spans()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// bench is one Table 3.1 row: an operation and the thesis's O0 count.
+type bench struct {
+	name  string
+	body  func(t *dpu.Tasklet)
+	paper string
+}
+
+// profileBenches is the Table 3.1 operation set, shared by the text and
+// JSON expositions.
+func profileBenches() []bench {
+	return []bench{
+		{"8-bit add", func(t *dpu.Tasklet) { t.Add32(3, 4) }, "272"},
+		{"16-bit add", func(t *dpu.Tasklet) { t.Add32(300, 400) }, "272"},
+		{"32-bit add", func(t *dpu.Tasklet) { t.Add32(3e6, 4e6) }, "272"},
+		{"8-bit multiply", func(t *dpu.Tasklet) { t.Mul8(3, 4) }, "272"},
+		{"16-bit multiply", func(t *dpu.Tasklet) { t.Mul16(300, 40) }, "608"},
+		{"32-bit multiply", func(t *dpu.Tasklet) { t.Mul32(3e6, 40) }, "800"},
+		{"8-bit subtract", func(t *dpu.Tasklet) { t.Sub32(3, 4) }, "272"},
+		{"fixed divide", func(t *dpu.Tasklet) { t.Div32(300, 4) }, "368"},
+		{"float add", func(t *dpu.Tasklet) { t.FAdd(0x40400000, 0x40800000) }, "896"},
+		{"float subtract", func(t *dpu.Tasklet) { t.FSub(0x40400000, 0x40800000) }, "928"},
+		{"float multiply", func(t *dpu.Tasklet) { t.FMul(0x40400000, 0x40800000) }, "2528"},
+		{"float divide", func(t *dpu.Tasklet) { t.FDiv(0x40400000, 0x40800000) }, "12064"},
+	}
 }
 
 func profile(opt dpu.OptLevel, body func(t *dpu.Tasklet)) (uint64, error) {

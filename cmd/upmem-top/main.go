@@ -1,0 +1,216 @@
+// Command upmem-top is a live terminal view of a running PIM workload.
+// It polls the JSON snapshot endpoint a -metrics-addr process serves
+// (cmd/experiments, or anything that wires metrics.Serve) and renders
+// per-DPU utilization bars from pim_dpu_cycles_total deltas plus a
+// one-screen summary of transfers, queue depth, waves, and faults.
+//
+// Usage:
+//
+//	upmem-top -addr localhost:9100 -interval 500ms
+//	upmem-top -addr localhost:9100 -once       # single snapshot, no clear
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pimdnn/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "upmem-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "localhost:9100", "metrics endpoint host:port (the target's -metrics-addr)")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	count := flag.Int("count", 0, "exit after this many frames (0 = until interrupted)")
+	once := flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+	width := flag.Int("width", 40, "utilization bar width in columns")
+	flag.Parse()
+
+	url := fmt.Sprintf("http://%s/metrics?format=json", *addr)
+	if *once {
+		*count = 1
+	}
+	var prev metrics.Snapshot
+	first := true
+	for frame := 0; *count == 0 || frame < *count; frame++ {
+		if !first {
+			time.Sleep(*interval)
+		}
+		cur, err := fetch(url)
+		if err != nil {
+			return err
+		}
+		out := Render(prev, cur, *interval, *width)
+		if !*once {
+			// Home the cursor and clear below: a flicker-free repaint.
+			fmt.Print("\033[H\033[J")
+		}
+		fmt.Print(out)
+		prev, first = cur, false
+	}
+	return nil
+}
+
+// fetch polls one JSON snapshot.
+func fetch(url string) (metrics.Snapshot, error) {
+	var s metrics.Snapshot
+	resp, err := http.Get(url)
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	err = metrics.ReadJSON(resp.Body, &s)
+	return s, err
+}
+
+// counterSum totals every series of one counter family.
+func counterSum(s metrics.Snapshot, name string) uint64 {
+	var v uint64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			v += c.Value
+		}
+	}
+	return v
+}
+
+// counterLabeled returns the series of a family with the given label
+// value, 0 when absent.
+func counterLabeled(s metrics.Snapshot, name, labelVal string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name && c.LabelVal == labelVal {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// gaugeVal returns one gauge's value, 0 when absent.
+func gaugeVal(s metrics.Snapshot, name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// dpuSeries collects one per-DPU counter family in snapshot order
+// (numeric-aware, so dpu 2 precedes dpu 10).
+func dpuSeries(s metrics.Snapshot, name string) []metrics.CounterSnap {
+	var out []metrics.CounterSnap
+	for _, c := range s.Counters {
+		if c.Name == name && c.LabelKey == "dpu" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// bar renders n/max as a width-column bar.
+func bar(n, max uint64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	fill := 0
+	if max > 0 {
+		fill = int(n * uint64(width) / max)
+		if n > 0 && fill == 0 {
+			fill = 1
+		}
+	}
+	return strings.Repeat("#", fill) + strings.Repeat(".", width-fill)
+}
+
+// Render draws one frame from two successive snapshots: per-DPU
+// utilization bars scaled to the busiest DPU's cycle delta over the
+// interval, then the host/engine summary. It is a pure function of its
+// inputs so the frame format is unit-testable.
+func Render(prev, cur metrics.Snapshot, interval time.Duration, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "upmem-top — interval %v\n\n", interval)
+
+	cyc := dpuSeries(cur, "pim_dpu_cycles_total")
+	if len(cyc) == 0 {
+		b.WriteString("(no pim_dpu_cycles_total series yet — is the workload running?)\n")
+	}
+	// Delta per DPU against the previous frame; the first frame shows
+	// totals since the registry was armed.
+	deltas := make([]uint64, len(cyc))
+	var maxD, totD uint64
+	for i, c := range cyc {
+		d := c.Value - counterLabeled(prev, "pim_dpu_cycles_total", c.LabelVal)
+		deltas[i] = d
+		totD += d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	for i, c := range cyc {
+		launches := counterLabeled(cur, "pim_dpu_launches_total", c.LabelVal)
+		faults := counterLabeled(cur, "pim_dpu_faults_total", c.LabelVal)
+		status := ""
+		if faults > 0 {
+			status = fmt.Sprintf("  faults=%d", faults)
+		}
+		fmt.Fprintf(&b, "dpu%-4s %s %12d cyc  launches=%d%s\n",
+			c.LabelVal, bar(deltas[i], maxD, width), deltas[i], launches, status)
+	}
+	if len(cyc) > 0 {
+		fmt.Fprintf(&b, "\ntotal Δcycles: %d across %d DPUs\n", totD, len(cyc))
+	}
+
+	fmt.Fprintf(&b, "\nhost: xfer to_dpu=%dB from_dpu=%dB  queue_depth=%d  pool_shard_runs=%d\n",
+		counterLabeled(cur, "pim_host_xfer_bytes_total", "to_dpu"),
+		counterLabeled(cur, "pim_host_xfer_bytes_total", "from_dpu"),
+		gaugeVal(cur, "pim_host_queue_depth"),
+		histCount(cur, "pim_host_pool_shards"))
+	fmt.Fprintf(&b, "exec: waves=%d retries=%d down_dpus=%d  fault_reports=%d\n",
+		counterSum(cur, "pim_exec_waves_total"),
+		counterSum(cur, "pim_exec_retries_total"),
+		gaugeVal(cur, "pim_exec_down_dpus"),
+		counterSum(cur, "pim_host_fault_reports_total"))
+
+	if layers := layerRows(cur); len(layers) > 0 {
+		fmt.Fprintf(&b, "\nlayers (cycles):\n")
+		for _, l := range layers {
+			fmt.Fprintf(&b, "  %-24s %d\n", l.LabelVal, l.Value)
+		}
+	}
+	return b.String()
+}
+
+// histCount returns one histogram family's observation count.
+func histCount(s metrics.Snapshot, name string) uint64 {
+	var v uint64
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			v += h.Count
+		}
+	}
+	return v
+}
+
+// layerRows collects the per-layer cycle counters in snapshot order.
+func layerRows(s metrics.Snapshot) []metrics.CounterSnap {
+	var out []metrics.CounterSnap
+	for _, c := range s.Counters {
+		if c.Name == "pim_layer_cycles_total" && c.LabelKey == "layer" {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pimdnn/internal/metrics"
+)
+
+func snap(cycles []uint64, launches []uint64) metrics.Snapshot {
+	var s metrics.Snapshot
+	for i, c := range cycles {
+		v := string(rune('0' + i))
+		s.Counters = append(s.Counters, metrics.CounterSnap{
+			Name: "pim_dpu_cycles_total", LabelKey: "dpu", LabelVal: v, Value: c,
+		})
+		s.Counters = append(s.Counters, metrics.CounterSnap{
+			Name: "pim_dpu_launches_total", LabelKey: "dpu", LabelVal: v, Value: launches[i],
+		})
+	}
+	s.Counters = append(s.Counters,
+		metrics.CounterSnap{Name: "pim_host_xfer_bytes_total", LabelKey: "dir", LabelVal: "to_dpu", Value: 4096},
+		metrics.CounterSnap{Name: "pim_host_xfer_bytes_total", LabelKey: "dir", LabelVal: "from_dpu", Value: 1024},
+		metrics.CounterSnap{Name: "pim_exec_waves_total", Value: 7},
+		metrics.CounterSnap{Name: "pim_layer_cycles_total", LabelKey: "layer", LabelVal: "yolo_conv000", Value: 5000},
+	)
+	s.Gauges = append(s.Gauges,
+		metrics.GaugeSnap{Name: "pim_host_queue_depth", Value: 2},
+		metrics.GaugeSnap{Name: "pim_exec_down_dpus", Value: 1},
+	)
+	return s
+}
+
+func TestRenderDeltasAndBars(t *testing.T) {
+	prev := snap([]uint64{100, 100}, []uint64{1, 1})
+	cur := snap([]uint64{300, 200}, []uint64{2, 2})
+	out := Render(prev, cur, time.Second, 10)
+
+	// DPU 0 advanced 200 cycles, DPU 1 advanced 100: the busiest DPU
+	// fills the bar, the other fills half of it.
+	if !strings.Contains(out, "dpu0    ##########          200 cyc") {
+		t.Errorf("dpu0 row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "dpu1    #####.....          100 cyc") {
+		t.Errorf("dpu1 row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "total Δcycles: 300 across 2 DPUs") {
+		t.Errorf("total line wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "to_dpu=4096B from_dpu=1024B") {
+		t.Errorf("xfer line wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "waves=7") || !strings.Contains(out, "down_dpus=1") {
+		t.Errorf("exec line wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "yolo_conv000") {
+		t.Errorf("layer rows missing:\n%s", out)
+	}
+}
+
+func TestRenderEmptySnapshot(t *testing.T) {
+	out := Render(metrics.Snapshot{}, metrics.Snapshot{}, time.Second, 10)
+	if !strings.Contains(out, "no pim_dpu_cycles_total series yet") {
+		t.Errorf("empty-snapshot hint missing:\n%s", out)
+	}
+}
+
+func TestBarMinimumFill(t *testing.T) {
+	// A nonzero delta never renders as an empty bar.
+	if got := bar(1, 1000, 10); !strings.HasPrefix(got, "#") {
+		t.Errorf("bar(1,1000,10) = %q, want leading #", got)
+	}
+	if got := bar(0, 1000, 10); got != ".........." {
+		t.Errorf("bar(0,1000,10) = %q", got)
+	}
+}

@@ -139,6 +139,11 @@ type DPU struct {
 
 	prof *trace.Profile
 
+	// met, when non-nil, holds the DPU's telemetry instruments (see
+	// metrics.go). Set before concurrent use; read without mu — the
+	// instruments are atomic and observation-only.
+	met *Metrics
+
 	// inj, when non-nil, injects deterministic faults into host-side
 	// transfers and launches (see fault.go). Guarded by mu like the
 	// counters below.
@@ -217,7 +222,11 @@ func (d *DPU) TransferFault() error {
 	if d.inj == nil {
 		return nil
 	}
-	return d.inj.transfer()
+	err := d.inj.transfer()
+	if err != nil && d.met != nil {
+		d.met.Faults.Inc()
+	}
+	return err
 }
 
 // Dead reports whether an injected fault has permanently killed the
@@ -347,6 +356,9 @@ func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
 	if d.inj != nil {
 		if err := d.inj.launch(); err != nil {
 			d.mu.Unlock()
+			if d.met != nil {
+				d.met.Faults.Inc()
+			}
 			return Stats{}, err
 		}
 	}
@@ -395,6 +407,23 @@ func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
 	d.launches++
 	d.mu.Unlock()
 
+	if m := d.met; m != nil {
+		m.Launches.Inc()
+		m.Cycles.Add(cycles)
+		m.TaskletsPerLaunch.Observe(uint64(n))
+		m.WRAMAccesses.Add(mix[OpLoad] + mix[OpStore])
+		var dmaBytes, dmaOps uint64
+		for _, t := range tasklets {
+			dmaBytes += t.dmaBytes
+			dmaOps += t.dmaOps
+		}
+		// DMA crosses both memories: charge bytes to each side, the
+		// operation count to MRAM (the WRAM side is in the load/store mix).
+		m.MRAMBytes.Add(dmaBytes)
+		m.MRAMAccesses.Add(dmaOps)
+		m.WRAMBytes.Add(dmaBytes)
+	}
+
 	sec := float64(cycles) / d.cfg.FrequencyHz
 	return Stats{
 		Tasklets:   n,
@@ -437,6 +466,10 @@ func (d *DPU) CopyToMRAM(off int64, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.mramWrite(off, data)
+	if d.met != nil {
+		d.met.MRAMBytes.Add(uint64(len(data)))
+		d.met.MRAMAccesses.Inc()
+	}
 	return nil
 }
 
@@ -459,6 +492,10 @@ func (d *DPU) CopyFromMRAMInto(off int64, dst []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.mramRead(off, dst)
+	if d.met != nil {
+		d.met.MRAMBytes.Add(uint64(len(dst)))
+		d.met.MRAMAccesses.Inc()
+	}
 	return nil
 }
 
@@ -470,6 +507,10 @@ func (d *DPU) CopyToWRAM(off int64, data []byte) error {
 	d.mu.Lock()
 	copy(d.wram[off:], data)
 	d.mu.Unlock()
+	if d.met != nil {
+		d.met.WRAMBytes.Add(uint64(len(data)))
+		d.met.WRAMAccesses.Inc()
+	}
 	return nil
 }
 
@@ -492,6 +533,10 @@ func (d *DPU) CopyFromWRAMInto(off int64, dst []byte) error {
 	d.mu.Lock()
 	copy(dst, d.wram[off:])
 	d.mu.Unlock()
+	if d.met != nil {
+		d.met.WRAMBytes.Add(uint64(len(dst)))
+		d.met.WRAMAccesses.Inc()
+	}
 	return nil
 }
 

@@ -1,0 +1,44 @@
+package dpu
+
+import "pimdnn/internal/metrics"
+
+// Metrics is one DPU's telemetry: instruments resolved once at wiring
+// time (per-DPU counters from a registry family, plus shared
+// histograms). All fields are nil-safe instruments, and a nil *Metrics
+// on the DPU disables the whole block for one branch — the hot paths
+// never allocate or lock for telemetry. Instruments observe the
+// simulation only: no cycle count or result depends on their presence.
+type Metrics struct {
+	// Launches and Cycles count completed kernel launches and the
+	// simulated cycles they retired.
+	Launches *Counter
+	Cycles   *Counter
+	// MRAMBytes/MRAMAccesses count bytes and operations crossing the
+	// MRAM boundary: kernel DMA (MRAMToWRAM/WRAMToMRAM/ChargeDMA) plus
+	// host MRAM copies. WRAMBytes/WRAMAccesses count the WRAM side:
+	// DMA bytes and host WRAM copies, and every kernel load/store
+	// retired (from the per-launch instruction mix).
+	MRAMBytes    *Counter
+	MRAMAccesses *Counter
+	WRAMBytes    *Counter
+	WRAMAccesses *Counter
+	// Faults counts injected faults that fired (transfer drops, launch
+	// traps, dead-DPU refusals).
+	Faults *Counter
+	// TaskletsPerLaunch observes the tasklet count of every launch
+	// (slot occupancy; typically a histogram shared across DPUs).
+	TaskletsPerLaunch *Histogram
+}
+
+// Counter and Histogram alias the metrics package's instruments so
+// wiring code (internal/host) can build a Metrics without importing
+// both packages under distinct names.
+type (
+	Counter   = metrics.Counter
+	Histogram = metrics.Histogram
+)
+
+// SetMetrics installs (or with nil removes) the DPU's telemetry block.
+// Call before the DPU is shared across goroutines; the instruments
+// themselves are safe for concurrent use.
+func (d *DPU) SetMetrics(m *Metrics) { d.met = m }

@@ -24,6 +24,12 @@ type Tasklet struct {
 	slots uint64 // pipeline issue slots consumed
 	dma   uint64 // DMA stall cycles
 
+	// dmaBytes/dmaOps meter MRAM<->WRAM DMA traffic for telemetry
+	// (aggregated once per launch). Kept separate from the cycle
+	// accounting above: the cost model never reads them.
+	dmaBytes uint64
+	dmaOps   uint64
+
 	opCounts [opKinds]uint64 // instruction mix per operation class
 
 	pcSlots uint64 // perfcounter snapshot
@@ -94,6 +100,8 @@ func (t *Tasklet) ChargeDMA(n uint64, size int) {
 	}
 	t.dmaCheck(0, 0, size)
 	t.dma += n * dmaCycles(size)
+	t.dmaBytes += n * uint64(size)
+	t.dmaOps += n
 }
 
 // --- perfcounter (Fig 3.1) ---
@@ -304,6 +312,8 @@ func (t *Tasklet) dmaCheck(wramOff, mramOff int64, n int) {
 func (t *Tasklet) MRAMToWRAM(wramOff, mramOff int64, n int) {
 	t.dmaCheck(wramOff, mramOff, n)
 	t.dma += dmaCycles(n)
+	t.dmaBytes += uint64(n)
+	t.dmaOps++
 	d := t.dpu
 	d.mu.Lock()
 	d.mramRead(mramOff, d.wram[wramOff:wramOff+int64(n)])
@@ -315,6 +325,8 @@ func (t *Tasklet) MRAMToWRAM(wramOff, mramOff int64, n int) {
 func (t *Tasklet) WRAMToMRAM(mramOff, wramOff int64, n int) {
 	t.dmaCheck(wramOff, mramOff, n)
 	t.dma += dmaCycles(n)
+	t.dmaBytes += uint64(n)
+	t.dmaOps++
 	d := t.dpu
 	d.mu.Lock()
 	d.mramWrite(mramOff, d.wram[wramOff:wramOff+int64(n)])

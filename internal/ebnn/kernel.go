@@ -226,6 +226,15 @@ func (r *Runner) SetPipeline(m host.PipelineMode) {
 	r.Configure(exec.Config{Pipeline: m})
 }
 
+// SetScope names the workload phase the next Infer calls belong to for
+// telemetry decomposition (see exec.Engine.SetScope). A plain field
+// store when no metrics registry is wired.
+func (r *Runner) SetScope(name string) { r.eng.SetScope(name) }
+
+// MetricsOn reports whether the underlying System has a metrics
+// registry wired.
+func (r *Runner) MetricsOn() bool { return r.eng.MetricsOn() }
+
 // Model returns the deployed model.
 func (r *Runner) Model() *Model { return r.model }
 

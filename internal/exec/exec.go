@@ -22,6 +22,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"pimdnn/internal/dpu"
@@ -40,6 +41,10 @@ type Config struct {
 	// wave command when pipelined), so tools can render a dispatch
 	// timeline. Nil disables span recording entirely.
 	Timeline *trace.Timeline
+	// Events, when non-nil, receives structured dispatch events (runs,
+	// waves, DPUs marked down) with layer/wave/dpu attributes — the
+	// JSONL event log. Nil disables event logging entirely.
+	Events *slog.Logger
 }
 
 // Stats describes one dispatched work set — the single accounting
@@ -147,6 +152,14 @@ type Engine struct {
 	pipe bool
 	tl   *trace.Timeline
 
+	// Telemetry: instruments resolved from the System's registry at
+	// Configure time, the optional structured event logger, and the
+	// current per-layer scope label (metrics.go). All nil/empty when
+	// telemetry is off; dispatch results never depend on them.
+	met   *engineMetrics
+	ev    *slog.Logger
+	scope string
+
 	// Fault-recovery state: DPUs excluded from dispatch for the
 	// engine's life, the round-robin re-dispatch cursor, and the
 	// reusable per-wave failed-shard set.
@@ -197,6 +210,12 @@ func New(sys *host.System, cfg Config) *Engine {
 func (e *Engine) Configure(cfg Config) {
 	e.pipe = cfg.Pipeline.Enabled()
 	e.tl = cfg.Timeline
+	e.ev = cfg.Events
+	if reg := e.sys.MetricsRegistry(); reg != nil {
+		e.met = newEngineMetrics(reg)
+	} else {
+		e.met = nil
+	}
 }
 
 // Pipelined reports whether dispatch goes through the async queue.
@@ -217,6 +236,10 @@ func (e *Engine) markDown(i int) {
 	if !e.down[i] {
 		e.down[i] = true
 		e.nDown++
+		if e.met != nil {
+			e.met.down.Set(int64(e.nDown))
+		}
+		e.eventDown(i)
 	}
 }
 
@@ -418,10 +441,17 @@ func (e *Engine) shardIns(streams []Stream, i int) []Xfer {
 // engine's configuration. st accumulates: callers zero it (or carry it
 // across layers) themselves.
 func (e *Engine) Run(ws WorkSet, st *Stats) error {
+	pre := *st
+	var err error
 	if e.pipe {
-		return e.runPipelined(ws, st)
+		err = e.runPipelined(ws, st)
+	} else {
+		err = e.runSync(ws, st)
 	}
-	return e.runSync(ws, st)
+	if e.met != nil || e.ev != nil {
+		e.account(pre, st, err)
+	}
+	return err
 }
 
 // serialGather reports whether ws gathers one DPU at a time.
@@ -655,20 +685,34 @@ func (e *Engine) flush(ws WorkSet, sl *waveSlot, st *Stats) error {
 	return nil
 }
 
-// now returns the wall clock only when span recording is armed.
+// now returns the wall clock only when span recording is armed (a
+// timeline or a metrics registry; both consume phase timings).
 func (e *Engine) now() time.Time {
-	if e.tl == nil {
+	if e.tl == nil && e.met == nil {
 		return time.Time{}
 	}
 	return time.Now()
 }
 
-// span records [t0, now] under name and returns its end instant.
+// span records [t0, now] under name — into the timeline, the phase
+// histogram, and the per-wave event log, whichever are armed — and
+// returns its end instant.
 func (e *Engine) span(name string, wave, shards int, t0 time.Time) time.Time {
-	if e.tl == nil {
+	if e.tl == nil && e.met == nil {
+		if name == "gather" || name == "wave" {
+			e.eventWave(wave, shards)
+		}
 		return time.Time{}
 	}
 	t1 := time.Now()
-	e.tl.Record(name, wave, shards, t0, t1)
+	if e.tl != nil {
+		e.tl.Record(name, wave, shards, t0, t1)
+	}
+	if e.met != nil {
+		e.met.phase(name).Observe(uint64(t1.Sub(t0)))
+	}
+	if name == "gather" || name == "wave" {
+		e.eventWave(wave, shards)
+	}
 	return t1
 }

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"context"
+	"log/slog"
+
+	"pimdnn/internal/metrics"
+)
+
+// engineMetrics is the engine's resolved instrument set, built from the
+// host System's registry at Configure time. All instruments are
+// nil-safe; the engine gates the whole block on one e.met nil check, so
+// an unwired engine's dispatch loop is telemetry-free.
+type engineMetrics struct {
+	// Wall-clock phase histograms (nanoseconds): scatter/launch/gather/
+	// retry on the synchronous path, the fused wave command pipelined.
+	scatter *metrics.Histogram
+	launch  *metrics.Histogram
+	gather  *metrics.Histogram
+	retry   *metrics.Histogram
+	wave    *metrics.Histogram
+
+	waves   *metrics.Counter
+	retries *metrics.Counter
+	cycles  *metrics.Counter
+	down    *metrics.Gauge
+
+	// reg resolves per-layer scoped counters lazily (SetScope names
+	// arrive at run time).
+	reg *metrics.Registry
+}
+
+func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
+	ns := metrics.ExpBuckets(1000, 4, 12) // 1µs .. ~4.2s
+	return &engineMetrics{
+		scatter: reg.LabeledHistogram("pim_exec_phase_ns", "phase", "scatter", ns),
+		launch:  reg.LabeledHistogram("pim_exec_phase_ns", "phase", "launch", ns),
+		gather:  reg.LabeledHistogram("pim_exec_phase_ns", "phase", "gather", ns),
+		retry:   reg.LabeledHistogram("pim_exec_phase_ns", "phase", "retry", ns),
+		wave:    reg.LabeledHistogram("pim_exec_phase_ns", "phase", "wave", ns),
+		waves:   reg.Counter("pim_exec_waves_total"),
+		retries: reg.Counter("pim_exec_retries_total"),
+		cycles:  reg.Counter("pim_exec_cycles_total"),
+		down:    reg.Gauge("pim_exec_down_dpus"),
+		reg:     reg,
+	}
+}
+
+// phase maps a span name to its histogram (allocation-free).
+func (m *engineMetrics) phase(name string) *metrics.Histogram {
+	switch name {
+	case "scatter":
+		return m.scatter
+	case "launch":
+		return m.launch
+	case "gather":
+		return m.gather
+	case "retry":
+		return m.retry
+	case "wave":
+		return m.wave
+	}
+	return nil
+}
+
+// SetScope names the layer (or other workload phase) the next runs
+// belong to: run deltas are additionally accumulated into
+// pim_layer_{cycles,waves,retries}_total{layer="name"}, so a network's
+// ForwardStats can be decomposed per layer from one registry snapshot.
+// An empty name clears the scope. Without telemetry wired this is a
+// plain field store.
+func (e *Engine) SetScope(name string) { e.scope = name }
+
+// MetricsOn reports whether a registry is wired to the engine's System,
+// letting callers skip scope-name formatting when telemetry is off.
+func (e *Engine) MetricsOn() bool { return e.met != nil }
+
+// account folds one Run/RunStream's Stats delta into the engine's
+// counters, the current layer scope, and the event log. err is the
+// run's outcome (fatal errors are logged, not counted as waves).
+func (e *Engine) account(pre Stats, st *Stats, err error) {
+	dWaves := st.Waves - pre.Waves
+	dRetries := st.Retries - pre.Retries
+	dCycles := st.Cycles - pre.Cycles
+	if m := e.met; m != nil {
+		m.waves.Add(uint64(dWaves))
+		m.retries.Add(uint64(dRetries))
+		m.cycles.Add(dCycles)
+		m.down.Set(int64(e.nDown))
+		if e.scope != "" {
+			m.reg.LabeledCounter("pim_layer_cycles_total", "layer", e.scope).Add(dCycles)
+			m.reg.LabeledCounter("pim_layer_waves_total", "layer", e.scope).Add(uint64(dWaves))
+			m.reg.LabeledCounter("pim_layer_retries_total", "layer", e.scope).Add(uint64(dRetries))
+		}
+	}
+	if e.ev != nil {
+		attrs := make([]slog.Attr, 0, 6)
+		if e.scope != "" {
+			attrs = append(attrs, slog.String("layer", e.scope))
+		}
+		attrs = append(attrs,
+			slog.Int("waves", dWaves),
+			slog.Uint64("cycles", dCycles),
+			slog.Int("retries", dRetries),
+			slog.Int("down_dpus", e.nDown),
+		)
+		if err != nil {
+			attrs = append(attrs, slog.String("error", err.Error()))
+			e.ev.LogAttrs(context.Background(), slog.LevelError, "run", attrs...)
+			return
+		}
+		e.ev.LogAttrs(context.Background(), slog.LevelInfo, "run", attrs...)
+	}
+}
+
+// eventWave logs one completed wave (dispatch phases done, before
+// decode) when an event logger is wired.
+func (e *Engine) eventWave(seq, shards int) {
+	if e.ev == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 3)
+	if e.scope != "" {
+		attrs = append(attrs, slog.String("layer", e.scope))
+	}
+	attrs = append(attrs, slog.Int("wave", seq), slog.Int("shards", shards))
+	e.ev.LogAttrs(context.Background(), slog.LevelDebug, "wave", attrs...)
+}
+
+// eventDown logs one DPU leaving the dispatch pool.
+func (e *Engine) eventDown(i int) {
+	if e.ev == nil {
+		return
+	}
+	e.ev.LogAttrs(context.Background(), slog.LevelWarn, "dpu_down",
+		slog.Int("dpu", i), slog.Int("down_dpus", e.nDown))
+}

@@ -79,10 +79,17 @@ func (e *Engine) copyFromShard(ss *StreamSet, i int, dst []byte) error {
 // RunStream dispatches ss as one wave with streamed gather. st
 // accumulates like Run's.
 func (e *Engine) RunStream(ss *StreamSet, st *Stats) error {
+	pre := *st
+	var err error
 	if e.pipe {
-		return e.runStreamPipelined(ss, st)
+		err = e.runStreamPipelined(ss, st)
+	} else {
+		err = e.runStreamSync(ss, st)
 	}
-	return e.runStreamSync(ss, st)
+	if e.met != nil || e.ev != nil {
+		e.account(pre, st, err)
+	}
+	return err
 }
 
 func (e *Engine) runStreamSync(ss *StreamSet, st *Stats) error {

@@ -1,0 +1,204 @@
+package gemm
+
+import (
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+	"pimdnn/internal/metrics"
+)
+
+// runWithTelemetry runs one multi-wave Multiply on a fresh system,
+// optionally with a registry wired, and returns the product and stats.
+func runWithTelemetry(t testing.TB, reg *metrics.Registry, plan *dpu.FaultPlan) ([]int16, Stats) {
+	const m, n, k = 24, 40, 18
+	a, b := pipelineProblem(m, n, k)
+	sys, err := host.NewSystem(8, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != nil {
+		sys.EnableMetrics(reg)
+	}
+	if plan != nil {
+		sys.InjectFaults(*plan)
+	}
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 8, TileCols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, st, err := r.Multiply(m, n, k, 3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, st
+}
+
+// TestMetricsBitIdentity enforces the telemetry contract: wiring a
+// registry must not change a single output value, simulated cycle, or
+// retry count — with and without fault injection.
+func TestMetricsBitIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *dpu.FaultPlan
+	}{
+		{"clean", nil},
+		{"dead", &deadPlan},
+		{"transient", &transientPlan},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cOff, stOff := runWithTelemetry(t, nil, tc.plan)
+			reg := metrics.NewRegistry()
+			cOn, stOn := runWithTelemetry(t, reg, tc.plan)
+			if len(cOff) != len(cOn) {
+				t.Fatalf("output lengths differ: %d vs %d", len(cOff), len(cOn))
+			}
+			for i := range cOff {
+				if cOff[i] != cOn[i] {
+					t.Fatalf("output[%d] = %d with telemetry, %d without", i, cOn[i], cOff[i])
+				}
+			}
+			if stOff != stOn {
+				t.Errorf("stats diverge: off=%+v on=%+v", stOff, stOn)
+			}
+			// The registry must actually have observed the run.
+			s := reg.Snapshot()
+			var cycles, waves uint64
+			for _, c := range s.Counters {
+				switch c.Name {
+				case "pim_dpu_cycles_total":
+					cycles += c.Value
+				case "pim_exec_waves_total":
+					waves += c.Value
+				}
+			}
+			if cycles == 0 || waves == 0 {
+				t.Errorf("registry empty after instrumented run: cycles=%d waves=%d", cycles, waves)
+			}
+		})
+	}
+}
+
+// TestMetricsAccountingConsistency cross-checks the instruments against
+// the Stats the runner already reports.
+func TestMetricsAccountingConsistency(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, st := runWithTelemetry(t, reg, nil)
+	s := reg.Snapshot()
+	get := func(name string) uint64 {
+		var v uint64
+		for _, c := range s.Counters {
+			if c.Name == name {
+				v += c.Value
+			}
+		}
+		return v
+	}
+	if got := get("pim_exec_cycles_total"); got != st.Cycles {
+		t.Errorf("pim_exec_cycles_total = %d, Stats.Cycles = %d", got, st.Cycles)
+	}
+	if got := get("pim_exec_waves_total"); got != uint64(st.Waves) {
+		t.Errorf("pim_exec_waves_total = %d, Stats.Waves = %d", got, st.Waves)
+	}
+	if got := get("pim_exec_retries_total"); got != uint64(st.Retries) {
+		t.Errorf("pim_exec_retries_total = %d, Stats.Retries = %d", got, st.Retries)
+	}
+	if get("pim_host_xfer_bytes_total") == 0 {
+		t.Error("no transfer bytes metered")
+	}
+	if get("pim_dpu_launches_total") == 0 {
+		t.Error("no launches metered")
+	}
+}
+
+// TestMetricsZeroExtraAllocs pins that telemetry adds no allocations to
+// the Multiply hot path: a fully instrumented run allocates exactly
+// what an uninstrumented run does (the result slice and launch
+// bookkeeping), enabled or disabled.
+func TestMetricsZeroExtraAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race detector perturbs AllocsPerRun by detector-internal allocations")
+	}
+	const m, n, k = 2, 96, 64
+	a, b := pipelineProblem(m, n, k)
+	mk := func(reg *metrics.Registry) *Runner {
+		sys, err := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg != nil {
+			sys.EnableMetrics(reg)
+		}
+		r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 4, TileCols: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm reusable buffers so both measurements are steady-state.
+		if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	rOff := mk(nil)
+	rOn := mk(metrics.NewRegistry())
+	run := func(r *Runner) float64 {
+		return testing.AllocsPerRun(50, func() {
+			if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	off, on := run(rOff), run(rOn)
+	if on > off {
+		t.Errorf("telemetry added allocations: %.1f enabled vs %.1f disabled per Multiply", on, off)
+	}
+}
+
+// BenchmarkMetricsDisabledOverhead is the bench.sh allocation gate for
+// the disabled path: the gemm hot path with no registry wired must stay
+// allocation-free in steady state and within noise of the
+// pre-telemetry baseline.
+func BenchmarkMetricsDisabledOverhead(b *testing.B) {
+	const m, n, k = 2, 1024, 64
+	am, bm := benchProblem(m, n, k)
+	sys, _ := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 11, TileCols: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the runner's reusable buffers out of the measurement.
+	if _, _, err := r.Multiply(m, n, k, 1, am, bm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Multiply(m, n, k, 1, am, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetricsEnabledOverhead measures the same hot path with a
+// live registry, for the ns/op delta report.
+func BenchmarkMetricsEnabledOverhead(b *testing.B) {
+	const m, n, k = 2, 1024, 64
+	am, bm := benchProblem(m, n, k)
+	sys, _ := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+	sys.EnableMetrics(metrics.NewRegistry())
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 11, TileCols: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := r.Multiply(m, n, k, 1, am, bm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Multiply(m, n, k, 1, am, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package gemm
+
+const raceDetectorEnabled = true

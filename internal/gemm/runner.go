@@ -229,6 +229,15 @@ func (r *Runner) Configure(ec exec.Config) {
 	r.eng.Configure(ec)
 }
 
+// SetScope names the layer the next Multiply calls belong to for
+// telemetry decomposition (see exec.Engine.SetScope). A plain field
+// store when no metrics registry is wired.
+func (r *Runner) SetScope(name string) { r.eng.SetScope(name) }
+
+// MetricsOn reports whether the underlying System has a metrics
+// registry wired, so callers can skip formatting scope names.
+func (r *Runner) MetricsOn() bool { return r.eng.MetricsOn() }
+
 // Naive reports whether the runner uses the thesis-faithful kernel.
 func (r *Runner) Naive() bool { return r.cfg.Naive }
 

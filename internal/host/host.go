@@ -62,6 +62,11 @@ type System struct {
 	symMu   sync.RWMutex
 	symbols map[string]dpu.Symbol
 
+	// met, when non-nil, holds the runtime's telemetry instruments
+	// (metrics.go). Wired by EnableMetrics before concurrent use; every
+	// hot path gates on one nil check.
+	met *sysMetrics
+
 	mu           sync.Mutex
 	hostXferTime time.Duration
 	dpuTime      time.Duration
@@ -342,8 +347,9 @@ func (s *System) finishXfer(op string, perDPU int, errs []error) error {
 	}
 	if nOK > 0 {
 		s.chargeTransfer(perDPU * nOK)
+		s.meterXfer(op != "gather", perDPU*nOK)
 	}
-	return faultsFrom(op, errs)
+	return s.noteFaults(faultsFrom(op, errs))
 }
 
 // CopyToSymbol broadcasts the same data to the named symbol on every DPU
@@ -398,9 +404,10 @@ func (s *System) CopyToDPURef(dpuIdx int, ref SymbolRef, offset int64, data []by
 		return err
 	}
 	if err := s.copyToOne(dpuIdx, ref, offset, data); err != nil {
-		return singleFault("copy_to_dpu", dpuIdx, err)
+		return s.noteFaults(singleFault("copy_to_dpu", dpuIdx, err))
 	}
 	s.chargeTransfer(len(data))
+	s.meterXfer(true, len(data))
 	return nil
 }
 
@@ -531,9 +538,10 @@ func (s *System) CopyFromDPURefInto(dpuIdx int, ref SymbolRef, offset int64, dst
 		return err
 	}
 	if err := s.copyFromOneInto(dpuIdx, ref, offset, dst); err != nil {
-		return singleFault("copy_from_dpu", dpuIdx, err)
+		return s.noteFaults(singleFault("copy_from_dpu", dpuIdx, err))
 	}
 	s.chargeTransfer(len(dst))
+	s.meterXfer(false, len(dst))
 	return nil
 }
 
@@ -624,7 +632,7 @@ func (s *System) LaunchOn(n, tasklets int, kernel dpu.KernelFunc) (LaunchStats, 
 	s.mu.Lock()
 	s.dpuTime += ls.Time
 	s.mu.Unlock()
-	return ls, faultsFrom("launch", errs)
+	return ls, s.noteFaults(faultsFrom("launch", errs))
 }
 
 // LaunchDPU runs the kernel on the single DPU at dpuIdx, charging its
@@ -637,7 +645,7 @@ func (s *System) LaunchDPU(dpuIdx, tasklets int, kernel dpu.KernelFunc) (LaunchS
 	}
 	st, err := s.dpus[dpuIdx].Launch(tasklets, kernel)
 	if err != nil {
-		return LaunchStats{}, singleFault("launch_dpu", dpuIdx, err)
+		return LaunchStats{}, s.noteFaults(singleFault("launch_dpu", dpuIdx, err))
 	}
 	ls := LaunchStats{
 		PerDPU:  []dpu.Stats{st},

@@ -3,6 +3,8 @@ package host
 import (
 	"runtime"
 	"sync"
+
+	"pimdnn/internal/metrics"
 )
 
 // parallelThreshold is the DPU count below which the sharded transfer and
@@ -19,6 +21,11 @@ const parallelThreshold = 32
 type workerPool struct {
 	workers int
 	jobs    chan poolJob
+
+	// shards, when non-nil, observes the shard count of every run — the
+	// pool-utilization histogram (System.EnableMetrics wires it before
+	// concurrent use). One nil check per run when telemetry is off.
+	shards *metrics.Histogram
 
 	closeOnce sync.Once
 }
@@ -67,6 +74,7 @@ func (p *workerPool) run(n int, fn func(lo, hi int)) {
 	if shards > n {
 		shards = n
 	}
+	p.shards.Observe(uint64(shards))
 	if shards <= 1 {
 		fn(0, n)
 		return

@@ -94,6 +94,10 @@ type asyncOp struct {
 	gref  SymbolRef
 	goff  int64
 	gbufs [][]byte
+
+	// enqNS is the wall-clock enqueue instant (UnixNano) when telemetry
+	// is wired, 0 otherwise; the executor observes the command latency.
+	enqNS int64
 }
 
 // Pending is a future-style handle for one enqueued command. The zero
@@ -292,6 +296,9 @@ func (s *System) EnqueueWave(w Wave) Pending {
 
 // enqueue appends op to the ring and wakes (or starts) the executor.
 func (s *System) enqueue(op asyncOp) Pending {
+	if s.met != nil {
+		op.enqNS = time.Now().UnixNano()
+	}
 	s.qmu.Lock()
 	s.qNext++
 	op.ticket = s.qNext
@@ -307,6 +314,7 @@ func (s *System) enqueue(op asyncOp) Pending {
 		return Pending{s: s, ticket: op.ticket}
 	}
 	s.qpush(op)
+	s.meterQueueDepth()
 	if !s.qRunning {
 		s.qRunning = true
 		go s.qrunFn()
@@ -355,13 +363,16 @@ func (s *System) qrun() {
 			return
 		}
 		s.qcur = s.qpop()
+		s.meterQueueDepth()
 		ticket := s.qcur.ticket
+		enqNS := s.qcur.enqNS
 		skip := s.qErr != nil || s.qClosed
 		s.qmu.Unlock()
 		var err error
 		if !skip {
 			err = s.execOp(&s.qcur)
 		}
+		s.meterCmdLatency(enqNS)
 		s.qcur = asyncOp{} // release buffer/kernel references
 		s.qmu.Lock()
 		switch {
@@ -537,6 +548,7 @@ func (s *System) execWave(op *asyncOp) error {
 		}
 		if nS > 0 {
 			s.chargeTransfer(inLen * nS)
+			s.meterXfer(true, inLen*nS)
 		}
 	}
 	var maxCycles uint64
@@ -567,9 +579,10 @@ func (s *System) execWave(op *asyncOp) error {
 		}
 		if nG > 0 {
 			s.chargeTransfer(outLen * nG)
+			s.meterXfer(false, outLen*nG)
 		}
 	}
-	return faultsFrom("wave", errs)
+	return s.noteFaults(faultsFrom("wave", errs))
 }
 
 // PipelineMode selects whether a runner double-buffers waves through the

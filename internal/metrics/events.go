@@ -1,0 +1,21 @@
+package metrics
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewEventLog returns a structured JSONL event logger: one JSON object
+// per line on w, each carrying the given base attributes (a run id,
+// typically) plus whatever the call site attaches (wave, dpu, layer).
+// It replaces ad-hoc prints in the command-line tools; the simulation's
+// primary (stdout) output never goes through it, preserving the
+// bit-identity invariant.
+func NewEventLog(w io.Writer, attrs ...slog.Attr) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelDebug})
+	args := make([]any, len(attrs))
+	for i, a := range attrs {
+		args[i] = a
+	}
+	return slog.New(h).With(args...)
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"strings"
+)
+
+// Handler returns an expvar-style HTTP handler serving snapshots of r:
+// Prometheus text exposition by default, JSON with ?format=json or an
+// Accept: application/json header. A nil registry serves empty
+// snapshots, so wiring the handler unconditionally is safe.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = s.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.WritePrometheus(w)
+	})
+}
+
+// Serve starts an HTTP server on addr exposing Handler(r) at /metrics
+// (and at /, for curl convenience). It returns the bound address (useful
+// with a ":0" addr) and a shutdown func. The server runs until shutdown
+// is called; serve errors after shutdown are discarded.
+func Serve(addr string, r *Registry) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	h := Handler(r)
+	mux.Handle("/metrics", h)
+	mux.Handle("/", h)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

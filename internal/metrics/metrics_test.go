@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", ExpBuckets(1, 2, 4))
+	v := r.CounterVec("v", "dpu", 8)
+	if c != nil || g != nil || h != nil || v != nil {
+		t.Fatal("nil registry handed out non-nil instruments")
+	}
+	// All updates and reads must be inert, not panic.
+	c.Add(3)
+	c.Inc()
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported nonzero values")
+	}
+	if v.At(0) != nil || v.Len() != 0 {
+		t.Error("nil CounterVec not inert")
+	}
+	v.At(0).Inc()
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestGetOrCreateIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("same name returned distinct counters")
+	}
+	if r.LabeledCounter("x", "k", "a") == r.LabeledCounter("x", "k", "b") {
+		t.Error("distinct labels returned the same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same name returned distinct gauges")
+	}
+	h1 := r.Histogram("h", ExpBuckets(1, 2, 4))
+	h2 := r.Histogram("h", ExpBuckets(100, 10, 2)) // bounds ignored after first registration
+	if h1 != h2 {
+		t.Error("same name returned distinct histograms")
+	}
+	if len(h2.bounds) != 4 || h2.bounds[0] != 1 {
+		t.Errorf("second registration changed family bounds: %v", h2.bounds)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{10, 100, 1000})
+	h.Observe(5)    // <= 10
+	h.Observe(10)   // <= 10 (inclusive edge)
+	h.Observe(11)   // <= 100
+	h.Observe(1000) // <= 1000
+	h.Observe(5000) // +Inf
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5+10+11+1000+5000 {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if got := ExpBuckets(1000, 4, 3); got[0] != 1000 || got[1] != 4000 || got[2] != 16000 {
+		t.Errorf("ExpBuckets = %v", got)
+	}
+	if got := LinearBuckets(1, 1, 3); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("LinearBuckets = %v", got)
+	}
+}
+
+func TestCounterVecGrowth(t *testing.T) {
+	r := NewRegistry()
+	v4 := r.CounterVec("pim_dpu_cycles_total", "dpu", 4)
+	v4.At(2).Add(7)
+	// A wider system re-registers the family: existing counters survive.
+	v8 := r.CounterVec("pim_dpu_cycles_total", "dpu", 8)
+	if v8 != v4 {
+		t.Fatal("re-registration returned a different vec")
+	}
+	if v8.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", v8.Len())
+	}
+	if v8.At(2).Value() != 7 {
+		t.Error("growth lost an existing counter's value")
+	}
+	// A narrower re-registration keeps the wider family.
+	if r.CounterVec("pim_dpu_cycles_total", "dpu", 2).Len() != 8 {
+		t.Error("narrower re-registration shrank the family")
+	}
+	// Out-of-range indices yield nil, and updating them is inert.
+	if v8.At(-1) != nil || v8.At(8) != nil {
+		t.Error("out-of-range At not nil")
+	}
+	v8.At(99).Inc()
+	// Vec elements appear as labeled counters in the uniform space.
+	if r.LabeledCounter("pim_dpu_cycles_total", "dpu", "2").Value() != 7 {
+		t.Error("vec element not visible as a labeled counter")
+	}
+}
+
+func TestSnapshotNumericLabelOrder(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c", "dpu", 12)
+	for i := 0; i < 12; i++ {
+		v.At(i).Add(uint64(i))
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 12 {
+		t.Fatalf("snapshot has %d counters, want 12", len(s.Counters))
+	}
+	for i, c := range s.Counters {
+		if c.LabelVal != itoa(i) {
+			t.Fatalf("counter %d has label %q, want %q (numeric-aware sort)", i, c.LabelVal, itoa(i))
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("pim_xfer_total", "dir", "to_dpu").Add(3)
+	r.Gauge("pim_queue_depth").Set(2)
+	h := r.Histogram("pim_lat", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pim_xfer_total counter",
+		`pim_xfer_total{dir="to_dpu"} 3`,
+		"# TYPE pim_queue_depth gauge",
+		"pim_queue_depth 2",
+		"# TYPE pim_lat histogram",
+		`pim_lat_bucket{le="10"} 1`,
+		`pim_lat_bucket{le="100"} 2`,
+		`pim_lat_bucket{le="+Inf"} 3`,
+		"pim_lat_sum 555",
+		"pim_lat_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("c", "dpu", "3").Add(9)
+	r.Gauge("g").Set(-4)
+	r.Histogram("h", []uint64{8}).Observe(2)
+	var b strings.Builder
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := ReadJSON(strings.NewReader(b.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Counters) != 1 || s.Counters[0].Value != 9 || s.Counters[0].LabelVal != "3" {
+		t.Errorf("counters round-trip: %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != -4 {
+		t.Errorf("gauges round-trip: %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 || len(s.Histograms[0].Counts) != 2 {
+		t.Errorf("histograms round-trip: %+v", s.Histograms)
+	}
+}
+
+func TestHTTPHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pim_waves_total").Add(5)
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "pim_waves_total 5") {
+		t.Errorf("text format wrong:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
+	var s Snapshot
+	if err := ReadJSON(rec.Body, &s); err != nil {
+		t.Fatalf("json format: %v", err)
+	}
+	if len(s.Counters) != 1 || s.Counters[0].Value != 5 {
+		t.Errorf("json snapshot wrong: %+v", s.Counters)
+	}
+
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	h.ServeHTTP(rec, req)
+	if err := ReadJSON(rec.Body, &s); err != nil {
+		t.Fatalf("Accept json: %v", err)
+	}
+}
+
+func TestServeAndShutdown(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pim_waves_total").Add(2)
+	bound, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	// Default is Prometheus text; re-fetch JSON for a structural check.
+	respJ, err := http.Get("http://" + bound + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respJ.Body.Close()
+	if err := ReadJSON(respJ.Body, &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Counters) != 1 || s.Counters[0].Value != 2 {
+		t.Errorf("served snapshot wrong: %+v", s.Counters)
+	}
+}

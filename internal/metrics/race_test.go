@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentUpdatesAndSnapshots hammers one registry from
+// GOMAXPROCS writer goroutines while a reader snapshots continuously,
+// asserting the package's monotonic-snapshot contract: counter values
+// never decrease between successive snapshots, and a histogram's Count
+// always equals the sum of its bucket Counts (no torn reads). Run under
+// -race this also proves the instruments are data-race free.
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pim_test_total")
+	g := r.Gauge("pim_test_gauge")
+	h := r.Histogram("pim_test_hist", ExpBuckets(1, 2, 8))
+	v := r.CounterVec("pim_test_vec", "dpu", 8)
+
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 2 {
+		writers = 2
+	}
+	const perWriter = 5000
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(uint64(i % 300))
+				v.At(i % 8).Add(2)
+			}
+		}(w)
+	}
+
+	// Reader: successive snapshots must be monotonic per counter and
+	// internally consistent per histogram.
+	var lastC uint64
+	lastVec := make(map[string]uint64)
+	readerDone := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		for !stop.Load() {
+			s := r.Snapshot()
+			for _, cs := range s.Counters {
+				if cs.Name == "pim_test_total" {
+					if cs.Value < lastC {
+						t.Errorf("counter went backwards: %d -> %d", lastC, cs.Value)
+						return
+					}
+					lastC = cs.Value
+				}
+				if cs.Name == "pim_test_vec" {
+					if cs.Value < lastVec[cs.LabelVal] {
+						t.Errorf("vec[%s] went backwards", cs.LabelVal)
+						return
+					}
+					lastVec[cs.LabelVal] = cs.Value
+				}
+			}
+			for _, hs := range s.Histograms {
+				var sum uint64
+				for _, n := range hs.Counts {
+					sum += n
+				}
+				if sum != hs.Count {
+					t.Errorf("torn histogram: Count=%d sum(Counts)=%d", hs.Count, sum)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	<-readerDone
+
+	want := uint64(writers * perWriter)
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	var vecTotal uint64
+	for i := 0; i < v.Len(); i++ {
+		vecTotal += v.At(i).Value()
+	}
+	if vecTotal != 2*want {
+		t.Errorf("vec total = %d, want %d", vecTotal, 2*want)
+	}
+}
+
+// TestConcurrentGetOrCreate races registration against growth: the same
+// (name, label) must resolve to one instrument from every goroutine.
+func TestConcurrentGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	got := make([]*Counter, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = r.LabeledCounter("shared", "k", "v")
+			r.CounterVec("vec", "dpu", 4+i).At(0).Inc()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("get-or-create returned distinct instruments")
+		}
+	}
+	if n := r.CounterVec("vec", "dpu", 1).At(0).Value(); n != 16 {
+		t.Errorf("vec[0] = %d, want 16 (grown slices must share counters)", n)
+	}
+}

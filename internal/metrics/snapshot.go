@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// sorted by (name, label key, numeric-aware label value) so renderings
+// are deterministic and diffable. Counter values and histogram bucket
+// counts are loaded atomically and individually: successive snapshots
+// of a live registry are monotonic per instrument, and a histogram's
+// Count is computed from the very bucket loads that produced Counts, so
+// Count == sum(Counts) always holds within one snapshot.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+}
+
+// CounterSnap is one counter's value.
+type CounterSnap struct {
+	Name     string `json:"name"`
+	LabelKey string `json:"label_key,omitempty"`
+	LabelVal string `json:"label_val,omitempty"`
+	Value    uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's value.
+type GaugeSnap struct {
+	Name     string `json:"name"`
+	LabelKey string `json:"label_key,omitempty"`
+	LabelVal string `json:"label_val,omitempty"`
+	Value    int64  `json:"value"`
+}
+
+// HistSnap is one histogram's buckets. Counts has len(Bounds)+1
+// entries; the last is the +Inf bucket. Counts are per-bucket (not
+// cumulative); WritePrometheus cumulates them for the exposition
+// format.
+type HistSnap struct {
+	Name     string   `json:"name"`
+	LabelKey string   `json:"label_key,omitempty"`
+	LabelVal string   `json:"label_val,omitempty"`
+	Bounds   []uint64 `json:"bounds"`
+	Counts   []uint64 `json:"counts"`
+	Sum      uint64   `json:"sum"`
+	Count    uint64   `json:"count"`
+}
+
+// Snapshot captures the current value of every instrument. Safe for
+// concurrent use with updaters; returns an empty snapshot on a nil
+// registry.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	cids := make([]instrumentID, 0, len(r.counters))
+	for id := range r.counters {
+		cids = append(cids, id)
+	}
+	gids := make([]instrumentID, 0, len(r.gauges))
+	for id := range r.gauges {
+		gids = append(gids, id)
+	}
+	hids := make([]instrumentID, 0, len(r.hists))
+	for id := range r.hists {
+		hids = append(hids, id)
+	}
+	cs := make([]*Counter, len(cids))
+	for i, id := range cids {
+		cs[i] = r.counters[id]
+	}
+	gs := make([]*Gauge, len(gids))
+	for i, id := range gids {
+		gs[i] = r.gauges[id]
+	}
+	hs := make([]*Histogram, len(hids))
+	for i, id := range hids {
+		hs[i] = r.hists[id]
+	}
+	r.mu.Unlock()
+
+	// Values are loaded outside the registry lock: instruments are
+	// immutable once created, only their atomics move.
+	perm := make([]int, len(cids))
+	for i := range perm {
+		perm[i] = i
+	}
+	sortByID(cids, perm)
+	s.Counters = make([]CounterSnap, len(cids))
+	for i, id := range cids {
+		s.Counters[i] = CounterSnap{id.name, id.labelKey, id.labelVal, cs[perm[i]].Value()}
+	}
+
+	perm = perm[:0]
+	for i := range gids {
+		perm = append(perm, i)
+	}
+	sortByID(gids, perm)
+	s.Gauges = make([]GaugeSnap, len(gids))
+	for i, id := range gids {
+		s.Gauges[i] = GaugeSnap{id.name, id.labelKey, id.labelVal, gs[perm[i]].Value()}
+	}
+
+	perm = perm[:0]
+	for i := range hids {
+		perm = append(perm, i)
+	}
+	sortByID(hids, perm)
+	s.Histograms = make([]HistSnap, len(hids))
+	for i, id := range hids {
+		h := hs[perm[i]]
+		counts := make([]uint64, len(h.counts))
+		var total uint64
+		for j := range h.counts {
+			counts[j] = h.counts[j].Load()
+			total += counts[j]
+		}
+		s.Histograms[i] = HistSnap{
+			Name:     id.name,
+			LabelKey: id.labelKey,
+			LabelVal: id.labelVal,
+			Bounds:   h.bounds,
+			Counts:   counts,
+			Sum:      h.sum.Load(),
+			Count:    total,
+		}
+	}
+	return s
+}
+
+// sortByID sorts ids in place and applies the same permutation order to
+// perm (which must start as the identity), so callers can reorder a
+// parallel slice.
+func sortByID(ids []instrumentID, perm []int) {
+	sort.Sort(&idSorter{ids, perm})
+}
+
+type idSorter struct {
+	ids  []instrumentID
+	perm []int
+}
+
+func (s *idSorter) Len() int { return len(s.ids) }
+func (s *idSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+}
+func (s *idSorter) Less(i, j int) bool { return lessID(s.ids[i], s.ids[j]) }
+
+func lessID(a, b instrumentID) bool {
+	if a.name != b.name {
+		return a.name < b.name
+	}
+	if a.labelKey != b.labelKey {
+		return a.labelKey < b.labelKey
+	}
+	ai, aok := atoi(a.labelVal)
+	bi, bok := atoi(b.labelVal)
+	if aok && bok {
+		return ai < bi
+	}
+	return a.labelVal < b.labelVal
+}
+
+func atoi(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, true
+}
+
+func label(key, val string) string {
+	if key == "" {
+		return ""
+	}
+	return fmt.Sprintf("{%s=%q}", key, val)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (one # TYPE line per family, cumulative _bucket
+// series with le edges plus _sum/_count for histograms).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var last string
+	for _, c := range s.Counters {
+		if c.Name != last {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c.Name); err != nil {
+				return err
+			}
+			last = c.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", c.Name, label(c.LabelKey, c.LabelVal), c.Value); err != nil {
+			return err
+		}
+	}
+	last = ""
+	for _, g := range s.Gauges {
+		if g.Name != last {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", g.Name); err != nil {
+				return err
+			}
+			last = g.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", g.Name, label(g.LabelKey, g.LabelVal), g.Value); err != nil {
+			return err
+		}
+	}
+	last = ""
+	for _, h := range s.Histograms {
+		if h.Name != last {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+				return err
+			}
+			last = h.Name
+		}
+		extra := ""
+		if h.LabelKey != "" {
+			extra = fmt.Sprintf("%s=%q,", h.LabelKey, h.LabelVal)
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", h.Name, extra, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", h.Name, label(h.LabelKey, h.LabelVal), h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, label(h.LabelKey, h.LabelVal), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as a single JSON document. The encoder
+// is shared by the -metrics-addr HTTP handler, upmem-profile -json, and
+// upmem-top's poller; output is deterministic for a quiescent registry.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// ReadJSON decodes a WriteJSON document back into a Snapshot — the
+// inverse used by pollers like upmem-top.
+func ReadJSON(r io.Reader, s *Snapshot) error {
+	return json.NewDecoder(r).Decode(s)
+}

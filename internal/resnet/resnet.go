@@ -371,6 +371,9 @@ func (n *Network) Forward(input *tensor.Tensor, runner *gemm.Runner) ([]int16, *
 		if runner == nil {
 			return gemm.Reference(m, cols, k, 1, w, b)
 		}
+		if runner.MetricsOn() {
+			runner.SetScope(fmt.Sprintf("resnet_layer%02d", layer))
+		}
 		c, st, err := runner.Multiply(m, cols, k, 1, w, b)
 		if err != nil {
 			return nil, err

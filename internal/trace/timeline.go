@@ -18,20 +18,23 @@ import (
 // run shows wave w+1's span starting before wave w's has ended, a
 // synchronous run shows strictly sequential spans.
 
-// Span is one timed phase of an execution-engine wave.
+// Span is one timed phase of an execution-engine wave. The JSON tags
+// serve upmem-profile's -json exposition; Start and End marshal as
+// nanoseconds (time.Duration's underlying int64).
 type Span struct {
 	// Name is the phase: "scatter", "launch", "gather" and "retry" on
 	// the synchronous path, "wave" for a pipelined fused
 	// scatter→launch→gather command (one queue command, not separately
 	// timeable), "retry" for re-dispatches on either path.
-	Name string
+	Name string `json:"name"`
 	// Wave is the engine-global wave sequence number the span belongs
 	// to (retry spans carry the wave they repair).
-	Wave int
+	Wave int `json:"wave"`
 	// Shards is the number of DPUs participating in the wave.
-	Shards int
+	Shards int `json:"shards"`
 	// Start and End are offsets from the Timeline epoch.
-	Start, End time.Duration
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
 }
 
 // Timeline accumulates spans from one or more engines. The zero value
@@ -61,12 +64,25 @@ func (tl *Timeline) Record(name string, wave, shards int, start, end time.Time) 
 	tl.mu.Unlock()
 }
 
-// Spans returns a copy of the recorded spans in recording order.
+// Spans returns a copy of the recorded spans in stable (Start, Wave,
+// Name) order. Recording order is not deterministic when several
+// engines share one timeline — spans arrive interleaved by goroutine
+// scheduling — so callers comparing or rendering timelines get a
+// reproducible sequence instead.
 func (tl *Timeline) Spans() []Span {
 	tl.mu.Lock()
-	defer tl.mu.Unlock()
 	out := make([]Span, len(tl.spans))
 	copy(out, tl.spans)
+	tl.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Wave != out[j].Wave {
+			return out[i].Wave < out[j].Wave
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 
@@ -110,8 +126,9 @@ func (tl *Timeline) MaxConcurrent() int {
 }
 
 // Render draws the timeline as an ASCII Gantt chart, one row per span,
-// width columns wide. Rows keep recording order, so a pipelined run
-// shows bars whose horizontal extents interleave.
+// width columns wide. Rows follow Spans()'s stable (Start, Wave, Name)
+// order, so a pipelined run shows bars whose horizontal extents
+// interleave.
 func (tl *Timeline) Render(width int) string {
 	spans := tl.Spans()
 	if len(spans) == 0 {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRecordAndQuery(t *testing.T) {
@@ -185,5 +186,41 @@ func TestConcurrentRecord(t *testing.T) {
 	}
 	if got := p.Cycles("op"); got != 16000 {
 		t.Errorf("concurrent Cycles = %d, want 16000", got)
+	}
+}
+
+func TestSpansStableOrder(t *testing.T) {
+	tl := NewTimeline()
+	epoch := tl.epoch
+	at := func(ms int) time.Time { return epoch.Add(time.Duration(ms) * time.Millisecond) }
+	// Record out of time order, as interleaved engines would.
+	tl.Record("launch", 2, 4, at(30), at(40))
+	tl.Record("scatter", 1, 4, at(0), at(10))
+	tl.Record("gather", 1, 4, at(20), at(30))
+	tl.Record("launch", 1, 4, at(10), at(20))
+	// Equal Start: wave breaks the tie, then name.
+	tl.Record("scatter", 3, 4, at(30), at(35))
+	tl.Record("gather", 2, 4, at(30), at(45))
+	got := tl.Spans()
+	want := []struct {
+		name string
+		wave int
+	}{
+		{"scatter", 1}, {"launch", 1}, {"gather", 1},
+		{"gather", 2}, {"launch", 2}, {"scatter", 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Spans len = %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Name != w.name || got[i].Wave != w.wave {
+			t.Errorf("span %d = %s/w%d, want %s/w%d",
+				i, got[i].Name, got[i].Wave, w.name, w.wave)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Start < got[i-1].Start {
+			t.Errorf("span %d starts before span %d", i, i-1)
+		}
 	}
 }

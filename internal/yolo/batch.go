@@ -57,6 +57,9 @@ func (n *Network) ForwardBatch(inputs []*Tensor, r *gemm.Runner) ([]*Result, *Fo
 			// images' gathers are still queued, so the bias/activation
 			// pass overlaps the remaining transfers in pipelined mode.
 			s := n.shapes[li]
+			if r.MetricsOn() {
+				r.SetScope(fmt.Sprintf("yolo_conv%03d", li))
+			}
 			st, err := r.MultiplyBatchEach(def.Filters, cols, k, 1, n.Weights[li].W, bs,
 				func(i int, c []int16) {
 					applyBiasAct(c, def.Filters, cols, n.Weights[li].Bias, def.Activation)

@@ -82,6 +82,9 @@ func (n *Network) Forward(input *Tensor, runner *gemm.Runner) (*Result, *Forward
 					return nil, nil, fmt.Errorf("yolo: layer %d: %w", i, err)
 				}
 			} else {
+				if runner.MetricsOn() {
+					runner.SetScope(fmt.Sprintf("yolo_conv%03d", i))
+				}
 				var st gemm.Stats
 				c, st, err = runner.Multiply(def.Filters, cols, k, 1, n.Weights[i].W, b)
 				if err != nil {

@@ -2,12 +2,19 @@
 # Run the key simulator benchmarks with -benchmem and emit a JSON record
 # (name, ns/op, allocs/op, B/op) at the repo root, then compare it
 # against the previous PR's record: print a per-benchmark wall-clock
-# delta and FAIL if any baseline benchmark disappeared from the new run.
+# delta, FAIL if any baseline benchmark disappeared from the new run,
+# and FAIL if an allocation-gated benchmark's allocs/op grew over the
+# baseline. The allocation gate covers the telemetry overhead
+# benchmarks (BenchmarkMetrics*, the internal/metrics instrument
+# microbenchmarks): their allocs/op is a designed invariant — zero on
+# the instrument hot paths, fixed on the instrumented gemm path —
+# whereas the setup-dominated system benchmarks legitimately vary at
+# small -benchtime.
 #
 # Usage:  scripts/bench.sh [benchtime] [out.json] [baseline.json]
 #   benchtime      go test -benchtime value (default 10x)
-#   out.json       output file (default BENCH_pr4.json)
-#   baseline.json  delta baseline (default BENCH_pr2.json, the last
+#   out.json       output file (default BENCH_pr5.json)
+#   baseline.json  delta baseline (default BENCH_pr4.json, the last
 #                  recorded trajectory point; BENCH_baseline.json if
 #                  that is absent)
 #
@@ -20,8 +27,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
-OUT="${2:-BENCH_pr4.json}"
-BASELINE="${3:-BENCH_pr2.json}"
+OUT="${2:-BENCH_pr5.json}"
+BASELINE="${3:-BENCH_pr4.json}"
 [[ -f "$BASELINE" ]] || BASELINE="BENCH_baseline.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -32,10 +39,11 @@ run() { # run <package> <bench regexp>
 		| grep -E '^Benchmark' >>"$TMP" || true
 }
 
-run .               'BenchmarkSimulatorWallClock|BenchmarkFig47aTaskletSpeedup|BenchmarkFig47bOptimization|BenchmarkHeadlineLatency'
-run ./internal/gemm 'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatchKernel|BenchmarkMultiWaveSync|BenchmarkMultiWavePipelined'
-run ./internal/ebnn 'BenchmarkInferWaveSync|BenchmarkInferWavePipelined'
-run ./internal/host 'BenchmarkBroadcast|BenchmarkPushXfer|BenchmarkParallelLaunch'
+run .                  'BenchmarkSimulatorWallClock|BenchmarkFig47aTaskletSpeedup|BenchmarkFig47bOptimization|BenchmarkHeadlineLatency'
+run ./internal/gemm    'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatchKernel|BenchmarkMultiWaveSync|BenchmarkMultiWavePipelined|BenchmarkMetricsDisabledOverhead|BenchmarkMetricsEnabledOverhead'
+run ./internal/ebnn    'BenchmarkInferWaveSync|BenchmarkInferWavePipelined'
+run ./internal/host    'BenchmarkBroadcast|BenchmarkPushXfer|BenchmarkParallelLaunch'
+run ./internal/metrics 'BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkNilCounterAdd'
 
 # Benchmark lines look like:
 #   BenchmarkName-8  20  123456 ns/op  [custom metrics...]  4096 B/op  12 allocs/op
@@ -62,11 +70,14 @@ END { print "\n]" }
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
 
 # Delta report: every baseline benchmark must still exist; new-only
-# benchmarks are listed as such. Exits 1 on a vanished benchmark so CI
-# catches silently dropped coverage.
+# benchmarks are listed as such. Exits 1 on a vanished benchmark (CI
+# catches silently dropped coverage) or on an allocation regression in
+# an allocation-gated benchmark (name matching Metrics/CounterAdd/
+# HistogramObserve — the hot paths whose allocs/op is a designed
+# invariant rather than a setup artifact).
 if [[ -f "$BASELINE" && "$OUT" != "$BASELINE" ]]; then
 	awk -v baseline="$BASELINE" -v current="$OUT" '
-	function parse(file, tab,    line, name, ns) {
+	function parse(file, tab, atab,    line, name, ns, al) {
 		while ((getline line < file) > 0) {
 			if (match(line, /"name": "[^"]*"/)) {
 				name = substr(line, RSTART + 9, RLENGTH - 10)
@@ -74,15 +85,20 @@ if [[ -f "$BASELINE" && "$OUT" != "$BASELINE" ]]; then
 				if (match(line, /"ns_per_op": [0-9.]+/))
 					ns = substr(line, RSTART + 13, RLENGTH - 13)
 				tab[name] = ns
+				al = ""
+				if (match(line, /"allocs_per_op": [0-9.]+/))
+					al = substr(line, RSTART + 17, RLENGTH - 17)
+				atab[name] = al
 			}
 		}
 		close(file)
 	}
 	BEGIN {
-		parse(baseline, base)
-		parse(current, cur)
+		parse(baseline, base, baseAllocs)
+		parse(current, cur, curAllocs)
 		printf("%-55s %14s %14s %9s\n", "benchmark", "baseline ns", "current ns", "delta")
 		missing = 0
+		allocRegress = 0
 		for (name in base) {
 			if (!(name in cur)) {
 				printf("%-55s %14s %14s %9s\n", name, base[name], "MISSING", "-")
@@ -91,12 +107,23 @@ if [[ -f "$BASELINE" && "$OUT" != "$BASELINE" ]]; then
 			}
 			printf("%-55s %14s %14s %8.1f%%\n", name, base[name], cur[name],
 			       100 * (cur[name] - base[name]) / base[name])
+			if (name ~ /Metrics|CounterAdd|HistogramObserve/ &&
+			    baseAllocs[name] != "" && curAllocs[name] != "" &&
+			    curAllocs[name] + 0 > baseAllocs[name] + 0) {
+				printf("ALLOC REGRESSION: %s allocs/op %s -> %s\n",
+				       name, baseAllocs[name], curAllocs[name]) > "/dev/stderr"
+				allocRegress++
+			}
 		}
 		for (name in cur)
 			if (!(name in base))
 				printf("%-55s %14s %14s %9s\n", name, "(new)", cur[name], "-")
 		if (missing) {
 			printf("FAIL: %d baseline benchmark(s) missing from %s\n", missing, current) > "/dev/stderr"
+			exit 1
+		}
+		if (allocRegress) {
+			printf("FAIL: %d benchmark(s) regressed allocs/op vs %s\n", allocRegress, baseline) > "/dev/stderr"
 			exit 1
 		}
 	}'
