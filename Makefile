@@ -1,9 +1,11 @@
 # Build/test entry points. `make ci` is the full gate: vet, build, tests,
 # a race pass over the packages with cross-goroutine state (the host
 # runtime's worker pool, sharded transfers, and async command queue, the
-# trace profile, the metrics registry, the execution engine, and the
-# gemm/ebnn/yolo and alexnet/resnet runners that drive parallel and
-# pipelined launches, including the fault-injection recovery paths), and
+# trace profile, the metrics registry, the execution engine, the
+# softfloat slice kernels and compiled ISA dispatch shared across
+# concurrently launched DPUs, and the gemm/ebnn/yolo and alexnet/resnet
+# runners that drive parallel and pipelined launches, including the
+# fault-injection recovery paths), and
 # a check that this PR's benchmark trajectory record exists (see
 # DESIGN.md, "Simulator performance"). bench.sh additionally fails the
 # record step if any hot-path benchmark's allocs/op grew over the
@@ -12,9 +14,9 @@
 GO ?= go
 
 # The perf trajectory record this PR must ship (regenerate: make bench).
-BENCH_RECORD ?= BENCH_pr5.json
+BENCH_RECORD ?= BENCH_pr6.json
 
-.PHONY: all build vet test race bench bench-record ci
+.PHONY: all build vet test race bench bench-record profile ci
 
 all: ci
 
@@ -28,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dpu ./internal/host ./internal/trace ./internal/metrics ./internal/exec ./internal/gemm ./internal/ebnn ./internal/yolo ./internal/alexnet ./internal/resnet
+	$(GO) test -race ./internal/dpu ./internal/softfloat ./internal/isa ./internal/host ./internal/trace ./internal/metrics ./internal/exec ./internal/gemm ./internal/ebnn ./internal/yolo ./internal/alexnet ./internal/resnet
 
 # Regenerate $(BENCH_RECORD) and diff it against the previous PR's
 # record (see DESIGN.md, "Simulator performance").
@@ -37,5 +39,11 @@ bench:
 
 bench-record:
 	@test -f $(BENCH_RECORD) || { echo "FAIL: $(BENCH_RECORD) missing — run 'make bench' and commit it"; exit 1; }
+
+# CPU-profile the simulator hot path and print the top cumulative
+# functions (cpu.prof is left behind for `go tool pprof -http`).
+profile:
+	$(GO) test -run xxx -bench BenchmarkSimulatorWallClock -benchtime 500x -cpuprofile cpu.prof .
+	$(GO) tool pprof -top -cum -nodecount=10 pimdnn.test cpu.prof
 
 ci: vet build test race bench-record

@@ -1,0 +1,61 @@
+package alexnet
+
+import (
+	"reflect"
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/gemm"
+	"pimdnn/internal/host"
+)
+
+// TestForwardBlockChargingParity: the 8 delegated AlexNet GEMMs must be
+// observationally identical between legacy per-operation charging and
+// block charging — same logits, per-layer cycle stats, per-DPU clocks,
+// and subroutine profiles.
+func TestForwardBlockChargingParity(t *testing.T) {
+	n, err := New(LiteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randInput(n.Cfg.InputSize, 2)
+	maxK, maxN, _ := n.GEMMBounds()
+
+	run := func(legacy bool) ([]int16, *ForwardStats, []uint64, map[string]uint64) {
+		sys, err := host.NewSystem(8, host.DefaultConfig(dpu.O3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+			MaxK: maxK, MaxN: maxN, Tasklets: 8, TileCols: 64, LegacyCharging: legacy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits, stats, err := n.Forward(in, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cyc := make([]uint64, sys.NumDPUs())
+		for i := range cyc {
+			cyc[i] = sys.DPU(i).TotalCycles()
+		}
+		return logits, stats, cyc, sys.Profile().Snapshot()
+	}
+
+	legOut, legStats, legCyc, legProf := run(true)
+	blkOut, blkStats, blkCyc, blkProf := run(false)
+
+	if !reflect.DeepEqual(legOut, blkOut) {
+		t.Error("logits diverge between legacy and block charging")
+	}
+	if !reflect.DeepEqual(legStats, blkStats) {
+		t.Errorf("forward stats diverge:\nlegacy: %+v\nblock:  %+v", legStats, blkStats)
+	}
+	if !reflect.DeepEqual(legCyc, blkCyc) {
+		t.Errorf("per-DPU cycles diverge:\nlegacy: %v\nblock:  %v", legCyc, blkCyc)
+	}
+	if !reflect.DeepEqual(legProf, blkProf) {
+		t.Errorf("subroutine profiles diverge:\nlegacy: %v\nblock:  %v", legProf, blkProf)
+	}
+}

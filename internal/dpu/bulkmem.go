@@ -1,0 +1,211 @@
+package dpu
+
+import "fmt"
+
+// Kernel-emulation memory access. Kernels that account for their work
+// with CostBlock/ChargeDMA compute natively on host memory and move
+// data in bulk; these helpers give them the data movement with one lock
+// acquisition per call instead of one per simulated transfer. None of
+// them charge cycles or meter telemetry: the modeled DMA traffic is
+// charged separately (and the launch-end aggregation meters it), so a
+// kernel that used these for its data and ChargeBlock for its cycles
+// reports exactly the same counters as one that moved every chunk
+// through MRAMToWRAM.
+
+// WRAMWindow returns a direct view of WRAM [off, off+n) for kernel
+// emulation. No cycles are charged; the caller accounts for its loads
+// and stores via ChargeBlock. The view aliases live WRAM: it is valid
+// only inside the current launch and must not be retained.
+func (t *Tasklet) WRAMWindow(off, n int64) []byte {
+	if n < 0 || off < 0 || off+n > int64(t.dpu.cfg.WRAMSize) {
+		t.trapf("WRAM window [%d, %d) outside [0, %d)", off, off+n, t.dpu.cfg.WRAMSize)
+	}
+	return t.dpu.wram[off : off+n]
+}
+
+// CopyFromMRAMRawInto reads len(dst) bytes of MRAM at off into dst
+// under one lock, without metering host-transfer telemetry. The
+// alignment rules match the DMA engine's, catching kernel layout bugs.
+func (d *DPU) CopyFromMRAMRawInto(off int64, dst []byte) error {
+	if err := d.checkDMAArgs(off, len(dst)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.mramRead(off, dst)
+	d.mu.Unlock()
+	return nil
+}
+
+// CopyToMRAMRaw writes data to MRAM at off under one lock, without
+// metering host-transfer telemetry.
+func (d *DPU) CopyToMRAMRaw(off int64, data []byte) error {
+	if err := d.checkDMAArgs(off, len(data)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.mramWrite(off, data)
+	d.mu.Unlock()
+	return nil
+}
+
+// CopyFromMRAMStridedInto reads rows of rowBytes bytes spaced stride
+// bytes apart, starting at off, packing them contiguously into dst
+// (len(dst) must be a multiple of rowBytes; len(dst)/rowBytes rows are
+// read). The lock is taken once for the whole strided read — this is
+// what lets a tiled kernel fetch a K-deep column block in one call
+// instead of K round trips.
+func (d *DPU) CopyFromMRAMStridedInto(off, stride int64, rowBytes int, dst []byte) error {
+	if rowBytes <= 0 || len(dst)%rowBytes != 0 {
+		return fmt.Errorf("dpu: strided MRAM read: dst %d bytes not a multiple of row size %d", len(dst), rowBytes)
+	}
+	rows := len(dst) / rowBytes
+	if rows == 0 {
+		return nil
+	}
+	if off%DMAAlignment != 0 || stride%DMAAlignment != 0 || rowBytes%DMAAlignment != 0 {
+		return fmt.Errorf("dpu: strided MRAM read off=%d stride=%d row=%d violates %d-byte alignment",
+			off, stride, rowBytes, DMAAlignment)
+	}
+	last := off + int64(rows-1)*stride
+	if off < 0 || stride < 0 || last+int64(rowBytes) > d.cfg.MRAMSize {
+		return fmt.Errorf("dpu: strided MRAM read [%d, %d) outside [0, %d)", off, last+int64(rowBytes), d.cfg.MRAMSize)
+	}
+	d.mu.Lock()
+	for i := 0; i < rows; i++ {
+		d.mramRead(off+int64(i)*stride, dst[i*rowBytes:(i+1)*rowBytes])
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// ForEachMRAMRowStrided invokes fn(i, row) for rows rows of rowBytes
+// bytes spaced stride bytes apart starting at off, under one lock, with
+// row aliasing the MRAM page directly whenever the row does not cross a
+// page boundary (boundary-crossing rows — at most one per 64 KB — are
+// staged through a small internal buffer). The zero-copy variant of
+// CopyFromMRAMStridedInto for kernels that consume each row once. fn
+// must not retain row and must not call other DPU methods (the lock is
+// held).
+func (d *DPU) ForEachMRAMRowStrided(off, stride int64, rowBytes, rows int, fn func(i int, row []byte)) error {
+	if rowBytes <= 0 || rows < 0 {
+		return fmt.Errorf("dpu: strided MRAM walk: bad row size %d / count %d", rowBytes, rows)
+	}
+	if rows == 0 {
+		return nil
+	}
+	if off%DMAAlignment != 0 || stride%DMAAlignment != 0 || rowBytes%DMAAlignment != 0 {
+		return fmt.Errorf("dpu: strided MRAM walk off=%d stride=%d row=%d violates %d-byte alignment",
+			off, stride, rowBytes, DMAAlignment)
+	}
+	last := off + int64(rows-1)*stride
+	if off < 0 || stride < 0 || last+int64(rowBytes) > d.cfg.MRAMSize {
+		return fmt.Errorf("dpu: strided MRAM walk [%d, %d) outside [0, %d)", off, last+int64(rowBytes), d.cfg.MRAMSize)
+	}
+	d.mu.Lock()
+	if cap(d.rowScratch) < rowBytes {
+		d.rowScratch = make([]byte, rowBytes)
+	}
+	// The page index and intra-page offset advance incrementally with
+	// the stride: per row this costs an add and a compare, with the page
+	// lookup re-done only on page change.
+	page := off / mramPageSize
+	po := off % mramPageSize
+	pageBuf := d.mramPages[page]
+	for i := 0; i < rows; i++ {
+		if po+int64(rowBytes) <= mramPageSize && pageBuf != nil {
+			fn(i, pageBuf[po:po+int64(rowBytes)])
+		} else {
+			// Page boundary crossing or untouched (all-zero) page: stage.
+			buf := d.rowScratch[:rowBytes]
+			d.mramRead(off+int64(i)*stride, buf)
+			fn(i, buf)
+		}
+		if po += stride; po >= mramPageSize {
+			adv := po / mramPageSize
+			page += adv
+			po -= adv * mramPageSize
+			if page < int64(len(d.mramPages)) {
+				pageBuf = d.mramPages[page]
+			} else {
+				pageBuf = nil
+			}
+		}
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// ForEachMRAMRowRuns is ForEachMRAMRowStrided with the callback invoked
+// once per run of page-resident rows instead of once per row: fn
+// receives the index of the run's first row, the row count, a block
+// aliasing MRAM (or staging) where row first+r starts at
+// block[r*blockStride], and that stride. Runs cover all rows in order.
+// A blockStride of 0 means every row of the run aliases the same bytes
+// (the shared zero row of an untouched page). fn must not write block
+// or retain it, and must not call other DPU methods (the lock is held).
+func (d *DPU) ForEachMRAMRowRuns(off, stride int64, rowBytes, rows int, fn func(first, count int, block []byte, blockStride int)) error {
+	if rowBytes <= 0 || rows < 0 {
+		return fmt.Errorf("dpu: strided MRAM walk: bad row size %d / count %d", rowBytes, rows)
+	}
+	if rows == 0 {
+		return nil
+	}
+	if off%DMAAlignment != 0 || stride%DMAAlignment != 0 || rowBytes%DMAAlignment != 0 {
+		return fmt.Errorf("dpu: strided MRAM walk off=%d stride=%d row=%d violates %d-byte alignment",
+			off, stride, rowBytes, DMAAlignment)
+	}
+	last := off + int64(rows-1)*stride
+	if off < 0 || stride < 0 || last+int64(rowBytes) > d.cfg.MRAMSize {
+		return fmt.Errorf("dpu: strided MRAM walk [%d, %d) outside [0, %d)", off, last+int64(rowBytes), d.cfg.MRAMSize)
+	}
+	d.mu.Lock()
+	if cap(d.rowScratch) < rowBytes {
+		d.rowScratch = make([]byte, rowBytes)
+	}
+	for i := 0; i < rows; {
+		ro := off + int64(i)*stride
+		page := ro / mramPageSize
+		po := ro % mramPageSize
+		if po+int64(rowBytes) <= mramPageSize {
+			// How many consecutive rows stay fully inside this page?
+			count := rows - i
+			if stride > 0 {
+				if fit := int((mramPageSize-po-int64(rowBytes))/stride) + 1; fit < count {
+					count = fit
+				}
+			}
+			if buf := d.mramPages[page]; buf != nil {
+				fn(i, count, buf[po:], int(stride))
+			} else {
+				// Untouched page: every row reads as zero.
+				zero := d.rowScratch[:rowBytes]
+				for b := range zero {
+					zero[b] = 0
+				}
+				fn(i, count, zero, 0)
+			}
+			i += count
+			continue
+		}
+		// Page-boundary-crossing row: stage it alone.
+		buf := d.rowScratch[:rowBytes]
+		d.mramRead(ro, buf)
+		fn(i, 1, buf, 0)
+		i++
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// --- per-launch shared state ---
+
+// SetLaunchLocal stashes host-side state shared by the tasklets of the
+// current launch (tasklets run serially in ID order, so no locking is
+// needed). Kernels use it so per-launch work — decoding a staged
+// operand row, say — happens once per DPU instead of once per tasklet.
+// The slot is cleared when the launch ends.
+func (t *Tasklet) SetLaunchLocal(v interface{}) { t.dpu.launchLocal = v }
+
+// LaunchLocal returns the state stored by SetLaunchLocal, or nil if no
+// tasklet of this launch has stored any.
+func (t *Tasklet) LaunchLocal() interface{} { return t.dpu.launchLocal }

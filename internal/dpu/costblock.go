@@ -1,0 +1,146 @@
+package dpu
+
+import "fmt"
+
+// Block-level cycle accounting. A kernel whose inner loop is a
+// straight-line sequence of operations does not need to charge them one
+// at a time: the total cost of the sequence is a static function of the
+// operation counts and the optimization level. A CostBlock precomputes
+// that total once — issue slots (including per-statement overhead),
+// per-class operation counts, subroutine occurrence records, and DMA
+// stall cycles — so a tasklet can account for one or many executions of
+// the sequence in O(1) with ChargeBlock/ChargeBlockN.
+//
+// The charge is constructed from the same cost.go tables the per-op
+// helpers use, so cycle totals, instruction mixes, perfcounter values
+// and subroutine profiles are identical to charging each operation
+// individually; the differential tests in the kernel packages enforce
+// that equivalence. Totals are precomputed for every OptLevel, so one
+// block (typically built once per runner or per problem shape) serves
+// DPUs at any optimization level.
+
+// CostBlock is the precomputed cost of a straight-line operation
+// sequence. Build one with AddOp/AddDMA; zero value is an empty block.
+// Building is not safe for concurrent use; charging a finished block
+// from many tasklets concurrently is.
+type CostBlock struct {
+	ops      []blockOp // nonzero (op, count) pairs for mix accounting
+	dmaOps   uint64
+	dmaBytes uint64
+	dmaCyc   uint64
+	lv       [4]blockLevel // per-OptLevel totals
+}
+
+// blockOp is one operation class and its count within the block.
+type blockOp struct {
+	op Op
+	n  uint64
+}
+
+// blockLevel is the block's total cost at one optimization level.
+type blockLevel struct {
+	slots uint64
+	subs  []blockSub
+}
+
+// blockSub is one subroutine's occurrence record within the block.
+type blockSub struct {
+	name      string
+	n         uint64
+	slotsEach uint64
+}
+
+// NewCostBlock returns an empty block.
+func NewCostBlock() *CostBlock { return &CostBlock{} }
+
+// AddOp folds n operations of class op into the block and returns the
+// block for chaining. Repeated AddOp calls for the same class merge.
+// Invalid operation classes panic: blocks describe static kernel
+// structure, so a bad class is a programming error.
+func (b *CostBlock) AddOp(op Op, n uint64) *CostBlock {
+	if op <= 0 || op >= opKinds {
+		panic(fmt.Sprintf("dpu: CostBlock.AddOp: invalid op %d", int(op)))
+	}
+	if n == 0 {
+		return b
+	}
+	merged := false
+	for i := range b.ops {
+		if b.ops[i].op == op {
+			b.ops[i].n += n
+			merged = true
+			break
+		}
+	}
+	if !merged {
+		b.ops = append(b.ops, blockOp{op, n})
+	}
+	for opt := O0; opt <= O3; opt++ {
+		e := cost(op, opt)
+		lv := &b.lv[opt]
+		lv.slots += n * (e.slots + stmtOverhead(op, opt))
+		if e.subroutine != "" {
+			found := false
+			for i := range lv.subs {
+				if lv.subs[i].name == e.subroutine {
+					lv.subs[i].n += n
+					found = true
+					break
+				}
+			}
+			if !found {
+				lv.subs = append(lv.subs, blockSub{e.subroutine, n, e.slots})
+			}
+		}
+	}
+	return b
+}
+
+// AddDMA folds n MRAM<->WRAM transfers of size bytes each into the
+// block (Eq 3.4 per transfer). size must satisfy the usual DMA
+// constraints; violations panic, like AddOp.
+func (b *CostBlock) AddDMA(n uint64, size int) *CostBlock {
+	if size <= 0 || size%DMAAlignment != 0 || size > MaxDMATransfer {
+		panic(fmt.Sprintf("dpu: CostBlock.AddDMA: invalid transfer size %d", size))
+	}
+	if n == 0 {
+		return b
+	}
+	b.dmaOps += n
+	b.dmaBytes += n * uint64(size)
+	b.dmaCyc += n * dmaCycles(size)
+	return b
+}
+
+// Slots returns the block's issue-slot total at the given level,
+// exposed for analytic estimators and tests.
+func (b *CostBlock) Slots(opt OptLevel) uint64 { return b.lv[opt].slots }
+
+// DMACycles returns the block's DMA stall cycles.
+func (b *CostBlock) DMACycles() uint64 { return b.dmaCyc }
+
+// ChargeBlock accounts for one execution of the block.
+func (t *Tasklet) ChargeBlock(b *CostBlock) { t.ChargeBlockN(b, 1) }
+
+// ChargeBlockN accounts for n executions of the block in O(1) simulator
+// time: cycle totals, operation counts, subroutine occurrences and DMA
+// accounting are identical to charging every operation individually n
+// times.
+func (t *Tasklet) ChargeBlockN(b *CostBlock, n uint64) {
+	if b == nil || n == 0 {
+		return
+	}
+	lv := &b.lv[t.dpu.cfg.Opt]
+	t.slots += n * lv.slots
+	for _, o := range b.ops {
+		t.opCounts[o.op] += n * o.n
+	}
+	for _, s := range lv.subs {
+		t.dpu.prof.RecordN(s.name, n*s.n, s.slotsEach)
+	}
+	if b.dmaOps != 0 {
+		t.dma += n * b.dmaCyc
+		t.dmaBytes += n * b.dmaBytes
+		t.dmaOps += n * b.dmaOps
+	}
+}

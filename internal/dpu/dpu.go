@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pimdnn/internal/trace"
@@ -65,10 +66,30 @@ type Stats struct {
 	// OpCounts is the instruction mix: executed operations per class,
 	// summed over tasklets. Analyses like the Advisor use it to see
 	// what a kernel is made of without a subroutine-level profile.
-	OpCounts map[Op]uint64
+	OpCounts OpMix
 	// PerTasklet breaks the work down per tasklet, exposing load
 	// imbalance (the cause of eBNN's Fig 4.7a dip at 11 tasklets).
+	// The slice aliases the DPU's reusable launch scratch: it is valid
+	// until that DPU's next Launch, so callers that retain it across
+	// launches must copy.
 	PerTasklet []TaskletBreakdown
+}
+
+// OpMix is the executed-operation histogram of a launch, indexed by Op.
+// A fixed array (rather than a map) so building it per launch costs no
+// allocation on the simulator's hot path.
+type OpMix [opKinds]uint64
+
+// Ops returns the number of distinct operation classes with a nonzero
+// count.
+func (m OpMix) Ops() int {
+	n := 0
+	for _, c := range m {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // TaskletBreakdown is one tasklet's share of a launch.
@@ -104,9 +125,11 @@ func (s Stats) MixReport() string {
 		op Op
 		n  uint64
 	}
-	rows := make([]row, 0, len(s.OpCounts))
+	rows := make([]row, 0, s.OpCounts.Ops())
 	for op, n := range s.OpCounts {
-		rows = append(rows, row{op, n})
+		if n != 0 {
+			rows = append(rows, row{Op(op), n})
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].n != rows[j].n {
@@ -129,13 +152,24 @@ type KernelFunc func(t *Tasklet) error
 type DPU struct {
 	cfg Config
 
-	mu        sync.Mutex
-	wram      []byte
-	iram      []byte
-	mramPages map[int64][]byte
+	mu      sync.Mutex
+	wram    []byte
+	iram    []byte
+	iramGen uint64
+	// progCache holds a host-side decoded form of the loaded program,
+	// valid while progCacheGen matches iramGen (see ProgramCache).
+	progCache    interface{}
+	progCacheGen uint64
+	// mramPages is the lazily-allocated MRAM, indexed by page number
+	// (nil entry = untouched page, reads as zero). A dense slice rather
+	// than a map: page lookup is on the hot path of every MRAM access.
+	mramPages [][]byte
 	symbols   map[string]Symbol
-	wramUsed  int64
-	mramUsed  int64
+	// wramUsed is the WRAM data-segment size. Written under mu (symbol
+	// definition); read via atomic load so the per-launch stack check
+	// does not take the lock.
+	wramUsed atomic.Int64
+	mramUsed int64
 
 	prof *trace.Profile
 
@@ -153,6 +187,15 @@ type DPU struct {
 	launches    int
 	log         []byte
 
+	// launchLocal is the per-launch shared state slot (see
+	// Tasklet.SetLaunchLocal). Tasklets run serially, so no lock; the
+	// slot is cleared at launch boundaries.
+	launchLocal interface{}
+
+	// rowScratch stages page-boundary-crossing rows for
+	// ForEachMRAMRowStrided. Guarded by mu.
+	rowScratch []byte
+
 	// scratch holds the per-launch tasklet state, reused so Launch does
 	// not heap-allocate tasklet structs on every call. Launch was never
 	// safe for concurrent use on one DPU (tasklets share WRAM state);
@@ -160,10 +203,12 @@ type DPU struct {
 	scratch launchScratch
 }
 
-// launchScratch is the reusable tasklet storage of one DPU.
+// launchScratch is the reusable tasklet storage of one DPU. breakdown
+// backs Stats.PerTasklet (see its aliasing note).
 type launchScratch struct {
-	tasklets [MaxTasklets]Tasklet
-	ptrs     [MaxTasklets]*Tasklet
+	tasklets  [MaxTasklets]Tasklet
+	ptrs      [MaxTasklets]*Tasklet
+	breakdown [MaxTasklets]TaskletBreakdown
 }
 
 // New creates a DPU with the given configuration.
@@ -174,7 +219,7 @@ func New(cfg Config) (*DPU, error) {
 	d := &DPU{
 		cfg:       cfg,
 		wram:      make([]byte, cfg.WRAMSize),
-		mramPages: make(map[int64][]byte),
+		mramPages: make([][]byte, (cfg.MRAMSize+mramPageSize-1)/mramPageSize),
 		symbols:   make(map[string]Symbol),
 		prof:      trace.NewProfile(),
 	}
@@ -289,13 +334,14 @@ func (d *DPU) AllocWRAM(name string, size int64) (Symbol, error) {
 	if _, ok := d.symbols[name]; ok {
 		return Symbol{}, fmt.Errorf("dpu: symbol %q already defined", name)
 	}
-	if d.wramUsed+size > int64(d.cfg.WRAMSize) {
+	used := d.wramUsed.Load()
+	if used+size > int64(d.cfg.WRAMSize) {
 		return Symbol{}, fmt.Errorf("dpu: WRAM exhausted: %d used + %d requested > %d",
-			d.wramUsed, size, d.cfg.WRAMSize)
+			used, size, d.cfg.WRAMSize)
 	}
-	s := Symbol{Name: name, Kind: SymbolWRAM, Offset: d.wramUsed, Size: size}
+	s := Symbol{Name: name, Kind: SymbolWRAM, Offset: used, Size: size}
 	d.symbols[name] = s
-	d.wramUsed += size
+	d.wramUsed.Store(used + size)
 	return s, nil
 }
 
@@ -321,9 +367,7 @@ func (d *DPU) Symbols() []Symbol {
 
 // WRAMFree returns the WRAM bytes not reserved by AllocWRAM.
 func (d *DPU) WRAMFree() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return int64(d.cfg.WRAMSize) - d.wramUsed
+	return int64(d.cfg.WRAMSize) - d.wramUsed.Load()
 }
 
 // StackPerTasklet returns the per-tasklet stack size available when
@@ -340,14 +384,28 @@ func (d *DPU) StackPerTasklet(n int) int64 {
 // Tasklets execute deterministically (in ID order); cycle accounting
 // models their concurrent execution on the pipeline.
 func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
+	var st Stats
+	err := d.LaunchInto(n, kernel, &st)
+	return st, err
+}
+
+// LaunchInto is Launch writing the statistics into *out instead of
+// returning them by value, sparing wave loops a ~250-byte struct copy
+// per launch. On success every field of *out is overwritten; on error
+// *out is zeroed. The zeroing happens only on the (cold) error paths so
+// the hot path never memclrs the struct.
+func (d *DPU) LaunchInto(n int, kernel KernelFunc, out *Stats) error {
 	if n < 1 || n > MaxTasklets {
-		return Stats{}, fmt.Errorf("dpu: tasklet count %d outside 1..%d", n, MaxTasklets)
+		*out = Stats{}
+		return fmt.Errorf("dpu: tasklet count %d outside 1..%d", n, MaxTasklets)
 	}
 	if kernel == nil {
-		return Stats{}, fmt.Errorf("dpu: nil kernel")
+		*out = Stats{}
+		return fmt.Errorf("dpu: nil kernel")
 	}
 	if stack := d.StackPerTasklet(n); stack < MinStackBytes {
-		return Stats{}, fmt.Errorf("dpu: %d tasklets leave %d bytes of stack each (< %d): WRAM data segment too large",
+		*out = Stats{}
+		return fmt.Errorf("dpu: %d tasklets leave %d bytes of stack each (< %d): WRAM data segment too large",
 			n, stack, MinStackBytes)
 	}
 	// Injected launch faults abort before any tasklet retires and charge
@@ -359,18 +417,33 @@ func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
 			if d.met != nil {
 				d.met.Faults.Inc()
 			}
-			return Stats{}, err
+			*out = Stats{}
+			return err
 		}
 	}
 	d.mu.Unlock()
 
+	// Tasklet structs are reset field-by-field rather than by struct
+	// literal: the opCounts array (the bulk of the struct) is kept zero
+	// between launches — cleared in the mix merge below on success, and
+	// explicitly on the error path — so the per-launch reset does not
+	// memclr ~n×250 bytes.
 	tasklets := d.scratch.ptrs[:n]
 	for i, t := range tasklets {
-		*t = Tasklet{dpu: d, id: i, count: n}
+		t.dpu, t.id, t.count = d, i, n
+		t.slots, t.dma = 0, 0
+		t.dmaBytes, t.dmaOps = 0, 0
+		t.pcSlots, t.pcDMA = 0, 0
 	}
+	d.launchLocal = nil
+	defer func() { d.launchLocal = nil }()
 	for _, t := range tasklets {
 		if err := d.runTasklet(t, kernel); err != nil {
-			return Stats{}, fmt.Errorf("dpu: tasklet %d: %w", t.id, err)
+			for _, t2 := range tasklets {
+				clear(t2.opCounts[:])
+			}
+			*out = Stats{}
+			return fmt.Errorf("dpu: tasklet %d: %w", t.id, err)
 		}
 	}
 
@@ -378,9 +451,9 @@ func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
 		sumSlots uint64
 		sumDMA   uint64
 		crit     uint64
+		mix      OpMix
 	)
-	mix := make(map[Op]uint64)
-	breakdown := make([]TaskletBreakdown, len(tasklets))
+	breakdown := d.scratch.breakdown[:len(tasklets)]
 	for i, t := range tasklets {
 		sumSlots += t.slots
 		sumDMA += t.dma
@@ -389,7 +462,8 @@ func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
 		}
 		for op, c := range t.opCounts {
 			if c != 0 {
-				mix[Op(op)] += c
+				mix[op] += c
+				t.opCounts[op] = 0
 			}
 		}
 		breakdown[i] = TaskletBreakdown{IssueSlots: t.slots, DMACycles: t.dma}
@@ -425,17 +499,16 @@ func (d *DPU) Launch(n int, kernel KernelFunc) (Stats, error) {
 	}
 
 	sec := float64(cycles) / d.cfg.FrequencyHz
-	return Stats{
-		Tasklets:   n,
-		Cycles:     cycles,
-		IssueSlots: sumSlots,
-		DMACycles:  sumDMA,
-		Time:       time.Duration(sec * float64(time.Second)),
-		Seconds:    sec,
-		EnergyJ:    sec * DPUPowerW,
-		OpCounts:   mix,
-		PerTasklet: breakdown,
-	}, nil
+	out.Tasklets = n
+	out.Cycles = cycles
+	out.IssueSlots = sumSlots
+	out.DMACycles = sumDMA
+	out.Time = time.Duration(sec * float64(time.Second))
+	out.Seconds = sec
+	out.EnergyJ = sec * DPUPowerW
+	out.OpCounts = mix
+	out.PerTasklet = breakdown
+	return nil
 }
 
 // runTasklet executes one tasklet, converting memory traps (panics of
@@ -559,8 +632,8 @@ func (d *DPU) mramWrite(off int64, data []byte) {
 	for len(data) > 0 {
 		page := off / mramPageSize
 		po := off % mramPageSize
-		buf, ok := d.mramPages[page]
-		if !ok {
+		buf := d.mramPages[page]
+		if buf == nil {
 			buf = make([]byte, mramPageSize)
 			d.mramPages[page] = buf
 		}
@@ -575,7 +648,7 @@ func (d *DPU) mramRead(off int64, dst []byte) {
 		page := off / mramPageSize
 		po := off % mramPageSize
 		var n int
-		if buf, ok := d.mramPages[page]; ok {
+		if buf := d.mramPages[page]; buf != nil {
 			n = copy(dst, buf[po:])
 		} else {
 			// Untouched MRAM reads as zero.

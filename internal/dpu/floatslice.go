@@ -1,0 +1,51 @@
+package dpu
+
+import "pimdnn/internal/softfloat"
+
+// Batched software floating point. Each method computes a whole vector
+// of binary32 operations through the softfloat slice routines and
+// accounts for them with one ChargeBulk call, so cycle totals,
+// instruction mixes and subroutine profiles are identical to a loop of
+// the scalar FAdd/FSub/... helpers over the same lanes. Kernels whose
+// inner loops are float-heavy (the eBNN threshold fold, normalization
+// layers) use these instead of per-lane calls.
+
+// FAddSlice computes dst[i] = a[i] + b[i], charging one __addsf3 per lane.
+func (t *Tasklet) FAddSlice(dst, a, b []uint32) {
+	t.ChargeBulk(OpFAdd, uint64(len(dst)))
+	softfloat.AddSlice(dst, a, b)
+}
+
+// FSubSlice computes dst[i] = a[i] - b[i], charging one __subsf3 per lane.
+func (t *Tasklet) FSubSlice(dst, a, b []uint32) {
+	t.ChargeBulk(OpFSub, uint64(len(dst)))
+	softfloat.SubSlice(dst, a, b)
+}
+
+// FMulSlice computes dst[i] = a[i] * b[i], charging one __mulsf3 per lane.
+func (t *Tasklet) FMulSlice(dst, a, b []uint32) {
+	t.ChargeBulk(OpFMul, uint64(len(dst)))
+	softfloat.MulSlice(dst, a, b)
+}
+
+// FDivSlice computes dst[i] = a[i] / b[i], charging one __divsf3 per lane.
+func (t *Tasklet) FDivSlice(dst, a, b []uint32) {
+	t.ChargeBulk(OpFDiv, uint64(len(dst)))
+	softfloat.DivSlice(dst, a, b)
+}
+
+// FMACSlice computes acc[i] += a[i] * b[i] (product rounded before the
+// add — no fused multiply-add on the DPU), charging one __mulsf3 and one
+// __addsf3 per lane.
+func (t *Tasklet) FMACSlice(acc, a, b []uint32) {
+	t.ChargeBulk(OpFMul, uint64(len(acc)))
+	t.ChargeBulk(OpFAdd, uint64(len(acc)))
+	softfloat.MACSlice(acc, a, b)
+}
+
+// FFromIntSlice converts each lane of v to binary32, charging one
+// __floatsisf per lane.
+func (t *Tasklet) FFromIntSlice(dst []uint32, v []int32) {
+	t.ChargeBulk(OpFloatFromInt, uint64(len(dst)))
+	softfloat.FromInt32Slice(dst, v)
+}

@@ -1,0 +1,113 @@
+package dpu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestFloatSliceChargeParity verifies that each batched softfloat helper
+// charges exactly what a scalar loop over the same lanes charges —
+// issue slots, instruction mix, subroutine profile — and computes the
+// same lanes, at every optimization level.
+func TestFloatSliceChargeParity(t *testing.T) {
+	const lanes = 257 // odd, larger than any internal batching granularity
+	rng := rand.New(rand.NewSource(99))
+	a := make([]uint32, lanes)
+	b := make([]uint32, lanes)
+	v := make([]int32, lanes)
+	for i := range a {
+		a[i] = rng.Uint32()
+		b[i] = rng.Uint32()
+		v[i] = int32(rng.Uint32())
+	}
+
+	type variant struct {
+		name   string
+		bulk   func(tk *Tasklet, dst []uint32)
+		scalar func(tk *Tasklet, dst []uint32)
+	}
+	variants := []variant{
+		{"FAddSlice",
+			func(tk *Tasklet, dst []uint32) { tk.FAddSlice(dst, a, b) },
+			func(tk *Tasklet, dst []uint32) {
+				for i := range dst {
+					dst[i] = tk.FAdd(a[i], b[i])
+				}
+			}},
+		{"FSubSlice",
+			func(tk *Tasklet, dst []uint32) { tk.FSubSlice(dst, a, b) },
+			func(tk *Tasklet, dst []uint32) {
+				for i := range dst {
+					dst[i] = tk.FSub(a[i], b[i])
+				}
+			}},
+		{"FMulSlice",
+			func(tk *Tasklet, dst []uint32) { tk.FMulSlice(dst, a, b) },
+			func(tk *Tasklet, dst []uint32) {
+				for i := range dst {
+					dst[i] = tk.FMul(a[i], b[i])
+				}
+			}},
+		{"FDivSlice",
+			func(tk *Tasklet, dst []uint32) { tk.FDivSlice(dst, a, b) },
+			func(tk *Tasklet, dst []uint32) {
+				for i := range dst {
+					dst[i] = tk.FDiv(a[i], b[i])
+				}
+			}},
+		{"FMACSlice",
+			func(tk *Tasklet, dst []uint32) {
+				copy(dst, b)
+				tk.FMACSlice(dst, a, b)
+			},
+			func(tk *Tasklet, dst []uint32) {
+				copy(dst, b)
+				for i := range dst {
+					dst[i] = tk.FAdd(dst[i], tk.FMul(a[i], b[i]))
+				}
+			}},
+		{"FFromIntSlice",
+			func(tk *Tasklet, dst []uint32) { tk.FFromIntSlice(dst, v) },
+			func(tk *Tasklet, dst []uint32) {
+				for i := range dst {
+					dst[i] = tk.FFromInt(v[i])
+				}
+			}},
+	}
+
+	run := func(opt OptLevel, body func(tk *Tasklet, dst []uint32)) ([]uint32, Stats, map[string]uint64) {
+		d := newTestDPU(t, opt)
+		dst := make([]uint32, lanes)
+		st, err := d.Launch(1, func(tk *Tasklet) error {
+			body(tk, dst)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Launch: %v", err)
+		}
+		return dst, st, d.Profile().Snapshot()
+	}
+
+	for _, opt := range []OptLevel{O0, O1, O2, O3} {
+		for _, vr := range variants {
+			gotDst, gotSt, gotProf := run(opt, vr.bulk)
+			wantDst, wantSt, wantProf := run(opt, vr.scalar)
+			if !reflect.DeepEqual(gotDst, wantDst) {
+				t.Errorf("%s O%d: lanes diverge from scalar loop", vr.name, int(opt))
+			}
+			if gotSt.IssueSlots != wantSt.IssueSlots || gotSt.Cycles != wantSt.Cycles {
+				t.Errorf("%s O%d: slots/cycles %d/%d, scalar %d/%d",
+					vr.name, int(opt), gotSt.IssueSlots, gotSt.Cycles, wantSt.IssueSlots, wantSt.Cycles)
+			}
+			if gotSt.OpCounts != wantSt.OpCounts {
+				t.Errorf("%s O%d: instruction mix diverges:\nbulk:   %v\nscalar: %v",
+					vr.name, int(opt), gotSt.OpCounts, wantSt.OpCounts)
+			}
+			if !reflect.DeepEqual(gotProf, wantProf) {
+				t.Errorf("%s O%d: subroutine profile diverges:\nbulk:   %v\nscalar: %v",
+					vr.name, int(opt), gotProf, wantProf)
+			}
+		}
+	}
+}

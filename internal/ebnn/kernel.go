@@ -4,11 +4,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 
 	"pimdnn/internal/dpu"
 	"pimdnn/internal/exec"
 	"pimdnn/internal/host"
 	"pimdnn/internal/mnist"
+	"pimdnn/internal/softfloat"
 )
 
 // DPU-side layout constants (§4.1.3 mapping).
@@ -64,6 +67,19 @@ type Runner struct {
 	// kernelFn is the kernel closure, built once at NewRunner and reused
 	// for every launch.
 	kernelFn dpu.KernelFunc
+
+	// legacy selects the per-op charging kernel (kernelLegacy) instead of
+	// the block-charged one; the differential tests flip it to prove the
+	// two produce identical cycle counts, profiles, and outputs.
+	legacy bool
+
+	// preBlock/imgBlock are the precomputed per-tasklet preamble and
+	// per-image cost of the block-charged kernel (see ebnnBlocks).
+	preBlock, imgBlock *dpu.CostBlock
+
+	// launchScratch pools the per-launch decoded model state; one entry
+	// is live per concurrently launching DPU.
+	launchScratch sync.Pool
 
 	// Resolved symbol handles for the per-wave transfer loops.
 	refImages, refNImages, refResults host.SymbolRef
@@ -202,6 +218,8 @@ func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, 
 
 	r.stages[0].ensure(sys.NumDPUs())
 	r.featBuf = make([]byte, PoolCells*m.F)
+	r.preBlock, r.imgBlock = ebnnBlocks(m.F, useLUT)
+	r.launchScratch.New = func() interface{} { return new(ebnnScratch) }
 	r.kernelFn = r.kernel()
 	r.eng.Configure(exec.Config{Pipeline: host.PipelineAuto})
 	return r, nil
@@ -241,13 +259,201 @@ func (r *Runner) Model() *Model { return r.model }
 // Tasklets returns the configured tasklet count.
 func (r *Runner) Tasklets() int { return r.tasklets }
 
-// kernel builds the DPU program. Each tasklet processes images
+// SetLegacyCharging switches between the block-charged kernel (default)
+// and the per-op charging form it replaced. Both account for the same
+// operations — the differential tests launch each and assert identical
+// cycle counts, instruction mixes, subroutine profiles and result bytes.
+// Call it between Infer calls only.
+func (r *Runner) SetLegacyCharging(v bool) {
+	r.legacy = v
+	if v {
+		r.kernelFn = r.kernelLegacy()
+	} else {
+		r.kernelFn = r.kernel()
+	}
+}
+
+// filtRows is one 3×3 binary filter pre-sliced into its three rows.
+type filtRows struct{ f0, f1, f2 uint32 }
+
+// ebnnScratch is the model state the block-charged kernel decodes once
+// per launch: tasklet 0 fills it and publishes it through the
+// launch-local slot; the other tasklets (which run serially after it)
+// read it instead of re-deriving the same values, while still charging
+// the preamble block so the cycle accounting matches the legacy kernel's
+// per-tasklet recomputation.
+type ebnnScratch struct {
+	n          int
+	filters    [8]filtRows
+	thresholds [8]uint32
+}
+
+// ebnnBlocks precomputes the per-tasklet preamble cost and the per-image
+// cost of the §4.1.3 kernel for a filter count and activation mode. The
+// operation counts mirror kernelLegacy statement by statement — the
+// differential tests enforce the equivalence. The two real DMA transfers
+// per image (packed pixels in, activation bytes out) are excluded: the
+// block kernel still issues them through the DMA engine.
+func ebnnBlocks(nf int, useLUT bool) (pre, img *dpu.CostBlock) {
+	fn := uint64(nf)
+	pre = dpu.NewCostBlock().
+		AddOp(dpu.OpLoad, 1+fn).  // image count + filter words
+		AddOp(dpu.OpLogic, 3*fn). // filter row masks
+		AddOp(dpu.OpShift, 2*fn)  // filter row extraction
+	if !useLUT {
+		pre.AddOp(dpu.OpLoad, 5*fn). // BN parameters
+						AddOp(dpu.OpFDiv, 2*fn). // scale, correction
+						AddOp(dpu.OpFSub, 2*fn)  // difference, threshold
+	}
+	cells := uint64(PoolCells)
+	img = dpu.NewCostBlock().
+		AddOp(dpu.OpMul16, 2).         // image and result MRAM offsets
+		AddOp(dpu.OpLoad, mnist.Side). // row fetch into registers
+		// Per pooled cell and filter: 4 conv windows of 6 shifts and
+		// 9 logic ops each, plus the activation-bit accumulate.
+		AddOp(dpu.OpShift, cells*fn*25).
+		AddOp(dpu.OpLogic, cells*fn*37).
+		AddOp(dpu.OpSubInt, cells*fn*4).
+		AddOp(dpu.OpBranch, cells*fn*4). // max-pool compares
+		AddOp(dpu.OpStore, cells)        // result bytes
+	if useLUT {
+		img.AddOp(dpu.OpAddInt, cells*fn*2).
+			AddOp(dpu.OpMul16, cells*fn).
+			AddOp(dpu.OpLoad, cells*fn) // LUT index + WRAM load
+	} else {
+		img.AddOp(dpu.OpFloatFromInt, cells*fn).
+			AddOp(dpu.OpFCmp, cells*fn) // threshold compare
+	}
+	return pre, img
+}
+
+// kernel builds the block-charged DPU program: the same per-image work
+// as kernelLegacy — packed pixels DMAed in, XNOR-popcount convolution +
+// max-pool, BN-BinAct via software float or the WRAM LUT, activations
+// DMAed out — computed natively on the host with the cycle cost charged
+// through the precomputed blocks. Tasklet 0 decodes the model state
+// (filters, batched-softfloat threshold fold) once per launch and shares
+// it launch-locally; every tasklet charges the preamble block, matching
+// the legacy kernel's per-tasklet recomputation.
+func (r *Runner) kernel() dpu.KernelFunc {
+	l := r.layout
+	nf := l.f
+	pre, per := r.preBlock, r.imgBlock
+	return func(t *dpu.Tasklet) error {
+		lutWRAM := l.scratch + dpu.MaxTasklets*perTaskletScratch
+
+		var sc *ebnnScratch
+		if t.ID() == 0 {
+			if l.useLUT {
+				// Real DMA, charged on tasklet 0 as in the legacy kernel
+				// (§4.1.4: the DPU stages the LUT into WRAM first).
+				t.MRAMToWRAM(lutWRAM, l.lutMRAM, lutWRAMSize)
+			}
+			sc = r.launchScratch.Get().(*ebnnScratch)
+			sc.n = int(int32(binary.LittleEndian.Uint32(t.WRAMWindow(l.nimages, 4))))
+			fw := t.WRAMWindow(l.filters, int64(nf)*2)
+			for f := 0; f < nf; f++ {
+				w := uint32(binary.LittleEndian.Uint16(fw[f*2:]))
+				sc.filters[f] = filtRows{f0: w & 7, f1: (w >> 3) & 7, f2: (w >> 6) & 7}
+			}
+			if !l.useLUT {
+				// Fold BN-BinAct into one threshold per filter, batched
+				// across filters: scale = w3/w2, thr = (w1-w0) - w4/scale.
+				bw := t.WRAMWindow(l.bn, int64(nf)*5*4)
+				var w0, w1, w2, w3, w4, scale, diff [8]uint32
+				for f := 0; f < nf; f++ {
+					base := f * 5 * 4
+					w0[f] = binary.LittleEndian.Uint32(bw[base:])
+					w1[f] = binary.LittleEndian.Uint32(bw[base+4:])
+					w2[f] = binary.LittleEndian.Uint32(bw[base+8:])
+					w3[f] = binary.LittleEndian.Uint32(bw[base+12:])
+					w4[f] = binary.LittleEndian.Uint32(bw[base+16:])
+				}
+				softfloat.DivSlice(scale[:nf], w3[:nf], w2[:nf])
+				softfloat.SubSlice(diff[:nf], w1[:nf], w0[:nf])
+				softfloat.DivSlice(w4[:nf], w4[:nf], scale[:nf])
+				softfloat.SubSlice(sc.thresholds[:nf], diff[:nf], w4[:nf])
+			}
+			t.SetLaunchLocal(sc)
+		} else {
+			sc = t.LaunchLocal().(*ebnnScratch)
+		}
+		if t.ID() == t.Count()-1 {
+			defer r.launchScratch.Put(sc)
+		}
+		t.ChargeBlock(pre)
+
+		n := sc.n
+		if n < 0 || n > BatchSize {
+			return fmt.Errorf("ebnn kernel: bad image count %d", n)
+		}
+
+		imgBuf := l.scratch + int64(t.ID())*perTaskletScratch
+		outBuf := imgBuf + mnist.PackedSize
+		imgWin := t.WRAMWindow(imgBuf, mnist.PackedSize)
+		outWin := t.WRAMWindow(outBuf, ResultSize)
+		var lutWin []byte
+		if l.useLUT {
+			lutWin = t.WRAMWindow(lutWRAM, lutWRAMSize)
+		}
+
+		T := t.Count()
+		for img := t.ID(); img < n; img += T {
+			t.MRAMToWRAM(imgBuf, l.images+int64(img)*mnist.PackedSize, mnist.PackedSize)
+
+			var rows [mnist.Side]uint32
+			for row := range rows {
+				rows[row] = binary.LittleEndian.Uint32(imgWin[row*4:])
+			}
+
+			for pr := 0; pr < PoolSize; pr++ {
+				for pc := 0; pc < PoolSize; pc++ {
+					var acc uint32
+					for f := 0; f < nf; f++ {
+						fr := sc.filters[f]
+						best := int32(math.MinInt32)
+						for dr := 0; dr < 2; dr++ {
+							row := pr*2 + dr
+							r0, r1, r2 := rows[row], rows[row+1], rows[row+2]
+							for dc := 0; dc < 2; dc++ {
+								c := uint(pc*2 + dc)
+								x := (uint32(int32(r0)>>c)&7 ^ fr.f0) |
+									((uint32(int32(r1)>>c)&7 ^ fr.f1) << 3) |
+									((uint32(int32(r2)>>c)&7 ^ fr.f2) << 6)
+								v := 9 - int32(bits.OnesCount32(x))<<1
+								if v > best {
+									best = v
+								}
+							}
+						}
+						var bit uint32
+						if l.useLUT {
+							idx := int(best-ConvMin)*nf + f
+							bit = uint32(lutWin[idx]) & 1
+						} else if softfloat.Ge(softfloat.FromInt32(best), sc.thresholds[f]) {
+							bit = 1
+						}
+						acc |= bit << uint(f)
+					}
+					outWin[pr*PoolSize+pc] = byte(acc)
+				}
+			}
+			t.WRAMToMRAM(l.results+int64(img)*ResultSize, outBuf, ResultSize)
+			t.ChargeBlock(per)
+		}
+		return nil
+	}
+}
+
+// kernelLegacy is the per-op charging form of the DPU program, retained
+// behind SetLegacyCharging as the reference the differential tests hold
+// the block-charged kernel to. Each tasklet processes images
 // tid, tid+T, tid+2T, ... of the batch (thread-level parallelism of
 // §4.3.1); per image it DMAs the packed pixels from MRAM, runs the binary
 // convolution + max-pool, applies BN-BinAct either in software floating
 // point (default) or via the WRAM LUT, and DMAs the activation bytes back
 // to MRAM.
-func (r *Runner) kernel() dpu.KernelFunc {
+func (r *Runner) kernelLegacy() dpu.KernelFunc {
 	l := r.layout
 	return func(t *dpu.Tasklet) error {
 		nf := l.f
@@ -269,7 +475,6 @@ func (r *Runner) kernel() dpu.KernelFunc {
 		// Load filters and pre-slice each into its three rows. nf <= 8
 		// is enforced by NewRunner, so fixed-size stack arrays avoid
 		// per-launch heap allocation.
-		type filtRows struct{ f0, f1, f2 uint32 }
 		var filters [8]filtRows
 		for f := 0; f < nf; f++ {
 			w := uint32(uint16(t.Load16(l.filters + int64(f)*2)))

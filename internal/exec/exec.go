@@ -177,6 +177,19 @@ type Engine struct {
 	insBuf []Xfer
 	raw    [2][]byte
 	lstats host.LaunchStats
+
+	// waveStats backs LaunchStats.PerDPU for the synchronous wave loop
+	// (host.LaunchOnInto): the loop reads only scalar aggregates, so one
+	// buffer serves every wave.
+	waveStats []dpu.Stats
+}
+
+// perDPUBuf returns the reusable PerDPU backing, grown to n entries.
+func (e *Engine) perDPUBuf(n int) []dpu.Stats {
+	if cap(e.waveStats) < n {
+		e.waveStats = make([]dpu.Stats, n)
+	}
+	return e.waveStats[:n]
 }
 
 // waveSlot is one of the two in-flight wave records of the pipelined
@@ -498,7 +511,7 @@ func (e *Engine) runSync(ws WorkSet, st *Stats) error {
 		}
 		t1 := e.span("scatter", seq, n, t0)
 
-		ls, lerr := e.sys.LaunchOn(n, tasklets, kernel)
+		ls, lerr := e.sys.LaunchOnInto(n, tasklets, kernel, e.perDPUBuf(n))
 		if err := e.mergeFailed(failed, lerr); err != nil {
 			return err
 		}

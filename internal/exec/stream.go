@@ -117,7 +117,7 @@ func (e *Engine) runStreamSync(ss *StreamSet, st *Stats) error {
 	e.reseedDown(failed)
 	t1 := e.span("scatter", seq, ss.Shards, t0)
 
-	ls, lerr := e.sys.LaunchOn(ss.Shards, ss.Tasklets, ss.Kernel)
+	ls, lerr := e.sys.LaunchOnInto(ss.Shards, ss.Tasklets, ss.Kernel, e.perDPUBuf(ss.Shards))
 	if err := e.mergeFailed(failed, lerr); err != nil {
 		return err
 	}

@@ -75,8 +75,106 @@ func (r *Runner) EnableBatch(maxM int) error {
 // kernelBatch computes the full M×N product for the B matrix resident in
 // this DPU's MRAM. Work units are (row, tile) pairs claimed round-robin
 // by tasklets; each tasklet caches the current A row in its private WRAM
-// slot so consecutive tiles of the same row reuse it.
+// slot so consecutive tiles of the same row reuse it. This is the
+// block-accounted form: each tile's operation sequence is charged with
+// one ChargeBlock call and the B column block is fetched with strided
+// bulk reads (see runner.go's tiled kernel; the per-tile cost structure
+// is identical).
 func (r *Runner) kernelBatch() dpu.KernelFunc {
+	tileCols := r.tileCols
+	return func(t *dpu.Tasklet) error {
+		n := int(t.LoadI32(r.paramsOff))
+		k := int(t.LoadI32(r.paramsOff + 4))
+		alpha := int16(t.LoadI32(r.paramsOff + 8))
+		m := int(t.LoadI32(r.paramsOff + 12))
+		if n < 1 || k < 1 || m < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK || m > r.maxM {
+			return fmt.Errorf("gemm batch kernel: bad params M=%d N=%d K=%d", m, n, k)
+		}
+		d := t.DPU()
+
+		sc := r.getScratch()
+		defer r.scratch.Put(sc)
+
+		blocks := r.blocksFor(n, k)
+		stride := pad4(n)
+		rowStride := int64(stride) * 2
+		tiles := (n + tileCols - 1) / tileCols
+		units := m * tiles
+		aSlot := r.aCacheOff + int64(t.ID())*int64((r.cfg.MaxK*2+7)&^7)
+		aBytes := (k*2 + 7) &^ 7
+
+		cachedRow := -1
+		apart := sc.apart[:k]
+		ctmp := sc.ctmp[:tileCols]
+
+		// One MAC closure per launch; tileN is the live tile's column
+		// count (see runner.go's tiled kernel).
+		tileN := 0
+		mac := func(first, count int, block []byte, bstride int) {
+			for ri := 0; ri < count; ri++ {
+				if ap := apart[first+ri]; ap != 0 {
+					macRow(ctmp, block[ri*bstride:], ap, tileN)
+				}
+			}
+		}
+
+		for u := t.ID(); u < units; u += t.Count() {
+			row := u / tiles
+			tile := u % tiles
+
+			if row != cachedRow {
+				// Stage this A row into the tasklet's WRAM cache (real
+				// DMA) and precompute APART (Algorithm 2 line 5).
+				for off := 0; off < aBytes; off += dpu.MaxDMATransfer {
+					chunk := aBytes - off
+					if chunk > dpu.MaxDMATransfer {
+						chunk = dpu.MaxDMATransfer
+					}
+					t.MRAMToWRAM(aSlot+int64(off), r.aFullOff+int64(row)*int64(aBytes)+int64(off), chunk)
+				}
+				t.ChargeBulk(dpu.OpLoad, uint64(k))
+				t.ChargeBulk(dpu.OpMul16, uint64(k))
+				aw := t.WRAMWindow(aSlot, int64(k*2))
+				for i := 0; i < k; i++ {
+					apart[i] = int32(alpha) * int32(int16(binary.LittleEndian.Uint16(aw[i*2:])))
+				}
+				cachedRow = row
+			}
+
+			j0 := tile * tileCols
+			cols := n - j0
+			if cols > tileCols {
+				cols = tileCols
+			}
+			chunkBytes := (cols*2 + 7) &^ 7
+			blk := blocks.full
+			if cols != tileCols {
+				blk = blocks.tail
+			}
+			t.ChargeBlock(blk)
+
+			for i := range ctmp[:cols] {
+				ctmp[i] = 0
+			}
+			tileN = cols
+			if err := d.ForEachMRAMRowRuns(r.bOff+int64(j0*2), rowStride, chunkBytes, k, mac); err != nil {
+				return err
+			}
+
+			out := sc.out[:chunkBytes]
+			packClamped(out, ctmp, cols, chunkBytes)
+			if err := d.CopyToMRAMRaw(r.cFullOff+int64(row*stride+j0)*2, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// kernelBatchLegacy is the per-operation-charging batch kernel, kept
+// behind RunnerConfig.LegacyCharging as the reference side of the
+// differential tests.
+func (r *Runner) kernelBatchLegacy() dpu.KernelFunc {
 	tileCols := r.tileCols
 	return func(t *dpu.Tasklet) error {
 		n := int(t.LoadI32(r.paramsOff))
@@ -278,7 +376,11 @@ func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]i
 	}
 	r.encodeParams(n, k, m, alpha)
 	if r.batchKernel == nil {
-		r.batchKernel = r.kernelBatch()
+		if r.cfg.LegacyCharging {
+			r.batchKernel = r.kernelBatchLegacy()
+		} else {
+			r.batchKernel = r.kernelBatch()
+		}
 	}
 
 	// Dispatch through the execution engine's streamed single-wave path:

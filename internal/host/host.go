@@ -588,12 +588,26 @@ func (s *System) Launch(tasklets int, kernel dpu.KernelFunc) (LaunchStats, error
 // system DPU clock (an all-failed launch charges nothing, matching the
 // per-DPU clocks, which only advance on success).
 func (s *System) LaunchOn(n, tasklets int, kernel dpu.KernelFunc) (LaunchStats, error) {
+	// stats escapes to the caller through LaunchStats.PerDPU, so it must
+	// be fresh; callers with a reusable buffer use LaunchOnInto.
+	return s.LaunchOnInto(n, tasklets, kernel, nil)
+}
+
+// LaunchOnInto is LaunchOn with a caller-owned PerDPU backing: when
+// cap(per) covers the launch, the returned LaunchStats.PerDPU is
+// per[:n] and no per-launch slice is allocated. Wave loops (the exec
+// engine) pass the same buffer every wave; they read only the scalar
+// aggregates after the next wave starts, so the reuse is safe there.
+func (s *System) LaunchOnInto(n, tasklets int, kernel dpu.KernelFunc, per []dpu.Stats) (LaunchStats, error) {
 	if n < 1 || n > len(s.dpus) {
 		return LaunchStats{}, fmt.Errorf("host: launch on %d DPUs, system has %d", n, len(s.dpus))
 	}
-	// stats escapes to the caller through LaunchStats.PerDPU, so it must
-	// be fresh; the error slice never escapes and is reused.
-	stats := make([]dpu.Stats, n)
+	var stats []dpu.Stats
+	if cap(per) >= n {
+		stats = per[:n]
+	} else {
+		stats = make([]dpu.Stats, n)
+	}
 	if cap(s.launchErrs) < n {
 		s.launchErrs = make([]error, n)
 	}
@@ -602,11 +616,11 @@ func (s *System) LaunchOn(n, tasklets int, kernel dpu.KernelFunc) (LaunchStats, 
 		errs[i] = nil
 	}
 	if n == 1 {
-		stats[0], errs[0] = s.dpus[0].Launch(tasklets, kernel)
+		errs[0] = s.dpus[0].LaunchInto(tasklets, kernel, &stats[0])
 	} else {
 		s.pool.run(n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				stats[i], errs[i] = s.dpus[i].Launch(tasklets, kernel)
+				errs[i] = s.dpus[i].LaunchInto(tasklets, kernel, &stats[i])
 			}
 		})
 	}

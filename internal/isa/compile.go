@@ -1,0 +1,301 @@
+package isa
+
+import (
+	"fmt"
+
+	"pimdnn/internal/dpu"
+)
+
+// Compiled-closure dispatch. The switch interpreter in Exec re-decodes
+// every instruction word on every execution; Compile predecodes the
+// program once into a table of closures — one per instruction, with the
+// opcode dispatch, register indices, immediate, and fall-through pc all
+// resolved at compile time — so executing an instruction is a single
+// indirect call. Every closure charges the identical tasklet helpers in
+// the identical order as the corresponding Exec case, so register files,
+// cycle counts, perfcounter reads, and subroutine profiles match the
+// interpreter bit for bit (the differential test runs every program
+// through both).
+
+// step executes one predecoded instruction and returns the next pc.
+// Memory traps (alignment, bounds, division by zero) panic inside the
+// tasklet helpers exactly as under the interpreter.
+type step func(t *dpu.Tasklet, regs *Regs) int
+
+// Compiled is a program predecoded for closure dispatch.
+type Compiled struct {
+	steps []step
+}
+
+// Len returns the compiled program's instruction count.
+func (c *Compiled) Len() int { return len(c.steps) }
+
+// Compile predecodes the program. Invalid instructions fail here, once,
+// instead of at execution time.
+func Compile(p Program) (*Compiled, error) {
+	n := len(p.Ins)
+	steps := make([]step, n)
+	for i, in := range p.Ins {
+		if !in.Valid() {
+			return nil, fmt.Errorf("isa: instruction %d invalid: %+v", i, in)
+		}
+		rd, rs1, rs2, imm := in.Rd, in.Rs1, in.Rs2, in.Imm
+		next := i + 1
+		target := int(imm)
+		switch in.Op {
+		case OpNOP:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int { t.Charge(dpu.OpNop, 1); return next }
+		case OpHALT:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int { t.Charge(dpu.OpNop, 1); return n }
+		case OpMOVI:
+			v := uint32(imm)
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpMove, 1)
+				regs[rd] = v
+				return next
+			}
+		case OpMOV:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpMove, 1)
+				regs[rd] = regs[rs1]
+				return next
+			}
+		case OpLB:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(int32(t.Load8(int64(int32(regs[rs1]) + imm))))
+				return next
+			}
+		case OpLH:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(int32(t.Load16(int64(int32(regs[rs1]) + imm))))
+				return next
+			}
+		case OpLW:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = t.Load32(int64(int32(regs[rs1]) + imm))
+				return next
+			}
+		case OpSB:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Store8(int64(int32(regs[rs1])+imm), int8(regs[rs2]))
+				return next
+			}
+		case OpSH:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Store16(int64(int32(regs[rs1])+imm), int16(regs[rs2]))
+				return next
+			}
+		case OpSW:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Store32(int64(int32(regs[rs1])+imm), regs[rs2])
+				return next
+			}
+		case OpADD:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Add32(int32(regs[rs1]), int32(regs[rs2])))
+				return next
+			}
+		case OpADDI:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Add32(int32(regs[rs1]), imm))
+				return next
+			}
+		case OpSUB:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Sub32(int32(regs[rs1]), int32(regs[rs2])))
+				return next
+			}
+		case OpAND:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = t.And32(regs[rs1], regs[rs2])
+				return next
+			}
+		case OpOR:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = t.Or32(regs[rs1], regs[rs2])
+				return next
+			}
+		case OpXOR:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = t.Xor32(regs[rs1], regs[rs2])
+				return next
+			}
+		case OpSLL:
+			s := uint(imm) & 31
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Shl32(int32(regs[rs1]), s))
+				return next
+			}
+		case OpSRL:
+			s := uint(imm) & 31
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpShift, 1)
+				regs[rd] = regs[rs1] >> s
+				return next
+			}
+		case OpSRA:
+			s := uint(imm) & 31
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Shr32(int32(regs[rs1]), s))
+				return next
+			}
+		case OpCAO:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Popcount32(regs[rs1]))
+				return next
+			}
+		case OpMUL8:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Mul8(int8(regs[rs1]), int8(regs[rs2])))
+				return next
+			}
+		case OpMUL16:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Mul16(int16(regs[rs1]), int16(regs[rs2])))
+				return next
+			}
+		case OpMUL:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Mul32(int32(regs[rs1]), int32(regs[rs2])))
+				return next
+			}
+		case OpDIV:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Div32(int32(regs[rs1]), int32(regs[rs2])))
+				return next
+			}
+		case OpREM:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.Mod32(int32(regs[rs1]), int32(regs[rs2])))
+				return next
+			}
+		case OpFADD:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = t.FAdd(regs[rs1], regs[rs2])
+				return next
+			}
+		case OpFSUB:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = t.FSub(regs[rs1], regs[rs2])
+				return next
+			}
+		case OpFMUL:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = t.FMul(regs[rs1], regs[rs2])
+				return next
+			}
+		case OpFDIV:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = t.FDiv(regs[rs1], regs[rs2])
+				return next
+			}
+		case OpFLT:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				if t.FLt(regs[rs1], regs[rs2]) {
+					regs[rd] = 1
+				} else {
+					regs[rd] = 0
+				}
+				return next
+			}
+		case OpFSI:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = t.FFromInt(int32(regs[rs1]))
+				return next
+			}
+		case OpFTS:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				regs[rd] = uint32(t.FToInt(regs[rs1]))
+				return next
+			}
+		case OpJ:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpBranch, 1)
+				return target
+			}
+		case OpBEQ:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpBranch, 1)
+				if regs[rs1] == regs[rs2] {
+					return target
+				}
+				return next
+			}
+		case OpBNE:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpBranch, 1)
+				if regs[rs1] != regs[rs2] {
+					return target
+				}
+				return next
+			}
+		case OpBLT:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpBranch, 1)
+				if int32(regs[rs1]) < int32(regs[rs2]) {
+					return target
+				}
+				return next
+			}
+		case OpBGE:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpBranch, 1)
+				if int32(regs[rs1]) >= int32(regs[rs2]) {
+					return target
+				}
+				return next
+			}
+		case OpLDMA:
+			sz := int(imm)
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.MRAMToWRAM(int64(regs[rs1]), int64(regs[rs2]), sz)
+				return next
+			}
+		case OpSDMA:
+			sz := int(imm)
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.WRAMToMRAM(int64(regs[rs2]), int64(regs[rs1]), sz)
+				return next
+			}
+		case OpPCFG:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.PerfcounterConfig()
+				return next
+			}
+		case OpPGET:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpMove, 1)
+				regs[rd] = uint32(t.PerfcounterGet())
+				return next
+			}
+		case OpTID:
+			steps[i] = func(t *dpu.Tasklet, regs *Regs) int {
+				t.Charge(dpu.OpMove, 1)
+				regs[rd] = uint32(t.ID())
+				return next
+			}
+		default:
+			return nil, fmt.Errorf("isa: pc %d: invalid opcode %d", i, in.Op)
+		}
+	}
+	return &Compiled{steps: steps}, nil
+}
+
+// Exec runs the compiled program on the tasklet, starting from
+// instruction 0, until HALT or the end of the program. Semantics,
+// charging, and error behaviour match the interpreter form exactly.
+func (c *Compiled) Exec(t *dpu.Tasklet, regs *Regs) error {
+	pc, n := 0, len(c.steps)
+	for steps := 0; ; steps++ {
+		if steps > MaxSteps {
+			return fmt.Errorf("isa: exceeded %d steps (runaway program?)", MaxSteps)
+		}
+		if pc < 0 || pc > n {
+			return fmt.Errorf("isa: pc %d outside program of %d instructions", pc, n)
+		}
+		if pc == n {
+			return nil
+		}
+		pc = c.steps[pc](t, regs)
+	}
+}

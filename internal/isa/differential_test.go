@@ -1,0 +1,280 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pimdnn/internal/dpu"
+)
+
+// diffProgram is one arm of the interpreter-vs-compiled differential
+// harness: a program plus the memory seeding it expects.
+type diffProgram struct {
+	name     string
+	tasklets int
+	build    func(t *testing.T) Program
+	seed     func(t *testing.T, d *dpu.DPU)
+}
+
+func seedWords(t *testing.T, d *dpu.DPU, off int, vals []int32) {
+	t.Helper()
+	buf := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+	}
+	if err := d.CopyToWRAM(int64(off), buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func diffPrograms(t *testing.T) []diffProgram {
+	rngWords := func(seed int64, n, lim int) []int32 {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]int32, n)
+		for i := range out {
+			if lim > 0 {
+				out[i] = rng.Int31n(int32(lim)) - int32(lim/2)
+			} else {
+				out[i] = int32(rng.Uint32())
+			}
+		}
+		return out
+	}
+	return []diffProgram{
+		{
+			name: "vecadd", tasklets: 8,
+			build: func(t *testing.T) Program {
+				p, err := VecAddProgram(0, 1024, 2048, 100, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			seed: func(t *testing.T, d *dpu.DPU) {
+				seedWords(t, d, 0, rngWords(1, 100, 1000))
+				seedWords(t, d, 1024, rngWords(2, 100, 1000))
+			},
+		},
+		{
+			name: "dot", tasklets: 1,
+			build: func(t *testing.T) Program {
+				p, err := DotProductProgram(0, 512, 1024, 50)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			seed: func(t *testing.T, d *dpu.DPU) {
+				seedWords(t, d, 0, rngWords(3, 50, 200))
+				seedWords(t, d, 512, rngWords(4, 50, 200))
+			},
+		},
+		{
+			name: "memcpy", tasklets: 1,
+			build: func(t *testing.T) Program {
+				p, err := MemcpyProgram(0, 1<<20, 0, 5000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			seed: func(t *testing.T, d *dpu.DPU) {
+				src := make([]byte, 5000)
+				for i := range src {
+					src[i] = byte(i * 13)
+				}
+				if err := d.CopyToMRAM(0, src); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "popcount", tasklets: 1,
+			build: func(t *testing.T) Program {
+				p, err := PopcountProgram(0, 512, 32)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			seed: func(t *testing.T, d *dpu.DPU) {
+				seedWords(t, d, 0, rngWords(5, 32, 0))
+			},
+		},
+		{
+			name: "reducemax", tasklets: 4,
+			build: func(t *testing.T) Program {
+				p, err := ReduceMaxProgram(0, 2048, 200, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			seed: func(t *testing.T, d *dpu.DPU) {
+				seedWords(t, d, 0, rngWords(6, 200, 0))
+			},
+		},
+		{
+			name: "ebnnconv", tasklets: 4,
+			build: func(t *testing.T) Program {
+				p, err := EBNNConvProgram(0, 256, 0x1B5, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			seed: func(t *testing.T, d *dpu.DPU) {
+				seedWords(t, d, 0, rngWords(7, 28, 0))
+			},
+		},
+		{
+			// Float pipeline with a perfcounter read: PGET's value depends
+			// on every cycle charged before it, so register parity here
+			// proves cycle-exact dispatch, not just result parity.
+			name: "float-perf", tasklets: 3,
+			build: func(t *testing.T) Program {
+				return MustAssemble(`
+		pcfg
+		movi r1, 1065353216  ; 1.0f
+		movi r2, 1077936128  ; 3.0f
+		fadd r3, r1, r2
+		fsub r4, r3, r2
+		fmul r5, r3, r4
+		fdiv r6, r5, r2
+		flt  r7, r6, r5
+		fsi  r8, r7
+		fts  r9, r6
+		mul16 r10, r9, r9
+		mul  r11, r10, r9
+		div  r12, r11, r9
+		rem  r13, r11, r10
+		cao  r14, r11
+		pget r15
+		halt
+	`)
+			},
+			seed: func(t *testing.T, d *dpu.DPU) {},
+		},
+	}
+}
+
+// TestCompiledDispatchParity runs every ISA program through the legacy
+// switch interpreter and the compiled-closure dispatcher on identically
+// seeded DPUs and asserts bit-identical register files, memory side
+// effects, cycle counts, instruction mixes, per-tasklet breakdowns, and
+// subroutine profiles at several optimization levels.
+func TestCompiledDispatchParity(t *testing.T) {
+	for _, opt := range []dpu.OptLevel{dpu.O0, dpu.O2} {
+		for _, pc := range diffPrograms(t) {
+			t.Run(fmt.Sprintf("%s/O%d", pc.name, int(opt)), func(t *testing.T) {
+				prog := pc.build(t)
+
+				run := func(kernel func(func(int, *Regs), func(int, Regs)) dpu.KernelFunc) (
+					map[int]Regs, dpu.Stats, map[string]uint64, []byte, []byte) {
+					d := dpu.MustNew(dpu.DefaultConfig(opt))
+					pc.seed(t, d)
+					if err := Load(d, prog); err != nil {
+						t.Fatal(err)
+					}
+					finals := map[int]Regs{}
+					st, err := d.Launch(pc.tasklets, kernel(nil, func(tid int, r Regs) { finals[tid] = r }))
+					if err != nil {
+						t.Fatal(err)
+					}
+					wram, err := d.CopyFromWRAM(0, 4096)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mram, err := d.CopyFromMRAM(1<<20, 8192)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return finals, st, d.Profile().Snapshot(), wram, mram
+				}
+
+				legRegs, legSt, legProf, legWRAM, legMRAM := run(LegacyKernel)
+				cmpRegs, cmpSt, cmpProf, cmpWRAM, cmpMRAM := run(Kernel)
+
+				if !reflect.DeepEqual(legRegs, cmpRegs) {
+					t.Errorf("register files diverge:\nlegacy:   %v\ncompiled: %v", legRegs, cmpRegs)
+				}
+				if legSt.IssueSlots != cmpSt.IssueSlots || legSt.DMACycles != cmpSt.DMACycles ||
+					legSt.Cycles != cmpSt.Cycles {
+					t.Errorf("cycles diverge: legacy slots=%d dma=%d cyc=%d, compiled slots=%d dma=%d cyc=%d",
+						legSt.IssueSlots, legSt.DMACycles, legSt.Cycles,
+						cmpSt.IssueSlots, cmpSt.DMACycles, cmpSt.Cycles)
+				}
+				if legSt.OpCounts != cmpSt.OpCounts {
+					t.Errorf("instruction mix diverges:\nlegacy:   %v\ncompiled: %v",
+						legSt.OpCounts, cmpSt.OpCounts)
+				}
+				if !reflect.DeepEqual(legSt.PerTasklet, cmpSt.PerTasklet) {
+					t.Errorf("per-tasklet breakdown diverges:\nlegacy:   %v\ncompiled: %v",
+						legSt.PerTasklet, cmpSt.PerTasklet)
+				}
+				if !reflect.DeepEqual(legProf, cmpProf) {
+					t.Errorf("subroutine profiles diverge:\nlegacy:   %v\ncompiled: %v", legProf, cmpProf)
+				}
+				if !bytes.Equal(legWRAM, cmpWRAM) {
+					t.Error("WRAM contents diverge")
+				}
+				if !bytes.Equal(legMRAM, cmpMRAM) {
+					t.Error("MRAM contents diverge")
+				}
+			})
+		}
+	}
+}
+
+// TestProgramCacheInvalidation confirms a reloaded IRAM image is
+// recompiled: the same kernel closure must execute the new program.
+func TestProgramCacheInvalidation(t *testing.T) {
+	d := dpu.MustNew(dpu.DefaultConfig(dpu.O2))
+	k := Kernel(nil, nil)
+
+	load := func(src string) {
+		t.Helper()
+		if err := Load(d, MustAssemble(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readWord := func(off int) int32 {
+		raw, err := d.CopyFromWRAM(int64(off), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int32(binary.LittleEndian.Uint32(raw))
+	}
+
+	load(`
+		movi r1, 41
+		movi r2, 0
+		sw   r1, 0(r2)
+		halt
+	`)
+	for i := 0; i < 3; i++ { // repeated launches hit the cache
+		if _, err := d.Launch(2, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := readWord(0); got != 41 {
+		t.Fatalf("first program wrote %d, want 41", got)
+	}
+
+	load(`
+		movi r1, 97
+		movi r2, 0
+		sw   r1, 0(r2)
+		halt
+	`)
+	if _, err := d.Launch(2, k); err != nil {
+		t.Fatal(err)
+	}
+	if got := readWord(0); got != 97 {
+		t.Fatalf("after IRAM reload the cached program ran (got %d, want 97)", got)
+	}
+}

@@ -24,10 +24,52 @@ func Load(d *dpu.DPU, p Program) error {
 }
 
 // Kernel returns a dpu.KernelFunc that executes the program currently
-// loaded in the DPU's IRAM. init, if non-nil, seeds each tasklet's
-// registers; final, if non-nil, receives each tasklet's register file
-// after HALT.
+// loaded in the DPU's IRAM through the compiled-closure dispatcher
+// (Compile). The compiled form is cached on the DPU keyed by IRAM
+// generation, so an unchanged program is decoded once per LoadIRAM
+// instead of once per tasklet per launch. init, if non-nil, seeds each
+// tasklet's registers; final, if non-nil, receives each tasklet's
+// register file after HALT.
 func Kernel(init func(tid int, r *Regs), final func(tid int, r Regs)) dpu.KernelFunc {
+	return func(t *dpu.Tasklet) error {
+		d := t.DPU()
+		gen := d.IRAMGeneration()
+		var c *Compiled
+		if v, ok := d.ProgramCache(gen); ok {
+			c = v.(*Compiled)
+		} else {
+			img, err := d.ReadIRAM(0, d.Config().IRAMSize)
+			if err != nil {
+				return err
+			}
+			prog, err := FromImage(img)
+			if err != nil {
+				return err
+			}
+			if c, err = Compile(prog); err != nil {
+				return err
+			}
+			d.SetProgramCache(gen, c)
+		}
+		var regs Regs
+		if init != nil {
+			init(t.ID(), &regs)
+		}
+		if err := c.Exec(t, &regs); err != nil {
+			return err
+		}
+		if final != nil {
+			final(t.ID(), regs)
+		}
+		return nil
+	}
+}
+
+// LegacyKernel is the switch-interpreter form of Kernel: it re-reads and
+// re-decodes IRAM on every tasklet and dispatches through Exec. Retained
+// as the reference the differential tests hold the compiled dispatcher
+// to.
+func LegacyKernel(init func(tid int, r *Regs), final func(tid int, r Regs)) dpu.KernelFunc {
 	return func(t *dpu.Tasklet) error {
 		img, err := t.DPU().ReadIRAM(0, t.DPU().Config().IRAMSize)
 		if err != nil {

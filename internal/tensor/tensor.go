@@ -110,13 +110,45 @@ func Im2ColInto(buf []int16, in *Tensor, size, stride, pad int) (b []int16, k, n
 			for dx := 0; dx < size; dx++ {
 				for oy := 0; oy < outH; oy++ {
 					iy := oy*stride + dy - pad
+					dst := b[row*n+oy*outW : row*n+oy*outW+outW]
+					if iy < 0 || iy >= in.H {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					if stride == 1 {
+						// Unit stride: the source pixels ix = ox+dx-pad are
+						// contiguous, so the row is a copy with zeroed
+						// out-of-image edges.
+						src := in.Data[(c*in.H+iy)*in.W : (c*in.H+iy+1)*in.W]
+						lo := 0
+						if dx-pad < 0 {
+							lo = pad - dx
+						}
+						hi := outW
+						if dx-pad+outW > in.W {
+							hi = in.W - dx + pad
+						}
+						if hi < lo {
+							hi = lo
+						}
+						for i := 0; i < lo; i++ {
+							dst[i] = 0
+						}
+						copy(dst[lo:hi], src[lo+dx-pad:])
+						for i := hi; i < outW; i++ {
+							dst[i] = 0
+						}
+						continue
+					}
 					for ox := 0; ox < outW; ox++ {
 						ix := ox*stride + dx - pad
 						var v int16
-						if iy >= 0 && iy < in.H && ix >= 0 && ix < in.W {
+						if ix >= 0 && ix < in.W {
 							v = in.At(c, iy, ix)
 						}
-						b[row*n+oy*outW+ox] = v
+						dst[ox] = v
 					}
 				}
 				row++

@@ -1,0 +1,66 @@
+package yolo
+
+import (
+	"reflect"
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/gemm"
+	"pimdnn/internal/host"
+)
+
+// TestForwardBlockChargingParity: a full 75-conv forward pass must be
+// observationally identical between the legacy per-operation charging
+// kernels and the block-charged fast path — same tensors, detections,
+// per-layer cycle stats, per-DPU clocks, and subroutine profiles.
+func TestForwardBlockChargingParity(t *testing.T) {
+	n, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := SyntheticScene(32, 9)
+	maxK, maxN := n.GEMMBounds()
+
+	run := func(legacy bool) (*Result, *ForwardStats, []uint64, map[string]uint64) {
+		sys, err := host.NewSystem(4, host.DefaultConfig(dpu.O3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+			MaxK: maxK, MaxN: maxN, Tasklets: 8, TileCols: 64, LegacyCharging: legacy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, stats, err := n.Forward(in, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cyc := make([]uint64, sys.NumDPUs())
+		for i := range cyc {
+			cyc[i] = sys.DPU(i).TotalCycles()
+		}
+		return res, stats, cyc, sys.Profile().Snapshot()
+	}
+
+	legRes, legStats, legCyc, legProf := run(true)
+	blkRes, blkStats, blkCyc, blkProf := run(false)
+
+	for s := range legRes.YoloOutputs {
+		if !reflect.DeepEqual(legRes.YoloOutputs[s].Data, blkRes.YoloOutputs[s].Data) {
+			t.Errorf("scale %d output diverges between legacy and block charging", s)
+		}
+	}
+	if !reflect.DeepEqual(legRes.Detections, blkRes.Detections) {
+		t.Error("detections diverge between legacy and block charging")
+	}
+	if !reflect.DeepEqual(legStats, blkStats) {
+		t.Errorf("forward stats diverge:\nlegacy: %+v\nblock:  %+v", legStats, blkStats)
+	}
+	if !reflect.DeepEqual(legCyc, blkCyc) {
+		t.Errorf("per-DPU cycles diverge:\nlegacy: %v\nblock:  %v", legCyc, blkCyc)
+	}
+	if !reflect.DeepEqual(legProf, blkProf) {
+		t.Errorf("subroutine profiles diverge:\nlegacy: %v\nblock:  %v", legProf, blkProf)
+	}
+}

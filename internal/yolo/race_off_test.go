@@ -1,0 +1,8 @@
+//go:build !race
+
+package yolo
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race, which perturbs testing.AllocsPerRun by an occasional
+// detector-internal allocation.
+const raceDetectorEnabled = false

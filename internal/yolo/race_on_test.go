@@ -1,0 +1,5 @@
+//go:build race
+
+package yolo
+
+const raceDetectorEnabled = true

@@ -6,15 +6,17 @@
 # and FAIL if an allocation-gated benchmark's allocs/op grew over the
 # baseline. The allocation gate covers the telemetry overhead
 # benchmarks (BenchmarkMetrics*, the internal/metrics instrument
-# microbenchmarks): their allocs/op is a designed invariant — zero on
-# the instrument hot paths, fixed on the instrumented gemm path —
-# whereas the setup-dominated system benchmarks legitimately vary at
-# small -benchtime.
+# microbenchmarks) and the steady-state simulator hot path
+# (BenchmarkSimulatorWallClock): their allocs/op is a designed
+# invariant — zero on the instrument hot paths, fixed on the
+# instrumented gemm and warm YOLO forward paths — whereas the
+# setup-dominated system benchmarks legitimately vary at small
+# -benchtime.
 #
 # Usage:  scripts/bench.sh [benchtime] [out.json] [baseline.json]
 #   benchtime      go test -benchtime value (default 10x)
-#   out.json       output file (default BENCH_pr5.json)
-#   baseline.json  delta baseline (default BENCH_pr4.json, the last
+#   out.json       output file (default BENCH_pr6.json)
+#   baseline.json  delta baseline (default BENCH_pr5.json, the last
 #                  recorded trajectory point; BENCH_baseline.json if
 #                  that is absent)
 #
@@ -27,8 +29,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
-OUT="${2:-BENCH_pr5.json}"
-BASELINE="${3:-BENCH_pr4.json}"
+OUT="${2:-BENCH_pr6.json}"
+BASELINE="${3:-BENCH_pr5.json}"
 [[ -f "$BASELINE" ]] || BASELINE="BENCH_baseline.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -73,8 +75,8 @@ echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
 # benchmarks are listed as such. Exits 1 on a vanished benchmark (CI
 # catches silently dropped coverage) or on an allocation regression in
 # an allocation-gated benchmark (name matching Metrics/CounterAdd/
-# HistogramObserve — the hot paths whose allocs/op is a designed
-# invariant rather than a setup artifact).
+# HistogramObserve/SimulatorWallClock — the hot paths whose allocs/op
+# is a designed invariant rather than a setup artifact).
 if [[ -f "$BASELINE" && "$OUT" != "$BASELINE" ]]; then
 	awk -v baseline="$BASELINE" -v current="$OUT" '
 	function parse(file, tab, atab,    line, name, ns, al) {
@@ -107,7 +109,7 @@ if [[ -f "$BASELINE" && "$OUT" != "$BASELINE" ]]; then
 			}
 			printf("%-55s %14s %14s %8.1f%%\n", name, base[name], cur[name],
 			       100 * (cur[name] - base[name]) / base[name])
-			if (name ~ /Metrics|CounterAdd|HistogramObserve/ &&
+			if (name ~ /Metrics|CounterAdd|HistogramObserve|SimulatorWallClock/ &&
 			    baseAllocs[name] != "" && curAllocs[name] != "" &&
 			    curAllocs[name] + 0 > baseAllocs[name] + 0) {
 				printf("ALLOC REGRESSION: %s allocs/op %s -> %s\n",
