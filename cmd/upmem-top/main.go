@@ -4,10 +4,15 @@
 // per-DPU utilization bars from pim_dpu_cycles_total deltas plus a
 // one-screen summary of transfers, queue depth, waves, and faults.
 //
+// At full-array scale 2,560 per-DPU bars do not fit a screen; -by-rank
+// folds them into one row per DIMM rank (64 DPUs by default, see
+// -rank-size) showing the min/mean/max utilization inside the rank.
+//
 // Usage:
 //
 //	upmem-top -addr localhost:9100 -interval 500ms
 //	upmem-top -addr localhost:9100 -once       # single snapshot, no clear
+//	upmem-top -addr localhost:9100 -by-rank    # one row per 64-DPU rank
 package main
 
 import (
@@ -15,9 +20,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"pimdnn/internal/dpu"
 	"pimdnn/internal/metrics"
 )
 
@@ -34,7 +41,17 @@ func run() error {
 	count := flag.Int("count", 0, "exit after this many frames (0 = until interrupted)")
 	once := flag.Bool("once", false, "print one frame and exit (no screen clearing)")
 	width := flag.Int("width", 40, "utilization bar width in columns")
+	byRank := flag.Bool("by-rank", false, "aggregate DPUs into one row per rank (min/mean/max utilization)")
+	rankSize := flag.Int("rank-size", dpu.DPUsPerRank, "DPUs per rank for -by-rank aggregation")
 	flag.Parse()
+
+	group := 0
+	if *byRank {
+		if *rankSize < 1 {
+			return fmt.Errorf("-rank-size %d must be positive", *rankSize)
+		}
+		group = *rankSize
+	}
 
 	url := fmt.Sprintf("http://%s/metrics?format=json", *addr)
 	if *once {
@@ -50,7 +67,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		out := Render(prev, cur, *interval, *width)
+		out := Render(prev, cur, *interval, *width, group)
 		if !*once {
 			// Home the cursor and clear below: a flicker-free repaint.
 			fmt.Print("\033[H\033[J")
@@ -137,9 +154,11 @@ func bar(n, max uint64, width int) string {
 
 // Render draws one frame from two successive snapshots: per-DPU
 // utilization bars scaled to the busiest DPU's cycle delta over the
-// interval, then the host/engine summary. It is a pure function of its
+// interval, then the host/engine summary. rankSize > 0 folds the DPUs
+// into one row per rank of that width with the min/mean/max delta
+// inside each rank; 0 keeps per-DPU rows. It is a pure function of its
 // inputs so the frame format is unit-testable.
-func Render(prev, cur metrics.Snapshot, interval time.Duration, width int) string {
+func Render(prev, cur metrics.Snapshot, interval time.Duration, width, rankSize int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "upmem-top — interval %v\n\n", interval)
 
@@ -159,15 +178,19 @@ func Render(prev, cur metrics.Snapshot, interval time.Duration, width int) strin
 			maxD = d
 		}
 	}
-	for i, c := range cyc {
-		launches := counterLabeled(cur, "pim_dpu_launches_total", c.LabelVal)
-		faults := counterLabeled(cur, "pim_dpu_faults_total", c.LabelVal)
-		status := ""
-		if faults > 0 {
-			status = fmt.Sprintf("  faults=%d", faults)
+	if rankSize > 0 {
+		renderRanks(&b, cur, cyc, deltas, width, rankSize)
+	} else {
+		for i, c := range cyc {
+			launches := counterLabeled(cur, "pim_dpu_launches_total", c.LabelVal)
+			faults := counterLabeled(cur, "pim_dpu_faults_total", c.LabelVal)
+			status := ""
+			if faults > 0 {
+				status = fmt.Sprintf("  faults=%d", faults)
+			}
+			fmt.Fprintf(&b, "dpu%-4s %s %12d cyc  launches=%d%s\n",
+				c.LabelVal, bar(deltas[i], maxD, width), deltas[i], launches, status)
 		}
-		fmt.Fprintf(&b, "dpu%-4s %s %12d cyc  launches=%d%s\n",
-			c.LabelVal, bar(deltas[i], maxD, width), deltas[i], launches, status)
 	}
 	if len(cyc) > 0 {
 		fmt.Fprintf(&b, "\ntotal Δcycles: %d across %d DPUs\n", totD, len(cyc))
@@ -191,6 +214,67 @@ func Render(prev, cur metrics.Snapshot, interval time.Duration, width int) strin
 		}
 	}
 	return b.String()
+}
+
+// rankRow aggregates one rank's per-DPU cycle deltas.
+type rankRow struct {
+	dpus     int
+	min, max uint64
+	sum      uint64
+	faults   uint64
+}
+
+// renderRanks writes one row per rank: a bar of the rank's mean delta
+// scaled to the busiest rank's mean, then the min/mean/max spread inside
+// the rank — a flat spread is a balanced rank, a wide one means the
+// shard plan left some of its DPUs idle.
+func renderRanks(b *strings.Builder, cur metrics.Snapshot, cyc []metrics.CounterSnap, deltas []uint64, width, rankSize int) {
+	rows := map[int]*rankRow{}
+	maxRank := -1
+	for i, c := range cyc {
+		id, err := strconv.Atoi(c.LabelVal)
+		if err != nil {
+			continue // not a numeric DPU label; skip rather than misfile
+		}
+		r := id / rankSize
+		row := rows[r]
+		if row == nil {
+			row = &rankRow{min: deltas[i]}
+			rows[r] = row
+			if r > maxRank {
+				maxRank = r
+			}
+		}
+		d := deltas[i]
+		row.dpus++
+		row.sum += d
+		if d < row.min {
+			row.min = d
+		}
+		if d > row.max {
+			row.max = d
+		}
+		row.faults += counterLabeled(cur, "pim_dpu_faults_total", c.LabelVal)
+	}
+	var maxMean uint64
+	for _, row := range rows {
+		if m := row.sum / uint64(row.dpus); m > maxMean {
+			maxMean = m
+		}
+	}
+	for r := 0; r <= maxRank; r++ {
+		row := rows[r]
+		if row == nil {
+			continue
+		}
+		mean := row.sum / uint64(row.dpus)
+		status := ""
+		if row.faults > 0 {
+			status = fmt.Sprintf("  faults=%d", row.faults)
+		}
+		fmt.Fprintf(b, "rank%-3d %s min %12d  mean %12d  max %12d cyc  dpus=%d%s\n",
+			r, bar(mean, maxMean, width), row.min, mean, row.max, row.dpus, status)
+	}
 }
 
 // histCount returns one histogram family's observation count.

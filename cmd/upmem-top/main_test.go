@@ -35,7 +35,7 @@ func snap(cycles []uint64, launches []uint64) metrics.Snapshot {
 func TestRenderDeltasAndBars(t *testing.T) {
 	prev := snap([]uint64{100, 100}, []uint64{1, 1})
 	cur := snap([]uint64{300, 200}, []uint64{2, 2})
-	out := Render(prev, cur, time.Second, 10)
+	out := Render(prev, cur, time.Second, 10, 0)
 
 	// DPU 0 advanced 200 cycles, DPU 1 advanced 100: the busiest DPU
 	// fills the bar, the other fills half of it.
@@ -60,9 +60,33 @@ func TestRenderDeltasAndBars(t *testing.T) {
 }
 
 func TestRenderEmptySnapshot(t *testing.T) {
-	out := Render(metrics.Snapshot{}, metrics.Snapshot{}, time.Second, 10)
+	out := Render(metrics.Snapshot{}, metrics.Snapshot{}, time.Second, 10, 0)
 	if !strings.Contains(out, "no pim_dpu_cycles_total series yet") {
 		t.Errorf("empty-snapshot hint missing:\n%s", out)
+	}
+}
+
+// TestRenderByRank folds four DPUs into two ranks of two and checks the
+// per-rank min/mean/max spread: rank 0 advanced {200, 100}, rank 1
+// {400, 0}, so rank 1's fuller mean owns the full bar and its spread is
+// the widest.
+func TestRenderByRank(t *testing.T) {
+	prev := snap([]uint64{100, 100, 100, 100}, []uint64{1, 1, 1, 1})
+	cur := snap([]uint64{300, 200, 500, 100}, []uint64{2, 2, 2, 2})
+	out := Render(prev, cur, time.Second, 10, 2)
+
+	if !strings.Contains(out, "rank0   #######... min          100  mean          150  max          200 cyc  dpus=2") {
+		t.Errorf("rank0 row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "rank1   ########## min            0  mean          200  max          400 cyc  dpus=2") {
+		t.Errorf("rank1 row wrong:\n%s", out)
+	}
+	// No per-DPU rows in rank mode; the totals line still sums every DPU.
+	if strings.Contains(out, "dpu0 ") {
+		t.Errorf("per-DPU rows leaked into rank mode:\n%s", out)
+	}
+	if !strings.Contains(out, "total Δcycles: 700 across 4 DPUs") {
+		t.Errorf("total line wrong:\n%s", out)
 	}
 }
 

@@ -1,0 +1,295 @@
+// Full-array scale-out benchmarks and tests: the simulator driving all
+// 2,560 DPUs (40 ranks of 64) the evaluated UPMEM system populates.
+// The benchmarks track the host runtime's wall-clock health at full
+// width; TestScalingShape pins the simulated strong/weak-scaling
+// quantities, which are deterministic and must match the rank-parallel
+// transfer model exactly.
+package pimdnn_test
+
+import (
+	"runtime"
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/gemm"
+	"pimdnn/internal/host"
+	"pimdnn/internal/yolo"
+)
+
+// scaleDPUs is the strong/weak-scaling sweep: one rank up to the full
+// 40-rank array, in rank multiples so every configuration is
+// whole-rank.
+var scaleDPUs = []int{64, 256, 1024, 2560}
+
+const (
+	scaleK = 64 // GEMM inner dimension of the sweep workload
+	scaleN = 64 // GEMM output columns per row
+	fullM  = 2560
+)
+
+func newScaleRunner(tb testing.TB, nDPU int) *gemm.Runner {
+	tb.Helper()
+	sys, err := host.NewSystem(nDPU, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(sys.Close)
+	r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+		MaxK: scaleK, MaxN: scaleN, Tasklets: 8, TileCols: 64,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+func scaleOperands(m int) (a, b []int16) {
+	// Every row of A is identical: operation cycle costs are
+	// operand-dependent (a wider multiplicand costs more), so identical
+	// rows make every DPU's work — and thus every wave's maximum —
+	// exactly equal, which TestScalingShape relies on.
+	a = make([]int16, m*scaleK)
+	for i := range a {
+		a[i] = int16((i%scaleK)%13 - 6)
+	}
+	b = make([]int16, scaleK*scaleN)
+	for i := range b {
+		b[i] = int16(i%7 - 3)
+	}
+	return a, b
+}
+
+// --- Full-array YOLO forward: image-per-DPU across all 40 ranks ---
+
+// BenchmarkFullArrayYOLOForward drives one image per DPU through the
+// batch forward path on the full 2,560-DPU array: every conv layer is a
+// single wave spanning all 40 ranks. This is the workload the
+// rank-parallel transfer model and the aligned fan-out exist for; run
+// it with a small -benchtime (scripts/bench.sh uses 1x).
+func BenchmarkFullArrayYOLOForward(b *testing.B) {
+	b.ReportAllocs()
+	net, err := yolo.New(yolo.Config{InputSize: 32, Classes: 1, WidthDiv: 64, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := host.NewSystem(dpu.SystemDPUs, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	maxK, maxN := net.GEMMBounds()
+	r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+		MaxK: maxK, MaxN: maxN, Tasklets: 8, TileCols: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.EnableBatch(net.MaxFilters()); err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]*yolo.Tensor, dpu.SystemDPUs)
+	for i := range inputs {
+		inputs[i] = yolo.SyntheticScene(32, int64(i+1))
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := net.ForwardBatch(inputs, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(sys.Ranks()), "ranks")
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// --- Strong and weak scaling sweeps (PrIM-style) ---
+
+// BenchmarkScalingStrong fixes the problem (2,560 GEMM rows) and widens
+// the array: more DPUs mean fewer waves over the same total work, so
+// the host wall-clock per op should stay roughly flat (the kernel work
+// is identical) while simulated time falls linearly.
+func BenchmarkScalingStrong(b *testing.B) {
+	a, mb := scaleOperands(fullM)
+	for _, nd := range scaleDPUs {
+		b.Run("dpus="+itoa4(nd), func(b *testing.B) {
+			b.ReportAllocs()
+			r := newScaleRunner(b, nd)
+			// One untimed warmup pages the fresh system's MRAM and grows
+			// the staging buffers; then collect the previous
+			// sub-benchmark's dead multi-GB system, whose garbage
+			// otherwise inflates GC scan time inside the timed loop
+			// severalfold. The loop then measures the steady state.
+			if _, _, err := r.Multiply(fullM, scaleN, scaleK, 1, a, mb); err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			var sec float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := r.Multiply(fullM, scaleN, scaleK, 1, a, mb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = st.Seconds
+			}
+			b.ReportMetric(sec, "sim-seconds")
+		})
+	}
+}
+
+// BenchmarkScalingWeak grows the problem with the array (one GEMM row
+// per DPU, always a single wave): host wall-clock per op should grow
+// sublinearly in the 40x width increase because the per-wave fixed
+// costs amortize and the modeled transfers stream rank-parallel.
+func BenchmarkScalingWeak(b *testing.B) {
+	for _, nd := range scaleDPUs {
+		a, mb := scaleOperands(nd)
+		b.Run("dpus="+itoa4(nd), func(b *testing.B) {
+			b.ReportAllocs()
+			r := newScaleRunner(b, nd)
+			// Warmup + GC: see BenchmarkScalingStrong.
+			if _, _, err := r.Multiply(nd, scaleN, scaleK, 1, a, mb); err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			var sec float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := r.Multiply(nd, scaleN, scaleK, 1, a, mb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = st.Seconds
+			}
+			b.ReportMetric(sec, "sim-seconds")
+		})
+	}
+}
+
+// --- Deterministic scaling shape ---
+
+// TestScalingShape pins the simulated strong/weak-scaling quantities,
+// which are exact: every row of the sweep GEMM costs the same cycles,
+// every configuration is whole-rank, so wave counts, cycle totals, and
+// rank-parallel transfer times follow in closed form.
+func TestScalingShape(t *testing.T) {
+	type point struct {
+		waves    int
+		cycles   uint64
+		xferTime float64 // seconds of modeled host<->MRAM time
+		xfers    uint64
+	}
+	strong := map[int]point{}
+	weak := map[int]point{}
+	for _, nd := range scaleDPUs {
+		{
+			r := newScaleRunner(t, nd)
+			a, b := scaleOperands(fullM)
+			_, st, err := r.Multiply(fullM, scaleN, scaleK, 1, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := r.System().TransferStats()
+			strong[nd] = point{st.Waves, st.Cycles, xs.Time.Seconds(), xs.Transfers}
+		}
+		{
+			r := newScaleRunner(t, nd)
+			a, b := scaleOperands(nd)
+			_, st, err := r.Multiply(nd, scaleN, scaleK, 1, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := r.System().TransferStats()
+			weak[nd] = point{st.Waves, st.Cycles, xs.Time.Seconds(), xs.Transfers}
+		}
+	}
+
+	// One full wave at every width costs the same maximum (identical
+	// rows), so the whole sweep follows from the 2,560-DPU single wave.
+	perWave := strong[2560].cycles
+	for _, nd := range scaleDPUs {
+		// Strong scaling: fixed 2,560 rows split into ceil(M/nDPU) waves,
+		// each (full or partial) costing one wave maximum.
+		wantWaves := (fullM + nd - 1) / nd
+		if strong[nd].waves != wantWaves {
+			t.Errorf("strong %d DPUs: %d waves, want %d", nd, strong[nd].waves, wantWaves)
+		}
+		if want := perWave * uint64(wantWaves); strong[nd].cycles != want {
+			t.Errorf("strong %d DPUs: cycles %d, want %d waves x %d", nd, strong[nd].cycles, wantWaves, perWave)
+		}
+		// Weak scaling: one row per DPU is always a single wave, and the
+		// per-wave maximum is width-independent.
+		if weak[nd].waves != 1 {
+			t.Errorf("weak %d DPUs: %d waves, want 1", nd, weak[nd].waves)
+		}
+		if weak[nd].cycles != perWave {
+			t.Errorf("weak %d DPUs: cycles %d != single-wave cycles %d", nd, weak[nd].cycles, perWave)
+		}
+	}
+
+	// Rank-parallel transfers: a weak-scaling run moves 40x the bytes at
+	// 2,560 DPUs, but every transfer — the B/params broadcasts, the row
+	// scatter, the result gather — is charged the busiest rank's share,
+	// and all ranks are equally loaded, so the modeled time is IDENTICAL
+	// to the single-rank 64-DPU run. This exact equality is the defining
+	// property of the rank model.
+	if weak[2560].xfers != weak[64].xfers {
+		t.Errorf("weak scaling transfer-call counts differ: 64 DPUs %d, 2560 DPUs %d",
+			weak[64].xfers, weak[2560].xfers)
+	}
+	if weak[2560].xferTime != weak[64].xferTime {
+		t.Errorf("weak scaling xfer time not rank-flat: 64 DPUs %.3gs, 2560 DPUs %.3gs",
+			weak[64].xferTime, weak[2560].xferTime)
+	}
+	// Strong scaling folds 40 single-rank waves into one 40-rank wave:
+	// the per-wave scatter/gather time collapses 40x (the one-time
+	// broadcasts are width-invariant either way), so the total modeled
+	// transfer time must fall well below the serial 64-DPU run despite
+	// moving the same bytes through more DPUs at once.
+	if strong[2560].xferTime >= strong[64].xferTime/2 {
+		t.Errorf("strong scaling xfer time not rank-parallel: 64 DPUs %.3gs, 2560 DPUs %.3gs",
+			strong[64].xferTime, strong[2560].xferTime)
+	}
+	t.Logf("strong: 64 DPUs %d waves %.3gs xfer; 2560 DPUs %d waves %.3gs xfer",
+		strong[64].waves, strong[64].xferTime, strong[2560].waves, strong[2560].xferTime)
+}
+
+// TestFullArrayAllocBounded pins the host runtime's allocation behavior
+// at full width: after warmup, a 2,560-DPU wave must not allocate
+// per-DPU (the scatter buffers, error slices, ticket fan-out, and rank
+// tallies are all reused scratch).
+func TestFullArrayAllocBounded(t *testing.T) {
+	r := newScaleRunner(t, dpu.SystemDPUs)
+	a, b := scaleOperands(dpu.SystemDPUs)
+	run := func() {
+		if _, _, err := r.Multiply(dpu.SystemDPUs, scaleN, scaleK, 1, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the runner's staging buffers and the pool
+	avg := testing.AllocsPerRun(3, run)
+	// The output matrix (m*n int16) plus a handful of header allocations
+	// are inherent; anything O(nDPU) — 2,560 and up — is a regression.
+	if avg >= float64(dpu.SystemDPUs) {
+		t.Errorf("full-array Multiply allocates %.0f per wave — O(nDPU) allocation regressed", avg)
+	}
+	t.Logf("full-array Multiply: %.0f allocs per op", avg)
+}
+
+// itoa4 renders small positive integers (the DPU-count sweep) without
+// fmt, matching the itoa helper's style.
+func itoa4(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for v > 0 && i > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

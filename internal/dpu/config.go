@@ -26,6 +26,11 @@ const (
 	SystemDPUs = 2560
 	// DPUsPerDIMM is the number of DPUs on one DIMM.
 	DPUsPerDIMM = 128
+	// DPUsPerRank is the number of DPUs in one DIMM rank (two ranks per
+	// DIMM, eight chips per rank). The rank is the unit the SDK drives
+	// with one command queue and the granularity of parallel host<->MRAM
+	// transfer channels: the full system is 40 ranks of 64 DPUs.
+	DPUsPerRank = 64
 	// DPUsPerChip is the number of DPUs in one PIM chip.
 	DPUsPerChip = 8
 	// DefaultMRAMSize is the per-DPU main RAM size (64 MB).

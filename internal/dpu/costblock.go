@@ -133,6 +133,10 @@ func (t *Tasklet) ChargeBlockN(b *CostBlock, n uint64) {
 	lv := &b.lv[t.dpu.cfg.Opt]
 	t.slots += n * lv.slots
 	for _, o := range b.ops {
+		if t.opCounts[o.op] == 0 {
+			t.touched[t.nTouched] = o.op
+			t.nTouched++
+		}
 		t.opCounts[o.op] += n * o.n
 	}
 	for _, s := range lv.subs {

@@ -437,14 +437,13 @@ func (d *DPU) LaunchInto(n int, kernel KernelFunc, out *Stats) error {
 	}
 	d.launchLocal = nil
 	defer func() { d.launchLocal = nil }()
-	for _, t := range tasklets {
-		if err := d.runTasklet(t, kernel); err != nil {
-			for _, t2 := range tasklets {
-				clear(t2.opCounts[:])
-			}
-			*out = Stats{}
-			return fmt.Errorf("dpu: tasklet %d: %w", t.id, err)
+	if err := d.runTasklets(tasklets, kernel); err != nil {
+		for _, t2 := range tasklets {
+			clear(t2.opCounts[:])
+			t2.nTouched = 0
 		}
+		*out = Stats{}
+		return err
 	}
 
 	var (
@@ -452,6 +451,8 @@ func (d *DPU) LaunchInto(n int, kernel KernelFunc, out *Stats) error {
 		sumDMA   uint64
 		crit     uint64
 		mix      OpMix
+		dmaBytes uint64
+		dmaOps   uint64
 	)
 	breakdown := d.scratch.breakdown[:len(tasklets)]
 	for i, t := range tasklets {
@@ -460,12 +461,18 @@ func (d *DPU) LaunchInto(n int, kernel KernelFunc, out *Stats) error {
 		if c := t.slots*PipelineDepth + t.dma; c > crit {
 			crit = c
 		}
-		for op, c := range t.opCounts {
-			if c != 0 {
-				mix[op] += c
-				t.opCounts[op] = 0
-			}
+		// Merge only the op classes this tasklet actually charged
+		// (tracked first-touch in t.touched) instead of scanning the
+		// full opCounts array — at high tasklet counts the full scan
+		// dominated per-launch host overhead.
+		for j := 0; j < int(t.nTouched); j++ {
+			op := t.touched[j]
+			mix[op] += t.opCounts[op]
+			t.opCounts[op] = 0
 		}
+		t.nTouched = 0
+		dmaBytes += t.dmaBytes
+		dmaOps += t.dmaOps
 		breakdown[i] = TaskletBreakdown{IssueSlots: t.slots, DMACycles: t.dma}
 	}
 	cycles := sumSlots
@@ -486,11 +493,6 @@ func (d *DPU) LaunchInto(n int, kernel KernelFunc, out *Stats) error {
 		m.Cycles.Add(cycles)
 		m.TaskletsPerLaunch.Observe(uint64(n))
 		m.WRAMAccesses.Add(mix[OpLoad] + mix[OpStore])
-		var dmaBytes, dmaOps uint64
-		for _, t := range tasklets {
-			dmaBytes += t.dmaBytes
-			dmaOps += t.dmaOps
-		}
 		// DMA crosses both memories: charge bytes to each side, the
 		// operation count to MRAM (the WRAM side is in the load/store mix).
 		m.MRAMBytes.Add(dmaBytes)
@@ -511,20 +513,30 @@ func (d *DPU) LaunchInto(n int, kernel KernelFunc, out *Stats) error {
 	return nil
 }
 
-// runTasklet executes one tasklet, converting memory traps (panics of
-// type trapError raised by out-of-bounds or misaligned accesses) into
-// errors, the way a hardware fault would abort the DPU program.
-func (d *DPU) runTasklet(t *Tasklet, kernel KernelFunc) (err error) {
+// runTasklets executes the launch's tasklets in ID order, converting
+// memory traps (panics of type trapError raised by out-of-bounds or
+// misaligned accesses) into errors, the way a hardware fault would abort
+// the DPU program. One recover scope covers the whole launch — a trap
+// aborts the remaining tasklets anyway, so the per-tasklet defer the
+// previous shape paid on every iteration bought nothing.
+func (d *DPU) runTasklets(tasklets []*Tasklet, kernel KernelFunc) (err error) {
+	cur := 0
 	defer func() {
 		if r := recover(); r != nil {
 			if te, ok := r.(trapError); ok {
-				err = fmt.Errorf("memory fault: %s", string(te))
+				err = fmt.Errorf("dpu: tasklet %d: memory fault: %s", cur, string(te))
 				return
 			}
 			panic(r)
 		}
 	}()
-	return kernel(t)
+	for i, t := range tasklets {
+		cur = i
+		if e := kernel(t); e != nil {
+			return fmt.Errorf("dpu: tasklet %d: %w", t.id, e)
+		}
+	}
+	return nil
 }
 
 // --- host-side memory access (no DPU cycles charged) ---

@@ -32,6 +32,14 @@ type Tasklet struct {
 
 	opCounts [opKinds]uint64 // instruction mix per operation class
 
+	// touched lists the op classes with nonzero opCounts entries, in
+	// first-touch order, so the per-launch mix merge visits only the
+	// handful of classes a kernel actually uses instead of scanning the
+	// whole array per tasklet. Maintained by the charge helpers; reset
+	// together with opCounts in the launch merge.
+	touched  [opKinds]Op
+	nTouched uint8
+
 	pcSlots uint64 // perfcounter snapshot
 	pcDMA   uint64
 }
@@ -56,6 +64,10 @@ func (t *Tasklet) charge(op Op) {
 	n := e.slots + stmtOverhead(op, t.dpu.cfg.Opt)
 	t.slots += n
 	if int(op) < len(t.opCounts) {
+		if t.opCounts[op] == 0 {
+			t.touched[t.nTouched] = op
+			t.nTouched++
+		}
 		t.opCounts[op]++
 	}
 	if e.subroutine != "" {
@@ -84,6 +96,10 @@ func (t *Tasklet) ChargeBulk(op Op, n uint64) {
 	e := cost(op, t.dpu.cfg.Opt)
 	t.slots += n * (e.slots + stmtOverhead(op, t.dpu.cfg.Opt))
 	if int(op) < len(t.opCounts) {
+		if t.opCounts[op] == 0 {
+			t.touched[t.nTouched] = op
+			t.nTouched++
+		}
 		t.opCounts[op] += n
 	}
 	if e.subroutine != "" {

@@ -172,11 +172,13 @@ type Engine struct {
 	slots   [2]waveSlot
 	waveSeq int
 
-	// Reused scratch: re-dispatch input descriptors, streaming-gather
-	// buffers and queued-launch stats (RunStream).
-	insBuf []Xfer
-	raw    [2][]byte
-	lstats host.LaunchStats
+	// Reused scratch: re-dispatch input descriptors, queued re-dispatch
+	// pending handles, streaming-gather buffers and queued-launch stats
+	// (RunStream).
+	insBuf  []Xfer
+	pendBuf []host.Pending
+	raw     [2][]byte
+	lstats  host.LaunchStats
 
 	// waveStats backs LaunchStats.PerDPU for the synchronous wave loop
 	// (host.LaunchOnInto): the loop reads only scalar aggregates, so one
@@ -256,13 +258,28 @@ func (e *Engine) markDown(i int) {
 	}
 }
 
-// nextTarget picks the next usable re-dispatch target, round-robin so
-// retried shards spread across the survivors. Returns -1 when no DPU
+// nextTarget picks the re-dispatch target for a shard that last ran on
+// DPU near. On a multi-rank system, surviving DPUs in near's own rank
+// are preferred — the shard's input and output move over the rank
+// channel already assigned to it, and a whole-rank outage degrades to
+// the global path below instead of stalling. The fallback (and the
+// entire behavior when the system is a single rank, as every
+// pre-topology configuration was) is the original round-robin over all
+// survivors, so retried shards spread out. Returns -1 when no DPU
 // survives.
-func (e *Engine) nextTarget() int {
+func (e *Engine) nextTarget(near int) int {
 	nd := e.sys.NumDPUs()
 	if e.nDown >= nd {
 		return -1
+	}
+	if e.sys.Ranks() > 1 && near >= 0 && near < nd {
+		lo, hi := e.sys.RankSpan(e.sys.RankOf(near))
+		for t := 1; t < hi-lo; t++ {
+			i := lo + (near-lo+t)%(hi-lo)
+			if !e.down[i] {
+				return i
+			}
+		}
 	}
 	for t := 0; t < nd; t++ {
 		i := (e.retryCur + t) % nd
@@ -387,24 +404,33 @@ func (e *Engine) Broadcast(b Broadcast) error {
 
 // redispatch re-runs one failed shard on a surviving DPU: push its
 // input buffers, launch the kernel on that DPU alone, and gather its
-// output. The retry's cycles are added to st, so the stats reflect the
-// degraded run's real cost. In pipelined mode the steps are queued
-// commands, serialized with any waves already enqueued.
-func (e *Engine) redispatch(ins []Xfer, out Xfer, tasklets int, kernel dpu.KernelFunc, st *Stats) error {
+// output. from is the DPU the shard failed on — targets in its rank are
+// preferred (nextTarget). The retry's cycles are added to st, so the
+// stats reflect the degraded run's real cost. In pipelined mode the
+// steps are queued commands, serialized with any waves already
+// enqueued.
+func (e *Engine) redispatch(from int, ins []Xfer, out Xfer, tasklets int, kernel dpu.KernelFunc, st *Stats) error {
+	near := from
 	for a := 0; a < maxRedispatch; a++ {
-		t := e.nextTarget()
+		t := e.nextTarget(near)
 		if t < 0 {
 			return fmt.Errorf("exec: no surviving DPU to re-dispatch onto")
 		}
+		// A failed attempt moves the scan past its target, like the
+		// round-robin cursor always did.
+		near = t
 		var ls host.LaunchStats
 		var err error
 		if e.pipe {
-			pends := make([]host.Pending, 0, len(ins)+2)
+			pends := e.pendBuf[:0]
 			for _, in := range ins {
 				pends = append(pends, e.sys.EnqueueCopyToDPU(t, in.Ref, in.Off, in.Data))
 			}
 			pends = append(pends, e.sys.EnqueueLaunchDPU(t, tasklets, kernel, &ls))
 			pends = append(pends, e.sys.EnqueueCopyFrom(t, out.Ref, out.Off, out.Data))
+			// Keep the grown backing array for the next retry; the
+			// handles are value types, so nothing is pinned.
+			e.pendBuf = pends[:0]
 			for _, p := range pends {
 				err = firstErr(err, p.Wait())
 			}
@@ -553,7 +579,7 @@ func (e *Engine) runSync(ws WorkSet, st *Stats) error {
 		for i := 0; i < n; i++ {
 			if failed[i] {
 				retried = true
-				if err := e.redispatch(e.shardIns(streams, i), Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, tasklets, kernel, st); err != nil {
+				if err := e.redispatch(i, e.shardIns(streams, i), Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, tasklets, kernel, st); err != nil {
 					return err
 				}
 			}
@@ -683,7 +709,7 @@ func (e *Engine) flush(ws WorkSet, sl *waveSlot, st *Stats) error {
 	for i := 0; i < sl.n; i++ {
 		if failed[i] {
 			retried = true
-			if err := e.redispatch(e.shardIns(streams, i), Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, ws.Tasklets(), ws.Kernel(), st); err != nil {
+			if err := e.redispatch(i, e.shardIns(streams, i), Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, ws.Tasklets(), ws.Kernel(), st); err != nil {
 				e.sys.Sync()
 				return err
 			}

@@ -29,7 +29,14 @@ type toySet struct {
 
 func newToySet(t *testing.T, nd int, vals []uint32) *toySet {
 	t.Helper()
-	sys, err := host.NewSystem(nd, host.DefaultConfig(dpu.O3))
+	return newToySetTopo(t, nd, vals, host.Topology{})
+}
+
+func newToySetTopo(t *testing.T, nd int, vals []uint32, topo host.Topology) *toySet {
+	t.Helper()
+	cfg := host.DefaultConfig(dpu.O3)
+	cfg.Topology = topo
+	sys, err := host.NewSystem(nd, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,9 +122,12 @@ func (w *toySet) Decode(slot, shard, i int) {
 // TestEngineModes runs the same toy WorkSet through every dispatch path
 // — serial transfers (below the host pool's parallel threshold), sharded
 // transfers (a DPU count above it), pipelined dispatch, and both paths
-// under a dead-DPU fault plan — and requires identical outputs
-// everywhere plus identical simulated accounting between the synchronous
-// and pipelined fault-free runs.
+// under a dead-DPU fault plan — each in the default single-rank topology
+// AND split across several small ranks. Outputs must be identical
+// everywhere; simulated launch accounting and transfer BYTES must be
+// identical between a topology and its single-rank twin (rank grouping
+// must never change what ran, only the modeled transfer time, which the
+// rank-parallel model strictly shrinks).
 func TestEngineModes(t *testing.T) {
 	const shards = 24 // 3 full waves on 8 DPUs, 1 partial wave on 40
 	vals := make([]uint32, shards)
@@ -132,19 +142,27 @@ func TestEngineModes(t *testing.T) {
 		dpus int
 		mode host.PipelineMode
 		plan *dpu.FaultPlan
+		topo host.Topology
 	}{
-		{"serial", 8, host.PipelineOff, nil},
-		{"sharded", 40, host.PipelineOff, nil}, // above the transfer pool's parallel threshold
-		{"pipelined", 8, host.PipelineOn, nil},
-		{"faulted", 8, host.PipelineOff, deadPlan},
-		{"faulted-pipelined", 8, host.PipelineOn, deadPlan},
+		{name: "serial", dpus: 8, mode: host.PipelineOff},
+		{name: "sharded", dpus: 40, mode: host.PipelineOff}, // above the transfer pool's parallel threshold
+		{name: "pipelined", dpus: 8, mode: host.PipelineOn},
+		{name: "faulted", dpus: 8, mode: host.PipelineOff, plan: deadPlan},
+		{name: "faulted-pipelined", dpus: 8, mode: host.PipelineOn, plan: deadPlan},
+		// The same paths again, with the DPUs split into 2-DPU (or, for
+		// the 40-DPU case, 8-DPU) ranks.
+		{name: "serial-ranked", dpus: 8, mode: host.PipelineOff, topo: host.Topology{DPUsPerRank: 2}},
+		{name: "sharded-ranked", dpus: 40, mode: host.PipelineOff, topo: host.Topology{DPUsPerRank: 8}},
+		{name: "pipelined-ranked", dpus: 8, mode: host.PipelineOn, topo: host.Topology{DPUsPerRank: 2}},
+		{name: "faulted-ranked", dpus: 8, mode: host.PipelineOff, plan: deadPlan, topo: host.Topology{DPUsPerRank: 2}},
+		{name: "faulted-pipelined-ranked", dpus: 8, mode: host.PipelineOn, plan: deadPlan, topo: host.Topology{DPUsPerRank: 2}},
 	}
 	stats := make(map[string]exec.Stats)
 	dpuTime := make(map[string]float64)
 	xfers := make(map[string]host.XferStats)
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			w := newToySet(t, tc.dpus, vals)
+			w := newToySetTopo(t, tc.dpus, vals, tc.topo)
 			eng := exec.New(w.sys, exec.Config{Pipeline: tc.mode})
 			if tc.plan != nil {
 				w.sys.InjectFaults(*tc.plan)
@@ -198,6 +216,73 @@ func TestEngineModes(t *testing.T) {
 		if stats[name].Cycles <= stats["serial"].Cycles {
 			t.Errorf("%s cycles %d not above fault-free %d", name, stats[name].Cycles, stats["serial"].Cycles)
 		}
+	}
+
+	// Rank topology changes the modeled transfer time and nothing else:
+	// same launch stats, same DPU clock, same bytes through the bus — and
+	// with every multi-DPU transfer now charged only the busiest rank's
+	// share, strictly less transfer time.
+	for _, name := range []string{"serial", "sharded", "pipelined", "faulted", "faulted-pipelined"} {
+		ranked := name + "-ranked"
+		if stats[name] != stats[ranked] {
+			t.Errorf("%s stats %+v != %s stats %+v", name, stats[name], ranked, stats[ranked])
+		}
+		if dpuTime[name] != dpuTime[ranked] {
+			t.Errorf("%s DPUTime %g != %s %g", name, dpuTime[name], ranked, dpuTime[ranked])
+		}
+		flat, rk := xfers[name], xfers[ranked]
+		if flat.Bytes != rk.Bytes || flat.Transfers != rk.Transfers {
+			t.Errorf("%s traffic {%d, %dB} != %s {%d, %dB}",
+				name, flat.Transfers, flat.Bytes, ranked, rk.Transfers, rk.Bytes)
+		}
+		if rk.Time >= flat.Time {
+			t.Errorf("%s transfer time %v not below single-rank %v", ranked, rk.Time, flat.Time)
+		}
+	}
+}
+
+// TestWholeRankKill kills every DPU of one rank before the first wave
+// and requires graceful degradation: every shard of the dead rank is
+// re-dispatched onto a surviving rank's DPUs and the outputs stay
+// bit-identical, in both dispatch modes.
+func TestWholeRankKill(t *testing.T) {
+	const nd, perRank = 8, 4
+	vals := make([]uint32, 16) // 2 waves on 8 DPUs
+	for i := range vals {
+		vals[i] = uint32(500 + 31*i)
+	}
+	want := toyWant(vals)
+	for _, mode := range []struct {
+		name string
+		mode host.PipelineMode
+	}{{"sync", host.PipelineOff}, {"pipelined", host.PipelineOn}} {
+		t.Run(mode.name, func(t *testing.T) {
+			w := newToySetTopo(t, nd, vals, host.Topology{DPUsPerRank: perRank})
+			// Doom rank 1 (DPUs 4..7): each dies on its first launch.
+			for i := perRank; i < nd; i++ {
+				w.sys.DPU(i).InjectFaults(dpu.FaultPlan{Seed: 7, DeadFrac: 1}.NewInjector(i))
+			}
+			eng := exec.New(w.sys, exec.Config{Pipeline: mode.mode})
+			var st exec.Stats
+			if err := eng.Run(w, &st); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for i := range want {
+				if w.got[i] != want[i] {
+					t.Fatalf("shard %d: got %d, want %d", i, w.got[i], want[i])
+				}
+			}
+			if eng.NumDown() != perRank {
+				t.Errorf("down DPUs = %d, want the whole %d-DPU rank", eng.NumDown(), perRank)
+			}
+			// Both waves lose the dead rank's shards to cross-rank remap.
+			if st.Retries < perRank {
+				t.Errorf("retries = %d, want >= %d (one per dead-rank shard per wave)", st.Retries, perRank)
+			}
+			if dead := w.sys.DeadDPUs(); len(dead) != perRank {
+				t.Errorf("dead DPUs = %v, want all of rank 1", dead)
+			}
+		})
 	}
 }
 

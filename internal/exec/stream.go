@@ -282,7 +282,7 @@ func (e *Engine) finishStreamBuffered(ss *StreamSet, from int, failed []bool, st
 	}
 	for i := from; i < ss.Shards; i++ {
 		if failed[i] {
-			if err := e.redispatch(ss.Ins(i), Xfer{Ref: ss.OutRef, Off: ss.OutOff, Data: slot(i)}, ss.Tasklets, ss.Kernel, st); err != nil {
+			if err := e.redispatch(i, ss.Ins(i), Xfer{Ref: ss.OutRef, Off: ss.OutOff, Data: slot(i)}, ss.Tasklets, ss.Kernel, st); err != nil {
 				return err
 			}
 		}

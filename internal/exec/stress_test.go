@@ -1,0 +1,77 @@
+package exec_test
+
+import (
+	"sync"
+	"testing"
+
+	"pimdnn/internal/exec"
+	"pimdnn/internal/host"
+)
+
+// TestMultiRankPipelinedStress drives a pipelined engine over a
+// multi-rank system while another goroutine performs synchronous
+// transfers on its own symbol. The queued waves tally rank occupancy in
+// the executor goroutine and the synchronous path tallies it in the
+// caller's — the same split the host keeps for its per-DPU error
+// scratch — so run under -race (make ci does) this is the data-race
+// gate for the rank accounting. Results must stay bit-identical on
+// every iteration regardless of interleaving.
+func TestMultiRankPipelinedStress(t *testing.T) {
+	const (
+		nd     = 32
+		rounds = 50
+	)
+	vals := make([]uint32, 3*nd) // 3 waves per round
+	for i := range vals {
+		vals[i] = uint32(2000 + 13*i)
+	}
+	want := toyWant(vals)
+	w := newToySetTopo(t, nd, vals, host.Topology{DPUsPerRank: 4})
+	if err := w.sys.AllocMRAM("stress_buf", 64); err != nil {
+		t.Fatal(err)
+	}
+	eng := exec.New(w.sys, exec.Config{Pipeline: host.PipelineOn})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bufs := make([][]byte, nd)
+		dst := make([][]byte, nd)
+		for i := range bufs {
+			bufs[i] = make([]byte, 64)
+			dst[i] = make([]byte, 64)
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := w.sys.PushXfer("stress_buf", 0, bufs); err != nil {
+				t.Errorf("concurrent PushXfer: %v", err)
+				return
+			}
+			if err := w.sys.GatherXferInto("stress_buf", 0, 64, dst); err != nil {
+				t.Errorf("concurrent GatherXferInto: %v", err)
+				return
+			}
+		}
+	}()
+
+	for round := 0; round < rounds; round++ {
+		var st exec.Stats
+		if err := eng.Run(w, &st); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range want {
+			if w.got[i] != want[i] {
+				t.Fatalf("round %d shard %d: got %d, want %d", round, i, w.got[i], want[i])
+			}
+			w.got[i] = 0
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -434,9 +434,6 @@ func (r *Runner) kernel() dpu.KernelFunc {
 			sc = t.LaunchLocal().(*kernelScratch)
 		}
 		n, k := sc.n, sc.k
-		if t.ID() == t.Count()-1 {
-			defer r.scratch.Put(sc)
-		}
 		// Loading A[kk] each outer iteration (one WRAM load per k plus
 		// the APART multiply, Algorithm 2 line 5) is charged per tasklet
 		// as in the legacy kernel; non-zero tasklets also charge the 3
@@ -447,10 +444,23 @@ func (r *Runner) kernel() dpu.KernelFunc {
 		} else {
 			t.ChargeBlock(sc.blocks.aRest)
 		}
+		tiles := (n + tileCols - 1) / tileCols
+		if t.ID() >= tiles {
+			// No tiles for this tasklet (tasklet count exceeds tile
+			// count): all its cycles are charged above, so skip the
+			// loop preamble — at 16+ tasklets on small layers the idle
+			// tasklets' setup dominated per-launch host overhead.
+			if t.ID() == t.Count()-1 {
+				r.scratch.Put(sc)
+			}
+			return nil
+		}
+		if t.ID() == t.Count()-1 {
+			defer r.scratch.Put(sc)
+		}
 		apart := sc.apart[:k]
 
 		blocks := sc.blocks
-		tiles := (n + tileCols - 1) / tileCols
 		ctmp := sc.ctmp[:tileCols]
 		stride := int64(pad4(n)) * 2
 

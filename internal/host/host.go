@@ -32,11 +32,17 @@ import (
 type Config struct {
 	// DPU is the configuration applied to every allocated DPU.
 	DPU dpu.Config
-	// TransferBandwidth is the host<->MRAM streaming rate in bytes/s
-	// used by the host clock (typical DDR4 DIMM-level rate).
+	// TransferBandwidth is the host<->MRAM streaming rate in bytes/s of
+	// one rank channel (typical DDR4 DIMM-level rate). Ranks transfer
+	// in parallel, so a multi-rank scatter's modeled time is the
+	// busiest rank's serial share, not the whole payload at this rate
+	// (see topology.go).
 	TransferBandwidth float64
 	// TransferLatency is the fixed per-transfer host overhead.
 	TransferLatency time.Duration
+	// Topology groups the DPUs into DIMM ranks; the zero value derives
+	// ranks of dpu.DPUsPerRank from the DPU count.
+	Topology Topology
 }
 
 // DefaultConfig returns a host configuration wrapping the Table 2.1 DPU
@@ -55,6 +61,14 @@ type System struct {
 	dpus []*dpu.DPU
 	prof *trace.Profile
 	pool *workerPool
+
+	// perRank/ranks are the resolved Config.Topology (topology.go);
+	// xferTally and waveTally are the per-rank tally scratches of the
+	// transfer and wave charging paths.
+	perRank   int
+	ranks     int
+	xferTally []int
+	waveTally []int
 
 	// symbols caches the uniform symbol table built by AllocMRAM /
 	// AllocWRAM so transfers resolve names with one map lookup per call
@@ -131,6 +145,10 @@ func NewSystem(n int, cfg Config) (*System, error) {
 	if cfg.TransferBandwidth <= 0 {
 		return nil, fmt.Errorf("host: non-positive transfer bandwidth %v", cfg.TransferBandwidth)
 	}
+	perRank, ranks, err := resolveTopology(n, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
 	prof := trace.NewProfile()
 	dpus := make([]*dpu.DPU, n)
 	for i := range dpus {
@@ -146,6 +164,8 @@ func NewSystem(n int, cfg Config) (*System, error) {
 		dpus:    dpus,
 		prof:    prof,
 		pool:    newWorkerPool(),
+		perRank: perRank,
+		ranks:   ranks,
 		symbols: make(map[string]dpu.Symbol),
 	}
 	s.qcond = sync.NewCond(&s.qmu)
@@ -308,13 +328,14 @@ func (s *System) copyFromOneInto(i int, ref SymbolRef, offset int64, dst []byte)
 // the serial paths stay allocation-free for the regression tests).
 func (s *System) sharded(n int) bool { return n >= parallelThreshold }
 
-// shardErrs runs fn over [0, n) on the worker pool, recording each
-// DPU's error in errs. Best-effort: one DPU's failure never prevents
-// another from being attempted (the serial loops below keep the same
-// contract inline, so post-error device state does not depend on
-// whether the system crossed the sharding threshold).
+// shardErrs runs fn over [0, n) on the worker pool with rank-aligned
+// shard boundaries, recording each DPU's error in errs. Best-effort:
+// one DPU's failure never prevents another from being attempted (the
+// serial loops below keep the same contract inline, so post-error
+// device state does not depend on whether the system crossed the
+// sharding threshold).
 func (s *System) shardErrs(n int, errs []error, fn func(i int) error) {
-	s.pool.run(n, func(lo, hi int) {
+	s.pool.runAligned(n, s.perRank, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			errs[i] = fn(i)
 		}
@@ -336,17 +357,14 @@ func (s *System) xferErrSlice(n int) []error {
 
 // finishXfer completes a best-effort multi-DPU transfer: it charges one
 // API-call transfer (latency counted once) covering perDPU bytes for
-// each DPU that actually moved data, and converts the per-DPU errors
-// into a *FaultReport. An all-failed transfer charges nothing.
+// each DPU that actually moved data — timed as the busiest rank's
+// serial share, since ranks stream in parallel (topology.go) — and
+// converts the per-DPU errors into a *FaultReport. An all-failed
+// transfer charges nothing.
 func (s *System) finishXfer(op string, perDPU int, errs []error) error {
-	nOK := 0
-	for _, e := range errs {
-		if e == nil {
-			nOK++
-		}
-	}
+	nOK, busiest := s.rankOKErrs(errs)
 	if nOK > 0 {
-		s.chargeTransfer(perDPU * nOK)
+		s.chargeTransferRanks(perDPU, nOK, busiest)
 		s.meterXfer(op != "gather", perDPU*nOK)
 	}
 	return s.noteFaults(faultsFrom(op, errs))
@@ -618,7 +636,7 @@ func (s *System) LaunchOnInto(n, tasklets int, kernel dpu.KernelFunc, per []dpu.
 	if n == 1 {
 		errs[0] = s.dpus[0].LaunchInto(tasklets, kernel, &stats[0])
 	} else {
-		s.pool.run(n, func(lo, hi int) {
+		s.pool.runAligned(n, s.perRank, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				errs[i] = s.dpus[i].LaunchInto(tasklets, kernel, &stats[i])
 			}
@@ -675,7 +693,7 @@ func (s *System) LaunchDPU(dpuIdx, tasklets int, kernel dpu.KernelFunc) (LaunchS
 }
 
 // chargeTransfer advances the host clock for a host<->PIM transfer of n
-// payload bytes.
+// payload bytes moving through one rank channel.
 func (s *System) chargeTransfer(n int) {
 	d := s.cfg.TransferLatency +
 		time.Duration(float64(n)/s.cfg.TransferBandwidth*float64(time.Second))
@@ -683,6 +701,23 @@ func (s *System) chargeTransfer(n int) {
 	s.hostXferTime += d
 	s.xferCount++
 	s.xferBytes += uint64(n)
+	s.mu.Unlock()
+}
+
+// chargeTransferRanks advances the host clock for one multi-DPU
+// transfer API call that moved perDPU bytes to each of nOK DPUs, of
+// which busiest share a rank: the ranks stream concurrently on their
+// own channels, so the modeled duration is the busiest rank's serial
+// share (plus one per-call latency), while the byte counters record the
+// full payload. With one rank busiest == nOK and the charge is
+// identical — bit for bit — to the flat chargeTransfer(perDPU*nOK).
+func (s *System) chargeTransferRanks(perDPU, nOK, busiest int) {
+	d := s.cfg.TransferLatency +
+		time.Duration(float64(perDPU*busiest)/s.cfg.TransferBandwidth*float64(time.Second))
+	s.mu.Lock()
+	s.hostXferTime += d
+	s.xferCount++
+	s.xferBytes += uint64(perDPU * nOK)
 	s.mu.Unlock()
 }
 

@@ -98,3 +98,51 @@ func (p *workerPool) run(n int, fn func(lo, hi int)) {
 	fn(0, per)
 	wg.Wait()
 }
+
+// runAligned is run with shard boundaries rounded up to a multiple of
+// align, so one shard never straddles an alignment group. The host
+// transfer and wave paths pass the rank width: the fan-out is then
+// rank-first (whole ranks per worker, DPUs within the rank inside one
+// shard), which keeps a rank's DPUs — whose simulated memory pages sit
+// together — on one worker's cache, and means a worker's shard
+// corresponds to whole rank channels of the modeled transfer. align <= 1
+// (or a single alignment group) degenerates to run.
+func (p *workerPool) runAligned(n, align int, fn func(lo, hi int)) {
+	if align <= 1 || n <= align {
+		p.run(n, fn)
+		return
+	}
+	groups := (n + align - 1) / align
+	shards := p.workers
+	if shards > groups {
+		shards = groups
+	}
+	p.shards.Observe(uint64(shards))
+	if shards <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	// Ceil division over whole groups: shard sizes stay within one
+	// group of each other and every boundary is a multiple of align.
+	per := (groups + shards - 1) / shards * align
+	for s := 1; s < shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo >= n {
+			wg.Done()
+			continue
+		}
+		p.jobs <- poolJob{fn: fn, lo: lo, hi: hi, wg: &wg}
+	}
+	hi0 := per
+	if hi0 > n {
+		hi0 = n
+	}
+	fn(0, hi0)
+	wg.Wait()
+}

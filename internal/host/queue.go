@@ -535,19 +535,15 @@ func (s *System) execWave(op *asyncOp) error {
 	if n == 1 {
 		run(0, 1)
 	} else {
-		s.pool.run(n, run)
+		s.pool.runAligned(n, s.perRank, run)
 	}
 	// Charge in the same order as the discrete command sequence the wave
-	// fuses: scatter transfer, launch time, gather transfer.
+	// fuses: scatter transfer (rank-parallel, like finishXfer), launch
+	// time, gather transfer.
 	if scatter {
-		nS := 0
-		for _, p := range phase {
-			if p&waveScattered != 0 {
-				nS++
-			}
-		}
+		nS, busiest := s.rankOKPhase(phase, waveScattered)
 		if nS > 0 {
-			s.chargeTransfer(inLen * nS)
+			s.chargeTransferRanks(inLen, nS, busiest)
 			s.meterXfer(true, inLen*nS)
 		}
 	}
@@ -571,14 +567,9 @@ func (s *System) execWave(op *asyncOp) error {
 	s.dpuTime += lt
 	s.mu.Unlock()
 	if gather {
-		nG := 0
-		for _, p := range phase {
-			if p&waveGathered != 0 {
-				nG++
-			}
-		}
+		nG, busiest := s.rankOKPhase(phase, waveGathered)
 		if nG > 0 {
-			s.chargeTransfer(outLen * nG)
+			s.chargeTransferRanks(outLen, nG, busiest)
 			s.meterXfer(false, outLen*nG)
 		}
 	}

@@ -1,0 +1,138 @@
+// Rank/DIMM topology. The evaluated UPMEM system is 2,560 DPUs in 40
+// ranks of 64 (Table 2.1); the host reaches every rank through its own
+// DDR channel slice, so a transfer touching many ranks streams to them
+// in parallel — the PrIM measurements show aggregate scatter/gather
+// bandwidth growing with the rank count while the per-rank rate stays
+// fixed. The System models that here: Config.Topology groups the DPUs
+// into ranks, TransferBandwidth becomes the per-rank channel rate, and
+// every multi-DPU transfer is charged the busiest rank's serial share
+// (latency counted once per API call) instead of the whole payload
+// serially. Systems that fit in one rank — every configuration the
+// experiments ran before full-array scale-out — charge exactly what the
+// flat model charged, bit for bit.
+package host
+
+import (
+	"fmt"
+
+	"pimdnn/internal/dpu"
+)
+
+// Topology describes how a System's DPUs are grouped into DIMM ranks.
+// The zero value models the real machine: ranks of dpu.DPUsPerRank (64)
+// DPUs, as many as the DPU count fills.
+type Topology struct {
+	// Ranks is the rank count. Zero derives it from the DPU count and
+	// DPUsPerRank; non-zero values must match that derivation (the
+	// field exists so configurations can state their shape explicitly
+	// and fail loudly when the DPU count drifts).
+	Ranks int
+	// DPUsPerRank is the rank width. Zero means dpu.DPUsPerRank. DPUs
+	// i with i/DPUsPerRank == r belong to rank r; only the last rank
+	// may be partially filled.
+	DPUsPerRank int
+}
+
+// resolveTopology validates cfg.Topology against the DPU count and
+// returns the effective rank width and rank count.
+func resolveTopology(n int, t Topology) (perRank, ranks int, err error) {
+	perRank = t.DPUsPerRank
+	if perRank == 0 {
+		perRank = dpu.DPUsPerRank
+	}
+	if perRank < 1 {
+		return 0, 0, fmt.Errorf("host: non-positive DPUsPerRank %d", t.DPUsPerRank)
+	}
+	ranks = (n + perRank - 1) / perRank
+	if t.Ranks != 0 && t.Ranks != ranks {
+		return 0, 0, fmt.Errorf("host: topology declares %d ranks, but %d DPUs at %d per rank form %d",
+			t.Ranks, n, perRank, ranks)
+	}
+	return perRank, ranks, nil
+}
+
+// Ranks returns the number of DIMM ranks the system's DPUs span.
+func (s *System) Ranks() int { return s.ranks }
+
+// DPUsPerRank returns the rank width (the last rank may hold fewer).
+func (s *System) DPUsPerRank() int { return s.perRank }
+
+// RankOf returns the rank DPU i belongs to.
+func (s *System) RankOf(i int) int { return i / s.perRank }
+
+// RankSpan returns the DPU index range [lo, hi) of rank r.
+func (s *System) RankSpan(r int) (lo, hi int) {
+	lo = r * s.perRank
+	hi = lo + s.perRank
+	if n := len(s.dpus); hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// rankOKErrs counts the error-free entries of a per-DPU error slice and
+// the busiest rank's share of them (entry i belongs to DPU i). On a
+// single-rank system busiest == nOK without touching the tally scratch,
+// keeping the pre-topology fast path intact.
+func (s *System) rankOKErrs(errs []error) (nOK, busiest int) {
+	for _, e := range errs {
+		if e == nil {
+			nOK++
+		}
+	}
+	if s.ranks == 1 || nOK == 0 {
+		return nOK, nOK
+	}
+	tally := s.rankTally(&s.xferTally)
+	for i, e := range errs {
+		if e != nil {
+			continue
+		}
+		r := i / s.perRank
+		tally[r]++
+		if tally[r] > busiest {
+			busiest = tally[r]
+		}
+	}
+	return nOK, busiest
+}
+
+// rankOKPhase is rankOKErrs over a wave's per-DPU phase bits: it counts
+// the DPUs whose phase has bit set and the busiest rank's share.
+func (s *System) rankOKPhase(phase []uint8, bit uint8) (nOK, busiest int) {
+	for _, p := range phase {
+		if p&bit != 0 {
+			nOK++
+		}
+	}
+	if s.ranks == 1 || nOK == 0 {
+		return nOK, nOK
+	}
+	tally := s.rankTally(&s.waveTally)
+	for i, p := range phase {
+		if p&bit == 0 {
+			continue
+		}
+		r := i / s.perRank
+		tally[r]++
+		if tally[r] > busiest {
+			busiest = tally[r]
+		}
+	}
+	return nOK, busiest
+}
+
+// rankTally returns *buf sized to the rank count and cleared. Two
+// scratches exist (xferTally, waveTally) for the same reason waveErrs is
+// separate from xferErrs: the queue executor may run a wave while
+// another goroutine performs a synchronous transfer.
+func (s *System) rankTally(buf *[]int) []int {
+	if cap(*buf) < s.ranks {
+		*buf = make([]int, s.ranks)
+	}
+	t := (*buf)[:s.ranks]
+	for i := range t {
+		t[i] = 0
+	}
+	return t
+}

@@ -49,6 +49,8 @@ func TestTaskletScalingHostOverheadFlat(t *testing.T) {
 	}
 	sys1, r1 := mkRunner(1)
 	defer sys1.Close()
+	sys8, r8 := mkRunner(8)
+	defer sys8.Close()
 	sys16, r16 := mkRunner(16)
 	defer sys16.Close()
 
@@ -65,18 +67,30 @@ func TestTaskletScalingHostOverheadFlat(t *testing.T) {
 		return time.Since(start)
 	}
 	const maxDur = time.Duration(1<<63 - 1)
-	t1, t16 := maxDur, maxDur
+	t1, t8, t16 := maxDur, maxDur, maxDur
 	for trial := 0; trial < 4; trial++ {
 		if d := batch(r1); d < t1 {
 			t1 = d
+		}
+		if d := batch(r8); d < t8 {
+			t8 = d
 		}
 		if d := batch(r16); d < t16 {
 			t16 = d
 		}
 	}
 	ratio := float64(t16) / float64(t1)
-	t.Logf("1 tasklet: %v, 16 tasklets: %v per 8 forwards (ratio %.2fx)", t1, t16, ratio)
+	t.Logf("1 tasklet: %v, 8 tasklets: %v, 16 tasklets: %v per 8 forwards (1->16 ratio %.2fx)", t1, t8, t16, ratio)
 	if ratio > 1.9 {
 		t.Errorf("16-tasklet forward is %.2fx the 1-tasklet wall clock (want <= 1.9x): per-tasklet host overhead regressed", ratio)
+	}
+	// Guard the 8->16 step specifically: BENCH_pr6 recorded the YOLO
+	// forward slowing 1.00ms -> 1.23ms from 8 to 16 tasklets (~1.2x)
+	// from per-tasklet launch bookkeeping alone; with touched-op mix
+	// merging and the idle-tasklet kernel fast path it is ~1.1x. The
+	// bound leaves headroom for timer noise, not for an O(tasklets)
+	// host cost per launch.
+	if r := float64(t16) / float64(t8); r > 1.5 {
+		t.Errorf("16-tasklet forward is %.2fx the 8-tasklet wall clock (want <= 1.5x): per-tasklet host overhead regressed", r)
 	}
 }
