@@ -5,7 +5,8 @@
 # softfloat slice kernels and compiled ISA dispatch shared across
 # concurrently launched DPUs, and the gemm/ebnn/yolo and alexnet/resnet
 # runners that drive parallel and pipelined launches, including the
-# fault-injection recovery paths, plus the upmem-top renderer), and
+# fault-injection recovery paths, plus the upmem-top renderer and the
+# upmem-serve batching/backpressure server), and
 # a check that this PR's benchmark trajectory record exists (see
 # DESIGN.md, "Simulator performance"). bench.sh additionally fails the
 # record step if any hot-path benchmark's allocs/op grew over the
@@ -14,7 +15,7 @@
 GO ?= go
 
 # The perf trajectory record this PR must ship (regenerate: make bench).
-BENCH_RECORD ?= BENCH_pr7.json
+BENCH_RECORD ?= BENCH_pr8.json
 
 .PHONY: all build vet test race bench bench-record profile ci
 
@@ -30,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dpu ./internal/softfloat ./internal/isa ./internal/host ./internal/trace ./internal/metrics ./internal/exec ./internal/gemm ./internal/ebnn ./internal/yolo ./internal/alexnet ./internal/resnet ./cmd/upmem-top
+	$(GO) test -race ./internal/dpu ./internal/softfloat ./internal/isa ./internal/host ./internal/trace ./internal/metrics ./internal/exec ./internal/gemm ./internal/ebnn ./internal/yolo ./internal/alexnet ./internal/resnet ./cmd/upmem-top ./cmd/upmem-serve
 
 # Regenerate $(BENCH_RECORD) and diff it against the previous PR's
 # record (see DESIGN.md, "Simulator performance").

@@ -57,13 +57,14 @@ func run() error {
 	if *once {
 		*count = 1
 	}
+	client := pollClient(*interval)
 	var prev metrics.Snapshot
 	first := true
 	for frame := 0; *count == 0 || frame < *count; frame++ {
 		if !first {
 			time.Sleep(*interval)
 		}
-		cur, err := fetch(url)
+		cur, err := fetch(client, url)
 		if err != nil {
 			return err
 		}
@@ -78,10 +79,27 @@ func run() error {
 	return nil
 }
 
+// pollTimeoutFloor keeps very fast poll intervals from turning into
+// sub-second request deadlines that a loaded endpoint can't meet.
+const pollTimeoutFloor = time.Second
+
+// pollClient builds the snapshot-polling HTTP client. Its timeout is
+// derived from the poll interval — twice the interval, floored at one
+// second — so a stalled metrics endpoint fails the frame (and surfaces
+// an error) instead of hanging the live view forever, which is what the
+// previous bare http.Get did.
+func pollClient(interval time.Duration) *http.Client {
+	timeout := 2 * interval
+	if timeout < pollTimeoutFloor {
+		timeout = pollTimeoutFloor
+	}
+	return &http.Client{Timeout: timeout}
+}
+
 // fetch polls one JSON snapshot.
-func fetch(url string) (metrics.Snapshot, error) {
+func fetch(client *http.Client, url string) (metrics.Snapshot, error) {
 	var s metrics.Snapshot
-	resp, err := http.Get(url)
+	resp, err := client.Get(url)
 	if err != nil {
 		return s, err
 	}

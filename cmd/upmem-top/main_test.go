@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -97,5 +99,55 @@ func TestBarMinimumFill(t *testing.T) {
 	}
 	if got := bar(0, 1000, 10); got != ".........." {
 		t.Errorf("bar(0,1000,10) = %q", got)
+	}
+}
+
+// TestPollClientTimeout pins the timeout derivation: twice the poll
+// interval, floored at one second so fast intervals don't produce
+// unservable deadlines.
+func TestPollClientTimeout(t *testing.T) {
+	cases := []struct {
+		interval, want time.Duration
+	}{
+		{100 * time.Millisecond, time.Second},
+		{500 * time.Millisecond, time.Second},
+		{time.Second, 2 * time.Second},
+		{5 * time.Second, 10 * time.Second},
+	}
+	for _, c := range cases {
+		if got := pollClient(c.interval).Timeout; got != c.want {
+			t.Errorf("pollClient(%v).Timeout = %v, want %v", c.interval, got, c.want)
+		}
+	}
+}
+
+// TestFetchTimesOutOnStalledEndpoint reproduces the hung-live-view bug:
+// a metrics endpoint that accepts the connection but never responds must
+// fail the fetch once the derived timeout elapses, not block forever.
+func TestFetchTimesOutOnStalledEndpoint(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall // hold the response until the test ends
+	}))
+	// Release the handler before Close: httptest's Close waits for
+	// outstanding requests, so the reverse order deadlocks.
+	defer func() {
+		close(stall)
+		srv.Close()
+	}()
+
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() {
+		_, err := fetch(client, srv.URL)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("fetch returned nil error from a stalled endpoint")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fetch still blocked on a stalled endpoint after 2s")
 	}
 }

@@ -339,6 +339,9 @@ func (n *Network) Forward(input *tensor.Tensor, runner *gemm.Runner) ([]int16, *
 		if runner.MetricsOn() {
 			runner.SetScope(fmt.Sprintf("alexnet_layer%02d", layer))
 		}
+		if runner.ResidencyOn() {
+			runner.SetWeightLayer(layer)
+		}
 		c, st, err := runner.Multiply(m, cols, k, 1, n.Weights[layer].W, b)
 		if err != nil {
 			return nil, err

@@ -96,6 +96,19 @@ type Runner struct {
 	eng    *exec.Engine
 	iws    inferWorkSet
 	stages [2]inferStage
+
+	// deploy retains the model payloads broadcast at NewRunner so
+	// AttachResidency can register them with a weight cache; resBcasts
+	// is the resident broadcast set each Infer then re-presents to the
+	// engine (zero transfer bytes while every live DPU stays current).
+	deploy    []deployPayload
+	resBcasts []exec.Broadcast
+}
+
+// deployPayload is one model parameter broadcast kept for residency.
+type deployPayload struct {
+	ref  host.SymbolRef
+	data []byte
 }
 
 // inferStage is one staging set of the multiple-images-per-DPU mapping:
@@ -177,6 +190,7 @@ func NewRunner(sys *host.System, m *Model, useLUT bool, tasklets int) (*Runner, 
 		if err != nil {
 			return err
 		}
+		r.deploy = append(r.deploy, deployPayload{ref: ref, data: data})
 		return r.eng.Broadcast(exec.Broadcast{Ref: ref, Data: data})
 	}
 	filt := make([]byte, 16)
@@ -248,6 +262,30 @@ func (r *Runner) SetPipeline(m host.PipelineMode) {
 // telemetry decomposition (see exec.Engine.SetScope). A plain field
 // store when no metrics registry is wired.
 func (r *Runner) SetScope(name string) { r.eng.SetScope(name) }
+
+// AttachResidency registers the deployed model parameters (filters plus
+// BN table or LUT) with a weight cache under the given model name, as
+// external entries: they stay in their own symbols and consume no arena
+// bytes, but join the cache's LRU bookkeeping and per-DPU generation
+// stamps. Every subsequent Infer re-presents them to the engine — a
+// no-op while all live DPUs hold the current copy, a targeted catch-up
+// when a DPU was remapped onto or the model was evicted. The initial
+// delivery here stamps every reachable DPU (the payloads were already
+// broadcast at NewRunner, but stamping must go through the cache).
+func (r *Runner) AttachResidency(cache *exec.WeightCache, name string) error {
+	m := cache.Model(name)
+	r.resBcasts = r.resBcasts[:0]
+	for i, d := range r.deploy {
+		ent := m.External(i, d.ref, 0, int64(len(d.data)))
+		r.resBcasts = append(r.resBcasts, exec.Broadcast{Ref: d.ref, Data: d.data, Resident: ent})
+	}
+	for _, b := range r.resBcasts {
+		if err := r.eng.Broadcast(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // MetricsOn reports whether the underlying System has a metrics
 // registry wired.
@@ -633,7 +671,7 @@ func (w *inferWorkSet) Shards() int {
 }
 func (w *inferWorkSet) Tasklets() int                { return w.r.tasklets }
 func (w *inferWorkSet) Kernel() dpu.KernelFunc       { return w.r.kernelFn }
-func (w *inferWorkSet) Broadcasts() []exec.Broadcast { return nil }
+func (w *inferWorkSet) Broadcasts() []exec.Broadcast { return w.r.resBcasts }
 
 // SerialGather selects the §4.1.3 synchronous gather order: "After all
 // temporary results for all images in a single DPU are inferred, the

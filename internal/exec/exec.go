@@ -71,10 +71,19 @@ type Stats struct {
 // in the current staging slot. Scatter streams cover every DPU of the
 // system (full-system push, matching dpu_push_xfer); the engine
 // launches and gathers only the wave's first n shards.
+//
+// A non-nil Resident entry makes the stream weight-resident: the
+// engine delivers Bufs[d] only to DPUs whose per-DPU generation stamp
+// is stale (all of them on first use, none on a warm repeat, just the
+// remapped ones after fault recovery) and skips the push entirely when
+// every live wave DPU is current. Re-dispatch still carries the
+// stream's shard buffer to the retry target — and invalidates that
+// target's stamp, since the shard's row now occupies its arena slot.
 type Stream struct {
-	Ref  host.SymbolRef
-	Off  int64
-	Bufs [][]byte
+	Ref      host.SymbolRef
+	Off      int64
+	Bufs     [][]byte
+	Resident *ResidentEntry
 }
 
 // Xfer names one single-DPU transfer (a shard's input or output buffer)
@@ -89,10 +98,16 @@ type Xfer struct {
 // dispatch (a weight matrix, a parameter block, a model). DPUs that
 // miss a broadcast get it redelivered; unreachable DPUs are marked down
 // so a stale copy never contributes results.
+//
+// A non-nil Resident entry makes the broadcast weight-resident: the
+// engine skips delivery for DPUs whose generation stamp is current and
+// catches up only the stale ones (zero transfer bytes on a warm
+// repeat).
 type Broadcast struct {
-	Ref  host.SymbolRef
-	Off  int64
-	Data []byte
+	Ref      host.SymbolRef
+	Off      int64
+	Data     []byte
+	Resident *ResidentEntry
 }
 
 // WorkSet adapts one workload's shard mapping to the engine's wave
@@ -172,10 +187,12 @@ type Engine struct {
 	slots   [2]waveSlot
 	waveSeq int
 
-	// Reused scratch: re-dispatch input descriptors, queued re-dispatch
-	// pending handles, streaming-gather buffers and queued-launch stats
-	// (RunStream).
+	// Reused scratch: re-dispatch input descriptors (and the resident
+	// entries riding along with them, for retry-target invalidation),
+	// queued re-dispatch pending handles, streaming-gather buffers and
+	// queued-launch stats (RunStream).
 	insBuf  []Xfer
+	entBuf  []*ResidentEntry
 	pendBuf []host.Pending
 	raw     [2][]byte
 	lstats  host.LaunchStats
@@ -205,6 +222,7 @@ type waveSlot struct {
 	pend     host.Pending
 	extras   []host.Pending
 	errs     []error
+	forced   []bool // shards failed by resident delivery at enqueue time
 	t0       time.Time
 	busy     bool
 }
@@ -397,9 +415,201 @@ func (e *Engine) finishBroadcast(err error, b Broadcast) error {
 // Broadcast delivers b to every DPU immediately, with redelivery and
 // down-marking on partial failure. Used for setup-time payloads (the
 // eBNN model deploy); dispatch-time broadcasts belong to the WorkSet
-// or StreamSet instead.
+// or StreamSet instead. A resident broadcast goes through the weight
+// cache's generation stamps and is skipped for current DPUs.
 func (e *Engine) Broadcast(b Broadcast) error {
+	if b.Resident != nil {
+		return e.broadcastResident(b)
+	}
 	return e.finishBroadcast(e.sys.CopyToSymbolRef(b.Ref, b.Off, b.Data), b)
+}
+
+// deliverOne pushes one resident payload to DPU d with bounded retries,
+// stamping the entry on success. An unreachable DPU is marked down (its
+// stale copy must never contribute results) and reported false.
+func (e *Engine) deliverOne(d int, ref host.SymbolRef, off int64, data []byte, ent *ResidentEntry, catchup bool) bool {
+	for a := 0; a < maxRedispatch; a++ {
+		var err error
+		if e.pipe {
+			err = e.sys.EnqueueCopyToDPU(d, ref, off, data).Wait()
+		} else {
+			err = e.sys.CopyToDPURef(d, ref, off, data)
+		}
+		if err == nil {
+			ent.markDelivered(d)
+			ent.noteDelivered(len(data), catchup)
+			return true
+		}
+		if errors.Is(err, dpu.ErrDPUDead) {
+			break
+		}
+		if _, ok := host.AsFaultReport(err); !ok {
+			break
+		}
+	}
+	e.markDown(d)
+	return false
+}
+
+// broadcastResident delivers a resident broadcast: skipped outright
+// when every live DPU is stamped current (a warm repeat — zero
+// transfer bytes), one full-system broadcast when none are (first
+// delivery), per-DPU catch-ups otherwise (remapped or recovered DPUs).
+func (e *Engine) broadcastResident(b Broadcast) error {
+	ent := b.Resident
+	ent.Touch()
+	nd := e.sys.NumDPUs()
+	stale, live := 0, 0
+	for d := 0; d < nd; d++ {
+		if e.down[d] {
+			continue
+		}
+		live++
+		if !ent.Current(d) {
+			stale++
+		}
+	}
+	if live == 0 || stale == 0 {
+		ent.noteHit()
+		return nil
+	}
+	ent.noteMiss()
+	if stale == live && e.nDown == 0 {
+		// Cold path: one rank-parallel broadcast, then stamp everything
+		// the fault report doesn't name; named DPUs get the usual
+		// redeliver-or-mark-down treatment, which stamps on success.
+		err := e.copyAll(b.Ref, b.Off, b.Data)
+		if err == nil {
+			for d := 0; d < nd; d++ {
+				ent.markDelivered(d)
+			}
+			ent.noteDelivered(len(b.Data)*nd, false)
+			return nil
+		}
+		rep, ok := host.AsFaultReport(err)
+		if !ok {
+			return err
+		}
+		faulted := e.failSet[:nd]
+		for i := range faulted {
+			faulted[i] = false
+		}
+		nOK := nd
+		for _, f := range rep.Faults {
+			if !faulted[f.DPU] {
+				faulted[f.DPU] = true
+				nOK--
+			}
+		}
+		for d := 0; d < nd; d++ {
+			if !faulted[d] {
+				ent.markDelivered(d)
+			}
+		}
+		ent.noteDelivered(len(b.Data)*nOK, false)
+		for d := 0; d < nd; d++ {
+			if faulted[d] && !e.down[d] {
+				e.deliverOne(d, b.Ref, b.Off, b.Data, ent, false)
+			}
+		}
+		return nil
+	}
+	for d := 0; d < nd; d++ {
+		if e.down[d] || ent.Current(d) {
+			continue
+		}
+		e.deliverOne(d, b.Ref, b.Off, b.Data, ent, true)
+	}
+	return nil
+}
+
+// scatterResident delivers a resident scatter stream for an n-shard
+// wave: shard buffers go only to stale live DPUs (all on first use,
+// none on a warm repeat), using one full-width push when the whole
+// wave is cold and the staging covers the system. Delivery failures
+// mark the DPU down and fail its shard, exactly like a scatter fault
+// on the re-broadcast path.
+func (e *Engine) scatterResident(s Stream, n int, failed []bool) error {
+	ent := s.Resident
+	ent.Touch()
+	stale := 0
+	for d := 0; d < n; d++ {
+		if e.down[d] {
+			continue
+		}
+		if !ent.Current(d) {
+			stale++
+		}
+	}
+	if stale == 0 {
+		ent.noteHit()
+		return nil
+	}
+	ent.noteMiss()
+	if stale == n && e.nDown == 0 && len(s.Bufs) == e.sys.NumDPUs() {
+		// Cold path: one rank-parallel full-system push (the same
+		// operation the re-broadcast path issues every dispatch).
+		err := e.pushAll(s.Ref, s.Off, s.Bufs)
+		perDPU := len(s.Bufs[0])
+		if err == nil {
+			for d := 0; d < n; d++ {
+				ent.markDelivered(d)
+			}
+			ent.noteDelivered(perDPU*len(s.Bufs), false)
+			return nil
+		}
+		rep, ok := host.AsFaultReport(err)
+		if !ok {
+			return err
+		}
+		for d := 0; d < n; d++ {
+			ent.markDelivered(d)
+		}
+		nOK := len(s.Bufs)
+		for _, f := range rep.Faults {
+			nOK--
+			if errors.Is(f.Err, dpu.ErrDPUDead) {
+				e.markDown(f.DPU)
+			}
+			if f.DPU < n {
+				ent.InvalidateDPU(f.DPU)
+				if f.DPU < len(failed) {
+					failed[f.DPU] = true
+				}
+			}
+		}
+		if nOK > 0 {
+			ent.noteDelivered(perDPU*nOK, false)
+		}
+		return nil
+	}
+	for d := 0; d < n; d++ {
+		if e.down[d] || ent.Current(d) {
+			continue
+		}
+		if !e.deliverOne(d, s.Ref, s.Off, s.Bufs[d], ent, true) && d < len(failed) {
+			failed[d] = true
+		}
+	}
+	return nil
+}
+
+// copyAll broadcasts data to every DPU, through the command queue when
+// pipelined so the write is serialized with any in-flight waves.
+func (e *Engine) copyAll(ref host.SymbolRef, off int64, data []byte) error {
+	if e.pipe {
+		return e.sys.EnqueueCopyTo(ref, off, data).Wait()
+	}
+	return e.sys.CopyToSymbolRef(ref, off, data)
+}
+
+// pushAll scatters per-DPU buffers to every DPU, through the command
+// queue when pipelined.
+func (e *Engine) pushAll(ref host.SymbolRef, off int64, bufs [][]byte) error {
+	if e.pipe {
+		return e.sys.EnqueuePushXfer(ref, off, bufs).Wait()
+	}
+	return e.sys.PushXferRef(ref, off, bufs)
 }
 
 // redispatch re-runs one failed shard on a surviving DPU: push its
@@ -408,8 +618,12 @@ func (e *Engine) Broadcast(b Broadcast) error {
 // preferred (nextTarget). The retry's cycles are added to st, so the
 // stats reflect the degraded run's real cost. In pipelined mode the
 // steps are queued commands, serialized with any waves already
-// enqueued.
-func (e *Engine) redispatch(from int, ins []Xfer, out Xfer, tasklets int, kernel dpu.KernelFunc, st *Stats) error {
+// enqueued. ents carries the resident entries of the input streams
+// (nil entries for non-resident ones): every attempted target has its
+// generation stamp invalidated, because even a failed attempt may have
+// partially overwritten the target's resident slot with this shard's
+// row — a remapped DPU must re-receive the layer before serving it.
+func (e *Engine) redispatch(from int, ins []Xfer, ents []*ResidentEntry, out Xfer, tasklets int, kernel dpu.KernelFunc, st *Stats) error {
 	near := from
 	for a := 0; a < maxRedispatch; a++ {
 		t := e.nextTarget(near)
@@ -419,6 +633,11 @@ func (e *Engine) redispatch(from int, ins []Xfer, out Xfer, tasklets int, kernel
 		// A failed attempt moves the scan past its target, like the
 		// round-robin cursor always did.
 		near = t
+		for _, ent := range ents {
+			if ent != nil {
+				ent.InvalidateDPU(t)
+			}
+		}
 		var ls host.LaunchStats
 		var err error
 		if e.pipe {
@@ -466,14 +685,18 @@ func (e *Engine) redispatch(from int, ins []Xfer, out Xfer, tasklets int, kernel
 }
 
 // shardIns builds the re-dispatch input list for wave position i from
-// the workset's scatter streams, reusing the engine's scratch slice.
-func (e *Engine) shardIns(streams []Stream, i int) []Xfer {
+// the workset's scatter streams, reusing the engine's scratch slices.
+// The parallel entry list keeps each stream's resident entry aligned
+// with its Xfer so redispatch can invalidate the targets it touches.
+func (e *Engine) shardIns(streams []Stream, i int) ([]Xfer, []*ResidentEntry) {
 	ins := e.insBuf[:0]
+	ents := e.entBuf[:0]
 	for _, s := range streams {
 		ins = append(ins, Xfer{Ref: s.Ref, Off: s.Off, Data: s.Bufs[i]})
+		ents = append(ents, s.Resident)
 	}
-	e.insBuf = ins
-	return ins
+	e.insBuf, e.entBuf = ins, ents
+	return ins, ents
 }
 
 // Run dispatches every shard of ws, synchronously or pipelined per the
@@ -531,6 +754,12 @@ func (e *Engine) runSync(ws WorkSet, st *Stats) error {
 		t0 := e.now()
 		streams := ws.Scatter(0, n)
 		for _, s := range streams {
+			if s.Resident != nil {
+				if err := e.scatterResident(s, n, failed); err != nil {
+					return err
+				}
+				continue
+			}
 			if err := e.mergeFailed(failed, e.sys.PushXferRef(s.Ref, s.Off, s.Bufs)); err != nil {
 				return err
 			}
@@ -579,7 +808,8 @@ func (e *Engine) runSync(ws WorkSet, st *Stats) error {
 		for i := 0; i < n; i++ {
 			if failed[i] {
 				retried = true
-				if err := e.redispatch(i, e.shardIns(streams, i), Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, tasklets, kernel, st); err != nil {
+				ins, ents := e.shardIns(streams, i)
+				if err := e.redispatch(i, ins, ents, Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, tasklets, kernel, st); err != nil {
 					return err
 				}
 			}
@@ -609,9 +839,22 @@ func (e *Engine) runPipelined(ws WorkSet, st *Stats) error {
 	if len(bcasts) > 0 {
 		pends := make([]host.Pending, len(bcasts))
 		for i, b := range bcasts {
+			if b.Resident != nil {
+				// Resident broadcasts deliver (or skip) synchronously
+				// through the cache's generation stamps; the queued ops
+				// inside are serialized like any other command.
+				if err := e.broadcastResident(b); err != nil {
+					sys.Sync()
+					return err
+				}
+				continue
+			}
 			pends[i] = sys.EnqueueCopyTo(b.Ref, b.Off, b.Data)
 		}
 		for i, b := range bcasts {
+			if b.Resident != nil {
+				continue
+			}
 			if err := e.finishBroadcast(pends[i].Wait(), b); err != nil {
 				sys.Sync()
 				return err
@@ -639,23 +882,46 @@ func (e *Engine) runPipelined(ws WorkSet, st *Stats) error {
 		ws.Encode(sl.idx, start, n)
 		streams := ws.Scatter(sl.idx, n)
 		sl.extras = sl.extras[:0]
+		if cap(sl.forced) < n {
+			sl.forced = make([]bool, n)
+		}
+		sl.forced = sl.forced[:n]
+		for i := range sl.forced {
+			sl.forced[i] = false
+		}
 		for _, s := range streams[1:] {
+			if s.Resident != nil {
+				if err := e.scatterResident(s, n, sl.forced); err != nil {
+					sys.Sync()
+					return err
+				}
+				continue
+			}
 			sl.extras = append(sl.extras, sys.EnqueuePushXfer(s.Ref, s.Off, s.Bufs))
 		}
 		g := ws.Gather(sl.idx, n)
 		sl.t0 = e.now()
-		sl.pend = sys.EnqueueWave(host.Wave{
-			DPUs:       n,
-			Tasklets:   tasklets,
-			Kernel:     kernel,
-			Stats:      &sl.stats,
-			Scatter:    streams[0].Ref,
-			ScatterOff: streams[0].Off,
-			In:         streams[0].Bufs[:n],
-			Gather:     g.Ref,
-			GatherOff:  g.Off,
-			Out:        g.Bufs[:n],
-		})
+		wv := host.Wave{
+			DPUs:      n,
+			Tasklets:  tasklets,
+			Kernel:    kernel,
+			Stats:     &sl.stats,
+			Gather:    g.Ref,
+			GatherOff: g.Off,
+			Out:       g.Bufs[:n],
+		}
+		if s0 := streams[0]; s0.Resident != nil {
+			// The primary stream is weight-resident: deliver (or skip)
+			// it now through the cache and leave the wave's scatter ref
+			// zero so the queue skips that phase entirely.
+			if err := e.scatterResident(s0, n, sl.forced); err != nil {
+				sys.Sync()
+				return err
+			}
+		} else {
+			wv.Scatter, wv.ScatterOff, wv.In = s0.Ref, s0.Off, s0.Bufs[:n]
+		}
+		sl.pend = sys.EnqueueWave(wv)
 		sl.seq = e.waveSeq
 		sl.start, sl.n = start, n
 		sl.busy = true
@@ -686,6 +952,11 @@ func (e *Engine) flush(ws WorkSet, sl *waveSlot, st *Stats) error {
 	}
 	waveErr := sl.pend.Wait()
 	failed := e.seedFailed(sl.n)
+	for i := 0; i < sl.n && i < len(sl.forced); i++ {
+		if sl.forced[i] {
+			failed[i] = true
+		}
+	}
 	for _, err := range sl.errs {
 		if ferr := e.mergeFailed(failed, err); ferr != nil {
 			e.sys.Sync() // drain the queue before reporting a fatal error
@@ -709,7 +980,8 @@ func (e *Engine) flush(ws WorkSet, sl *waveSlot, st *Stats) error {
 	for i := 0; i < sl.n; i++ {
 		if failed[i] {
 			retried = true
-			if err := e.redispatch(i, e.shardIns(streams, i), Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, ws.Tasklets(), ws.Kernel(), st); err != nil {
+			ins, ents := e.shardIns(streams, i)
+			if err := e.redispatch(i, ins, ents, Xfer{Ref: g.Ref, Off: g.Off, Data: g.Bufs[i]}, ws.Tasklets(), ws.Kernel(), st); err != nil {
 				e.sys.Sync()
 				return err
 			}

@@ -162,8 +162,18 @@ func (e *Engine) runStreamPipelined(ss *StreamSet, st *Stats) error {
 	e.waveSeq++
 	seq := e.waveSeq
 	t0 := e.now()
+	// Resident broadcasts deliver (or skip) through the cache's
+	// generation stamps up front; their queued ops serialize like any
+	// other command, so ordering against the scatter below holds.
 	pPre := make([]host.Pending, len(ss.Pre))
 	for i, b := range ss.Pre {
+		if b.Resident != nil {
+			if err := e.broadcastResident(b); err != nil {
+				sys.Sync()
+				return err
+			}
+			continue
+		}
 		pPre[i] = sys.EnqueueCopyTo(b.Ref, b.Off, b.Data)
 	}
 	pSc := make([]host.Pending, len(ss.Scatter))
@@ -172,12 +182,22 @@ func (e *Engine) runStreamPipelined(ss *StreamSet, st *Stats) error {
 	}
 	pPost := make([]host.Pending, len(ss.Post))
 	for i, b := range ss.Post {
+		if b.Resident != nil {
+			if err := e.broadcastResident(b); err != nil {
+				sys.Sync()
+				return err
+			}
+			continue
+		}
 		pPost[i] = sys.EnqueueCopyTo(b.Ref, b.Off, b.Data)
 	}
 	// Claim the broadcast handles before the launch joins the queue: a
 	// DPU the redelivery cannot reach must be marked down — its shard
 	// re-dispatched — rather than compute on stale data.
 	for i, b := range ss.Pre {
+		if b.Resident != nil {
+			continue
+		}
 		if err := e.finishBroadcast(pPre[i].Wait(), b); err != nil {
 			sys.Sync()
 			return err
@@ -191,6 +211,9 @@ func (e *Engine) runStreamPipelined(ss *StreamSet, st *Stats) error {
 		}
 	}
 	for i, b := range ss.Post {
+		if b.Resident != nil {
+			continue
+		}
 		if err := e.finishBroadcast(pPost[i].Wait(), b); err != nil {
 			sys.Sync()
 			return err
@@ -282,7 +305,11 @@ func (e *Engine) finishStreamBuffered(ss *StreamSet, from int, failed []bool, st
 	}
 	for i := from; i < ss.Shards; i++ {
 		if failed[i] {
-			if err := e.redispatch(i, ss.Ins(i), Xfer{Ref: ss.OutRef, Off: ss.OutOff, Data: slot(i)}, ss.Tasklets, ss.Kernel, st); err != nil {
+			// A StreamSet's per-shard inputs never overlap a resident
+			// region (resident payloads are the wave-invariant Pre/Post
+			// broadcasts, delivered to every live DPU), so there are no
+			// entries to invalidate on the retry target.
+			if err := e.redispatch(i, ss.Ins(i), nil, Xfer{Ref: ss.OutRef, Off: ss.OutOff, Data: slot(i)}, ss.Tasklets, ss.Kernel, st); err != nil {
 				return err
 			}
 		}

@@ -87,6 +87,7 @@ func (r *Runner) kernelBatch() dpu.KernelFunc {
 		k := int(t.LoadI32(r.paramsOff + 4))
 		alpha := int16(t.LoadI32(r.paramsOff + 8))
 		m := int(t.LoadI32(r.paramsOff + 12))
+		aBase := int64(t.LoadI32(r.paramsOff + 16))
 		if n < 1 || k < 1 || m < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK || m > r.maxM {
 			return fmt.Errorf("gemm batch kernel: bad params M=%d N=%d K=%d", m, n, k)
 		}
@@ -124,13 +125,15 @@ func (r *Runner) kernelBatch() dpu.KernelFunc {
 
 			if row != cachedRow {
 				// Stage this A row into the tasklet's WRAM cache (real
-				// DMA) and precompute APART (Algorithm 2 line 5).
+				// DMA) and precompute APART (Algorithm 2 line 5). The
+				// matrix base comes from the parameter block — the
+				// gemm_a_full symbol, or an arena slot when resident.
 				for off := 0; off < aBytes; off += dpu.MaxDMATransfer {
 					chunk := aBytes - off
 					if chunk > dpu.MaxDMATransfer {
 						chunk = dpu.MaxDMATransfer
 					}
-					t.MRAMToWRAM(aSlot+int64(off), r.aFullOff+int64(row)*int64(aBytes)+int64(off), chunk)
+					t.MRAMToWRAM(aSlot+int64(off), aBase+int64(row)*int64(aBytes)+int64(off), chunk)
 				}
 				t.ChargeBulk(dpu.OpLoad, uint64(k))
 				t.ChargeBulk(dpu.OpMul16, uint64(k))
@@ -181,6 +184,7 @@ func (r *Runner) kernelBatchLegacy() dpu.KernelFunc {
 		k := int(t.LoadI32(r.paramsOff + 4))
 		alpha := int16(t.LoadI32(r.paramsOff + 8))
 		m := int(t.LoadI32(r.paramsOff + 12))
+		aBase := int64(t.LoadI32(r.paramsOff + 16))
 		if n < 1 || k < 1 || m < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK || m > r.maxM {
 			return fmt.Errorf("gemm batch kernel: bad params M=%d N=%d K=%d", m, n, k)
 		}
@@ -213,7 +217,7 @@ func (r *Runner) kernelBatchLegacy() dpu.KernelFunc {
 					if chunk > dpu.MaxDMATransfer {
 						chunk = dpu.MaxDMATransfer
 					}
-					t.MRAMToWRAM(aSlot+int64(off), r.aFullOff+int64(row)*int64(aBytes)+int64(off), chunk)
+					t.MRAMToWRAM(aSlot+int64(off), aBase+int64(row)*int64(aBytes)+int64(off), chunk)
 				}
 				aRow := sc.aRow[:k*2]
 				if err := d.CopyFromWRAMInto(aSlot, aRow); err != nil {
@@ -374,7 +378,23 @@ func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]i
 			bufs[i] = r.emptyB
 		}
 	}
-	r.encodeParams(n, k, m, alpha)
+	// An armed SetWeightLayer makes the whole weight matrix resident:
+	// the broadcast below is skipped for every DPU whose arena copy is
+	// current, and the kernel stages A rows from the arena slot.
+	var ent *exec.ResidentEntry
+	if r.residArmed {
+		r.residArmed = false
+		if r.wmodel != nil {
+			if e, ok := r.wmodel.Entry(r.residKey, int64(m*aRowBytes), hashInt16s(a)); ok {
+				ent = e
+			}
+		}
+	}
+	aRef, aOff, aBase := r.refAFull, int64(0), r.aFullOff
+	if ent != nil {
+		aRef, aOff, aBase = ent.Ref(), ent.Off(), ent.Abs()
+	}
+	r.encodeParams(n, k, m, alpha, aBase)
 	if r.batchKernel == nil {
 		if r.cfg.LegacyCharging {
 			r.batchKernel = r.kernelBatchLegacy()
@@ -391,7 +411,7 @@ func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]i
 		Shards:   len(bs),
 		Tasklets: r.cfg.Tasklets,
 		Kernel:   r.batchKernel,
-		Pre:      []exec.Broadcast{{Ref: r.refAFull, Data: aBytes}},
+		Pre:      []exec.Broadcast{{Ref: aRef, Off: aOff, Data: aBytes, Resident: ent}},
 		Scatter:  []exec.Stream{{Ref: r.refB, Bufs: bufs}},
 		Post:     []exec.Broadcast{{Ref: r.refParams, Data: r.paramsBuf[:]}},
 		OutRef:   r.refCFull,

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pimdnn/internal/dpu"
+	"pimdnn/internal/exec"
 	"pimdnn/internal/host"
 )
 
@@ -124,3 +125,58 @@ func benchMultiWave(b *testing.B, mode host.PipelineMode) {
 
 func BenchmarkMultiWaveSync(b *testing.B)      { benchMultiWave(b, host.PipelineOff) }
 func BenchmarkMultiWavePipelined(b *testing.B) { benchMultiWave(b, host.PipelineOn) }
+
+// BenchmarkResidentForward / BenchmarkRebroadcastForward compare the
+// repeated-forward cost with weights MRAM-resident against the
+// re-broadcast-every-call baseline — the PR 8 speedup claim, on the
+// image-per-DPU mapping where the whole weight matrix is the per-call
+// broadcast residency eliminates. Both variants run one untimed warmup
+// and reset the transfer ledger, so xfer-bytes/op is steady-state
+// traffic: the resident runner's excludes the weight matrix entirely.
+func benchRepeatForward(b *testing.B, resident bool) {
+	const m, n, k, images = 512, 16, 256, 4
+	am, _ := benchProblem(m, n, k)
+	rng := rand.New(rand.NewSource(7))
+	bs := make([][]int16, images)
+	for i := range bs {
+		bs[i] = randMat(rng, k*n, 100)
+	}
+	sys, _ := host.NewSystem(images, host.DefaultConfig(dpu.O3))
+	defer sys.Close()
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 11, TileCols: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.EnableBatch(m); err != nil {
+		b.Fatal(err)
+	}
+	if resident {
+		cache, err := exec.NewWeightCache(sys, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.EnableResidency(cache, "bench")
+		r.SetWeightLayer(0)
+	}
+	// Warmup primes the arena (resident) and the staging buffers (both).
+	if _, _, err := r.MultiplyBatch(m, n, k, 1, am, bs); err != nil {
+		b.Fatal(err)
+	}
+	sys.ResetClocks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resident {
+			r.SetWeightLayer(0)
+		}
+		if _, _, err := r.MultiplyBatch(m, n, k, 1, am, bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := sys.TransferStats()
+	b.ReportMetric(float64(st.Bytes)/float64(b.N), "xfer-bytes/op")
+	b.ReportMetric(float64(st.Time.Microseconds())/float64(b.N), "xfer-us/op")
+}
+
+func BenchmarkResidentForward(b *testing.B)    { benchRepeatForward(b, true) }
+func BenchmarkRebroadcastForward(b *testing.B) { benchRepeatForward(b, false) }

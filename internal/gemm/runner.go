@@ -85,7 +85,10 @@ type kernelScratch struct {
 
 	// Launch-shared state of the tiled block kernel: tasklet 0 reads the
 	// parameter block and resolves the cost blocks once per launch.
+	// aoff is the MRAM address the A row was staged from (the default
+	// gemm_a_row symbol, or a weight-cache arena slot when resident).
 	n, k   int
+	aoff   int64
 	blocks *tileBlocks
 }
 
@@ -102,7 +105,7 @@ type tileBlocks struct {
 	n, k       int
 	full, tail *dpu.CostBlock
 	// aT0/aRest are the per-launch A-row charges of the tiled kernel:
-	// k loads + k APART multiplies for every tasklet, plus the 3
+	// k loads + k APART multiplies for every tasklet, plus the 4
 	// parameter-block loads for tasklets other than 0 (tasklet 0 charges
 	// those through its real LoadI32 calls).
 	aT0, aRest *dpu.CostBlock
@@ -153,7 +156,7 @@ func (r *Runner) blocksFor(n, k int) *tileBlocks {
 	tb.aT0.AddOp(dpu.OpLoad, uint64(k))
 	tb.aT0.AddOp(dpu.OpMul16, uint64(k))
 	tb.aRest = dpu.NewCostBlock()
-	tb.aRest.AddOp(dpu.OpLoad, uint64(k+3))
+	tb.aRest.AddOp(dpu.OpLoad, uint64(k+4))
 	tb.aRest.AddOp(dpu.OpMul16, uint64(k))
 	var next []shapeEntry
 	if cached != nil {
@@ -198,7 +201,7 @@ type Runner struct {
 	// safe for concurrent use on one Runner (the DPU symbols are shared
 	// state), so plain fields suffice.
 	bStage    []byte // padded B matrix broadcast buffer
-	paramsBuf [16]byte
+	paramsBuf [24]byte
 
 	// eng is the shared execution engine: it owns wave construction,
 	// double-buffered pipelining, and retry-and-remap (internal/exec).
@@ -216,6 +219,14 @@ type Runner struct {
 	batchStage                    []byte   // flat backing for batchBufs
 	batchBufs                     [][]byte // per-DPU B scatter views
 	emptyB                        []byte
+
+	// Weight residency (EnableResidency): wmodel is this runner's
+	// resident set in the shared cache; residKey/residArmed are the
+	// one-shot layer selector armed by SetWeightLayer and consumed by
+	// the next Multiply or MultiplyBatchEach.
+	wmodel     *exec.ResidentModel
+	residKey   int
+	residArmed bool
 }
 
 // NewRunner allocates the GEMM symbols on every DPU of the system.
@@ -254,7 +265,7 @@ func NewRunner(sys *host.System, cfg RunnerConfig) (*Runner, error) {
 		{symB, int64(cfg.MaxK) * maxStride * 2, false},
 		{symC, maxStride * 2, false},
 		{symCtmp, maxStride * 4, false},
-		{symParams, 16, true},
+		{symParams, 24, true},
 		{symAWRAM, int64(cfg.MaxK) * 2, true},
 		{symTiles, int64(cfg.Tasklets) * tileBytes, true},
 	}
@@ -327,6 +338,66 @@ func (r *Runner) Configure(ec exec.Config) {
 // store when no metrics registry is wired.
 func (r *Runner) SetScope(name string) { r.eng.SetScope(name) }
 
+// EnableResidency joins this runner to a weight cache under the given
+// model name: layers armed with SetWeightLayer scatter their weights
+// into the cache's MRAM arena once and skip the transfer on repeated
+// forwards. Runners sharing one System may share one cache; the LRU
+// budget then arbitrates between their models.
+func (r *Runner) EnableResidency(cache *exec.WeightCache, model string) {
+	r.wmodel = cache.Model(model)
+}
+
+// ResidencyOn reports whether EnableResidency has been called, so
+// forward passes can skip arming layers when there is no cache.
+func (r *Runner) ResidencyOn() bool { return r.wmodel != nil }
+
+// SetWeightLayer arms weight residency for the next Multiply or
+// MultiplyBatchEach call: its A payload is cached under the given layer
+// key (one-shot — consumed by that call). Keys are small ints (layer
+// indices) so the per-call lookup allocates nothing.
+func (r *Runner) SetWeightLayer(key int) {
+	r.residKey = key
+	r.residArmed = true
+}
+
+// takeResident consumes an armed SetWeightLayer for a row-mode Multiply
+// of m rows with the given per-DPU payload size. Returns nil — falling
+// back to plain re-scatter — when residency is off, the layer spans
+// multiple waves (each wave would overwrite the previous one's rows),
+// or the entry cannot fit the cache even after evictions.
+func (r *Runner) takeResident(m int, size int64, a []int16) *exec.ResidentEntry {
+	if !r.residArmed {
+		return nil
+	}
+	r.residArmed = false
+	if r.wmodel == nil || m > r.sys.NumDPUs() {
+		return nil
+	}
+	ent, ok := r.wmodel.Entry(r.residKey, size, hashInt16s(a))
+	if !ok {
+		return nil
+	}
+	return ent
+}
+
+// hashInt16s is FNV-1a over the little-endian bytes of v — the content
+// guard that re-delivers resident weights when a layer key is reused
+// with different data.
+func hashInt16s(v []int16) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, x := range v {
+		h ^= uint64(uint16(x)) & 0xff
+		h *= prime64
+		h ^= uint64(uint16(x)) >> 8
+		h *= prime64
+	}
+	return h
+}
+
 // MetricsOn reports whether the underlying System has a metrics
 // registry wired, so callers can skip formatting scope names.
 func (r *Runner) MetricsOn() bool { return r.eng.MetricsOn() }
@@ -398,23 +469,27 @@ func (r *Runner) kernel() dpu.KernelFunc {
 			n := int(t.LoadI32(r.paramsOff))
 			k := int(t.LoadI32(r.paramsOff + 4))
 			alpha := int16(t.LoadI32(r.paramsOff + 8))
+			aoff := int64(t.LoadI32(r.paramsOff + 16))
 			if n < 1 || k < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK {
 				return fmt.Errorf("gemm kernel: bad params N=%d K=%d", n, k)
 			}
 			sc = r.getScratch()
 			sc.n, sc.k = n, k
+			sc.aoff = aoff
 			sc.blocks = r.blocksFor(n, k)
 			t.SetLaunchLocal(sc)
 			// Stage the A row into WRAM in DMA-sized chunks (real DMA,
-			// identical to the legacy kernel), then decode APART once
-			// for the whole launch.
+			// identical to the legacy kernel) from the address the
+			// parameter block names — the gemm_a_row symbol normally, a
+			// weight-cache arena slot when the row is resident — then
+			// decode APART once for the whole launch.
 			bytes := (k*2 + 7) &^ 7
 			for off := 0; off < bytes; off += dpu.MaxDMATransfer {
 				chunk := bytes - off
 				if chunk > dpu.MaxDMATransfer {
 					chunk = dpu.MaxDMATransfer
 				}
-				t.MRAMToWRAM(r.aWRAM+int64(off), r.aOff+int64(off), chunk)
+				t.MRAMToWRAM(r.aWRAM+int64(off), aoff+int64(off), chunk)
 			}
 			aw := t.WRAMWindow(r.aWRAM, int64(k*2))
 			apart := sc.apart[:k]
@@ -436,7 +511,7 @@ func (r *Runner) kernel() dpu.KernelFunc {
 		n, k := sc.n, sc.k
 		// Loading A[kk] each outer iteration (one WRAM load per k plus
 		// the APART multiply, Algorithm 2 line 5) is charged per tasklet
-		// as in the legacy kernel; non-zero tasklets also charge the 3
+		// as in the legacy kernel; non-zero tasklets also charge the 4
 		// parameter loads their legacy counterparts perform (tasklet 0
 		// charged those through LoadI32 above).
 		if t.ID() == 0 {
@@ -522,6 +597,7 @@ func (r *Runner) kernelLegacy() dpu.KernelFunc {
 		n := int(t.LoadI32(r.paramsOff))
 		k := int(t.LoadI32(r.paramsOff + 4))
 		alpha := int16(t.LoadI32(r.paramsOff + 8))
+		aoff := int64(t.LoadI32(r.paramsOff + 16))
 		if n < 1 || k < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK {
 			return fmt.Errorf("gemm kernel: bad params N=%d K=%d", n, k)
 		}
@@ -539,7 +615,7 @@ func (r *Runner) kernelLegacy() dpu.KernelFunc {
 				if chunk > dpu.MaxDMATransfer {
 					chunk = dpu.MaxDMATransfer
 				}
-				t.MRAMToWRAM(r.aWRAM+int64(off), r.aOff+int64(off), chunk)
+				t.MRAMToWRAM(r.aWRAM+int64(off), aoff+int64(off), chunk)
 			}
 		}
 		aRow := sc.aRow[:k*2]
@@ -632,6 +708,7 @@ func (r *Runner) kernelNaive() dpu.KernelFunc {
 		n := int(t.LoadI32(r.paramsOff))
 		k := int(t.LoadI32(r.paramsOff + 4))
 		alpha := int16(t.LoadI32(r.paramsOff + 8))
+		aoff := int64(t.LoadI32(r.paramsOff + 16))
 		if n < 1 || k < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK {
 			return fmt.Errorf("gemm kernel: bad params N=%d K=%d", n, k)
 		}
@@ -648,7 +725,7 @@ func (r *Runner) kernelNaive() dpu.KernelFunc {
 				if chunk > dpu.MaxDMATransfer {
 					chunk = dpu.MaxDMATransfer
 				}
-				t.MRAMToWRAM(r.aWRAM+int64(off), r.aOff+int64(off), chunk)
+				t.MRAMToWRAM(r.aWRAM+int64(off), aoff+int64(off), chunk)
 			}
 			aw := t.WRAMWindow(r.aWRAM, int64(k*2))
 			// Compute the full C row once: accumulate every column over
@@ -716,6 +793,7 @@ func (r *Runner) kernelNaiveLegacy() dpu.KernelFunc {
 		n := int(t.LoadI32(r.paramsOff))
 		k := int(t.LoadI32(r.paramsOff + 4))
 		alpha := int16(t.LoadI32(r.paramsOff + 8))
+		aoff := int64(t.LoadI32(r.paramsOff + 16))
 		if n < 1 || k < 1 || n > r.cfg.MaxN || k > r.cfg.MaxK {
 			return fmt.Errorf("gemm kernel: bad params N=%d K=%d", n, k)
 		}
@@ -730,7 +808,7 @@ func (r *Runner) kernelNaiveLegacy() dpu.KernelFunc {
 				if chunk > dpu.MaxDMATransfer {
 					chunk = dpu.MaxDMATransfer
 				}
-				t.MRAMToWRAM(r.aWRAM+int64(off), r.aOff+int64(off), chunk)
+				t.MRAMToWRAM(r.aWRAM+int64(off), aoff+int64(off), chunk)
 			}
 		}
 		aRow := sc.aRow[:k*2]
@@ -853,17 +931,22 @@ func (r *Runner) stageB(n, k int, b []int16) []byte {
 	return buf
 }
 
-// encodeParams fills the kernel parameter block staging buffer.
-func (r *Runner) encodeParams(n, k, m int, alpha int16) {
+// encodeParams fills the kernel parameter block staging buffer. aoff is
+// the absolute MRAM address the kernel stages the A payload from: the
+// runner's own A symbol normally, a weight-cache arena slot when the
+// weights are resident.
+func (r *Runner) encodeParams(n, k, m int, alpha int16, aoff int64) {
 	binary.LittleEndian.PutUint32(r.paramsBuf[0:], uint32(n))
 	binary.LittleEndian.PutUint32(r.paramsBuf[4:], uint32(k))
 	binary.LittleEndian.PutUint32(r.paramsBuf[8:], uint32(uint16(alpha)))
 	binary.LittleEndian.PutUint32(r.paramsBuf[12:], uint32(m))
+	binary.LittleEndian.PutUint32(r.paramsBuf[16:], uint32(aoff))
+	binary.LittleEndian.PutUint32(r.paramsBuf[20:], 0) // 8-byte pad
 }
 
 // pushParams broadcasts the kernel parameter block.
 func (r *Runner) pushParams(n, k, m int, alpha int16) error {
-	r.encodeParams(n, k, m, alpha)
+	r.encodeParams(n, k, m, alpha, r.aOff)
 	return r.sys.CopyToSymbolRef(r.refParams, 0, r.paramsBuf[:])
 }
 
@@ -926,12 +1009,15 @@ func (r *Runner) ensureMulStages(width, rowBytes, cBytes int) {
 // mulWorkSet adapts the Fig 4.6 row-per-DPU mapping to the execution
 // engine: one shard per row of A, the B matrix and parameter block as
 // wave-invariant broadcasts, A rows as the scatter stream, C rows as
-// the gather stream.
+// the gather stream. ent, when non-nil, makes the A-row stream
+// weight-resident: rows scatter into the entry's arena slot and the
+// engine skips delivery for DPUs already holding the current content.
 type mulWorkSet struct {
 	r        *Runner
 	a, c     []int16
 	m, n, k  int
 	rowBytes int
+	ent      *exec.ResidentEntry
 	bcasts   []exec.Broadcast
 	streams  []exec.Stream
 }
@@ -946,7 +1032,11 @@ func (w *mulWorkSet) Encode(slot, start, n int) {
 }
 
 func (w *mulWorkSet) Scatter(slot, n int) []exec.Stream {
-	w.streams = append(w.streams[:0], exec.Stream{Ref: w.r.refA, Bufs: w.r.mulStages[slot].aBufs})
+	s := exec.Stream{Ref: w.r.refA, Bufs: w.r.mulStages[slot].aBufs}
+	if w.ent != nil {
+		s = exec.Stream{Ref: w.ent.Ref(), Off: w.ent.Off(), Bufs: w.r.mulStages[slot].aBufs, Resident: w.ent}
+	}
+	w.streams = append(w.streams[:0], s)
 	return w.streams
 }
 
@@ -977,7 +1067,12 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 	rowBytes := (k*2 + 7) &^ 7
 	cBytes := pad4(n) * 2
 	bbuf := r.stageB(n, k, b)
-	r.encodeParams(n, k, 0, alpha)
+	ent := r.takeResident(m, int64(rowBytes), a)
+	aoff := r.aOff
+	if ent != nil {
+		aoff = ent.Abs()
+	}
+	r.encodeParams(n, k, 0, alpha, aoff)
 	// Synchronous scatter pushes the full system width (stale tails on
 	// partial waves, matching dpu_push_xfer); pipelined waves carry only
 	// the wave's rows.
@@ -991,6 +1086,7 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 	w.a, w.c = a, c
 	w.m, w.n, w.k = m, n, k
 	w.rowBytes = rowBytes
+	w.ent = ent
 	w.bcasts = append(w.bcasts[:0],
 		exec.Broadcast{Ref: r.refB, Data: bbuf},
 		exec.Broadcast{Ref: r.refParams, Data: r.paramsBuf[:]})

@@ -1,9 +1,20 @@
 package metrics
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"strings"
+	"time"
+)
+
+// Serve hardening: header reads are deadline-bound so a client that
+// dribbles request bytes cannot pin a connection forever, and shutdown
+// is graceful within shutdownGrace so an in-flight scrape completes
+// instead of being dropped mid-response.
+const (
+	readHeaderTimeout = 5 * time.Second
+	shutdownGrace     = 2 * time.Second
 )
 
 // Handler returns an expvar-style HTTP handler serving snapshots of r:
@@ -27,7 +38,9 @@ func Handler(r *Registry) http.Handler {
 // Serve starts an HTTP server on addr exposing Handler(r) at /metrics
 // (and at /, for curl convenience). It returns the bound address (useful
 // with a ":0" addr) and a shutdown func. The server runs until shutdown
-// is called; serve errors after shutdown are discarded.
+// is called; shutdown stops accepting new connections and waits up to
+// shutdownGrace for in-flight scrapes to finish before closing the
+// stragglers. Serve errors after shutdown are discarded.
 func Serve(addr string, r *Registry) (bound string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -37,7 +50,25 @@ func Serve(addr string, r *Registry) (bound string, shutdown func(), err error) 
 	h := Handler(r)
 	mux.Handle("/metrics", h)
 	mux.Handle("/", h)
-	srv := &http.Server{Handler: mux}
+	srv := serveWith(ln, mux)
+	return ln.Addr().String(), func() { shutdownServer(srv) }, nil
+}
+
+// serveWith runs an already-configured listener under the hardened
+// server settings. Split from Serve so tests can drive the
+// shutdown-vs-in-flight-request contract with an instrumented handler.
+func serveWith(ln net.Listener, h http.Handler) *http.Server {
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: readHeaderTimeout}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	return srv
+}
+
+// shutdownServer drains srv gracefully within shutdownGrace; requests
+// still running after the grace period are cut off hard.
+func shutdownServer(srv *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if srv.Shutdown(ctx) != nil {
+		_ = srv.Close()
+	}
 }

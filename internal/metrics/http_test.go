@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShutdownWaitsForInFlightRequest drives the graceful-shutdown
+// contract: a request already being served when shutdown starts must
+// run to completion and deliver its full response, while the listener
+// stops accepting new work. The old implementation called srv.Close(),
+// which severed in-flight scrape connections mid-body.
+func TestShutdownWaitsForInFlightRequest(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv := serveWith(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		_, _ = io.WriteString(w, "slow-scrape-body")
+	}))
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+
+	<-entered
+	// Shutdown with the scrape still blocked inside the handler; it must
+	// not return until the handler finishes (released below).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		shutdownServer(srv)
+		close(shutdownDone)
+	}()
+	select {
+	case <-shutdownDone:
+		t.Fatal("shutdown returned while a request was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	wg.Wait()
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", r.err)
+	}
+	if r.body != "slow-scrape-body" {
+		t.Fatalf("in-flight response body = %q, want full body", r.body)
+	}
+}
+
+// TestServeRejectsAfterShutdown checks the other half of the contract:
+// once shutdown returns, the bound address no longer accepts scrapes.
+func TestServeRejectsAfterShutdown(t *testing.T) {
+	r := NewRegistry()
+	bound, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	shutdown()
+	c := &http.Client{Timeout: time.Second}
+	if resp, err := c.Get("http://" + bound + "/metrics"); err == nil {
+		resp.Body.Close()
+		t.Fatal("scrape succeeded after shutdown")
+	}
+}
+
+func TestHistSnapQuantile(t *testing.T) {
+	h := HistSnap{
+		Bounds: []uint64{10, 100, 1000},
+		Counts: []uint64{5, 3, 1, 1}, // last entry is +Inf
+		Count:  10,
+	}
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.50, 10},   // 5th of 10 observations is in the <=10 bucket
+		{0.80, 100},  // 8th lands in the <=100 bucket
+		{0.90, 1000}, // 9th in <=1000
+		{0.99, 1000}, // +Inf bucket floors to the largest finite bound
+		{1.00, 1000},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := (HistSnap{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+}

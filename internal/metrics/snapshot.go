@@ -50,6 +50,45 @@ type HistSnap struct {
 	Count    uint64   `json:"count"`
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observations
+// behind one histogram snapshot: the upper bound of the bucket holding
+// the q-th observation, or the largest finite bound when it lands in
+// the +Inf bucket. With no observations it returns 0. The estimate's
+// resolution is the bucket layout's — the usual histogram_quantile
+// trade-off — which is exactly what serving SLO summaries (p50/p99 of
+// a latency histogram) need.
+func (h HistSnap) Quantile(q float64) uint64 {
+	if h.Count == 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	// The rank fell in the +Inf bucket (or the layout had no finite
+	// bounds): report the largest finite bound as a floor estimate.
+	if len(h.Bounds) > 0 {
+		return h.Bounds[len(h.Bounds)-1]
+	}
+	return 0
+}
+
 // Snapshot captures the current value of every instrument. Safe for
 // concurrent use with updaters; returns an empty snapshot on a nil
 // registry.

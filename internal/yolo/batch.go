@@ -60,6 +60,9 @@ func (n *Network) ForwardBatch(inputs []*Tensor, r *gemm.Runner) ([]*Result, *Fo
 			if r.MetricsOn() {
 				r.SetScope(fmt.Sprintf("yolo_conv%03d", li))
 			}
+			if r.ResidencyOn() {
+				r.SetWeightLayer(li)
+			}
 			st, err := r.MultiplyBatchEach(def.Filters, cols, k, 1, n.Weights[li].W, bs,
 				func(i int, c []int16) {
 					applyBiasAct(c, def.Filters, cols, n.Weights[li].Bias, def.Activation)

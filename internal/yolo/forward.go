@@ -85,6 +85,9 @@ func (n *Network) Forward(input *Tensor, runner *gemm.Runner) (*Result, *Forward
 				if runner.MetricsOn() {
 					runner.SetScope(fmt.Sprintf("yolo_conv%03d", i))
 				}
+				if runner.ResidencyOn() {
+					runner.SetWeightLayer(i)
+				}
 				var st gemm.Stats
 				c, st, err = runner.Multiply(def.Filters, cols, k, 1, n.Weights[i].W, b)
 				if err != nil {

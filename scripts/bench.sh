@@ -15,8 +15,8 @@
 #
 # Usage:  scripts/bench.sh [benchtime] [out.json] [baseline.json]
 #   benchtime      go test -benchtime value (default 10x)
-#   out.json       output file (default BENCH_pr7.json)
-#   baseline.json  delta baseline (default BENCH_pr6.json, the last
+#   out.json       output file (default BENCH_pr8.json)
+#   baseline.json  delta baseline (default BENCH_pr7.json, the last
 #                  recorded trajectory point; BENCH_baseline.json if
 #                  that is absent)
 #
@@ -29,8 +29,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
-OUT="${2:-BENCH_pr7.json}"
-BASELINE="${3:-BENCH_pr6.json}"
+OUT="${2:-BENCH_pr8.json}"
+BASELINE="${3:-BENCH_pr7.json}"
 [[ -f "$BASELINE" ]] || BASELINE="BENCH_baseline.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -42,7 +42,7 @@ run() { # run <package> <bench regexp>
 }
 
 run .                  'BenchmarkSimulatorWallClock|BenchmarkFig47aTaskletSpeedup|BenchmarkFig47bOptimization|BenchmarkHeadlineLatency|BenchmarkScalingStrong|BenchmarkScalingWeak'
-run ./internal/gemm    'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatchKernel|BenchmarkMultiWaveSync|BenchmarkMultiWavePipelined|BenchmarkMetricsDisabledOverhead|BenchmarkMetricsEnabledOverhead'
+run ./internal/gemm    'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatchKernel|BenchmarkMultiWaveSync|BenchmarkMultiWavePipelined|BenchmarkResidentForward|BenchmarkRebroadcastForward|BenchmarkMetricsDisabledOverhead|BenchmarkMetricsEnabledOverhead'
 run ./internal/ebnn    'BenchmarkInferWaveSync|BenchmarkInferWavePipelined'
 run ./internal/host    'BenchmarkBroadcast|BenchmarkPushXfer|BenchmarkParallelLaunch'
 run ./internal/metrics 'BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkNilCounterAdd'
@@ -82,7 +82,8 @@ echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
 # benchmarks are listed as such. Exits 1 on a vanished benchmark (CI
 # catches silently dropped coverage) or on an allocation regression in
 # an allocation-gated benchmark (name matching Metrics/CounterAdd/
-# HistogramObserve/SimulatorWallClock/FullArray — the hot paths whose
+# HistogramObserve/SimulatorWallClock/FullArray/ResidentForward/
+# RebroadcastForward — the hot paths whose
 # allocs/op is a designed invariant rather than a setup artifact; the
 # full-array forward's allocations are per-image data, deterministic at
 # one iteration, and must not regrow an O(nDPU)-per-wave term).
@@ -118,7 +119,7 @@ if [[ -f "$BASELINE" && "$OUT" != "$BASELINE" ]]; then
 			}
 			printf("%-55s %14s %14s %8.1f%%\n", name, base[name], cur[name],
 			       100 * (cur[name] - base[name]) / base[name])
-			if (name ~ /Metrics|CounterAdd|HistogramObserve|SimulatorWallClock|FullArray/ &&
+			if (name ~ /Metrics|CounterAdd|HistogramObserve|SimulatorWallClock|FullArray|ResidentForward|RebroadcastForward/ &&
 			    baseAllocs[name] != "" && curAllocs[name] != "" &&
 			    curAllocs[name] + 0 > baseAllocs[name] + 0) {
 				printf("ALLOC REGRESSION: %s allocs/op %s -> %s\n",
