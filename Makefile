@@ -15,7 +15,7 @@
 GO ?= go
 
 # The perf trajectory record this PR must ship (regenerate: make bench).
-BENCH_RECORD ?= BENCH_pr8.json
+BENCH_RECORD ?= BENCH_pr9.json
 
 .PHONY: all build vet test race bench bench-record profile ci
 
@@ -31,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dpu ./internal/softfloat ./internal/isa ./internal/host ./internal/trace ./internal/metrics ./internal/exec ./internal/gemm ./internal/ebnn ./internal/yolo ./internal/alexnet ./internal/resnet ./cmd/upmem-top ./cmd/upmem-serve
+	$(GO) test -race ./internal/dpu ./internal/softfloat ./internal/isa ./internal/host ./internal/trace ./internal/metrics ./internal/exec ./internal/gemm ./internal/ebnn ./internal/yolo ./internal/alexnet ./internal/resnet ./internal/plan ./cmd/upmem-top ./cmd/upmem-serve
 
 # Regenerate $(BENCH_RECORD) and diff it against the previous PR's
 # record (see DESIGN.md, "Simulator performance").

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 
+	"pimdnn/internal/core"
 	"pimdnn/internal/dpu"
 	"pimdnn/internal/exec"
 	"pimdnn/internal/gemm"
@@ -35,8 +36,14 @@ func run() error {
 		"render the execution engine's wall-clock wave timeline for a pipelined GEMM")
 	jsonFlag := flag.Bool("json", false,
 		"emit the characterization as one JSON document (metrics snapshot + timeline spans) instead of text")
+	calibrateFlag := flag.Bool("calibrate", false,
+		"run the auto-mapper calibration loop: execute every network with planner-chosen mappings and compare predicted vs simulated latency per layer")
+	dpusFlag := flag.Int("dpus", 64, "system size for -calibrate")
 	flag.Parse()
 	opt := dpu.OptLevel(*optFlag)
+	if *calibrateFlag {
+		return runCalibrate(opt, *dpusFlag, *jsonFlag)
+	}
 	if *jsonFlag {
 		return runJSON(opt, *timelineFlag)
 	}
@@ -185,6 +192,34 @@ func runJSON(opt dpu.OptLevel, timeline bool) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// runCalibrate closes the auto-mapper's validation loop: every network
+// is deployed with planner-chosen mappings, executed through the
+// simulator, and each layer's analytic prediction is held against the
+// simulated latency. The model mirrors the kernels charge by charge, so
+// the error column should read as zeros; a nonzero row means model and
+// kernel have drifted apart.
+func runCalibrate(opt dpu.OptLevel, dpus int, asJSON bool) error {
+	rep, err := core.Calibrate(core.CalibrateOptions{DPUs: dpus, Opt: opt})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("== Auto-mapper calibration: predicted vs simulated latency (%d DPUs, %v) ==\n", dpus, opt)
+	fmt.Printf("%-9s %6s %9s %6s %14s %14s %9s\n",
+		"network", "layer", "tasklets", "dpus", "predicted", "simulated", "error")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-9s %6d %9d %6d %14.6g %14.6g %+8.4f%%\n",
+			r.Network, r.Layer, r.Tasklets, r.DPUsUsed,
+			r.PredictedSeconds, r.SimulatedSeconds, r.Error*100)
+	}
+	fmt.Printf("\n%d layers, max |error| %.4f%%\n", len(rep.Rows), rep.MaxAbsError*100)
+	return nil
 }
 
 // bench is one Table 3.1 row: an operation and the thesis's O0 count.

@@ -76,7 +76,8 @@ func run() error {
 		addr        = flag.String("addr", "localhost:8090", "serve address")
 		metricsAddr = flag.String("metrics-addr", "", "optional extra metrics listener (e.g. localhost:9300)")
 		dpus        = flag.Int("dpus", 8, "DPUs to allocate")
-		tasklets    = flag.Int("tasklets", 11, "tasklets per DPU")
+		tasklets    = flag.Int("tasklets", 11, "tasklets per DPU (ignored with -plan)")
+		planFlag    = flag.Bool("plan", false, "auto-map per-layer tasklet counts with the cost-model planner")
 		optFlag     = flag.Int("O", 3, "optimization level 0-3")
 		models      = flag.String("models", "tiny=64x32", "models to serve: name=SIZExWIDTHDIV, comma-separated")
 		maxBatch    = flag.Int("max-batch", 4, "images coalesced into one wave")
@@ -92,7 +93,7 @@ func run() error {
 	}
 	reg := metrics.NewRegistry()
 	s, err := newServer(serveConfig{
-		dpus: *dpus, tasklets: *tasklets, opt: dpu.OptLevel(*optFlag),
+		dpus: *dpus, tasklets: *tasklets, autoMap: *planFlag, opt: dpu.OptLevel(*optFlag),
 		specs: specs, maxBatch: *maxBatch, maxWait: *maxWait,
 		queueCap: *queueCap, cacheBytes: *cacheBytes, reg: reg,
 	})
@@ -117,8 +118,12 @@ func run() error {
 	srv := &http.Server{Handler: s.handler(), ReadHeaderTimeout: 5 * time.Second}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	fmt.Printf("serving %d model(s) on http://%s (%d DPUs, %d tasklets, batch<=%d, wait<=%v)\n",
-		len(specs), ln.Addr(), *dpus, *tasklets, *maxBatch, *maxWait)
+	mapping := fmt.Sprintf("%d tasklets", *tasklets)
+	if *planFlag {
+		mapping = "auto-mapped"
+	}
+	fmt.Printf("serving %d model(s) on http://%s (%d DPUs, %s, batch<=%d, wait<=%v)\n",
+		len(specs), ln.Addr(), *dpus, mapping, *maxBatch, *maxWait)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -13,6 +13,7 @@ import (
 	"pimdnn/internal/gemm"
 	"pimdnn/internal/host"
 	"pimdnn/internal/metrics"
+	"pimdnn/internal/plan"
 	"pimdnn/internal/yolo"
 )
 
@@ -41,8 +42,12 @@ type modelSpec struct {
 
 // serveConfig collects everything newServer needs.
 type serveConfig struct {
-	dpus       int
-	tasklets   int
+	dpus     int
+	tasklets int
+	// autoMap replaces the fixed -tasklets constant with the
+	// cost-model auto-mapper: the runner re-plans tasklet count per
+	// layer shape (and per wave size on the batch path).
+	autoMap    bool
 	opt        dpu.OptLevel
 	specs      []modelSpec
 	maxBatch   int           // images coalesced into one wave
@@ -182,9 +187,13 @@ func newServer(cfg serveConfig) (*server, error) {
 		}
 		s.models[spec.name] = m
 	}
-	runner, err := gemm.NewRunner(sys, gemm.RunnerConfig{
-		MaxK: maxK, MaxN: maxN, Tasklets: cfg.tasklets,
-	})
+	rcfg := gemm.RunnerConfig{MaxK: maxK, MaxN: maxN}
+	if cfg.autoMap {
+		rcfg.Planner = plan.New(sys)
+	} else {
+		rcfg.Tasklets = cfg.tasklets
+	}
+	runner, err := gemm.NewRunner(sys, rcfg)
 	if err != nil {
 		sys.Close()
 		return nil, err

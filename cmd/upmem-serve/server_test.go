@@ -267,6 +267,35 @@ func TestServeMultiModel(t *testing.T) {
 	}
 }
 
+// TestServePlannedMultiTenant is the auto-mapper's serving smoke test:
+// two models co-resident on one planned (-plan) server answer
+// interleaved requests, and every detection matches what the
+// fixed-tasklets server produces for the same seed — the planner moves
+// latency, never results.
+func TestServePlannedMultiTenant(t *testing.T) {
+	specs := []modelSpec{tinySpec("a"), tinySpec("b")}
+	_, fixedTS := newTestServer(t, serveConfig{specs: specs})
+	_, plannedTS := newTestServer(t, serveConfig{specs: specs, autoMap: true})
+	for i := 0; i < 2; i++ {
+		for _, name := range []string{"a", "b"} {
+			req := inferRequest{Model: name, Seed: int64(20 + i)}
+			fResp, fOut := postInfer(t, fixedTS.URL, req)
+			pResp, pOut := postInfer(t, plannedTS.URL, req)
+			if fResp.StatusCode != http.StatusOK || pResp.StatusCode != http.StatusOK {
+				t.Fatalf("model %s seed %d: status fixed=%d planned=%d",
+					name, req.Seed, fResp.StatusCode, pResp.StatusCode)
+			}
+			if pOut.DPUSeconds <= 0 {
+				t.Errorf("model %s: planned wave reported no DPU time", name)
+			}
+			if fmt.Sprint(pOut.Detections) != fmt.Sprint(fOut.Detections) {
+				t.Errorf("model %s seed %d: planned detections diverged:\n%v\nvs fixed\n%v",
+					name, req.Seed, pOut.Detections, fOut.Detections)
+			}
+		}
+	}
+}
+
 // TestServeStatsQuantiles: after a handful of requests the stats
 // endpoint reports nonzero request counts and latency quantiles.
 func TestServeStatsQuantiles(t *testing.T) {

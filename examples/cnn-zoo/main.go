@@ -1,7 +1,9 @@
 // cnn-zoo: the §6.1 future-work span made concrete — run all three
 // implemented classifier-style workloads (eBNN, AlexNet, ResNet-18) on
 // simulated UPMEM systems and compare their DPU time, energy and the
-// chapter 5 model's pricing of their full-size counterparts.
+// chapter 5 model's pricing of their full-size counterparts. Every
+// deployment lets the cost-model auto-mapper choose its mapping
+// (tasklets 0 / AutoMap) instead of pinning hand-tuned constants.
 package main
 
 import (
@@ -42,7 +44,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ebnnApp, err := acc1.DeployEBNN(ebnnModel, true, 16)
+	ebnnApp, err := acc1.DeployEBNN(ebnnModel, true, 0) // 0 = auto-map
 	if err != nil {
 		return err
 	}
@@ -58,7 +60,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	alexApp, err := acc2.DeployAlexNet(pimdnn.AlexNetLite(), pimdnn.YOLOOptions{Tasklets: 11})
+	alexApp, err := acc2.DeployAlexNet(pimdnn.AlexNetLite(), pimdnn.YOLOOptions{AutoMap: true})
 	if err != nil {
 		return err
 	}
@@ -75,7 +77,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	resApp, err := acc3.DeployResNet(pimdnn.ResNetLite(), pimdnn.YOLOOptions{Tasklets: 11})
+	resApp, err := acc3.DeployResNet(pimdnn.ResNetLite(), pimdnn.YOLOOptions{AutoMap: true})
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ import (
 	"pimdnn/internal/dpu"
 	"pimdnn/internal/gemm"
 	"pimdnn/internal/host"
+	"pimdnn/internal/plan"
 	"pimdnn/internal/yolo"
 )
 
@@ -102,6 +103,108 @@ func BenchmarkFullArrayYOLOForward(b *testing.B) {
 	}
 	b.ReportMetric(float64(sys.Ranks()), "ranks")
 	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// BenchmarkFullArrayYOLOForwardPlanned is the auto-mapped counterpart:
+// the same batch forward with the cost-model planner choosing each
+// layer's tasklet count instead of the hand-tuned constant. The same
+// tile width keeps the WRAM layout identical, so the delta against
+// BenchmarkFullArrayYOLOForward isolates the planner's choices (and its
+// per-layer re-planning overhead on the host side).
+func BenchmarkFullArrayYOLOForwardPlanned(b *testing.B) {
+	b.ReportAllocs()
+	net, err := yolo.New(yolo.Config{InputSize: 32, Classes: 1, WidthDiv: 64, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := host.NewSystem(dpu.SystemDPUs, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	maxK, maxN := net.GEMMBounds()
+	r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+		MaxK: maxK, MaxN: maxN, TileCols: 64, Planner: plan.New(sys),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.EnableBatch(net.MaxFilters()); err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]*yolo.Tensor, dpu.SystemDPUs)
+	for i := range inputs {
+		inputs[i] = yolo.SyntheticScene(32, int64(i+1))
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := net.ForwardBatch(inputs, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(sys.Ranks()), "ranks")
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// TestFullArrayPlannerNeverSlower is the auto-mapper's acceptance bar
+// at scale: on the full 2,560-DPU array the planner-chosen mappings
+// must produce bit-identical detections and never lose to the
+// hand-tuned constants in simulated time, layer for layer and in total.
+func TestFullArrayPlannerNeverSlower(t *testing.T) {
+	net, err := yolo.New(yolo.Config{InputSize: 32, Classes: 1, WidthDiv: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := yolo.SyntheticScene(32, 99)
+	run := func(planned bool) (*yolo.Result, *yolo.ForwardStats) {
+		sys, err := host.NewSystem(dpu.SystemDPUs, host.DefaultConfig(dpu.O3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(sys.Close)
+		maxK, maxN := net.GEMMBounds()
+		cfg := gemm.RunnerConfig{MaxK: maxK, MaxN: maxN, TileCols: 64}
+		if planned {
+			cfg.Planner = plan.New(sys)
+		} else {
+			cfg.Tasklets = 8 // the hand-tuned full-array constant
+		}
+		r, err := gemm.NewRunner(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, st, err := net.Forward(input, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st
+	}
+	fixedRes, fixedSt := run(false)
+	planRes, planSt := run(true)
+	if len(fixedRes.Detections) != len(planRes.Detections) {
+		t.Fatalf("auto-mapped forward diverged: %d vs %d detections",
+			len(planRes.Detections), len(fixedRes.Detections))
+	}
+	for i := range fixedRes.Detections {
+		if fixedRes.Detections[i] != planRes.Detections[i] {
+			t.Fatalf("detection %d diverged", i)
+		}
+	}
+	for i, fl := range fixedSt.Layers {
+		pl := planSt.Layers[i]
+		if pl.Seconds > fl.Seconds {
+			t.Errorf("layer %d: planned %.6gs (T=%d) slower than fixed %.6gs (T=%d)",
+				fl.Layer, pl.Seconds, pl.Tasklets, fl.Seconds, fl.Tasklets)
+		}
+	}
+	if planSt.Seconds > fixedSt.Seconds {
+		t.Errorf("planned forward %.6gs slower than fixed %.6gs", planSt.Seconds, fixedSt.Seconds)
+	}
+	t.Logf("full-array forward: fixed %.6gs -> planned %.6gs (%.2fx)",
+		fixedSt.Seconds, planSt.Seconds, fixedSt.Seconds/planSt.Seconds)
 }
 
 // --- Strong and weak scaling sweeps (PrIM-style) ---

@@ -309,6 +309,11 @@ type LayerStat struct {
 	Seconds  float64
 	// Retries counts row shards re-dispatched after injected faults.
 	Retries int
+	// Tasklets is the per-DPU tasklet count the layer launched with.
+	Tasklets int
+	// PredictedSeconds is the planner's analytic latency for the layer;
+	// zero when the runner runs a fixed mapping.
+	PredictedSeconds float64
 }
 
 // ForwardStats aggregates a DPU forward pass.
@@ -346,10 +351,15 @@ func (n *Network) Forward(input *tensor.Tensor, runner *gemm.Runner) ([]int16, *
 		if err != nil {
 			return nil, err
 		}
-		stats.Layers = append(stats.Layers, LayerStat{
+		ls := LayerStat{
 			Layer: layer, Kind: n.Defs[layer].Kind, DPUsUsed: st.DPUsUsed,
 			Cycles: st.Cycles, Seconds: st.Seconds, Retries: st.Retries,
-		})
+			Tasklets: st.Tasklets,
+		}
+		if mp, ok := runner.LastMapping(); ok {
+			ls.PredictedSeconds = mp.PredictedSeconds
+		}
+		stats.Layers = append(stats.Layers, ls)
 		stats.Cycles += st.Cycles
 		stats.Seconds += st.Seconds
 		stats.Retries += st.Retries

@@ -1,0 +1,275 @@
+// Calibration closes the auto-mapper's loop: deploy each workload with
+// the planner on, execute it through the simulator, and hold the
+// planner's analytic prediction (plan.Mapping.PredictedSeconds) against
+// the simulated latency (exec.Stats.Seconds) layer by layer. Because
+// the cost functions in internal/model mirror the kernels charge by
+// charge, the fault-free error should be ~0; the report makes that
+// verifiable instead of assumed (cmd/upmem-profile -calibrate).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pimdnn/internal/alexnet"
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/ebnn"
+	"pimdnn/internal/mnist"
+	"pimdnn/internal/plan"
+	"pimdnn/internal/resnet"
+	"pimdnn/internal/tensor"
+	"pimdnn/internal/yolo"
+)
+
+// CalibrationRow is one layer's predicted-vs-simulated comparison.
+type CalibrationRow struct {
+	Network  string `json:"network"`
+	Layer    int    `json:"layer"`
+	Tasklets int    `json:"tasklets"`
+	DPUsUsed int    `json:"dpus_used"`
+	// PredictedSeconds is the planner's analytic latency;
+	// SimulatedSeconds is the interpreter's.
+	PredictedSeconds float64 `json:"predicted_s"`
+	SimulatedSeconds float64 `json:"simulated_s"`
+	// Error is (predicted - simulated) / simulated.
+	Error float64 `json:"error"`
+}
+
+// CalibrationReport aggregates the per-layer rows.
+type CalibrationReport struct {
+	Rows []CalibrationRow `json:"rows"`
+	// MaxAbsError is the worst |Error| across all rows.
+	MaxAbsError float64 `json:"max_abs_error"`
+}
+
+// CalibrateOptions sizes the calibration run. The workloads themselves
+// are fixed reduced configurations of the four networks — large enough
+// to exercise multi-wave mappings, small enough to simulate in seconds.
+type CalibrateOptions struct {
+	// DPUs is the system size (default 64).
+	DPUs int
+	// Opt is the compile optimization level (the zero value is O0,
+	// matching dpu.OptLevel's).
+	Opt dpu.OptLevel
+}
+
+func randTensor(size int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(3, size, size)
+	for i := range t.Data {
+		t.Data[i] = tensor.Quantize(rng.Float64())
+	}
+	return t
+}
+
+func (r *CalibrationReport) add(network string, layer int, ls yolo.LayerStat) {
+	r.addRow(CalibrationRow{
+		Network: network, Layer: layer,
+		Tasklets: ls.Tasklets, DPUsUsed: ls.DPUsUsed,
+		PredictedSeconds: ls.PredictedSeconds,
+		SimulatedSeconds: ls.Seconds,
+	})
+}
+
+func (r *CalibrationReport) addRow(row CalibrationRow) {
+	if row.SimulatedSeconds > 0 {
+		row.Error = (row.PredictedSeconds - row.SimulatedSeconds) / row.SimulatedSeconds
+	}
+	if e := math.Abs(row.Error); e > r.MaxAbsError {
+		r.MaxAbsError = e
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Calibrate runs all four workloads — YOLOv3 (row-per-DPU), AlexNet and
+// ResNet-18 (same scheme), eBNN (multi-image-per-DPU) — with the
+// auto-mapper choosing every mapping, and reports predicted vs
+// simulated latency for every delegated layer.
+func Calibrate(opts CalibrateOptions) (*CalibrationReport, error) {
+	if opts.DPUs == 0 {
+		opts.DPUs = 64
+	}
+	rep := &CalibrationReport{}
+
+	newAcc := func() (*Accelerator, error) {
+		return NewAccelerator(Options{DPUs: opts.DPUs, Opt: opts.Opt})
+	}
+
+	// YOLOv3: the 75-conv graph at bench scale.
+	{
+		acc, err := newAcc()
+		if err != nil {
+			return nil, err
+		}
+		cfg := yolo.Config{InputSize: 32, Classes: 1, WidthDiv: 64, Seed: 3}
+		app, err := acc.DeployYOLO(cfg, YOLOOptions{AutoMap: true})
+		if err != nil {
+			return nil, err
+		}
+		_, st, err := app.Detect(randTensor(cfg.InputSize, 1))
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrate yolo: %w", err)
+		}
+		for _, ls := range st.Layers {
+			rep.add("yolov3", ls.Layer, ls)
+		}
+	}
+
+	// AlexNet: conv + FC layers through the same row-per-DPU runner.
+	{
+		acc, err := newAcc()
+		if err != nil {
+			return nil, err
+		}
+		app, err := acc.DeployAlexNet(alexnet.LiteConfig(), YOLOOptions{AutoMap: true})
+		if err != nil {
+			return nil, err
+		}
+		_, _, st, err := app.Classify(randTensor(app.Network().Cfg.InputSize, 2))
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrate alexnet: %w", err)
+		}
+		for _, ls := range st.Layers {
+			rep.addRow(CalibrationRow{
+				Network: "alexnet", Layer: ls.Layer,
+				Tasklets: ls.Tasklets, DPUsUsed: ls.DPUsUsed,
+				PredictedSeconds: ls.PredictedSeconds,
+				SimulatedSeconds: ls.Seconds,
+			})
+		}
+	}
+
+	// ResNet-18: residual blocks, projections included.
+	{
+		acc, err := newAcc()
+		if err != nil {
+			return nil, err
+		}
+		app, err := acc.DeployResNet(resnet.LiteConfig(), YOLOOptions{AutoMap: true})
+		if err != nil {
+			return nil, err
+		}
+		_, _, st, err := app.Classify(randTensor(app.Network().Cfg.InputSize, 3))
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrate resnet: %w", err)
+		}
+		for _, ls := range st.Layers {
+			rep.addRow(CalibrationRow{
+				Network: "resnet18", Layer: ls.Layer,
+				Tasklets: ls.Tasklets, DPUsUsed: ls.DPUsUsed,
+				PredictedSeconds: ls.PredictedSeconds,
+				SimulatedSeconds: ls.Seconds,
+			})
+		}
+	}
+
+	// eBNN: the multi-image-per-DPU scheme, planned for the exact image
+	// count so the partial-wave geometry is part of what's validated.
+	{
+		acc, err := newAcc()
+		if err != nil {
+			return nil, err
+		}
+		ds := mnist.Load(160, 16, 41)
+		tc := ebnn.DefaultTrainConfig()
+		tc.Epochs = 2
+		m, err := ebnn.Train(ds, tc)
+		if err != nil {
+			return nil, err
+		}
+		images := ds.Train[:96]
+		p := plan.New(acc.System())
+		mp := ebnn.PlanMapping(p, m, true, len(images))
+		r, err := ebnn.NewRunnerMapped(acc.System(), m, true, mp)
+		if err != nil {
+			return nil, err
+		}
+		_, st, err := r.Infer(images)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrate ebnn: %w", err)
+		}
+		rep.addRow(CalibrationRow{
+			Network: "ebnn", Layer: 0,
+			Tasklets: st.Tasklets, DPUsUsed: st.DPUsUsed,
+			PredictedSeconds: mp.PredictedSeconds,
+			SimulatedSeconds: st.Seconds,
+		})
+	}
+	return rep, nil
+}
+
+// MappingComparison contrasts one network's forward pass under the
+// hand-tuned fixed mapping against the auto-mapped deployment on
+// identical systems and input. Outputs are verified bit-identical
+// before the stats are reported.
+type MappingComparison struct {
+	Network string `json:"network"`
+	// FixedSeconds and PlannedSeconds are simulated DPU latencies.
+	FixedSeconds   float64 `json:"fixed_s"`
+	PlannedSeconds float64 `json:"planned_s"`
+	// FixedTasklets is the constant the fixed path ran with;
+	// PlannedTasklets the planner's choice on the largest layer.
+	FixedTasklets   int `json:"fixed_tasklets"`
+	PlannedTasklets int `json:"planned_tasklets"`
+}
+
+// Speedup is fixed over planned latency (>= 1 when the planner wins).
+func (c MappingComparison) Speedup() float64 {
+	if c.PlannedSeconds == 0 {
+		return 0
+	}
+	return c.FixedSeconds / c.PlannedSeconds
+}
+
+// maxTaskletsOf returns the largest per-layer tasklet count (the
+// planner varies it per shape; the fixed path pins one value).
+func maxTaskletsOf(layers []yolo.LayerStat) int {
+	m := 0
+	for _, l := range layers {
+		if l.Tasklets > m {
+			m = l.Tasklets
+		}
+	}
+	return m
+}
+
+// CompareYOLOMappings runs the same YOLO forward twice — fixed
+// constants vs auto-mapper — on equal-sized fresh systems, checks the
+// detections match bit-for-bit, and returns both latencies.
+func CompareYOLOMappings(cfg yolo.Config, dpus int, opt dpu.OptLevel) (MappingComparison, error) {
+	run := func(auto bool) (*yolo.Result, *yolo.ForwardStats, error) {
+		acc, err := NewAccelerator(Options{DPUs: dpus, Opt: opt})
+		if err != nil {
+			return nil, nil, err
+		}
+		app, err := acc.DeployYOLO(cfg, YOLOOptions{AutoMap: auto})
+		if err != nil {
+			return nil, nil, err
+		}
+		return app.Detect(randTensor(cfg.InputSize, 7))
+	}
+	fixedRes, fixedSt, err := run(false)
+	if err != nil {
+		return MappingComparison{}, err
+	}
+	planRes, planSt, err := run(true)
+	if err != nil {
+		return MappingComparison{}, err
+	}
+	if len(fixedRes.Detections) != len(planRes.Detections) {
+		return MappingComparison{}, fmt.Errorf("core: auto-mapped YOLO forward diverged from fixed mapping")
+	}
+	for i := range fixedRes.Detections {
+		if fixedRes.Detections[i] != planRes.Detections[i] {
+			return MappingComparison{}, fmt.Errorf("core: auto-mapped YOLO detection %d diverged", i)
+		}
+	}
+	return MappingComparison{
+		Network:         "yolov3",
+		FixedSeconds:    fixedSt.Seconds,
+		PlannedSeconds:  planSt.Seconds,
+		FixedTasklets:   maxTaskletsOf(fixedSt.Layers),
+		PlannedTasklets: maxTaskletsOf(planSt.Layers),
+	}, nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"pimdnn/internal/alexnet"
+	"pimdnn/internal/ebnn"
+	"pimdnn/internal/mnist"
+	"pimdnn/internal/plan"
+	"pimdnn/internal/resnet"
+	"pimdnn/internal/yolo"
+)
+
+// calTolerance is the stated calibration tolerance: the analytic model
+// mirrors the kernels charge by charge, so predicted latency must land
+// within 1% of simulated for every layer (in practice it is exact).
+const calTolerance = 0.01
+
+func TestCalibrationReport(t *testing.T) {
+	rep, err := Calibrate(CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxAbsError > calTolerance {
+		t.Errorf("calibration max |error| %.4f exceeds tolerance %.2f", rep.MaxAbsError, calTolerance)
+	}
+	seen := map[string]int{}
+	for _, r := range rep.Rows {
+		seen[r.Network]++
+		if r.Tasklets < 1 {
+			t.Errorf("%s layer %d: tasklets %d", r.Network, r.Layer, r.Tasklets)
+		}
+		if r.PredictedSeconds <= 0 || r.SimulatedSeconds <= 0 {
+			t.Errorf("%s layer %d: degenerate latencies pred=%g sim=%g",
+				r.Network, r.Layer, r.PredictedSeconds, r.SimulatedSeconds)
+		}
+		if e := r.Error; e > calTolerance || e < -calTolerance {
+			t.Errorf("%s layer %d: error %.4f outside +/-%.2f", r.Network, r.Layer, e, calTolerance)
+		}
+	}
+	for _, net := range []string{"yolov3", "alexnet", "resnet18", "ebnn"} {
+		if seen[net] == 0 {
+			t.Errorf("calibration report has no %s rows", net)
+		}
+	}
+	if seen["yolov3"] != 75 {
+		t.Errorf("yolov3 rows = %d, want all 75 conv layers", seen["yolov3"])
+	}
+}
+
+// TestYOLOMappingNeverSlower is the planner's accept bar: the
+// auto-mapped forward must be bit-identical to the fixed-constant
+// mapping and never slower in simulated time.
+func TestYOLOMappingNeverSlower(t *testing.T) {
+	cmp, err := CompareYOLOMappings(yolo.Config{InputSize: 32, Classes: 1, WidthDiv: 64, Seed: 3}, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PlannedSeconds > cmp.FixedSeconds {
+		t.Errorf("auto-mapped forward slower than hand-tuned: %.6gs vs %.6gs",
+			cmp.PlannedSeconds, cmp.FixedSeconds)
+	}
+	t.Logf("fixed %.6gs (T=%d) -> planned %.6gs (T<=%d), speedup %.2fx",
+		cmp.FixedSeconds, cmp.FixedTasklets, cmp.PlannedSeconds, cmp.PlannedTasklets, cmp.Speedup())
+}
+
+// TestAutoVsFixedBitIdentity runs AlexNet, ResNet and eBNN forwards
+// under both deployments and requires identical outputs (YOLO is
+// covered by CompareYOLOMappings above).
+func TestAutoVsFixedBitIdentity(t *testing.T) {
+	classify := func(deploy func(acc *Accelerator, auto bool) (func() ([]int16, error), error)) ([]int16, []int16) {
+		t.Helper()
+		var out [2][]int16
+		for i, auto := range []bool{false, true} {
+			acc, err := NewAccelerator(Options{DPUs: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := deploy(acc, auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i], err = run()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out[0], out[1]
+	}
+
+	t.Run("alexnet", func(t *testing.T) {
+		in := randTensor(67, 11)
+		fixed, auto := classify(func(acc *Accelerator, auto bool) (func() ([]int16, error), error) {
+			app, err := acc.DeployAlexNet(alexnet.LiteConfig(), YOLOOptions{AutoMap: auto})
+			if err != nil {
+				return nil, err
+			}
+			return func() ([]int16, error) {
+				_, logits, _, err := app.Classify(in)
+				return logits, err
+			}, nil
+		})
+		for i := range fixed {
+			if fixed[i] != auto[i] {
+				t.Fatalf("logit %d diverged: %d vs %d", i, fixed[i], auto[i])
+			}
+		}
+	})
+
+	t.Run("resnet", func(t *testing.T) {
+		in := randTensor(64, 12)
+		fixed, auto := classify(func(acc *Accelerator, auto bool) (func() ([]int16, error), error) {
+			app, err := acc.DeployResNet(resnet.LiteConfig(), YOLOOptions{AutoMap: auto})
+			if err != nil {
+				return nil, err
+			}
+			return func() ([]int16, error) {
+				_, logits, _, err := app.Classify(in)
+				return logits, err
+			}, nil
+		})
+		for i := range fixed {
+			if fixed[i] != auto[i] {
+				t.Fatalf("logit %d diverged: %d vs %d", i, fixed[i], auto[i])
+			}
+		}
+	})
+
+	t.Run("ebnn", func(t *testing.T) {
+		ds := mnist.Load(160, 16, 43)
+		tc := ebnn.DefaultTrainConfig()
+		tc.Epochs = 2
+		m, err := ebnn.Train(ds, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		images := ds.Train[:64]
+		var preds [2][]int
+		for i, tasklets := range []int{plan.FixedEBNNTasklets, 0} { // 0 = auto-map
+			acc, err := NewAccelerator(Options{DPUs: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			app, err := acc.DeployEBNN(m, true, tasklets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preds[i], _, err = app.Classify(images)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range preds[0] {
+			if preds[0][i] != preds[1][i] {
+				t.Fatalf("prediction %d diverged: %d vs %d", i, preds[0][i], preds[1][i])
+			}
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"pimdnn/internal/gemm"
 	"pimdnn/internal/host"
 	"pimdnn/internal/mnist"
+	"pimdnn/internal/plan"
 	"pimdnn/internal/resnet"
 	"pimdnn/internal/tensor"
 	"pimdnn/internal/yolo"
@@ -103,8 +104,17 @@ type EBNNApp struct {
 
 // DeployEBNN trains nothing — it deploys an already-trained model with
 // the multi-image-per-DPU scheme. useLUT selects the Fig 4.2(b)
-// architecture with the host-built BN-BinAct lookup table.
+// architecture with the host-built BN-BinAct lookup table. tasklets 0
+// asks the auto-mapper to choose the thread count from the cost model
+// (plan.FixedEBNNTasklets is the hand-tuned constant it replaces).
 func (a *Accelerator) DeployEBNN(m *ebnn.Model, useLUT bool, tasklets int) (*EBNNApp, error) {
+	if tasklets == 0 {
+		r, _, err := ebnn.NewPlannedRunner(a.sys, m, useLUT, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &EBNNApp{runner: r, model: m}, nil
+	}
 	r, err := ebnn.NewRunner(a.sys, m, useLUT, tasklets)
 	if err != nil {
 		return nil, err
@@ -126,35 +136,52 @@ type YOLOApp struct {
 	runner *gemm.Runner
 }
 
-// YOLOOptions tunes the detector deployment.
+// YOLOOptions tunes the detector deployment (shared by the AlexNet and
+// ResNet deploys, which map the same way).
 type YOLOOptions struct {
-	// Tasklets per DPU (default 11 = pipeline depth).
+	// Tasklets per DPU (default plan.FixedTasklets = the pipeline
+	// depth). Under AutoMap a nonzero value bounds the planner's sweep
+	// instead of pinning the count.
 	Tasklets int
 	// Naive selects the thesis-faithful MRAM-bound kernel; the default
 	// is the WRAM-tiled improvement (§4.3.4).
 	Naive bool
 	// TileCols for the tiled kernel (default gemm.DefaultTileCols).
 	TileCols int
+	// AutoMap wires the cost-model planner into the runner: every
+	// layer's tasklet count, wave width and pipeline mode come from
+	// plan.Planner instead of the fixed constants above. Results stay
+	// bit-identical — the planner only picks among mapping axes.
+	AutoMap bool
 }
 
-// DeployYOLO builds the network and sizes a GEMM runner for its largest
-// layer, using the multi-DPU-per-image scheme.
-func (a *Accelerator) DeployYOLO(cfg yolo.Config, opts YOLOOptions) (*YOLOApp, error) {
-	if opts.Tasklets == 0 {
-		opts.Tasklets = dpu.PipelineDepth
-	}
-	net, err := yolo.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	maxK, maxN := net.GEMMBounds()
-	runner, err := gemm.NewRunner(a.sys, gemm.RunnerConfig{
+// gemmRunner sizes a GEMM runner for a network's largest layer,
+// applying the fixed-constant fallback or the auto-mapper per opts.
+func (a *Accelerator) gemmRunner(maxK, maxN int, opts YOLOOptions) (*gemm.Runner, error) {
+	cfg := gemm.RunnerConfig{
 		MaxK:     maxK,
 		MaxN:     maxN,
 		Tasklets: opts.Tasklets,
 		TileCols: opts.TileCols,
 		Naive:    opts.Naive,
-	})
+	}
+	if opts.AutoMap {
+		cfg.Planner = plan.New(a.sys)
+	} else if cfg.Tasklets == 0 {
+		cfg.Tasklets = plan.FixedTasklets
+	}
+	return gemm.NewRunner(a.sys, cfg)
+}
+
+// DeployYOLO builds the network and sizes a GEMM runner for its largest
+// layer, using the multi-DPU-per-image scheme.
+func (a *Accelerator) DeployYOLO(cfg yolo.Config, opts YOLOOptions) (*YOLOApp, error) {
+	net, err := yolo.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxK, maxN := net.GEMMBounds()
+	runner, err := a.gemmRunner(maxK, maxN, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -186,21 +213,12 @@ type AlexNetApp struct {
 // chapter 5 model prices — and sizes a GEMM runner for it, using the
 // multi-DPU-per-image scheme for both conv and FC layers.
 func (a *Accelerator) DeployAlexNet(cfg alexnet.Config, opts YOLOOptions) (*AlexNetApp, error) {
-	if opts.Tasklets == 0 {
-		opts.Tasklets = dpu.PipelineDepth
-	}
 	net, err := alexnet.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	maxK, maxN, _ := net.GEMMBounds()
-	runner, err := gemm.NewRunner(a.sys, gemm.RunnerConfig{
-		MaxK:     maxK,
-		MaxN:     maxN,
-		Tasklets: opts.Tasklets,
-		TileCols: opts.TileCols,
-		Naive:    opts.Naive,
-	})
+	runner, err := a.gemmRunner(maxK, maxN, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -229,21 +247,12 @@ type ResNetApp struct {
 // DeployResNet builds the residual network that completes the §6.1
 // "AlexNet to ResNet" span, sized like the other GEMM-backed workloads.
 func (a *Accelerator) DeployResNet(cfg resnet.Config, opts YOLOOptions) (*ResNetApp, error) {
-	if opts.Tasklets == 0 {
-		opts.Tasklets = dpu.PipelineDepth
-	}
 	net, err := resnet.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	maxK, maxN := net.GEMMBounds()
-	runner, err := gemm.NewRunner(a.sys, gemm.RunnerConfig{
-		MaxK:     maxK,
-		MaxN:     maxN,
-		Tasklets: opts.Tasklets,
-		TileCols: opts.TileCols,
-		Naive:    opts.Naive,
-	})
+	runner, err := a.gemmRunner(maxK, maxN, opts)
 	if err != nil {
 		return nil, err
 	}

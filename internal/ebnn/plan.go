@@ -1,0 +1,52 @@
+package ebnn
+
+import (
+	"pimdnn/internal/host"
+	"pimdnn/internal/mnist"
+	"pimdnn/internal/model"
+	"pimdnn/internal/plan"
+)
+
+// CostShape returns the workload geometry the kernel-granularity cost
+// model (model.EBNNWaveCycles) scores eBNN waves with — this package's
+// layout constants, exported as plain numbers so neither model nor plan
+// needs to import ebnn.
+func CostShape(f int, useLUT bool) model.EBNNShape {
+	sh := model.EBNNShape{
+		Filters:     f,
+		Cells:       PoolCells,
+		Side:        mnist.Side,
+		PackedBytes: mnist.PackedSize,
+		ResultBytes: ResultSize,
+		UseLUT:      useLUT,
+	}
+	if useLUT {
+		sh.LUTBytes = lutWRAMSize
+	}
+	return sh
+}
+
+// PlanMapping asks the auto-mapper for this model's
+// multiple-images-per-DPU mapping over `images` images.
+func PlanMapping(p *plan.Planner, m *Model, useLUT bool, images int) plan.Mapping {
+	return p.EBNN(CostShape(m.F, useLUT), images, BatchSize, plan.Exhaustive)
+}
+
+// NewRunnerMapped deploys the model with a planner-produced mapping:
+// the mapping's tasklet count replaces the hand-tuned constant
+// (plan.FixedEBNNTasklets) the fixed path pins.
+func NewRunnerMapped(sys *host.System, m *Model, useLUT bool, mp plan.Mapping) (*Runner, error) {
+	return NewRunner(sys, m, useLUT, mp.Tasklets)
+}
+
+// NewPlannedRunner plans the mapping against the system's topology (for
+// full per-DPU batches — the steady-state shape) and deploys with it.
+// A nil planner plans against sys directly.
+func NewPlannedRunner(sys *host.System, m *Model, useLUT bool, p *plan.Planner) (*Runner, plan.Mapping, error) {
+	if p == nil {
+		p = plan.New(sys)
+	}
+	mp := PlanMapping(p, m, useLUT, BatchSize*sys.NumDPUs())
+	r, err := NewRunnerMapped(sys, m, useLUT, mp)
+	return r, mp, err
+}

@@ -65,6 +65,10 @@ type Stats struct {
 	// re-dispatched onto a surviving DPU after a fault. Zero in a
 	// fault-free run.
 	Retries int
+	// Tasklets is the per-DPU tasklet count the dispatch launched with —
+	// recorded so mapping-aware callers (the auto-mapper's calibration
+	// loop) can report the executed choice next to the simulated time.
+	Tasklets int
 }
 
 // Stream names one per-shard transfer stream: Bufs[i] is DPU i's buffer
@@ -154,6 +158,28 @@ type WorkSet interface {
 // gather; per-DPU gather buffer lengths may then differ.
 type SerialGatherer interface {
 	SerialGather() bool
+}
+
+// WidthLimiter is implemented by worksets whose mapping caps the wave
+// width below the system's DPU count (a planner-produced mapping that
+// pins an explicit DPU budget). MaxWaveDPUs <= 0 means no cap. Capping
+// never changes results — later shards just queue into further waves —
+// and synchronous scatters still push the full system width (the
+// dpu_push_xfer contract); only the launch/gather width shrinks.
+type WidthLimiter interface {
+	MaxWaveDPUs() int
+}
+
+// waveWidth resolves the engine's wave width for ws: the system size,
+// capped by the workset's WidthLimiter when it declares one.
+func (e *Engine) waveWidth(ws WorkSet) int {
+	nd := e.sys.NumDPUs()
+	if wl, ok := ws.(WidthLimiter); ok {
+		if max := wl.MaxWaveDPUs(); max > 0 && max < nd {
+			nd = max
+		}
+	}
+	return nd
 }
 
 // maxRedispatch bounds how many targets one shard (or one broadcast
@@ -735,9 +761,10 @@ func (e *Engine) runSync(ws WorkSet, st *Stats) error {
 			return err
 		}
 	}
-	nd := e.sys.NumDPUs()
+	nd := e.waveWidth(ws)
 	total := ws.Shards()
 	tasklets := ws.Tasklets()
+	st.Tasklets = tasklets
 	kernel := ws.Kernel()
 	serial := serialGather(ws)
 
@@ -861,9 +888,10 @@ func (e *Engine) runPipelined(ws WorkSet, st *Stats) error {
 			}
 		}
 	}
-	nd := sys.NumDPUs()
+	nd := e.waveWidth(ws)
 	total := ws.Shards()
 	tasklets := ws.Tasklets()
+	st.Tasklets = tasklets
 	kernel := ws.Kernel()
 
 	w := 0

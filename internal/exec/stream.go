@@ -80,6 +80,7 @@ func (e *Engine) copyFromShard(ss *StreamSet, i int, dst []byte) error {
 // accumulates like Run's.
 func (e *Engine) RunStream(ss *StreamSet, st *Stats) error {
 	pre := *st
+	st.Tasklets = ss.Tasklets
 	var err error
 	if e.pipe {
 		err = e.runStreamPipelined(ss, st)

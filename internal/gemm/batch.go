@@ -44,8 +44,25 @@ func (r *Runner) EnableBatch(maxM int) error {
 	if err := r.sys.AllocMRAM(symCFull, int64(maxM)*stride*2); err != nil {
 		return fmt.Errorf("gemm: %w", err)
 	}
-	// Per-tasklet A-row cache slots in WRAM.
-	aCache := int64(r.cfg.Tasklets) * int64((r.cfg.MaxK*2+7)&^7)
+	// Per-tasklet A-row cache slots in WRAM. With a planner wired, the
+	// runner already holds tile area for the row-mode tasklet cap, so
+	// the cache gets however many slots still fit in the remaining WRAM
+	// (the per-tasklet row cache makes batch mode's footprint much
+	// larger than row mode's); batch plans are then bounded by that
+	// count. A MaxK so large that not even one slot fits is an error —
+	// pass an explicit smaller RunnerConfig.Tasklets to shrink the tile
+	// area instead.
+	r.batchAllocT = r.cfg.Tasklets
+	if r.planner != nil {
+		if fit := int(r.sys.DPU(0).WRAMFree() / aRowStride); fit < r.batchAllocT {
+			r.batchAllocT = fit
+		}
+		if r.batchAllocT < 1 {
+			return fmt.Errorf("gemm: no WRAM left for a batch A-row cache slot (MaxK=%d, %d tasklets allocated)",
+				r.cfg.MaxK, r.cfg.Tasklets)
+		}
+	}
+	aCache := int64(r.batchAllocT) * aRowStride
 	if err := r.sys.AllocWRAM("gemm_a_cache", aCache); err != nil {
 		return fmt.Errorf("gemm: %w", err)
 	}
@@ -403,13 +420,25 @@ func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]i
 		}
 	}
 
+	// An auto-mapping runner re-plans the image-per-DPU dispatch for
+	// this problem shape; the hand-tuned tasklet count applies otherwise.
+	tasklets := r.cfg.Tasklets
+	if r.batchAllocT > 0 && r.batchAllocT < tasklets {
+		tasklets = r.batchAllocT
+	}
+	if r.planner != nil {
+		mp := r.planner.GEMMBatch(m, n, k, len(bs), r.planOpts(true))
+		tasklets = mp.Tasklets
+		r.lastPlan, r.hasPlan = mp, true
+	}
+
 	// Dispatch through the execution engine's streamed single-wave path:
 	// A broadcast → image scatter → params broadcast → launch → per-DPU
 	// streaming gather, with pipelining and retry-and-remap owned by the
 	// engine (internal/exec).
 	ss := exec.StreamSet{
 		Shards:   len(bs),
-		Tasklets: r.cfg.Tasklets,
+		Tasklets: tasklets,
 		Kernel:   r.batchKernel,
 		Pre:      []exec.Broadcast{{Ref: aRef, Off: aOff, Data: aBytes, Resident: ent}},
 		Scatter:  []exec.Stream{{Ref: r.refB, Bufs: bufs}},

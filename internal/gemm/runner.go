@@ -10,6 +10,7 @@ import (
 	"pimdnn/internal/exec"
 	"pimdnn/internal/fixed"
 	"pimdnn/internal/host"
+	"pimdnn/internal/plan"
 )
 
 // Symbol names used by the GEMM DPU program.
@@ -66,6 +67,20 @@ type RunnerConfig struct {
 	// trace timeline) shared with every other runner; see internal/exec
 	// and DESIGN.md, "Execution engine".
 	Exec exec.Config
+	// Mapping, when non-nil, seeds the hand-tunable fields from a
+	// planner-produced mapping: Tasklets and TileCols when left zero,
+	// and the engine's pipeline mode when both Pipeline fields are
+	// PipelineAuto. The kernel family (Naive) stays the caller's choice
+	// — it is an allocation-time runner property, not a per-shape axis.
+	Mapping *plan.Mapping
+	// Planner, when non-nil, re-plans the mapping for every problem
+	// shape Multiply/MultiplyBatchEach sees: the tasklet count (and wave
+	// width) of each dispatch comes from the analytic cost model instead
+	// of the Tasklets field. Tasklets then bounds the planner (WRAM
+	// allocation size); left zero it defaults to the WRAM-feasible cap.
+	// All candidate mappings produce bit-identical results — the planner
+	// only moves work between tasklets and waves.
+	Planner *plan.Planner
 }
 
 // kernelScratch is the per-tasklet working set of the GEMM kernels. The
@@ -227,6 +242,18 @@ type Runner struct {
 	wmodel     *exec.ResidentModel
 	residKey   int
 	residArmed bool
+
+	// Auto-mapping (RunnerConfig.Planner): curTasklets/curWidth are the
+	// live dispatch's planned tasklet count and wave-width cap (cfg
+	// defaults when no planner), batchAllocT is the tasklet count the
+	// batch-mode WRAM cache was allocated for, and lastPlan is the most
+	// recent planner decision (for calibration reporting).
+	planner     *plan.Planner
+	curTasklets int
+	curWidth    int
+	batchAllocT int
+	lastPlan    plan.Mapping
+	hasPlan     bool
 }
 
 // NewRunner allocates the GEMM symbols on every DPU of the system.
@@ -234,12 +261,28 @@ func NewRunner(sys *host.System, cfg RunnerConfig) (*Runner, error) {
 	if cfg.MaxK < 1 || cfg.MaxN < 1 {
 		return nil, fmt.Errorf("gemm: bad bounds MaxK=%d MaxN=%d", cfg.MaxK, cfg.MaxN)
 	}
-	if cfg.Tasklets < 1 || cfg.Tasklets > dpu.MaxTasklets {
-		return nil, fmt.Errorf("gemm: tasklet count %d outside 1..%d", cfg.Tasklets, dpu.MaxTasklets)
+	if mp := cfg.Mapping; mp != nil {
+		if cfg.Tasklets == 0 {
+			cfg.Tasklets = mp.Tasklets
+		}
+		if cfg.TileCols == 0 {
+			cfg.TileCols = mp.TileCols
+		}
+		if cfg.Exec.Pipeline == host.PipelineAuto && cfg.Pipeline == host.PipelineAuto {
+			cfg.Exec.Pipeline = mp.Pipeline
+		}
 	}
 	tileCols := cfg.TileCols
 	if tileCols == 0 {
 		tileCols = DefaultTileCols
+	}
+	if cfg.Planner != nil && cfg.Tasklets == 0 {
+		// The planner re-plans per shape; the per-tasklet WRAM tile area
+		// is allocated once at the feasible cap so every plan fits.
+		cfg.Tasklets = cfg.Planner.GEMMTaskletCap(cfg.MaxK, tileCols, false)
+	}
+	if cfg.Tasklets < 1 || cfg.Tasklets > dpu.MaxTasklets {
+		return nil, fmt.Errorf("gemm: tasklet count %d outside 1..%d", cfg.Tasklets, dpu.MaxTasklets)
 	}
 	if tileCols%4 != 0 || tileCols < 4 {
 		return nil, fmt.Errorf("gemm: TileCols %d must be a positive multiple of 4", tileCols)
@@ -247,7 +290,8 @@ func NewRunner(sys *host.System, cfg RunnerConfig) (*Runner, error) {
 	if 2*tileCols > dpu.MaxDMATransfer {
 		return nil, fmt.Errorf("gemm: TileCols %d exceeds the DMA transfer limit", tileCols)
 	}
-	r := &Runner{sys: sys, cfg: cfg, tileCols: tileCols}
+	r := &Runner{sys: sys, cfg: cfg, tileCols: tileCols,
+		planner: cfg.Planner, curTasklets: cfg.Tasklets}
 
 	// Per-tasklet tile area: B chunk (2 bytes/col) + ctmp (4 bytes/col)
 	// + C out (2 bytes/col).
@@ -405,8 +449,35 @@ func (r *Runner) MetricsOn() bool { return r.eng.MetricsOn() }
 // Naive reports whether the runner uses the thesis-faithful kernel.
 func (r *Runner) Naive() bool { return r.cfg.Naive }
 
-// Tasklets returns the configured per-DPU tasklet count.
+// Tasklets returns the configured per-DPU tasklet count — the planner's
+// sweep bound (and WRAM allocation size) when auto-mapping is on.
 func (r *Runner) Tasklets() int { return r.cfg.Tasklets }
+
+// PlannerOn reports whether the runner auto-maps each problem shape.
+func (r *Runner) PlannerOn() bool { return r.planner != nil }
+
+// LastMapping returns the planner decision behind the most recent
+// Multiply/MultiplyBatchEach, for calibration reporting; ok is false
+// when no planner is wired or nothing has been dispatched yet.
+func (r *Runner) LastMapping() (plan.Mapping, bool) { return r.lastPlan, r.hasPlan }
+
+// planOpts builds the planner constraints for this runner's allocation:
+// the tile width and kernel family are fixed at construction, the
+// tasklet sweep is bounded by what was allocated (row mode) or what the
+// batch-mode WRAM cache can hold (batch mode, always the tiled kernel).
+func (r *Runner) planOpts(batch bool) plan.GEMMOptions {
+	o := plan.GEMMOptions{
+		TileCols:    r.tileCols,
+		Naive:       r.cfg.Naive && !batch,
+		MaxK:        r.cfg.MaxK,
+		MaxTasklets: r.cfg.Tasklets,
+		Batch:       batch,
+	}
+	if batch && r.batchAllocT > 0 {
+		o.MaxTasklets = r.batchAllocT
+	}
+	return o
+}
 
 // System returns the underlying DPU system.
 func (r *Runner) System() *host.System { return r.sys }
@@ -1023,9 +1094,13 @@ type mulWorkSet struct {
 }
 
 func (w *mulWorkSet) Shards() int                  { return w.m }
-func (w *mulWorkSet) Tasklets() int                { return w.r.cfg.Tasklets }
+func (w *mulWorkSet) Tasklets() int                { return w.r.curTasklets }
 func (w *mulWorkSet) Kernel() dpu.KernelFunc       { return w.r.Kernel() }
 func (w *mulWorkSet) Broadcasts() []exec.Broadcast { return w.bcasts }
+
+// MaxWaveDPUs caps the wave width at the planned mapping's DPU budget
+// (exec.WidthLimiter); 0 — no cap — without a planner.
+func (w *mulWorkSet) MaxWaveDPUs() int { return w.r.curWidth }
 
 func (w *mulWorkSet) Encode(slot, start, n int) {
 	encodeARows(w.r.mulStages[slot].aBufs, w.a, start, n, w.k, w.rowBytes)
@@ -1061,6 +1136,13 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 	if k > r.cfg.MaxK || n > r.cfg.MaxN {
 		return nil, st, fmt.Errorf("gemm: problem K=%d N=%d exceeds runner bounds K<=%d N<=%d",
 			k, n, r.cfg.MaxK, r.cfg.MaxN)
+	}
+
+	if r.planner != nil {
+		mp := r.planner.GEMM(m, n, k, r.planOpts(false))
+		r.curTasklets = mp.Tasklets
+		r.curWidth = mp.DPUs
+		r.lastPlan, r.hasPlan = mp, true
 	}
 
 	c := make([]int16, m*n)

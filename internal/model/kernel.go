@@ -1,0 +1,278 @@
+// Kernel-granularity latency model: exact analytic mirrors of the
+// simulated GEMM and eBNN kernel charge structures, at the per-wave
+// (per-DPU-launch) level. Where the chapter-5 model (model.go) works at
+// MAC granularity across PIM architectures, these functions reproduce
+// this simulator's own kernels charge by charge — the same per-tasklet
+// slot/DMA tallies the interpreter accumulates, combined through the
+// same pipeline law — so a planner can rank candidate mappings without
+// running the simulator, and a calibration pass can hold the prediction
+// against `exec.Stats` per layer (see internal/plan and
+// cmd/upmem-profile -calibrate).
+package model
+
+import "pimdnn/internal/dpu"
+
+// KernelConfig selects the GEMM kernel variant and mapping parameters
+// the cost functions mirror (gemm.RunnerConfig's cost-relevant subset).
+type KernelConfig struct {
+	Opt      dpu.OptLevel
+	Tasklets int
+	// TileCols is the tiled kernels' WRAM tile width (gemm
+	// DefaultTileCols when the runner left it zero).
+	TileCols int
+	// Naive selects the thesis-faithful kernel with MRAM-resident ctmp.
+	Naive bool
+}
+
+// DPUCycles applies the DPU pipeline law to per-tasklet slot and DMA
+// tallies: cycles = max(Σ slots, max_t(slots_t·depth + dma_t), Σ dma) —
+// total issue slots, the critical tasklet's pipelined path, and the
+// serialized DMA port.
+func DPUCycles(slots, dma []uint64) uint64 {
+	var busy, port, crit uint64
+	for i := range slots {
+		busy += slots[i]
+		port += dma[i]
+		if c := slots[i]*dpu.PipelineDepth + dma[i]; c > crit {
+			crit = c
+		}
+	}
+	cycles := busy
+	if crit > cycles {
+		cycles = crit
+	}
+	if port > cycles {
+		cycles = port
+	}
+	return cycles
+}
+
+// chunkedDMA is the cost of staging bytes through DMA-limit-sized
+// transfers (the kernels' A-row staging loops).
+func chunkedDMA(bytes int) uint64 {
+	var c uint64
+	for off := 0; off < bytes; off += dpu.MaxDMATransfer {
+		chunk := bytes - off
+		if chunk > dpu.MaxDMATransfer {
+			chunk = dpu.MaxDMATransfer
+		}
+		c += dpu.DMACost(chunk)
+	}
+	return c
+}
+
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// GEMMRowCycles is the per-DPU cycle count of one wave of the Fig 4.6
+// row-per-DPU mapping: one DPU computing one n-wide output row over k.
+// It mirrors gemm.Runner's tiled and naive kernels charge by charge
+// (parameter loads, A-row staging DMA, per-tile or per-column-set
+// compute, output pass), so on the fault-free path it matches the
+// simulated per-wave cycles exactly.
+func GEMMRowCycles(n, k int, kc KernelConfig) uint64 {
+	if kc.Naive {
+		return gemmNaiveRowCycles(n, k, kc)
+	}
+	return gemmTiledRowCycles(n, k, kc)
+}
+
+func gemmTiledRowCycles(n, k int, kc KernelConfig) uint64 {
+	var (
+		loadS  = dpu.OpSlots(dpu.OpLoad, kc.Opt)
+		storeS = dpu.OpSlots(dpu.OpStore, kc.Opt)
+		mulS   = dpu.OpSlots(dpu.OpMul16, kc.Opt)
+		addS   = dpu.OpSlots(dpu.OpAddInt, kc.Opt)
+		shiftS = dpu.OpSlots(dpu.OpShift, kc.Opt)
+		brS    = dpu.OpSlots(dpu.OpBranch, kc.Opt)
+	)
+	T := kc.Tasklets
+	var slots, dma [dpu.MaxTasklets]uint64
+
+	// Per-launch A-row work: every tasklet charges k+4 loads (the four
+	// parameter reads plus one A load per k) and k APART multiplies;
+	// tasklet 0 additionally stages the A row from MRAM in DMA-sized
+	// chunks (real DMA).
+	setup := uint64(k+4)*loadS + uint64(k)*mulS
+	for t := 0; t < T; t++ {
+		slots[t] = setup
+	}
+	dma[0] += chunkedDMA(pad8(k * 2))
+
+	// Column tiles round-robin across tasklets; each tile's complete
+	// operation sequence (gemm.tileCost) lands on its owner's meter.
+	tiles := (n + kc.TileCols - 1) / kc.TileCols
+	for tile := 0; tile < tiles; tile++ {
+		t := tile % T
+		c := n - tile*kc.TileCols
+		if c > kc.TileCols {
+			c = kc.TileCols
+		}
+		chunkBytes := pad8(c * 2)
+		slots[t] += uint64(k*c+2*c) * storeS
+		slots[t] += uint64(2*k*c) * loadS
+		slots[t] += uint64(k*c) * (mulS + addS)
+		slots[t] += uint64(c) * (shiftS + brS)
+		dma[t] += uint64(k+1) * dpu.DMACost(chunkBytes)
+	}
+	return DPUCycles(slots[:T], dma[:T])
+}
+
+func gemmNaiveRowCycles(n, k int, kc KernelConfig) uint64 {
+	var (
+		loadS  = dpu.OpSlots(dpu.OpLoad, kc.Opt)
+		mulS   = dpu.OpSlots(dpu.OpMul16, kc.Opt)
+		addS   = dpu.OpSlots(dpu.OpAddInt, kc.Opt)
+		shiftS = dpu.OpSlots(dpu.OpShift, kc.Opt)
+		brS    = dpu.OpSlots(dpu.OpBranch, kc.Opt)
+	)
+	T := kc.Tasklets
+	var slots, dma [dpu.MaxTasklets]uint64
+
+	dma[0] += chunkedDMA(pad8(k * 2))
+	for t := 0; t < T; t++ {
+		// Four parameter loads, then the tasklet's strided column share.
+		slots[t] = 4 * loadS
+		nCols := (n - t + T - 1) / T
+		if nCols <= 0 {
+			continue
+		}
+		// Per k: APART load+multiply; per element: three 8-byte MRAM
+		// round trips (ctmp read, B read, ctmp write), the MAC and
+		// index arithmetic; then the output pass.
+		slots[t] += uint64(k) * (loadS + mulS)
+		slots[t] += uint64(k) * uint64(nCols) * (mulS + 2*addS)
+		slots[t] += uint64(nCols) * (shiftS + brS)
+		dma[t] += (uint64(3*nCols)*uint64(k) + uint64(2*nCols)) * dpu.DMACost(8)
+	}
+	return DPUCycles(slots[:T], dma[:T])
+}
+
+// GEMMBatchCycles is the per-DPU cycle count of the image-per-DPU
+// mapping (gemm.Runner.kernelBatch): one DPU computing the whole m×n
+// product for its resident B matrix. Work units are (row, tile) pairs
+// claimed round-robin; a tasklet re-stages the A row (DMA + APART)
+// whenever its next unit lands on a new row. The walk mirrors the
+// kernel's unit loop exactly.
+func GEMMBatchCycles(m, n, k int, kc KernelConfig) uint64 {
+	var (
+		loadS  = dpu.OpSlots(dpu.OpLoad, kc.Opt)
+		storeS = dpu.OpSlots(dpu.OpStore, kc.Opt)
+		mulS   = dpu.OpSlots(dpu.OpMul16, kc.Opt)
+		addS   = dpu.OpSlots(dpu.OpAddInt, kc.Opt)
+		shiftS = dpu.OpSlots(dpu.OpShift, kc.Opt)
+		brS    = dpu.OpSlots(dpu.OpBranch, kc.Opt)
+	)
+	T := kc.Tasklets
+	var slots, dma [dpu.MaxTasklets]uint64
+
+	tiles := (n + kc.TileCols - 1) / kc.TileCols
+	units := m * tiles
+	aDMA := chunkedDMA(pad8(k * 2))
+	fullChunk := pad8(kc.TileCols * 2)
+	tailCols := n - (tiles-1)*kc.TileCols
+	tailChunk := pad8(tailCols * 2)
+
+	tileSlots := func(c int) uint64 {
+		return uint64(k*c+2*c)*storeS + uint64(2*k*c)*loadS +
+			uint64(k*c)*(mulS+addS) + uint64(c)*(shiftS+brS)
+	}
+	fullSlots, tailSlots := tileSlots(kc.TileCols), tileSlots(tailCols)
+
+	for t := 0; t < T; t++ {
+		// Five parameter loads (n, k, alpha, m, aBase).
+		slots[t] = 5 * loadS
+		cachedRow := -1
+		for u := t; u < units; u += T {
+			row := u / tiles
+			tile := u % tiles
+			if row != cachedRow {
+				dma[t] += aDMA
+				slots[t] += uint64(k) * (loadS + mulS)
+				cachedRow = row
+			}
+			if tile == tiles-1 && tailCols != kc.TileCols {
+				slots[t] += tailSlots
+				dma[t] += uint64(k+1) * dpu.DMACost(tailChunk)
+			} else {
+				slots[t] += fullSlots
+				dma[t] += uint64(k+1) * dpu.DMACost(fullChunk)
+			}
+		}
+	}
+	return DPUCycles(slots[:T], dma[:T])
+}
+
+// EBNNShape carries the eBNN workload's cost-relevant geometry so this
+// package needs no dependency on internal/ebnn (which imports plan's
+// consumers). ebnn.CostShape builds it from the model constants.
+type EBNNShape struct {
+	// Filters is the binary filter count (model.F).
+	Filters int
+	// Cells is the pooled outputs per filter (ebnn.PoolCells).
+	Cells int
+	// Side is the image row count loaded per image (mnist.Side).
+	Side int
+	// PackedBytes and ResultBytes are the per-image DMA payloads.
+	PackedBytes, ResultBytes int
+	// LUTBytes is tasklet 0's LUT staging DMA (0 when UseLUT is false).
+	LUTBytes int
+	// UseLUT selects the §4.1.4 LUT activation over software float.
+	UseLUT bool
+}
+
+// EBNNWaveCycles is the per-DPU cycle count of one eBNN wave with
+// `images` images resident on the DPU (up to ebnn.BatchSize), mirroring
+// ebnn.Runner's kernel: every tasklet charges the preamble block, then
+// its strided image share (per-image compute block plus the packed-image
+// in / result out DMAs); tasklet 0 stages the LUT.
+func EBNNWaveCycles(sh EBNNShape, images, tasklets int, opt dpu.OptLevel) uint64 {
+	var (
+		loadS  = dpu.OpSlots(dpu.OpLoad, opt)
+		storeS = dpu.OpSlots(dpu.OpStore, opt)
+		mulS   = dpu.OpSlots(dpu.OpMul16, opt)
+		addS   = dpu.OpSlots(dpu.OpAddInt, opt)
+		subS   = dpu.OpSlots(dpu.OpSubInt, opt)
+		shiftS = dpu.OpSlots(dpu.OpShift, opt)
+		brS    = dpu.OpSlots(dpu.OpBranch, opt)
+		logicS = dpu.OpSlots(dpu.OpLogic, opt)
+	)
+	fn := uint64(sh.Filters)
+	cells := uint64(sh.Cells)
+
+	// Preamble (ebnnBlocks pre): image count + filter unpack, plus the
+	// BN fold when running without the LUT.
+	pre := (1+fn)*loadS + 3*fn*logicS + 2*fn*shiftS
+	if !sh.UseLUT {
+		pre += 5*fn*loadS +
+			2*fn*dpu.OpSlots(dpu.OpFDiv, opt) +
+			2*fn*dpu.OpSlots(dpu.OpFSub, opt)
+	}
+
+	// Per-image compute block (ebnnBlocks img).
+	img := 2*mulS + uint64(sh.Side)*loadS +
+		cells*fn*25*shiftS + cells*fn*37*logicS +
+		cells*fn*4*subS + cells*fn*4*brS + cells*storeS
+	if sh.UseLUT {
+		img += cells*fn*2*addS + cells*fn*mulS + cells*fn*loadS
+	} else {
+		img += cells*fn*dpu.OpSlots(dpu.OpFloatFromInt, opt) +
+			cells*fn*dpu.OpSlots(dpu.OpFCmp, opt)
+	}
+	imgDMA := dpu.DMACost(sh.PackedBytes) + dpu.DMACost(sh.ResultBytes)
+
+	T := tasklets
+	var slots, dma [dpu.MaxTasklets]uint64
+	if sh.UseLUT {
+		dma[0] += dpu.DMACost(sh.LUTBytes)
+	}
+	for t := 0; t < T; t++ {
+		slots[t] += pre
+		nImg := uint64(0)
+		if t < images {
+			nImg = uint64((images - t + T - 1) / T)
+		}
+		slots[t] += nImg * img
+		dma[t] += nImg * imgDMA
+	}
+	return DPUCycles(slots[:T], dma[:T])
+}

@@ -1,0 +1,40 @@
+package plan
+
+import (
+	"testing"
+
+	"pimdnn/internal/dpu"
+)
+
+// BenchmarkPlannerOverhead measures the steady-state planning cost on
+// the serving path: every forward re-plans each layer's shape, so after
+// the first pass these are all cache hits and must stay allocation-free
+// (the benchmark joins the allocs/op gate in scripts/bench.sh).
+func BenchmarkPlannerOverhead(b *testing.B) {
+	p := NewFromConfig(dpu.SystemDPUs, dpu.DefaultConfig(dpu.O3))
+	shapes := [][3]int{
+		{16, 1024, 27}, {32, 256, 144}, {64, 64, 288}, {18, 64, 864},
+	}
+	for _, sh := range shapes { // warm the shape cache
+		p.GEMM(sh[0], sh[1], sh[2], GEMMOptions{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sh := range shapes {
+			p.GEMM(sh[0], sh[1], sh[2], GEMMOptions{})
+		}
+	}
+}
+
+// BenchmarkPlanColdSearch prices a cold exhaustive search (first time a
+// shape is seen): the full tasklet sweep through the analytic model.
+func BenchmarkPlanColdSearch(b *testing.B) {
+	cfg := dpu.DefaultConfig(dpu.O3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewFromConfig(dpu.SystemDPUs, cfg)
+		p.GEMM(16, 1024, 288, GEMMOptions{})
+	}
+}

@@ -71,10 +71,15 @@ func (n *Network) ForwardBatch(inputs []*Tensor, r *gemm.Runner) ([]*Result, *Fo
 			if err != nil {
 				return nil, nil, fmt.Errorf("yolo: layer %d: %w", li, err)
 			}
-			stats.Layers = append(stats.Layers, LayerStat{
+			ls := LayerStat{
 				Layer: li, Kind: Conv, DPUsUsed: st.DPUsUsed,
 				Cycles: st.Cycles, Seconds: st.Seconds,
-			})
+				Tasklets: st.Tasklets,
+			}
+			if mp, ok := r.LastMapping(); ok {
+				ls.PredictedSeconds = mp.PredictedSeconds
+			}
+			stats.Layers = append(stats.Layers, ls)
 			stats.Cycles += st.Cycles
 			stats.Seconds += st.Seconds
 		case Shortcut:

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"pimdnn/internal/dpu"
+	"pimdnn/internal/model"
+	"pimdnn/internal/plan"
 )
 
 // EstimateConfig parameterizes the analytic latency estimate.
@@ -23,22 +25,27 @@ type EstimateConfig struct {
 
 // DefaultEstimateConfig mirrors the thesis's measured configuration:
 // threading + O3 on the 2,560-DPU system running its own (MRAM-bound)
-// kernel (§4.3.1).
+// kernel (§4.3.1). The mapping constants come from plan.Fixed — the
+// same hand-tuned source of truth every network deployment falls back
+// to when the auto-mapper is off.
 func DefaultEstimateConfig() EstimateConfig {
 	return EstimateConfig{
 		Opt:         dpu.O3,
-		Tasklets:    11,
+		Tasklets:    plan.FixedTasklets,
 		DPUs:        dpu.SystemDPUs,
-		TileCols:    256,
+		TileCols:    plan.FixedTileCols,
 		Naive:       true,
 		FrequencyHz: dpu.DefaultFrequencyHz,
 	}
 }
 
 // EstimateSeconds computes the single-image inference latency of the
-// network analytically, layer by layer, mirroring the charge structure of
-// the simulated GEMM kernels exactly. It exists because the full 416×416
-// YOLOv3 (~33 GMACs) is too large to simulate operation-by-operation; on
+// network analytically, layer by layer. The per-wave cycle counts come
+// from model.GEMMRowCycles — the same kernel-exact cost functions the
+// auto-mapper (internal/plan) ranks candidate mappings with — so this
+// is now a thin wrapper: shape extraction and wave arithmetic here,
+// charge structure there. It exists because the full 416×416 YOLOv3
+// (~33 GMACs) is too large to simulate operation-by-operation; on
 // networks small enough to run both ways the estimate tracks the
 // simulator within a few percent (verified in tests).
 //
@@ -52,6 +59,12 @@ func (n *Network) EstimateSeconds(ec EstimateConfig) (total float64, perLayer []
 	if ec.DPUs < 1 || ec.TileCols < 4 || ec.FrequencyHz <= 0 {
 		return 0, nil, fmt.Errorf("yolo: bad estimate config %+v", ec)
 	}
+	kc := model.KernelConfig{
+		Opt:      ec.Opt,
+		Tasklets: ec.Tasklets,
+		TileCols: ec.TileCols,
+		Naive:    ec.Naive,
+	}
 	perLayer = make([]float64, 0, 80)
 	cur := shape{c: 3, h: n.Cfg.InputSize, w: n.Cfg.InputSize}
 	for i, def := range n.Defs {
@@ -62,12 +75,7 @@ func (n *Network) EstimateSeconds(ec EstimateConfig) (total float64, perLayer []
 		}
 		k := cur.c * def.Size * def.Size
 		cols := s.h * s.w
-		var cycles uint64
-		if ec.Naive {
-			cycles = naiveLayerCycles(k, cols, ec)
-		} else {
-			cycles = tiledLayerCycles(k, cols, ec)
-		}
+		cycles := model.GEMMRowCycles(cols, k, kc)
 		waves := (def.Filters + ec.DPUs - 1) / ec.DPUs
 		sec := float64(cycles) * float64(waves) / ec.FrequencyHz
 		perLayer = append(perLayer, sec)
@@ -75,109 +83,4 @@ func (n *Network) EstimateSeconds(ec EstimateConfig) (total float64, perLayer []
 		cur = s
 	}
 	return total, perLayer, nil
-}
-
-// dpuCycles applies the pipeline model to per-tasklet slot/DMA tallies.
-func dpuCycles(slots, dma []uint64) uint64 {
-	var busy, port, crit uint64
-	for i := range slots {
-		busy += slots[i]
-		port += dma[i]
-		if c := slots[i]*dpu.PipelineDepth + dma[i]; c > crit {
-			crit = c
-		}
-	}
-	cycles := busy
-	if crit > cycles {
-		cycles = crit
-	}
-	if port > cycles {
-		cycles = port
-	}
-	return cycles
-}
-
-// tiledLayerCycles mirrors gemm.Runner.kernel's charges for one DPU
-// computing one output row.
-func tiledLayerCycles(k, cols int, ec EstimateConfig) uint64 {
-	var (
-		loadS  = dpu.OpSlots(dpu.OpLoad, ec.Opt)
-		storeS = dpu.OpSlots(dpu.OpStore, ec.Opt)
-		mulS   = dpu.OpSlots(dpu.OpMul16, ec.Opt)
-		addS   = dpu.OpSlots(dpu.OpAddInt, ec.Opt)
-		shiftS = dpu.OpSlots(dpu.OpShift, ec.Opt)
-		brS    = dpu.OpSlots(dpu.OpBranch, ec.Opt)
-	)
-	T := ec.Tasklets
-	slots := make([]uint64, T)
-	dma := make([]uint64, T)
-
-	// Every tasklet reads the params and stages APART (A-row loads and
-	// multiplies); tasklet 0 additionally DMAs the A row from MRAM.
-	setup := 3*loadS + uint64(k)*(loadS+mulS)
-	for t := 0; t < T; t++ {
-		slots[t] = setup
-	}
-	aBytes := (k*2 + 7) &^ 7
-	for off := 0; off < aBytes; off += dpu.MaxDMATransfer {
-		chunk := aBytes - off
-		if chunk > dpu.MaxDMATransfer {
-			chunk = dpu.MaxDMATransfer
-		}
-		dma[0] += dpu.DMACost(chunk)
-	}
-
-	tiles := (cols + ec.TileCols - 1) / ec.TileCols
-	for tile := 0; tile < tiles; tile++ {
-		t := tile % T
-		c := cols - tile*ec.TileCols
-		if c > ec.TileCols {
-			c = ec.TileCols
-		}
-		chunkBytes := (c*2 + 7) &^ 7
-		perElemPerK := 2*loadS + mulS + addS + storeS
-		slots[t] += uint64(c) * storeS // ctmp zeroing
-		slots[t] += uint64(k) * uint64(c) * perElemPerK
-		slots[t] += uint64(c) * (shiftS + brS + storeS) // output clamp
-		dma[t] += uint64(k)*dpu.DMACost(chunkBytes) + dpu.DMACost(chunkBytes)
-	}
-	return dpuCycles(slots, dma)
-}
-
-// naiveLayerCycles mirrors gemm.Runner.kernelNaive's charges.
-func naiveLayerCycles(k, cols int, ec EstimateConfig) uint64 {
-	var (
-		loadS  = dpu.OpSlots(dpu.OpLoad, ec.Opt)
-		mulS   = dpu.OpSlots(dpu.OpMul16, ec.Opt)
-		addS   = dpu.OpSlots(dpu.OpAddInt, ec.Opt)
-		shiftS = dpu.OpSlots(dpu.OpShift, ec.Opt)
-		brS    = dpu.OpSlots(dpu.OpBranch, ec.Opt)
-	)
-	T := ec.Tasklets
-	slots := make([]uint64, T)
-	dma := make([]uint64, T)
-
-	aBytes := (k*2 + 7) &^ 7
-	for off := 0; off < aBytes; off += dpu.MaxDMATransfer {
-		chunk := aBytes - off
-		if chunk > dpu.MaxDMATransfer {
-			chunk = dpu.MaxDMATransfer
-		}
-		dma[0] += dpu.DMACost(chunk)
-	}
-	for t := 0; t < T; t++ {
-		nCols := (cols - t + T - 1) / T
-		if nCols <= 0 {
-			slots[t] += 3 * loadS
-			continue
-		}
-		perK := loadS + mulS + // APART
-			uint64(nCols)*(mulS+2*addS) // MAC + index
-		slots[t] += 3*loadS + uint64(k)*perK
-		dma[t] += uint64(k) * uint64(3*nCols) * dpu.DMACost(8) // ctmp RMW + B read
-		// Output pass.
-		slots[t] += uint64(nCols) * (shiftS + brS)
-		dma[t] += uint64(2*nCols) * dpu.DMACost(8)
-	}
-	return dpuCycles(slots, dma)
 }

@@ -15,6 +15,14 @@ type LayerStat struct {
 	Seconds  float64
 	// Retries counts row shards re-dispatched after injected faults.
 	Retries int
+	// Tasklets is the per-DPU tasklet count the layer launched with —
+	// the auto-mapper's per-shape choice when the runner plans, the
+	// hand-tuned constant otherwise.
+	Tasklets int
+	// PredictedSeconds is the planner's analytic latency for the layer;
+	// zero when the runner runs a fixed mapping. Comparing it against
+	// Seconds is the calibration loop (cmd/upmem-profile -calibrate).
+	PredictedSeconds float64
 }
 
 // ForwardStats aggregates a DPU forward pass.
@@ -93,10 +101,15 @@ func (n *Network) Forward(input *Tensor, runner *gemm.Runner) (*Result, *Forward
 				if err != nil {
 					return nil, nil, fmt.Errorf("yolo: layer %d: %w", i, err)
 				}
-				stats.Layers = append(stats.Layers, LayerStat{
+				ls := LayerStat{
 					Layer: i, Kind: Conv, DPUsUsed: st.DPUsUsed,
 					Cycles: st.Cycles, Seconds: st.Seconds, Retries: st.Retries,
-				})
+					Tasklets: st.Tasklets,
+				}
+				if mp, ok := runner.LastMapping(); ok {
+					ls.PredictedSeconds = mp.PredictedSeconds
+				}
+				stats.Layers = append(stats.Layers, ls)
 				stats.Cycles += st.Cycles
 				stats.Seconds += st.Seconds
 				stats.Retries += st.Retries

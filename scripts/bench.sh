@@ -15,8 +15,8 @@
 #
 # Usage:  scripts/bench.sh [benchtime] [out.json] [baseline.json]
 #   benchtime      go test -benchtime value (default 10x)
-#   out.json       output file (default BENCH_pr8.json)
-#   baseline.json  delta baseline (default BENCH_pr7.json, the last
+#   out.json       output file (default BENCH_pr9.json)
+#   baseline.json  delta baseline (default BENCH_pr8.json, the last
 #                  recorded trajectory point; BENCH_baseline.json if
 #                  that is absent)
 #
@@ -29,8 +29,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
-OUT="${2:-BENCH_pr8.json}"
-BASELINE="${3:-BENCH_pr7.json}"
+OUT="${2:-BENCH_pr9.json}"
+BASELINE="${3:-BENCH_pr8.json}"
 [[ -f "$BASELINE" ]] || BASELINE="BENCH_baseline.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -46,10 +46,12 @@ run ./internal/gemm    'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatch
 run ./internal/ebnn    'BenchmarkInferWaveSync|BenchmarkInferWavePipelined'
 run ./internal/host    'BenchmarkBroadcast|BenchmarkPushXfer|BenchmarkParallelLaunch'
 run ./internal/metrics 'BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkNilCounterAdd'
+run ./internal/plan    'BenchmarkPlannerOverhead|BenchmarkPlanColdSearch'
 
-# The full-array forward (one image on each of the 2,560 DPUs, ~30s per
-# iteration) always runs one iteration regardless of $BENCHTIME: it is
-# recorded as a completes-at-scale gate, not a tight timing loop.
+# The full-array forwards (one image on each of the 2,560 DPUs, tens of
+# seconds per iteration — hand-tuned constants and the auto-mapped
+# variant) always run one iteration regardless of $BENCHTIME: they are
+# recorded as completes-at-scale gates, not tight timing loops.
 echo ">> go test . -bench BenchmarkFullArrayYOLOForward (-benchtime 1x)" >&2
 go test . -run 'xxx' -bench 'BenchmarkFullArrayYOLOForward' -benchtime 1x -benchmem 2>/dev/null \
 	| grep -E '^Benchmark' >>"$TMP" || true
@@ -83,7 +85,7 @@ echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
 # catches silently dropped coverage) or on an allocation regression in
 # an allocation-gated benchmark (name matching Metrics/CounterAdd/
 # HistogramObserve/SimulatorWallClock/FullArray/ResidentForward/
-# RebroadcastForward — the hot paths whose
+# RebroadcastForward/Planner — the hot paths whose
 # allocs/op is a designed invariant rather than a setup artifact; the
 # full-array forward's allocations are per-image data, deterministic at
 # one iteration, and must not regrow an O(nDPU)-per-wave term).
@@ -119,7 +121,7 @@ if [[ -f "$BASELINE" && "$OUT" != "$BASELINE" ]]; then
 			}
 			printf("%-55s %14s %14s %8.1f%%\n", name, base[name], cur[name],
 			       100 * (cur[name] - base[name]) / base[name])
-			if (name ~ /Metrics|CounterAdd|HistogramObserve|SimulatorWallClock|FullArray|ResidentForward|RebroadcastForward/ &&
+			if (name ~ /Metrics|CounterAdd|HistogramObserve|SimulatorWallClock|FullArray|ResidentForward|RebroadcastForward|Planner/ &&
 			    baseAllocs[name] != "" && curAllocs[name] != "" &&
 			    curAllocs[name] + 0 > baseAllocs[name] + 0) {
 				printf("ALLOC REGRESSION: %s allocs/op %s -> %s\n",
