@@ -39,10 +39,15 @@ func run() error {
 	calibrateFlag := flag.Bool("calibrate", false,
 		"run the auto-mapper calibration loop: execute every network with planner-chosen mappings and compare predicted vs simulated latency per layer")
 	dpusFlag := flag.Int("dpus", 64, "system size for -calibrate")
+	perfettoFlag := flag.String("perfetto", "",
+		"write a Chrome trace-event (Perfetto) JSON file for the demo GEMM: the request span tree down to per-DPU kernels, or the engine wave timeline when combined with -timeline")
 	flag.Parse()
 	opt := dpu.OptLevel(*optFlag)
 	if *calibrateFlag {
 		return runCalibrate(opt, *dpusFlag, *jsonFlag)
+	}
+	if *perfettoFlag != "" {
+		return runPerfetto(opt, *perfettoFlag, *timelineFlag)
 	}
 	if *jsonFlag {
 		return runJSON(opt, *timelineFlag)
@@ -138,6 +143,79 @@ func runWaveGEMM(opt dpu.OptLevel) (*trace.Timeline, string, error) {
 	return tl, desc, nil
 }
 
+// runPerfetto exports the demo GEMM for chrome://tracing / ui.perfetto.dev.
+// Two views of the same workload: the default is the request span tree
+// (plan, scatter/launch/gather waves, per-DPU kernel spans) recorded
+// through the tracing subsystem; with -timeline it is the execution
+// engine's wall-clock wave timeline instead.
+func runPerfetto(opt dpu.OptLevel, path string, timeline bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if timeline {
+		tl, desc, err := runWaveGEMM(opt)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := trace.TimelinePerfetto(f, tl); err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Printf("wrote wave timeline (%s) to %s\n", desc, path)
+		return f.Close()
+	}
+	tr, desc, err := runTracedGEMM(opt)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := trace.WritePerfetto(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("wrote span tree (%s, %d spans) to %s\n", desc, len(tr.Spans()), path)
+	return f.Close()
+}
+
+// runTracedGEMM dispatches the timeline demo GEMM with a request trace
+// attached to the runner and returns the completed trace.
+func runTracedGEMM(opt dpu.OptLevel) (*trace.Trace, string, error) {
+	const m, n, k, dpus = 24, 32, 16, 8
+	sys, err := host.NewSystem(dpus, host.DefaultConfig(opt))
+	if err != nil {
+		return nil, "", err
+	}
+	defer sys.Close()
+	r, err := gemm.NewRunner(sys, gemm.RunnerConfig{
+		MaxK: k, MaxN: n, Tasklets: 8, TileCols: 16,
+		Exec: exec.Config{Pipeline: host.PipelineOn},
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	tracer := trace.NewTracer(trace.TracerConfig{})
+	root := tracer.StartTrace("profile_gemm")
+	r.SetTraceSpan(root)
+	rng := rand.New(rand.NewSource(1))
+	a := make([]int16, m*k)
+	b := make([]int16, k*n)
+	for i := range a {
+		a[i] = int16(rng.Intn(64) - 32)
+	}
+	for i := range b {
+		b[i] = int16(rng.Intn(64) - 32)
+	}
+	if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+		return nil, "", err
+	}
+	r.SetTraceSpan(nil)
+	root.End()
+	desc := fmt.Sprintf("%d x %d x %d GEMM, %d DPUs, pipeline on", m, n, k, dpus)
+	return root.Trace(), desc, nil
+}
+
 // runJSON emits the same characterization as one JSON document on
 // stdout: every measured quantity lands in a metrics.Registry (labeled
 // counters) whose snapshot encoder — the same one behind -metrics-addr
@@ -179,7 +257,7 @@ func runJSON(opt dpu.OptLevel, timeline bool) error {
 		Opt      string           `json:"opt"`
 		Metrics  metrics.Snapshot `json:"metrics"`
 		Workload string           `json:"timeline_workload,omitempty"`
-		Timeline []trace.Span     `json:"timeline,omitempty"`
+		Timeline []trace.WaveSpan `json:"timeline,omitempty"`
 	}{Opt: fmt.Sprint(opt), Metrics: reg.Snapshot()}
 	if timeline {
 		tl, desc, err := runWaveGEMM(opt)

@@ -9,11 +9,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/infer   {"model":"tiny","seed":7}  or  {"model":...,"input":[...]}
-//	GET  /v1/models  configured models + weight-cache occupancy
-//	GET  /v1/stats   per-model request counts and latency quantiles
-//	GET  /metrics    Prometheus text (or ?format=json)
+//	POST /v1/infer      {"model":"tiny","seed":7}  or  {"model":...,"input":[...]}
+//	GET  /v1/models     configured models + weight-cache occupancy
+//	GET  /v1/stats      per-model request counts, latency quantiles,
+//	                    slowest traced requests, flight-recorder dumps
+//	GET  /v1/trace/{id} one request's span tree as Perfetto JSON
+//	                    ({id} from an infer response, or "last")
+//	GET  /metrics       Prometheus text (or ?format=json)
 //	GET  /healthz
+//
+// Every request (subject to -trace-sample) carries a span tree from
+// HTTP admission through queue wait, batch join, per-layer GEMMs, and
+// the exec engine's scatter/launch/gather waves down to per-DPU kernel
+// spans; completed traces land in a flight-recorder ring that freezes
+// itself (a "dump") when a request breaches -slo or a DPU fault report
+// surfaces.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 
 	"pimdnn/internal/dpu"
 	"pimdnn/internal/metrics"
+	"pimdnn/internal/trace"
 )
 
 func main() {
@@ -84,6 +95,9 @@ func run() error {
 		maxWait     = flag.Duration("max-wait", 20*time.Millisecond, "batching deadline after the first request")
 		queueCap    = flag.Int("queue", 64, "per-model admission queue bound")
 		cacheBytes  = flag.Int64("weight-cache", 4<<20, "per-DPU weight arena bytes (8-aligned)")
+		traceSample = flag.Int("trace-sample", 1, "trace 1 in N requests (0 disables tracing)")
+		traceRing   = flag.Int("trace-ring", 64, "flight-recorder capacity in completed traces")
+		slo         = flag.Duration("slo", 0, "latency SLO; a breach dumps the flight recorder (0 disables)")
 	)
 	flag.Parse()
 
@@ -96,6 +110,11 @@ func run() error {
 		dpus: *dpus, tasklets: *tasklets, autoMap: *planFlag, opt: dpu.OptLevel(*optFlag),
 		specs: specs, maxBatch: *maxBatch, maxWait: *maxWait,
 		queueCap: *queueCap, cacheBytes: *cacheBytes, reg: reg,
+		traceSample: *traceSample, traceRing: *traceRing, slo: *slo,
+		onDump: func(d *trace.DumpRecord) {
+			fmt.Fprintf(os.Stderr, "flight recorder dump (%s): %d traces retained\n",
+				d.Reason, len(d.TraceIDs))
+		},
 	})
 	if err != nil {
 		return err

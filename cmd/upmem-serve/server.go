@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"pimdnn/internal/host"
 	"pimdnn/internal/metrics"
 	"pimdnn/internal/plan"
+	"pimdnn/internal/trace"
 	"pimdnn/internal/yolo"
 )
 
@@ -55,6 +58,15 @@ type serveConfig struct {
 	queueCap   int           // per-model admission bound
 	cacheBytes int64         // weight-cache arena budget per DPU
 	reg        *metrics.Registry
+
+	// Request tracing: traceSample keeps 1 in N requests (0 disables
+	// tracing entirely), traceRing sizes the flight recorder, slo
+	// triggers a flight-recorder dump when a request's end-to-end
+	// latency exceeds it, and onDump receives every dump record.
+	traceSample int
+	traceRing   int
+	slo         time.Duration
+	onDump      func(*trace.DumpRecord)
 }
 
 // request is one admitted inference waiting for its wave.
@@ -62,6 +74,9 @@ type request struct {
 	input *yolo.Tensor
 	enq   time.Time
 	done  chan response
+	// sp is the request's root span (nil when the request was sampled
+	// out or tracing is off).
+	sp *trace.Span
 }
 
 type response struct {
@@ -96,6 +111,9 @@ type server struct {
 
 	// engineMu serializes DPU-system access across model batchers.
 	engineMu sync.Mutex
+
+	// tracer mints per-request traces; nil when -trace-sample is 0.
+	tracer *trace.Tracer
 
 	inflight *metrics.Gauge
 
@@ -150,6 +168,13 @@ func newServer(cfg serveConfig) (*server, error) {
 	}
 	if cfg.reg != nil {
 		s.inflight = cfg.reg.Gauge("pim_serve_inflight")
+	}
+	if cfg.traceSample > 0 {
+		s.tracer = trace.NewTracer(trace.TracerConfig{
+			Sample: cfg.traceSample,
+			Ring:   cfg.traceRing,
+			OnDump: cfg.onDump,
+		})
 	}
 
 	// Size one runner to the union of every model's GEMM bounds.
@@ -272,12 +297,59 @@ func (s *server) runBatch(m *model, batch []*request) {
 		inputs[i] = r.input
 	}
 	start := time.Now()
+	// Stamp each traced request's queue wait retroactively (enqueue to
+	// wave start), then hang the shared execution subtree off the batch
+	// leader: the first traced request's span owns the live exec spans,
+	// and every other traced co-batched request adopts a copy afterwards
+	// so each trace shows the full path to the DPU launches it shared.
+	var leader *trace.Span
+	for _, r := range batch {
+		if r.sp == nil {
+			continue
+		}
+		qsp := r.sp.StartChildAt("queue_wait", r.enq)
+		qsp.EndAt(start)
+		if leader == nil {
+			leader = r.sp
+		}
+	}
+	var bsp *trace.Span
+	if leader != nil {
+		bsp = leader.StartChild("batch_exec")
+		bsp.SetAttrStr("model", m.spec.name)
+		bsp.SetAttr("batch_size", int64(len(batch)))
+	}
 	s.engineMu.Lock()
 	// Rebind the runner to this model's resident set: warm layers skip
 	// their weight broadcast, cold (or evicted) layers re-deliver.
 	s.runner.EnableResidency(s.cache, m.spec.name)
+	if bsp != nil {
+		s.runner.SetTraceSpan(bsp)
+	}
 	results, stats, err := m.net.ForwardBatch(inputs, s.runner)
+	if bsp != nil {
+		s.runner.SetTraceSpan(nil)
+	}
 	s.engineMu.Unlock()
+	if bsp != nil {
+		bsp.End()
+		for _, r := range batch {
+			if r.sp != nil && r.sp != leader {
+				r.sp.AdoptSubtree(bsp)
+			}
+		}
+	}
+	// A surfaced wave error means retries were exhausted mid-wave (a
+	// recoverable fault would have been re-dispatched silently) — freeze
+	// the flight recorder so the traces leading up to the fault survive
+	// ring rotation.
+	if err != nil {
+		reason := fmt.Sprintf("error:%v", err)
+		if fr, ok := host.AsFaultReport(err); ok {
+			reason = fmt.Sprintf("fault:%s (%d DPUs)", fr.Op, len(fr.Faults))
+		}
+		s.tracer.Recorder().Dump(reason)
+	}
 	if m.batchSz != nil {
 		m.batchSz.Observe(uint64(len(batch)))
 	}
@@ -320,6 +392,9 @@ type inferResponse struct {
 	QueueUS    uint64          `json:"queue_us"`
 	LatencyUS  uint64          `json:"latency_us"`
 	DPUSeconds float64         `json:"dpu_seconds"`
+	// TraceID identifies this request's trace (GET /v1/trace/{id});
+	// zero when the request was not sampled.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // handler builds the server's HTTP mux.
@@ -328,6 +403,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/infer", s.handleInfer)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.Handle("/metrics", metrics.Handler(s.cfg.reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -379,16 +455,27 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		defer s.inflight.Add(-1)
 	}
 	start := time.Now()
-	req := &request{input: input, enq: start, done: make(chan response, 1)}
+	// Root span: one per sampled request, covering admission through
+	// response. The span rides the request into the batcher; the trace
+	// completes (and lands in the flight recorder) when it ends below.
+	root := s.tracer.StartTrace("infer")
+	root.SetAttrStr("model", in.Model)
+	req := &request{input: input, enq: start, done: make(chan response, 1), sp: root}
 	// Admission control: a full queue means the DPU pool is saturated
 	// beyond the configured backlog — shed load now rather than let
 	// latency grow without bound.
+	adm := root.StartChild("admission")
 	select {
 	case m.queue <- req:
+		adm.End()
 	default:
 		if m.rejected != nil {
 			m.rejected.Inc()
 		}
+		adm.SetAttr("rejected", 1)
+		adm.End()
+		root.SetAttr("rejected", 1)
+		root.End()
 		w.Header().Set("Retry-After",
 			fmt.Sprintf("%d", int(math.Ceil(s.cfg.maxWait.Seconds()))+1))
 		httpErr(w, http.StatusServiceUnavailable, "model %q queue full (%d waiting)",
@@ -401,12 +488,25 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 	resp := <-req.done
 	if resp.err != nil {
+		root.SetAttrStr("error", resp.err.Error())
+		root.End()
 		httpErr(w, http.StatusInternalServerError, "inference failed: %v", resp.err)
 		return
 	}
 	latUS := uint64(time.Since(start) / time.Microsecond)
+	root.SetAttr("batch_size", int64(resp.batch))
+	root.SetAttr("queue_us", int64(resp.queueUS))
+	root.SetAttr("latency_us", int64(latUS))
+	root.End()
 	if m.latency != nil {
-		m.latency.Observe(latUS)
+		m.latency.ObserveExemplar(latUS, uint64(root.TraceID()))
+	}
+	// SLO enforcement is diagnostic, not admission: a breach freezes the
+	// flight recorder (after the breaching trace has landed in it) so
+	// the traces around the slow request can be pulled later.
+	if s.cfg.slo > 0 && time.Duration(latUS)*time.Microsecond > s.cfg.slo {
+		s.tracer.Recorder().Dump(fmt.Sprintf("slo_breach:model=%s trace=%d lat=%dus slo=%v",
+			in.Model, root.TraceID(), latUS, s.cfg.slo))
 	}
 	out := inferResponse{
 		Model:      in.Model,
@@ -415,6 +515,7 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		QueueUS:    resp.queueUS,
 		LatencyUS:  latUS,
 		DPUSeconds: resp.stats.Seconds,
+		TraceID:    uint64(root.TraceID()),
 	}
 	for _, d := range resp.result.Detections {
 		out.Detections = append(out.Detections, detectionJSON{
@@ -423,6 +524,38 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleTrace serves one retained trace as Chrome trace-event (Perfetto)
+// JSON: GET /v1/trace/{id}, or /v1/trace/last for the newest. Traces age
+// out of the flight-recorder ring, so 404 also means "rotated away".
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.tracer.Recorder()
+	if rec == nil {
+		httpErr(w, http.StatusNotFound, "tracing disabled (-trace-sample 0)")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	var tr *trace.Trace
+	switch idStr {
+	case "", "last":
+		if ts := rec.Traces(); len(ts) > 0 {
+			tr = ts[0]
+		}
+	default:
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "bad trace id %q", idStr)
+			return
+		}
+		tr = rec.Find(trace.TraceID(id))
+	}
+	if tr == nil {
+		httpErr(w, http.StatusNotFound, "trace %q not retained (rotated out or never sampled)", idStr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WritePerfetto(w, tr)
 }
 
 type modelJSON struct {
@@ -462,13 +595,13 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 type statJSON struct {
-	Model    string `json:"model"`
-	Requests uint64 `json:"requests"`
-	Rejected uint64 `json:"rejected"`
-	P50US    uint64 `json:"p50_us"`
-	P99US    uint64 `json:"p99_us"`
-	QueueP50 uint64 `json:"queue_p50_us"`
-	QueueP99 uint64 `json:"queue_p99_us"`
+	Model    string  `json:"model"`
+	Requests uint64  `json:"requests"`
+	Rejected uint64  `json:"rejected"`
+	P50US    uint64  `json:"p50_us"`
+	P99US    uint64  `json:"p99_us"`
+	QueueP50 uint64  `json:"queue_p50_us"`
+	QueueP99 uint64  `json:"queue_p99_us"`
 	MeanWave float64 `json:"mean_batch_size"`
 }
 
@@ -512,8 +645,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, st)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(struct {
+	body := struct {
 		Stats []statJSON `json:"stats"`
-	}{out})
+		// Slowest summarizes the flight recorder's worst retained
+		// requests; Dumps lists SLO/fault freeze events.
+		Slowest []trace.TraceSummary `json:"slowest_requests,omitempty"`
+		Dumps   []*trace.DumpRecord  `json:"dumps,omitempty"`
+	}{Stats: out}
+	if rec := s.tracer.Recorder(); rec != nil {
+		body.Slowest = rec.Slowest(8)
+		body.Dumps = rec.Dumps()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
 }

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -26,6 +27,7 @@ import (
 
 	"pimdnn/internal/dpu"
 	"pimdnn/internal/metrics"
+	"pimdnn/internal/trace"
 )
 
 func main() {
@@ -43,6 +45,8 @@ func run() error {
 	width := flag.Int("width", 40, "utilization bar width in columns")
 	byRank := flag.Bool("by-rank", false, "aggregate DPUs into one row per rank (min/mean/max utilization)")
 	rankSize := flag.Int("rank-size", dpu.DPUsPerRank, "DPUs per rank for -by-rank aggregation")
+	serveAddr := flag.String("serve-addr", "",
+		"upmem-serve address (e.g. localhost:8090) for the slowest-requests panel; empty disables")
 	flag.Parse()
 
 	group := 0
@@ -69,6 +73,17 @@ func run() error {
 			return err
 		}
 		out := Render(prev, cur, *interval, *width, group)
+		if *serveAddr != "" {
+			// The slowest-requests panel rides the serve frontend's
+			// stats endpoint; a fetch error degrades to a note rather
+			// than killing the live view.
+			st, err := fetchStats(client, fmt.Sprintf("http://%s/v1/stats", *serveAddr))
+			if err != nil {
+				out += fmt.Sprintf("\n(slowest-requests panel unavailable: %v)\n", err)
+			} else {
+				out += RenderSlowest(st.Slowest, st.Dumps)
+			}
+		}
 		if !*once {
 			// Home the cursor and clear below: a flicker-free repaint.
 			fmt.Print("\033[H\033[J")
@@ -77,6 +92,55 @@ func run() error {
 		prev, first = cur, false
 	}
 	return nil
+}
+
+// serveStats is the subset of upmem-serve's /v1/stats body the panel
+// consumes.
+type serveStats struct {
+	Slowest []trace.TraceSummary `json:"slowest_requests"`
+	Dumps   []*trace.DumpRecord  `json:"dumps"`
+}
+
+// fetchStats polls one /v1/stats document.
+func fetchStats(client *http.Client, url string) (serveStats, error) {
+	var st serveStats
+	resp, err := client.Get(url)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// RenderSlowest draws the slowest-recent-requests panel from the serve
+// frontend's flight-recorder summaries plus any dump records. Pure
+// function of its inputs, like Render, so the format is unit-testable.
+func RenderSlowest(sums []trace.TraceSummary, dumps []*trace.DumpRecord) string {
+	if len(sums) == 0 && len(dumps) == 0 {
+		return "\nslowest recent requests: (no traces retained yet)\n"
+	}
+	var b strings.Builder
+	b.WriteString("\nslowest recent requests:\n")
+	fmt.Fprintf(&b, "  %-7s %-10s %5s %12s %12s %6s\n",
+		"trace", "model", "batch", "total", "queue", "spans")
+	for _, s := range sums {
+		model := s.Model
+		if model == "" {
+			model = s.Name
+		}
+		fmt.Fprintf(&b, "  %-7d %-10s %5d %12v %12v %6d\n",
+			s.ID, model, s.BatchSize,
+			s.Duration.Round(10*time.Microsecond),
+			s.QueueWait.Round(10*time.Microsecond), s.Spans)
+	}
+	for _, d := range dumps {
+		fmt.Fprintf(&b, "  dump: %s (%d traces)\n", d.Reason, len(d.TraceIDs))
+	}
+	return b.String()
 }
 
 // pollTimeoutFloor keeps very fast poll intervals from turning into

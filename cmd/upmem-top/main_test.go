@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pimdnn/internal/metrics"
+	"pimdnn/internal/trace"
 )
 
 func snap(cycles []uint64, launches []uint64) metrics.Snapshot {
@@ -149,5 +150,37 @@ func TestFetchTimesOutOnStalledEndpoint(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("fetch still blocked on a stalled endpoint after 2s")
+	}
+}
+
+// TestRenderSlowest covers the slowest-requests panel: populated rows,
+// model fallback to the root span name, dump lines, and the empty case.
+func TestRenderSlowest(t *testing.T) {
+	sums := []trace.TraceSummary{
+		{ID: 7, Name: "infer", Model: "yolov3", BatchSize: 4,
+			Duration: 1520 * time.Microsecond, QueueWait: 310 * time.Microsecond, Spans: 42},
+		{ID: 3, Name: "profile_gemm", // no model attr: falls back to name
+			Duration: 800 * time.Microsecond, Spans: 9},
+	}
+	dumps := []*trace.DumpRecord{
+		{Reason: "slo_breach:model=yolov3", TraceIDs: []trace.TraceID{7, 3}},
+	}
+	out := RenderSlowest(sums, dumps)
+	if !strings.Contains(out, "slowest recent requests:") {
+		t.Errorf("missing panel header:\n%s", out)
+	}
+	for _, want := range []string{"7", "yolov3", "1.52ms", "310µs", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("panel missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "profile_gemm") {
+		t.Errorf("model fallback to span name missing:\n%s", out)
+	}
+	if !strings.Contains(out, "dump: slo_breach:model=yolov3 (2 traces)") {
+		t.Errorf("dump line missing:\n%s", out)
+	}
+	if got := RenderSlowest(nil, nil); !strings.Contains(got, "(no traces retained yet)") {
+		t.Errorf("empty case = %q", got)
 	}
 }

@@ -1,0 +1,20 @@
+package dpu
+
+import "pimdnn/internal/trace"
+
+// AnnotateSpan attaches one launch's cost-model results to a request
+// span as numeric attributes — the per-launch cycle/issue/DMA detail a
+// trace viewer shows next to the kernel slice. The receiver is the
+// launch's Stats; callers pass the span for the launch (or the per-DPU
+// kernel slice). Nil-span safe, like every span method.
+func (st *Stats) AnnotateSpan(sp *trace.Span) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("tasklets", int64(st.Tasklets))
+	sp.SetAttr("cycles", int64(st.Cycles))
+	sp.SetAttr("issue_slots", int64(st.IssueSlots))
+	sp.SetAttr("dma_cycles", int64(st.DMACycles))
+	sp.SetAttr("sim_ns", st.Time.Nanoseconds())
+	sp.SetAttr("energy_uj", int64(st.EnergyJ*1e6))
+}

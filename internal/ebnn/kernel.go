@@ -12,6 +12,7 @@ import (
 	"pimdnn/internal/host"
 	"pimdnn/internal/mnist"
 	"pimdnn/internal/softfloat"
+	"pimdnn/internal/trace"
 )
 
 // DPU-side layout constants (§4.1.3 mapping).
@@ -262,6 +263,16 @@ func (r *Runner) SetPipeline(m host.PipelineMode) {
 // telemetry decomposition (see exec.Engine.SetScope). A plain field
 // store when no metrics registry is wired.
 func (r *Runner) SetScope(name string) { r.eng.SetScope(name) }
+
+// SetTraceSpan attaches the request span the next Infer runs under
+// (see exec.Engine.SetTraceSpan); nil detaches. Each Infer opens an
+// "ebnn.infer" child span carrying the engine's wave and per-DPU
+// kernel spans.
+func (r *Runner) SetTraceSpan(sp *trace.Span) { r.eng.SetTraceSpan(sp) }
+
+// TraceSpan returns the currently attached request span (nil when
+// untraced).
+func (r *Runner) TraceSpan() *trace.Span { return r.eng.TraceSpan() }
 
 // AttachResidency registers the deployed model parameters (filters plus
 // BN table or LUT) with a weight cache under the given model name, as
@@ -755,6 +766,15 @@ func (r *Runner) Infer(images []mnist.Image) ([]int, BatchStats, error) {
 	r.stages[0].ensure(nd)
 	if r.eng.Pipelined() {
 		r.stages[1].ensure(nd)
+	}
+	if parent := r.eng.TraceSpan(); parent != nil {
+		isp := parent.StartChild("ebnn.infer")
+		isp.SetAttr("images", int64(len(images)))
+		r.eng.SetTraceSpan(isp)
+		defer func() {
+			r.eng.SetTraceSpan(parent)
+			isp.End()
+		}()
 	}
 	stats := BatchStats{Images: len(images)}
 	w := &r.iws

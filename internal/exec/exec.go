@@ -201,6 +201,15 @@ type Engine struct {
 	ev    *slog.Logger
 	scope string
 
+	// Request tracing (trace.go): the span dispatches attach their
+	// phase/launch child spans to, nil when the current work is not
+	// traced, plus the launch-stats scratch the span recorder reads
+	// (copied by value at the call site so LaunchStats locals never
+	// escape to the heap).
+	tsp     *trace.Span
+	tspLS   host.LaunchStats
+	tspLSOK bool
+
 	// Fault-recovery state: DPUs excluded from dispatch for the
 	// engine's life, the round-robin re-dispatch cursor, and the
 	// reusable per-wave failed-shard set.
@@ -803,6 +812,9 @@ func (e *Engine) runSync(ws WorkSet, st *Stats) error {
 		if n > st.DPUsUsed {
 			st.DPUsUsed = n
 		}
+		if e.tsp != nil {
+			e.tspLS, e.tspLSOK = ls, true
+		}
 		t2 := e.span("launch", seq, n, t1)
 
 		g := ws.Gather(0, n)
@@ -1001,6 +1013,9 @@ func (e *Engine) flush(ws WorkSet, sl *waveSlot, st *Stats) error {
 	if sl.n > st.DPUsUsed {
 		st.DPUsUsed = sl.n
 	}
+	if e.tsp != nil {
+		e.tspLS, e.tspLSOK = sl.stats, true
+	}
 	t1 := e.span("wave", sl.seq, sl.n, sl.t0)
 	streams := ws.Scatter(sl.idx, sl.n)
 	g := ws.Gather(sl.idx, sl.n)
@@ -1025,19 +1040,20 @@ func (e *Engine) flush(ws WorkSet, sl *waveSlot, st *Stats) error {
 }
 
 // now returns the wall clock only when span recording is armed (a
-// timeline or a metrics registry; both consume phase timings).
+// timeline, a metrics registry, or a request span; all consume phase
+// timings).
 func (e *Engine) now() time.Time {
-	if e.tl == nil && e.met == nil {
+	if e.tl == nil && e.met == nil && e.tsp == nil {
 		return time.Time{}
 	}
 	return time.Now()
 }
 
 // span records [t0, now] under name — into the timeline, the phase
-// histogram, and the per-wave event log, whichever are armed — and
-// returns its end instant.
+// histogram, the request trace, and the per-wave event log, whichever
+// are armed — and returns its end instant.
 func (e *Engine) span(name string, wave, shards int, t0 time.Time) time.Time {
-	if e.tl == nil && e.met == nil {
+	if e.tl == nil && e.met == nil && e.tsp == nil {
 		if name == "gather" || name == "wave" {
 			e.eventWave(wave, shards)
 		}
@@ -1049,6 +1065,9 @@ func (e *Engine) span(name string, wave, shards int, t0 time.Time) time.Time {
 	}
 	if e.met != nil {
 		e.met.phase(name).Observe(uint64(t1.Sub(t0)))
+	}
+	if e.tsp != nil {
+		e.traceSpan(name, wave, shards, t0, t1)
 	}
 	if name == "gather" || name == "wave" {
 		e.eventWave(wave, shards)

@@ -128,6 +128,9 @@ func (e *Engine) runStreamSync(ss *StreamSet, st *Stats) error {
 	if ss.Shards > st.DPUsUsed {
 		st.DPUsUsed = ss.Shards
 	}
+	if e.tsp != nil {
+		e.tspLS, e.tspLSOK = ls, true
+	}
 	t2 := e.span("launch", seq, ss.Shards, t1)
 
 	// Stream each intact shard's output through one reused buffer; at
@@ -233,6 +236,9 @@ func (e *Engine) runStreamPipelined(ss *StreamSet, st *Stats) error {
 	st.Seconds += e.lstats.Seconds
 	if ss.Shards > st.DPUsUsed {
 		st.DPUsUsed = ss.Shards
+	}
+	if e.tsp != nil {
+		e.tspLS, e.tspLSOK = e.lstats, true
 	}
 	t2 := e.span("launch", seq, ss.Shards, t1)
 

@@ -349,6 +349,19 @@ func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]i
 		}
 	}
 
+	if parent := r.eng.TraceSpan(); parent != nil {
+		bsp := parent.StartChild("gemm.batch")
+		bsp.SetAttr("m", int64(m))
+		bsp.SetAttr("n", int64(n))
+		bsp.SetAttr("k", int64(k))
+		bsp.SetAttr("images", int64(len(bs)))
+		r.eng.SetTraceSpan(bsp)
+		defer func() {
+			r.eng.SetTraceSpan(parent)
+			bsp.End()
+		}()
+	}
+
 	// Encode the weight matrix A at the padded row stride the kernel
 	// stages from. The engine broadcasts it ahead of the image scatter
 	// (queued in pipelined mode, so the scatter overlaps it).
@@ -427,9 +440,13 @@ func (r *Runner) MultiplyBatchEach(m, n, k int, alpha int16, a []int16, bs [][]i
 		tasklets = r.batchAllocT
 	}
 	if r.planner != nil {
+		psp := r.eng.TraceSpan().StartChild("plan")
 		mp := r.planner.GEMMBatch(m, n, k, len(bs), r.planOpts(true))
 		tasklets = mp.Tasklets
 		r.lastPlan, r.hasPlan = mp, true
+		psp.SetAttr("tasklets", int64(mp.Tasklets))
+		psp.SetAttr("dpus", int64(mp.DPUs))
+		psp.End()
 	}
 
 	// Dispatch through the execution engine's streamed single-wave path:

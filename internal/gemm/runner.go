@@ -11,6 +11,7 @@ import (
 	"pimdnn/internal/fixed"
 	"pimdnn/internal/host"
 	"pimdnn/internal/plan"
+	"pimdnn/internal/trace"
 )
 
 // Symbol names used by the GEMM DPU program.
@@ -381,6 +382,17 @@ func (r *Runner) Configure(ec exec.Config) {
 // telemetry decomposition (see exec.Engine.SetScope). A plain field
 // store when no metrics registry is wired.
 func (r *Runner) SetScope(name string) { r.eng.SetScope(name) }
+
+// SetTraceSpan attaches the request span the next Multiply calls run
+// under (see exec.Engine.SetTraceSpan): each multiply opens a
+// "gemm.multiply"/"gemm.batch" child carrying the engine's wave and
+// per-DPU kernel spans. nil detaches. Two pointer stores when tracing
+// is off.
+func (r *Runner) SetTraceSpan(sp *trace.Span) { r.eng.SetTraceSpan(sp) }
+
+// TraceSpan returns the currently attached request span (nil when
+// untraced).
+func (r *Runner) TraceSpan() *trace.Span { return r.eng.TraceSpan() }
 
 // EnableResidency joins this runner to a weight cache under the given
 // model name: layers armed with SetWeightLayer scatter their weights
@@ -1138,11 +1150,27 @@ func (r *Runner) Multiply(m, n, k int, alpha int16, a, b []int16) ([]int16, Stat
 			k, n, r.cfg.MaxK, r.cfg.MaxN)
 	}
 
+	if parent := r.eng.TraceSpan(); parent != nil {
+		msp := parent.StartChild("gemm.multiply")
+		msp.SetAttr("m", int64(m))
+		msp.SetAttr("n", int64(n))
+		msp.SetAttr("k", int64(k))
+		r.eng.SetTraceSpan(msp)
+		defer func() {
+			r.eng.SetTraceSpan(parent)
+			msp.End()
+		}()
+	}
+
 	if r.planner != nil {
+		psp := r.eng.TraceSpan().StartChild("plan")
 		mp := r.planner.GEMM(m, n, k, r.planOpts(false))
 		r.curTasklets = mp.Tasklets
 		r.curWidth = mp.DPUs
 		r.lastPlan, r.hasPlan = mp, true
+		psp.SetAttr("tasklets", int64(mp.Tasklets))
+		psp.SetAttr("dpus", int64(mp.DPUs))
+		psp.End()
 	}
 
 	c := make([]int16, m*n)

@@ -1,0 +1,227 @@
+package gemm
+
+import (
+	"testing"
+
+	"pimdnn/internal/dpu"
+	"pimdnn/internal/host"
+	"pimdnn/internal/trace"
+)
+
+// runWithTracing runs one multi-wave Multiply on a fresh system,
+// optionally with a request span installed on the runner, and returns
+// the product, stats, and the completed trace (nil when untraced).
+func runWithTracing(t testing.TB, traced bool, plan *dpu.FaultPlan) ([]int16, Stats, *trace.Trace) {
+	const m, n, k = 24, 40, 18
+	a, b := pipelineProblem(m, n, k)
+	sys, err := host.NewSystem(8, host.DefaultConfig(dpu.O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		sys.InjectFaults(*plan)
+	}
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 8, TileCols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root *trace.Span
+	if traced {
+		tracer := trace.NewTracer(trace.TracerConfig{})
+		root = tracer.StartTrace("test")
+		r.SetTraceSpan(root)
+	}
+	c, st, err := r.Multiply(m, n, k, 3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced {
+		r.SetTraceSpan(nil)
+		root.End()
+		return c, st, root.Trace()
+	}
+	return c, st, nil
+}
+
+// TestTracingBitIdentity enforces the telemetry contract on the
+// tracing subsystem: installing a request span must not change a
+// single output value, simulated cycle, or retry count — with and
+// without fault injection.
+func TestTracingBitIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *dpu.FaultPlan
+	}{
+		{"clean", nil},
+		{"dead", &deadPlan},
+		{"transient", &transientPlan},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cOff, stOff, _ := runWithTracing(t, false, tc.plan)
+			cOn, stOn, tr := runWithTracing(t, true, tc.plan)
+			if len(cOff) != len(cOn) {
+				t.Fatalf("output lengths differ: %d vs %d", len(cOff), len(cOn))
+			}
+			for i := range cOff {
+				if cOff[i] != cOn[i] {
+					t.Fatalf("output[%d] = %d traced, %d untraced", i, cOn[i], cOff[i])
+				}
+			}
+			if stOff != stOn {
+				t.Errorf("stats diverge: off=%+v on=%+v", stOff, stOn)
+			}
+			if tr == nil || len(tr.Spans()) < 3 {
+				t.Errorf("traced run produced no span tree")
+			}
+		})
+	}
+}
+
+// TestTracingSpanTree checks the shape a traced Multiply records:
+// a gemm.multiply child under the request root, engine wave phases
+// under it, and per-DPU kernel spans with cycle attributes.
+func TestTracingSpanTree(t *testing.T) {
+	_, st, tr := runWithTracing(t, true, nil)
+	spans := tr.Spans()
+	count := map[string]int{}
+	var kernelCycles int64
+	for _, n := range spans {
+		count[n.Name]++
+		if n.Name == "dpu_kernel" {
+			for _, a := range n.Attrs {
+				if a.Key == "cycles" {
+					kernelCycles += a.Val
+				}
+			}
+		}
+	}
+	if count["gemm.multiply"] != 1 {
+		t.Errorf("gemm.multiply spans = %d, want 1 (have %v)", count["gemm.multiply"], count)
+	}
+	if count["launch"] == 0 && count["wave"] == 0 {
+		t.Errorf("no launch/wave spans recorded: %v", count)
+	}
+	if count["scatter"] == 0 {
+		t.Errorf("no scatter spans recorded: %v", count)
+	}
+	if count["dpu_kernel"] == 0 {
+		t.Errorf("no per-DPU kernel spans recorded: %v", count)
+	}
+	// Stats.Cycles is the simulated wall clock (max per wave); kernel
+	// spans sum cycles across all 8 DPUs, so the total lands between the
+	// wall clock and 8x it.
+	if uint64(kernelCycles) < st.Cycles || uint64(kernelCycles) > st.Cycles*8 {
+		t.Errorf("kernel span cycles %d implausible vs stats cycles %d", kernelCycles, st.Cycles)
+	}
+	// Structural integrity: every span's parent exists (or is the root's 0).
+	ids := map[trace.SpanID]bool{}
+	for _, n := range spans {
+		ids[n.ID] = true
+	}
+	for _, n := range spans {
+		if n.Parent != 0 && !ids[n.Parent] {
+			t.Errorf("span %q (id %d) has dangling parent %d", n.Name, n.ID, n.Parent)
+		}
+	}
+}
+
+// TestTracingZeroExtraAllocs pins the disabled-path contract: with no
+// span installed, the instrumented Multiply hot path allocates exactly
+// what it did before tracing existed.
+func TestTracingZeroExtraAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race detector perturbs AllocsPerRun by detector-internal allocations")
+	}
+	const m, n, k = 2, 96, 64
+	a, b := pipelineProblem(m, n, k)
+	mk := func() *Runner {
+		sys, err := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 4, TileCols: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := mk()
+	base := testing.AllocsPerRun(50, func() {
+		if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Same runner, tracing armed and then disarmed: the disabled path
+	// must return to the baseline exactly.
+	tracer := trace.NewTracer(trace.TracerConfig{})
+	root := tracer.StartTrace("warm")
+	r.SetTraceSpan(root)
+	if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+		t.Fatal(err)
+	}
+	r.SetTraceSpan(nil)
+	root.End()
+	off := testing.AllocsPerRun(50, func() {
+		if _, _, err := r.Multiply(m, n, k, 1, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if off > base {
+		t.Errorf("disabled tracing allocates %.1f per Multiply, baseline %.1f — want zero extra", off, base)
+	}
+}
+
+// BenchmarkTracingDisabledOverhead is the bench.sh allocation gate for
+// the tracing-disabled path: no span installed, the hot path must stay
+// at the pre-tracing allocation count (the gate pins allocs/op).
+func BenchmarkTracingDisabledOverhead(b *testing.B) {
+	const m, n, k = 2, 1024, 64
+	am, bm := benchProblem(m, n, k)
+	sys, _ := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 11, TileCols: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := r.Multiply(m, n, k, 1, am, bm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Multiply(m, n, k, 1, am, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracingEnabledOverhead measures the same hot path with a
+// fresh request trace per iteration — the serving pattern — for the
+// ns/op and allocs/op delta report.
+func BenchmarkTracingEnabledOverhead(b *testing.B) {
+	const m, n, k = 2, 1024, 64
+	am, bm := benchProblem(m, n, k)
+	sys, _ := host.NewSystem(2, host.DefaultConfig(dpu.O3))
+	r, err := NewRunner(sys, RunnerConfig{MaxK: k, MaxN: n, Tasklets: 11, TileCols: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := r.Multiply(m, n, k, 1, am, bm); err != nil {
+		b.Fatal(err)
+	}
+	tracer := trace.NewTracer(trace.TracerConfig{Ring: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tracer.StartTrace("bench")
+		r.SetTraceSpan(root)
+		if _, _, err := r.Multiply(m, n, k, 1, am, bm); err != nil {
+			b.Fatal(err)
+		}
+		r.SetTraceSpan(nil)
+		root.End()
+	}
+}

@@ -123,6 +123,9 @@ type System struct {
 	// qrunFn is the executor entry point, allocated once so restarting
 	// the executor after an idle period doesn't allocate a closure.
 	qrunFn func()
+	// qspan, when non-nil, parents queue-command trace spans
+	// (queuetrace.go); commands capture it at enqueue time.
+	qspan *trace.Span
 }
 
 // XferStats summarizes host<->PIM traffic since the last reset.

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"pimdnn/internal/dpu"
+	"pimdnn/internal/trace"
 )
 
 // ErrClosed is reported by Pending handles and Sync for commands that
@@ -96,8 +97,14 @@ type asyncOp struct {
 	gbufs [][]byte
 
 	// enqNS is the wall-clock enqueue instant (UnixNano) when telemetry
-	// is wired, 0 otherwise; the executor observes the command latency.
+	// or tracing is wired, 0 otherwise; the executor observes the
+	// command latency.
 	enqNS int64
+
+	// sp, when non-nil, is the request span this command belongs to
+	// (captured from System.qspan at enqueue time); the executor stamps
+	// a child span around the command's execution window.
+	sp *trace.Span
 }
 
 // Pending is a future-style handle for one enqueued command. The zero
@@ -300,6 +307,12 @@ func (s *System) enqueue(op asyncOp) Pending {
 		op.enqNS = time.Now().UnixNano()
 	}
 	s.qmu.Lock()
+	if s.qspan != nil {
+		op.sp = s.qspan
+		if op.enqNS == 0 {
+			op.enqNS = time.Now().UnixNano()
+		}
+	}
 	s.qNext++
 	op.ticket = s.qNext
 	if s.qClosed {
@@ -370,7 +383,13 @@ func (s *System) qrun() {
 		s.qmu.Unlock()
 		var err error
 		if !skip {
-			err = s.execOp(&s.qcur)
+			if s.qcur.sp != nil {
+				t0 := time.Now()
+				err = s.execOp(&s.qcur)
+				s.traceOp(&s.qcur, t0)
+			} else {
+				err = s.execOp(&s.qcur)
+			}
 		}
 		s.meterCmdLatency(enqNS)
 		s.qcur = asyncOp{} // release buffer/kernel references

@@ -1,0 +1,78 @@
+package host
+
+import (
+	"time"
+
+	"pimdnn/internal/trace"
+)
+
+// Request-tracing hooks for the asynchronous command queue. When a
+// runner dispatches on behalf of a traced request, it installs the
+// request's span here; every command enqueued while the span is set
+// carries it, and the executor stamps a retroactive child span around
+// the command's execution window (plus how long it sat queued). With
+// no span installed the only cost on the enqueue path is one nil
+// check — the same contract as the metrics hooks.
+
+// opTraceNames maps opKind to the queue-command span name. Indexed by
+// kind (1-based), with a fixed table so naming a span allocates
+// nothing.
+var opTraceNames = [...]string{
+	opCopyTo:    "q.copy_to",
+	opPushXfer:  "q.push_xfer",
+	opLaunch:    "q.launch",
+	opGather:    "q.gather",
+	opCopyFrom:  "q.copy_from",
+	opWave:      "q.wave",
+	opCopyToDPU: "q.copy_to_dpu",
+	opLaunchDPU: "q.launch_dpu",
+}
+
+// SetTraceSpan installs sp as the parent of queue-command spans for
+// commands enqueued from now on; nil uninstalls. Safe to call
+// concurrently with enqueues — commands in flight keep the span they
+// captured at enqueue time.
+func (s *System) SetTraceSpan(sp *trace.Span) {
+	s.qmu.Lock()
+	s.qspan = sp
+	s.qmu.Unlock()
+}
+
+// opTraceBytes returns the payload size a queue-command span reports:
+// the summed buffer bytes the command moves (0 for pure launches).
+func opTraceBytes(op *asyncOp) int64 {
+	var b int64
+	switch op.kind {
+	case opCopyTo, opCopyFrom, opCopyToDPU:
+		b = int64(len(op.data))
+	case opPushXfer:
+		for _, buf := range op.bufs {
+			b += int64(len(buf))
+		}
+	case opGather:
+		b = int64(op.n) * int64(len(op.bufs))
+	case opWave:
+		for _, buf := range op.bufs {
+			b += int64(len(buf))
+		}
+		for _, buf := range op.gbufs {
+			b += int64(len(buf))
+		}
+	}
+	return b
+}
+
+// traceOp stamps one executed command's span: a child of the span the
+// command captured at enqueue time, covering [t0, now], with the
+// queue-wait and payload sizes as attributes.
+func (s *System) traceOp(op *asyncOp, t0 time.Time) {
+	c := op.sp.StartChildAt(opTraceNames[op.kind], t0)
+	if op.enqNS != 0 {
+		c.SetAttr("queued_ns", t0.UnixNano()-op.enqNS)
+	}
+	c.SetAttr("ticket", int64(op.ticket))
+	if b := opTraceBytes(op); b > 0 {
+		c.SetAttr("bytes", b)
+	}
+	c.EndAt(time.Now())
+}

@@ -96,6 +96,13 @@ type Histogram struct {
 	bounds []uint64        // ascending upper edges, immutable after creation
 	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
 	sum    atomic.Uint64
+	// Exemplars: the most recent (value, trace ID) pair observed per
+	// bucket, linking a latency bucket to a concrete request trace.
+	// Written only by ObserveExemplar; two independent atomics, so a
+	// reader may pair a value with a neighbouring observation's trace ID
+	// — acceptable for a diagnostic hint.
+	exVal []atomic.Uint64 // len(bounds)+1
+	exID  []atomic.Uint64 // len(bounds)+1; 0 = no exemplar yet
 }
 
 // Observe records one value. Allocation-free; no-op on a nil receiver.
@@ -109,6 +116,27 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.counts[i].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one value and attaches traceID as the
+// bucket's exemplar, so renderings can point at a concrete request
+// trace behind a latency bucket. A zero traceID (request not sampled)
+// degrades to a plain Observe. Allocation-free; no-op on a nil
+// receiver.
+func (h *Histogram) ObserveExemplar(v uint64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	if traceID != 0 {
+		h.exVal[i].Store(v)
+		h.exID[i].Store(traceID)
+	}
 }
 
 // Count returns the total number of observations, derived from the
@@ -283,7 +311,17 @@ func (r *Registry) LabeledHistogram(name, key, val string, bounds []uint64) *His
 			fam = append([]uint64(nil), bounds...)
 			r.bounds[name] = fam
 		}
-		h = &Histogram{bounds: fam, counts: make([]atomic.Uint64, len(fam)+1)}
+		// One backing array for counts + exemplar slots: labels
+		// materialize lazily on hot paths, and a single allocation keeps
+		// the first-observation cost identical to the pre-exemplar layout.
+		n := len(fam) + 1
+		buf := make([]atomic.Uint64, 3*n)
+		h = &Histogram{
+			bounds: fam,
+			counts: buf[:n:n],
+			exVal:  buf[n : 2*n : 2*n],
+			exID:   buf[2*n : 3*n : 3*n],
+		}
 		r.hists[id] = h
 	}
 	return h

@@ -48,6 +48,16 @@ type HistSnap struct {
 	Counts   []uint64 `json:"counts"`
 	Sum      uint64   `json:"sum"`
 	Count    uint64   `json:"count"`
+	// Exemplars link buckets to request traces (ObserveExemplar);
+	// empty for histograms fed by plain Observe.
+	Exemplars []ExemplarSnap `json:"exemplars,omitempty"`
+}
+
+// ExemplarSnap is one bucket's most recent traced observation.
+type ExemplarSnap struct {
+	Bucket  int    `json:"bucket"` // index into Counts
+	Value   uint64 `json:"value"`
+	TraceID uint64 `json:"trace_id"`
 }
 
 // Quantile estimates the q-quantile (0 < q <= 1) of the observations
@@ -160,7 +170,7 @@ func (r *Registry) Snapshot() Snapshot {
 			counts[j] = h.counts[j].Load()
 			total += counts[j]
 		}
-		s.Histograms[i] = HistSnap{
+		hs := HistSnap{
 			Name:     id.name,
 			LabelKey: id.labelKey,
 			LabelVal: id.labelVal,
@@ -169,6 +179,14 @@ func (r *Registry) Snapshot() Snapshot {
 			Sum:      h.sum.Load(),
 			Count:    total,
 		}
+		for j := range h.exID {
+			if tid := h.exID[j].Load(); tid != 0 {
+				hs.Exemplars = append(hs.Exemplars, ExemplarSnap{
+					Bucket: j, Value: h.exVal[j].Load(), TraceID: tid,
+				})
+			}
+		}
+		s.Histograms[i] = hs
 	}
 	return s
 }
@@ -268,6 +286,10 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		if h.LabelKey != "" {
 			extra = fmt.Sprintf("%s=%q,", h.LabelKey, h.LabelVal)
 		}
+		ex := make(map[int]ExemplarSnap, len(h.Exemplars))
+		for _, e := range h.Exemplars {
+			ex[e.Bucket] = e
+		}
 		var cum uint64
 		for i, c := range h.Counts {
 			cum += c
@@ -275,7 +297,13 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			if i < len(h.Bounds) {
 				le = fmt.Sprintf("%d", h.Bounds[i])
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", h.Name, extra, le, cum); err != nil {
+			// Exemplars ride the bucket line in the OpenMetrics suffix
+			// form: ... # {trace_id="7"} 42
+			suffix := ""
+			if e, ok := ex[i]; ok {
+				suffix = fmt.Sprintf(" # {trace_id=\"%d\"} %d", e.TraceID, e.Value)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d%s\n", h.Name, extra, le, cum, suffix); err != nil {
 				return err
 			}
 		}

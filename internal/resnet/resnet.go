@@ -382,7 +382,17 @@ func (n *Network) Forward(input *tensor.Tensor, runner *gemm.Runner) ([]int16, *
 		if runner.ResidencyOn() {
 			runner.SetWeightLayer(layer)
 		}
+		reqSp := runner.TraceSpan()
+		if reqSp != nil {
+			lsp := reqSp.StartChild(fmt.Sprintf("resnet_layer%02d", layer))
+			lsp.SetAttr("layer", int64(layer))
+			runner.SetTraceSpan(lsp)
+		}
 		c, st, err := runner.Multiply(m, cols, k, 1, w, b)
+		if reqSp != nil {
+			runner.TraceSpan().End()
+			runner.SetTraceSpan(reqSp)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -18,10 +18,10 @@ import (
 // run shows wave w+1's span starting before wave w's has ended, a
 // synchronous run shows strictly sequential spans.
 
-// Span is one timed phase of an execution-engine wave. The JSON tags
+// WaveSpan is one timed phase of an execution-engine wave. The JSON tags
 // serve upmem-profile's -json exposition; Start and End marshal as
 // nanoseconds (time.Duration's underlying int64).
-type Span struct {
+type WaveSpan struct {
 	// Name is the phase: "scatter", "launch", "gather" and "retry" on
 	// the synchronous path, "wave" for a pipelined fused
 	// scatter→launch→gather command (one queue command, not separately
@@ -37,31 +37,93 @@ type Span struct {
 	End   time.Duration `json:"end_ns"`
 }
 
-// Timeline accumulates spans from one or more engines. The zero value
-// is not usable; create one with NewTimeline. Record is safe for
-// concurrent use.
+// DefaultTimelineCapacity bounds a Timeline's retained spans unless
+// SetCapacity overrides it. Timelines used to grow without bound,
+// which leaks in a long-running server recording four spans per wave;
+// the default keeps the last ~16k spans (a few MB at worst) and every
+// profiling run in the repo fits well inside it.
+const DefaultTimelineCapacity = 16384
+
+// Timeline accumulates spans from one or more engines, retaining at
+// most its capacity (oldest spans drop first). The zero value is not
+// usable; create one with NewTimeline. Record is safe for concurrent
+// use.
 type Timeline struct {
-	mu    sync.Mutex
-	epoch time.Time
-	spans []Span
+	mu      sync.Mutex
+	epoch   time.Time
+	spans   []WaveSpan // ring once len == cap
+	next    int        // ring write position (== len(spans) while filling)
+	cap     int
+	dropped uint64
 }
 
 // NewTimeline starts an empty timeline whose epoch is now.
 func NewTimeline() *Timeline {
-	return &Timeline{epoch: time.Now()}
+	return &Timeline{epoch: time.Now(), cap: DefaultTimelineCapacity}
 }
 
-// Record appends one span. start and end are wall-clock instants.
-func (tl *Timeline) Record(name string, wave, shards int, start, end time.Time) {
+// SetCapacity changes the retention bound. Shrinking below the
+// current span count keeps the newest spans. n <= 0 restores the
+// default.
+func (tl *Timeline) SetCapacity(n int) {
+	if n <= 0 {
+		n = DefaultTimelineCapacity
+	}
 	tl.mu.Lock()
-	tl.spans = append(tl.spans, Span{
+	if len(tl.spans) > n {
+		ordered := tl.orderedLocked()
+		tl.spans = append(tl.spans[:0], ordered[len(ordered)-n:]...)
+		tl.dropped += uint64(len(ordered) - n)
+	}
+	tl.cap = n
+	tl.next = len(tl.spans) % n
+	tl.mu.Unlock()
+}
+
+// Dropped returns how many spans have been discarded to stay within
+// capacity.
+func (tl *Timeline) Dropped() uint64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.dropped
+}
+
+// Record appends one span, evicting the oldest if at capacity. start
+// and end are wall-clock instants.
+func (tl *Timeline) Record(name string, wave, shards int, start, end time.Time) {
+	s := WaveSpan{
 		Name:   name,
 		Wave:   wave,
 		Shards: shards,
 		Start:  start.Sub(tl.epoch),
 		End:    end.Sub(tl.epoch),
-	})
+	}
+	tl.mu.Lock()
+	if tl.cap <= 0 { // zero-value safety
+		tl.cap = DefaultTimelineCapacity
+	}
+	if len(tl.spans) < tl.cap {
+		tl.spans = append(tl.spans, s)
+		tl.next = len(tl.spans) % tl.cap
+	} else {
+		tl.spans[tl.next] = s
+		tl.next = (tl.next + 1) % tl.cap
+		tl.dropped++
+	}
 	tl.mu.Unlock()
+}
+
+// orderedLocked returns the retained spans in recording order. Caller
+// holds tl.mu.
+func (tl *Timeline) orderedLocked() []WaveSpan {
+	out := make([]WaveSpan, 0, len(tl.spans))
+	if len(tl.spans) == tl.cap && tl.dropped > 0 {
+		out = append(out, tl.spans[tl.next:]...)
+		out = append(out, tl.spans[:tl.next]...)
+	} else {
+		out = append(out, tl.spans...)
+	}
+	return out
 }
 
 // Spans returns a copy of the recorded spans in stable (Start, Wave,
@@ -69,10 +131,9 @@ func (tl *Timeline) Record(name string, wave, shards int, start, end time.Time) 
 // engines share one timeline — spans arrive interleaved by goroutine
 // scheduling — so callers comparing or rendering timelines get a
 // reproducible sequence instead.
-func (tl *Timeline) Spans() []Span {
+func (tl *Timeline) Spans() []WaveSpan {
 	tl.mu.Lock()
-	out := make([]Span, len(tl.spans))
-	copy(out, tl.spans)
+	out := tl.orderedLocked()
 	tl.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
@@ -86,10 +147,12 @@ func (tl *Timeline) Spans() []Span {
 	return out
 }
 
-// Reset drops all spans and restarts the epoch.
+// Reset drops all spans and restarts the epoch. Capacity is kept.
 func (tl *Timeline) Reset() {
 	tl.mu.Lock()
 	tl.spans = tl.spans[:0]
+	tl.next = 0
+	tl.dropped = 0
 	tl.epoch = time.Now()
 	tl.mu.Unlock()
 }

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// The Timeline used to grow its span slice without bound — a
+// long-running server recording four spans per wave leaked memory until
+// restart. These tests pin the capacity-capped drop-oldest behavior.
+
+func recordN(tl *Timeline, n int) {
+	base := time.Now()
+	for i := 0; i < n; i++ {
+		at := base.Add(time.Duration(i) * time.Microsecond)
+		tl.Record("wave", i, 4, at, at.Add(time.Microsecond))
+	}
+}
+
+// TestTimelineCapDropsOldest: recording past capacity retains exactly
+// the newest cap spans, in order, and counts the drops.
+func TestTimelineCapDropsOldest(t *testing.T) {
+	tl := NewTimeline()
+	tl.SetCapacity(8)
+	recordN(tl, 20)
+	spans := tl.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("retained %d spans, want 8", len(spans))
+	}
+	for i, s := range spans {
+		if s.Wave != 12+i {
+			t.Errorf("span %d is wave %d, want %d (oldest must drop first)", i, s.Wave, 12+i)
+		}
+	}
+	if tl.Dropped() != 12 {
+		t.Errorf("Dropped() = %d, want 12", tl.Dropped())
+	}
+}
+
+// TestTimelineUnboundedGrowthRegression: with no explicit capacity the
+// default bound must hold — this is the leak regression.
+func TestTimelineUnboundedGrowthRegression(t *testing.T) {
+	tl := NewTimeline()
+	recordN(tl, DefaultTimelineCapacity+100)
+	if got := len(tl.Spans()); got != DefaultTimelineCapacity {
+		t.Errorf("timeline grew to %d spans, want default cap %d", got, DefaultTimelineCapacity)
+	}
+	if tl.Dropped() != 100 {
+		t.Errorf("Dropped() = %d, want 100", tl.Dropped())
+	}
+}
+
+// TestTimelineSetCapacityShrink: shrinking keeps the newest spans.
+func TestTimelineSetCapacityShrink(t *testing.T) {
+	tl := NewTimeline()
+	recordN(tl, 10)
+	tl.SetCapacity(4)
+	spans := tl.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans after shrink, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if s.Wave != 6+i {
+			t.Errorf("span %d is wave %d, want %d", i, s.Wave, 6+i)
+		}
+	}
+	// Recording continues in the shrunken ring.
+	recordN(tl, 2)
+	if got := len(tl.Spans()); got != 4 {
+		t.Errorf("ring grew past shrunken cap: %d", got)
+	}
+	// Restore default via n <= 0.
+	tl.SetCapacity(0)
+	recordN(tl, 10)
+	if got := len(tl.Spans()); got != 14 {
+		t.Errorf("after cap reset, retained %d spans, want 14", got)
+	}
+}
+
+// TestTimelineResetKeepsCapacity: Reset clears spans and drop counts
+// but not the configured bound.
+func TestTimelineResetKeepsCapacity(t *testing.T) {
+	tl := NewTimeline()
+	tl.SetCapacity(4)
+	recordN(tl, 10)
+	tl.Reset()
+	if len(tl.Spans()) != 0 || tl.Dropped() != 0 {
+		t.Fatal("Reset left spans or drop counts behind")
+	}
+	recordN(tl, 10)
+	if got := len(tl.Spans()); got != 4 {
+		t.Errorf("capacity lost across Reset: retained %d, want 4", got)
+	}
+}

@@ -63,11 +63,21 @@ func (n *Network) ForwardBatch(inputs []*Tensor, r *gemm.Runner) ([]*Result, *Fo
 			if r.ResidencyOn() {
 				r.SetWeightLayer(li)
 			}
+			reqSp := r.TraceSpan()
+			if reqSp != nil {
+				lsp := reqSp.StartChild(fmt.Sprintf("yolo_conv%03d", li))
+				lsp.SetAttr("layer", int64(li))
+				r.SetTraceSpan(lsp)
+			}
 			st, err := r.MultiplyBatchEach(def.Filters, cols, k, 1, n.Weights[li].W, bs,
 				func(i int, c []int16) {
 					applyBiasAct(c, def.Filters, cols, n.Weights[li].Bias, def.Activation)
 					curs[i] = &Tensor{C: s.c, H: s.h, W: s.w, Data: c}
 				})
+			if reqSp != nil {
+				r.TraceSpan().End()
+				r.SetTraceSpan(reqSp)
+			}
 			if err != nil {
 				return nil, nil, fmt.Errorf("yolo: layer %d: %w", li, err)
 			}

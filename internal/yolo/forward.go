@@ -96,8 +96,18 @@ func (n *Network) Forward(input *Tensor, runner *gemm.Runner) (*Result, *Forward
 				if runner.ResidencyOn() {
 					runner.SetWeightLayer(i)
 				}
+				reqSp := runner.TraceSpan()
+				if reqSp != nil {
+					lsp := reqSp.StartChild(fmt.Sprintf("yolo_conv%03d", i))
+					lsp.SetAttr("layer", int64(i))
+					runner.SetTraceSpan(lsp)
+				}
 				var st gemm.Stats
 				c, st, err = runner.Multiply(def.Filters, cols, k, 1, n.Weights[i].W, b)
+				if reqSp != nil {
+					runner.TraceSpan().End()
+					runner.SetTraceSpan(reqSp)
+				}
 				if err != nil {
 					return nil, nil, fmt.Errorf("yolo: layer %d: %w", i, err)
 				}

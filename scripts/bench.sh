@@ -5,8 +5,9 @@
 # delta, FAIL if any baseline benchmark disappeared from the new run,
 # and FAIL if an allocation-gated benchmark's allocs/op grew over the
 # baseline. The allocation gate covers the telemetry overhead
-# benchmarks (BenchmarkMetrics*, the internal/metrics instrument
-# microbenchmarks) and the steady-state simulator hot path
+# benchmarks (BenchmarkMetrics*, BenchmarkTracingDisabledOverhead, the
+# internal/metrics instrument microbenchmarks) and the steady-state
+# simulator hot path
 # (BenchmarkSimulatorWallClock): their allocs/op is a designed
 # invariant — zero on the instrument hot paths, fixed on the
 # instrumented gemm and warm YOLO forward paths — whereas the
@@ -15,8 +16,8 @@
 #
 # Usage:  scripts/bench.sh [benchtime] [out.json] [baseline.json]
 #   benchtime      go test -benchtime value (default 10x)
-#   out.json       output file (default BENCH_pr9.json)
-#   baseline.json  delta baseline (default BENCH_pr8.json, the last
+#   out.json       output file (default BENCH_pr10.json)
+#   baseline.json  delta baseline (default BENCH_pr9.json, the last
 #                  recorded trajectory point; BENCH_baseline.json if
 #                  that is absent)
 #
@@ -29,8 +30,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
-OUT="${2:-BENCH_pr9.json}"
-BASELINE="${3:-BENCH_pr8.json}"
+OUT="${2:-BENCH_pr10.json}"
+BASELINE="${3:-BENCH_pr9.json}"
 [[ -f "$BASELINE" ]] || BASELINE="BENCH_baseline.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -42,7 +43,7 @@ run() { # run <package> <bench regexp>
 }
 
 run .                  'BenchmarkSimulatorWallClock|BenchmarkFig47aTaskletSpeedup|BenchmarkFig47bOptimization|BenchmarkHeadlineLatency|BenchmarkScalingStrong|BenchmarkScalingWeak'
-run ./internal/gemm    'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatchKernel|BenchmarkMultiWaveSync|BenchmarkMultiWavePipelined|BenchmarkResidentForward|BenchmarkRebroadcastForward|BenchmarkMetricsDisabledOverhead|BenchmarkMetricsEnabledOverhead'
+run ./internal/gemm    'BenchmarkTiledKernel|BenchmarkNaiveKernel|BenchmarkBatchKernel|BenchmarkMultiWaveSync|BenchmarkMultiWavePipelined|BenchmarkResidentForward|BenchmarkRebroadcastForward|BenchmarkMetricsDisabledOverhead|BenchmarkMetricsEnabledOverhead|BenchmarkTracingDisabledOverhead|BenchmarkTracingEnabledOverhead'
 run ./internal/ebnn    'BenchmarkInferWaveSync|BenchmarkInferWavePipelined'
 run ./internal/host    'BenchmarkBroadcast|BenchmarkPushXfer|BenchmarkParallelLaunch'
 run ./internal/metrics 'BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkNilCounterAdd'
@@ -83,9 +84,9 @@ echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
 # Delta report: every baseline benchmark must still exist; new-only
 # benchmarks are listed as such. Exits 1 on a vanished benchmark (CI
 # catches silently dropped coverage) or on an allocation regression in
-# an allocation-gated benchmark (name matching Metrics/CounterAdd/
-# HistogramObserve/SimulatorWallClock/FullArray/ResidentForward/
-# RebroadcastForward/Planner — the hot paths whose
+# an allocation-gated benchmark (name matching Metrics/TracingDisabled/
+# CounterAdd/HistogramObserve/SimulatorWallClock/FullArray/
+# ResidentForward/RebroadcastForward/Planner — the hot paths whose
 # allocs/op is a designed invariant rather than a setup artifact; the
 # full-array forward's allocations are per-image data, deterministic at
 # one iteration, and must not regrow an O(nDPU)-per-wave term).
@@ -121,7 +122,7 @@ if [[ -f "$BASELINE" && "$OUT" != "$BASELINE" ]]; then
 			}
 			printf("%-55s %14s %14s %8.1f%%\n", name, base[name], cur[name],
 			       100 * (cur[name] - base[name]) / base[name])
-			if (name ~ /Metrics|CounterAdd|HistogramObserve|SimulatorWallClock|FullArray|ResidentForward|RebroadcastForward|Planner/ &&
+			if (name ~ /Metrics|TracingDisabled|CounterAdd|HistogramObserve|SimulatorWallClock|FullArray|ResidentForward|RebroadcastForward|Planner/ &&
 			    baseAllocs[name] != "" && curAllocs[name] != "" &&
 			    curAllocs[name] + 0 > baseAllocs[name] + 0) {
 				printf("ALLOC REGRESSION: %s allocs/op %s -> %s\n",
